@@ -1,0 +1,35 @@
+//! Figure 15 — break-even number of matrix–vector multiplies after which
+//! shipping the work to the HPF server beats computing in the client
+//! (paper §5.4), for sequential and 2-process clients.
+
+use bench::clientserver::{break_even, client_local_matvec_ms};
+use bench::report::print_table;
+
+fn main() {
+    let servers = [2usize, 4, 8, 12, 16];
+    let mut rows = Vec::new();
+    for pclient in [1usize, 2] {
+        let mut row = vec![format!("{pclient}-proc client")];
+        for &ps in &servers {
+            row.push(match break_even(pclient, ps, 512) {
+                Some(k) => k.to_string(),
+                None => "never".to_string(),
+            });
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 15: break-even number of vectors (512x512, ATM farm)",
+        &["", "2 srv", "4 srv", "8 srv", "12 srv", "16 srv"],
+        &rows,
+    );
+    println!(
+        "client-only multiply: {:.0} ms (1 proc), {:.0} ms (2 procs)\n\
+         shape: a handful of multiplies amortizes the schedule+matrix\n\
+         overhead for the sequential client (paper: ~2 at the best server\n\
+         size); the parallel client needs more or never breaks even on\n\
+         small server counts (the paper's 2-client/2-server cell is blank).",
+        client_local_matvec_ms(1, 512),
+        client_local_matvec_ms(2, 512),
+    );
+}

@@ -1,0 +1,105 @@
+//! Criterion micro-benchmarks of the host-side hot paths: linearization
+//! arithmetic, owner computations, wire encoding, and schedule assembly.
+//! These measure *real* wall time (not simulated time) — they are about
+//! the reproduction's own efficiency.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use mcsim::group::Group;
+use mcsim::wire::Wire;
+use meta_chaos::linear::PosBlocks;
+use meta_chaos::region::{DimSlice, Region, RegularSection};
+use meta_chaos::schedule::Schedule;
+use meta_chaos::setof::SetOfRegions;
+
+fn bench_linearization(c: &mut Criterion) {
+    let sec = RegularSection::new(vec![DimSlice::strided(1, 1000, 3), DimSlice::new(5, 800)]);
+    c.bench_function("regular_section_coords_of", |b| {
+        let n = sec.len();
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 7919) % n;
+            black_box(sec.coords_of(black_box(k)))
+        })
+    });
+    c.bench_function("regular_section_iter_coords_1k", |b| {
+        let small = RegularSection::of_bounds(&[(0, 32), (0, 32)]);
+        b.iter(|| {
+            let mut it = small.iter_coords();
+            let mut acc = 0usize;
+            while let Some(cs) = it.advance() {
+                acc += cs[0] + cs[1];
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("set_locate_position", |b| {
+        let set = SetOfRegions::from_regions(vec![
+            RegularSection::of_bounds(&[(0, 100), (0, 100)]),
+            RegularSection::of_bounds(&[(0, 50), (0, 50)]),
+        ]);
+        let n = set.total_len();
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 4099) % n;
+            black_box(set.locate_position(black_box(k)))
+        })
+    });
+}
+
+fn bench_posblocks(c: &mut Criterion) {
+    let pb = PosBlocks::new(1 << 20, 16);
+    c.bench_function("posblocks_owner", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 104729) % (1 << 20);
+            black_box(pb.owner(black_box(k)))
+        })
+    });
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let data: Vec<f64> = (0..4096).map(|i| i as f64 * 0.5).collect();
+    c.bench_function("wire_encode_4k_f64", |b| {
+        b.iter(|| black_box(black_box(&data).to_bytes()))
+    });
+    let bytes = data.to_bytes();
+    c.bench_function("wire_decode_4k_f64", |b| {
+        b.iter(|| black_box(Vec::<f64>::from_bytes(black_box(&bytes)).unwrap()))
+    });
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let sends: Vec<(usize, Vec<usize>)> = (0..16).map(|p| (p, (0..256).collect())).collect();
+    let recvs = sends.clone();
+    c.bench_function("schedule_new_16x256", |b| {
+        b.iter(|| {
+            black_box(Schedule::new(
+                Group::world(16),
+                0,
+                black_box(sends.clone()),
+                black_box(recvs.clone()),
+                Vec::new(),
+                16 * 256,
+            ))
+        })
+    });
+    let sched = Schedule::new(Group::world(16), 0, sends, recvs, Vec::new(), 16 * 256);
+    c.bench_function("schedule_reversed", |b| {
+        b.iter(|| black_box(sched.reversed()))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(400))
+        .warm_up_time(std::time::Duration::from_millis(150))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_linearization, bench_posblocks, bench_wire, bench_schedule
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Table 3 — Meta-Chaos schedule computation when the regular-mesh program
+//! and the irregular-mesh program run as two separate programs (paper
+//! §5.2), over the grid of processor counts.
+
+use bench::meshes::table34;
+use bench::report::{fmt_ms, print_table};
+
+fn main() {
+    const PAPER: [[f64; 3]; 3] = [
+        [1350.0, 726.0, 396.0],
+        [1377.0, 738.0, 403.0],
+        [1381.0, 718.0, 398.0],
+    ];
+    let sizes = [2usize, 4, 8];
+    let mut rows = Vec::new();
+    for (i, &preg) in sizes.iter().enumerate() {
+        let mut row = vec![format!("P_reg={preg}")];
+        for (j, &pirreg) in sizes.iter().enumerate() {
+            let c = table34(preg, pirreg, 256);
+            row.push(format!("{} ({})", fmt_ms(c.sched_ms), fmt_ms(PAPER[i][j])));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Table 3: two-program Meta-Chaos schedule build, measured (paper), ms",
+        &["", "P_irreg=2", "P_irreg=4", "P_irreg=8"],
+        &rows,
+    );
+    println!(
+        "shape: build time scales down with the irregular program's processor\n\
+         count (the Chaos dereference dominates) and is insensitive to the\n\
+         regular program's count."
+    );
+}

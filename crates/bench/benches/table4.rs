@@ -1,0 +1,29 @@
+//! Table 4 — Meta-Chaos data-copy time per iteration for the two-program
+//! mesh coupling (paper §5.2), over the grid of processor counts.
+
+use bench::meshes::table34;
+use bench::report::{fmt_ms, print_table};
+
+fn main() {
+    const PAPER: [[f64; 3]; 3] = [[63.0, 61.0, 66.0], [55.0, 33.0, 36.0], [61.0, 32.0, 21.0]];
+    let sizes = [2usize, 4, 8];
+    let mut rows = Vec::new();
+    for (i, &preg) in sizes.iter().enumerate() {
+        let mut row = vec![format!("P_reg={preg}")];
+        for (j, &pirreg) in sizes.iter().enumerate() {
+            let c = table34(preg, pirreg, 256);
+            row.push(format!("{} ({})", fmt_ms(c.copy_ms), fmt_ms(PAPER[i][j])));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Table 4: two-program Meta-Chaos copy per iteration, measured (paper), ms",
+        &["", "P_irreg=2", "P_irreg=4", "P_irreg=8"],
+        &rows,
+    );
+    println!(
+        "shape: copy time is symmetric between the programs and limited by\n\
+         whichever program runs on fewer processors; growing the larger side\n\
+         alone does not help."
+    );
+}

@@ -1,0 +1,63 @@
+//! Table 5 — schedule build and copy between two structured meshes in one
+//! program: native Multiblock Parti vs Meta-Chaos cooperation vs
+//! Meta-Chaos duplication (paper §5.3).
+//!
+//! Workload: two 1000×1000 f64 (block,block) arrays; half of each is
+//! involved in the copy.  Simulated IBM SP2.
+
+use bench::regular::table5;
+use bench::report::{fmt_ms, print_table};
+
+fn main() {
+    // procs -> paper (parti sched, parti copy, coop sched, coop copy,
+    //                 dup sched, dup copy)
+    const PAPER: [(usize, [f64; 6]); 4] = [
+        (2, [19.0, 467.0, 29.0, 396.0, 24.0, 396.0]),
+        (4, [10.0, 195.0, 29.0, 198.0, 20.0, 198.0]),
+        (8, [10.0, 101.0, 20.0, 102.0, 14.0, 102.0]),
+        (16, [9.0, 53.0, 25.0, 52.0, 13.0, 52.0]),
+    ];
+    let mut sched_rows = Vec::new();
+    let mut copy_rows = Vec::new();
+    for (procs, paper) in PAPER {
+        let r = table5(procs, 1000);
+        sched_rows.push(vec![
+            procs.to_string(),
+            fmt_ms(r.parti_sched_ms),
+            fmt_ms(paper[0]),
+            fmt_ms(r.coop_sched_ms),
+            fmt_ms(paper[2]),
+            fmt_ms(r.dup_sched_ms),
+            fmt_ms(paper[4]),
+        ]);
+        copy_rows.push(vec![
+            procs.to_string(),
+            fmt_ms(r.parti_copy_ms),
+            fmt_ms(paper[1]),
+            fmt_ms(r.coop_copy_ms),
+            fmt_ms(paper[3]),
+            fmt_ms(r.dup_copy_ms),
+            fmt_ms(paper[5]),
+        ]);
+    }
+    print_table(
+        "Table 5a: schedule build, two structured meshes (SP2, ms)",
+        &[
+            "procs", "parti", "(paper)", "mc-coop", "(paper)", "mc-dup", "(paper)",
+        ],
+        &sched_rows,
+    );
+    print_table(
+        "Table 5b: data copy per iteration (SP2, ms)",
+        &[
+            "procs", "parti", "(paper)", "mc-coop", "(paper)", "mc-dup", "(paper)",
+        ],
+        &copy_rows,
+    );
+    println!(
+        "shape: the specialized Parti inspector is cheapest; duplication\n\
+         (communication-free for regular distributions) sits between; the\n\
+         cooperation method pays for its ownership exchange; all three\n\
+         methods generate identical copies."
+    );
+}

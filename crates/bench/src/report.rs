@@ -1,0 +1,62 @@
+//! Plain-text table formatting for the reproduction binaries.
+
+/// Print a titled table: a header row and aligned numeric rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let ncol = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncol, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (w, c) in widths.iter().zip(cells) {
+            s.push_str(&format!("{c:>w$}  ", w = w));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(header.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Format a simulated-milliseconds value the way the paper prints times.
+pub fn fmt_ms(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ms_ranges() {
+        assert_eq!(fmt_ms(1234.5), "1234");
+        assert_eq!(fmt_ms(56.78), "56.8");
+        assert_eq!(fmt_ms(3.456), "3.46");
+    }
+
+    #[test]
+    fn print_table_is_total() {
+        // Smoke test: must not panic on uneven widths.
+        print_table(
+            "t",
+            &["a", "long-header"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333333".into(), "4".into()],
+            ],
+        );
+    }
+}

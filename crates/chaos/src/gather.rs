@@ -1,0 +1,282 @@
+//! Reusable gather / scatter-add schedules — the core CHAOS primitives.
+//!
+//! CHAOS's programming model (Das et al., JPDC 1994) is: *localize* the
+//! indirection references once (inspector), producing a communication
+//! schedule; then each time step *gather* the off-processor values into a
+//! ghost buffer, compute, and *scatter-add* partial results back to their
+//! owners (executor).  [`CommSchedule`] is that reusable object;
+//! [`IrregularSweep`](crate::sweep::IrregularSweep) is built on top of it.
+
+use mcsim::group::Comm;
+
+use crate::array::IrregArray;
+use crate::ttable::TranslationTable;
+
+/// A resolved reference into an irregular array: either a local address or
+/// a slot in the gather (ghost) buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolved {
+    /// The value is stored on this rank at the given local address.
+    Local(u32),
+    /// The value arrives in the ghost buffer at the given slot.
+    Ghost(u32),
+}
+
+/// A reusable gather/scatter-add schedule for a set of global references.
+#[derive(Debug, Clone)]
+pub struct CommSchedule {
+    resolved: Vec<Resolved>,
+    /// Per peer: my local addresses the peer will gather from me (and the
+    /// addresses its scatter-add contributions accumulate into).
+    send_addrs: Vec<Vec<u32>>,
+    /// Ghosts received from each peer, in ghost-buffer order.
+    recv_counts: Vec<usize>,
+    ghost_base: Vec<usize>,
+    seq: u32,
+}
+
+use std::cell::Cell;
+thread_local! {
+    static GATHER_SEQ: Cell<u32> = const { Cell::new(0) };
+}
+
+impl CommSchedule {
+    /// Inspector: localize `globals` (arbitrary global indices into the
+    /// array described by `table`; duplicates allowed).  Collective.
+    ///
+    /// `resolved()[k]` afterwards tells where `globals[k]`'s value lives.
+    pub fn localize(comm: &mut Comm<'_>, table: &TranslationTable, globals: &[usize]) -> Self {
+        let p = comm.size();
+        let me = comm.rank();
+
+        // Unique references in first-appearance order.
+        let mut uniq: Vec<usize> = Vec::new();
+        let mut index_of: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        for &g in globals {
+            index_of.entry(g).or_insert_with(|| {
+                uniq.push(g);
+                uniq.len() - 1
+            });
+        }
+        comm.ep().charge_schedule_insert(globals.len());
+
+        let locs = table.dereference(comm, &uniq);
+
+        let mut ghost_addrs: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
+        let mut uniq_resolved: Vec<Resolved> = Vec::with_capacity(uniq.len());
+        for &(owner, addr) in &locs {
+            if owner as usize == me {
+                uniq_resolved.push(Resolved::Local(addr));
+            } else {
+                let list = &mut ghost_addrs[owner as usize];
+                list.push(addr);
+                uniq_resolved.push(Resolved::Ghost((list.len() - 1) as u32));
+            }
+        }
+        let mut ghost_base = vec![0usize; p + 1];
+        for peer in 0..p {
+            ghost_base[peer + 1] = ghost_base[peer] + ghost_addrs[peer].len();
+        }
+        // Rebase ghost slots by their peer's group offset.
+        let uniq_resolved: Vec<Resolved> = uniq_resolved
+            .into_iter()
+            .zip(&locs)
+            .map(|(r, &(owner, _))| match r {
+                Resolved::Local(a) => Resolved::Local(a),
+                Resolved::Ghost(k) => {
+                    Resolved::Ghost((ghost_base[owner as usize] + k as usize) as u32)
+                }
+            })
+            .collect();
+        comm.ep().charge_schedule_insert(uniq.len());
+
+        let recv_counts: Vec<usize> = ghost_addrs.iter().map(|v| v.len()).collect();
+        let send_addrs = comm.alltoallv_t(ghost_addrs);
+
+        let resolved = globals.iter().map(|g| uniq_resolved[index_of[g]]).collect();
+        let seq = GATHER_SEQ.with(|c| {
+            let v = c.get();
+            c.set(v.wrapping_add(1));
+            v
+        });
+        CommSchedule {
+            resolved,
+            send_addrs,
+            recv_counts,
+            ghost_base,
+            seq,
+        }
+    }
+
+    /// Where each original reference resolves (parallel to the `globals`
+    /// list given to [`Self::localize`]).
+    pub fn resolved(&self) -> &[Resolved] {
+        &self.resolved
+    }
+
+    /// Size of the ghost buffer [`Self::gather`] fills.
+    pub fn ghost_len(&self) -> usize {
+        *self.ghost_base.last().expect("non-empty base")
+    }
+
+    /// Executor half 1: fetch off-processor values of `x` into a ghost
+    /// buffer.  Collective; reusable every step.
+    pub fn gather(&self, comm: &mut Comm<'_>, x: &IrregArray<f64>) -> Vec<f64> {
+        let p = comm.size();
+        let tag = 0x3400_0000 | self.seq;
+        for peer in 0..p {
+            if self.send_addrs[peer].is_empty() {
+                continue;
+            }
+            let buf: Vec<f64> = self.send_addrs[peer]
+                .iter()
+                .map(|&a| x.local()[a as usize])
+                .collect();
+            comm.ep().charge_copy_bytes(buf.len() * 8);
+            comm.ep().charge_indirect(buf.len());
+            comm.send_t(peer, tag, &buf);
+        }
+        let mut ghost = vec![0.0f64; self.ghost_len()];
+        for peer in 0..p {
+            if self.recv_counts[peer] == 0 {
+                continue;
+            }
+            let buf: Vec<f64> = comm.recv_t(peer, tag);
+            assert_eq!(buf.len(), self.recv_counts[peer]);
+            comm.ep().charge_copy_bytes(buf.len() * 8);
+            ghost[self.ghost_base[peer]..self.ghost_base[peer] + buf.len()].copy_from_slice(&buf);
+        }
+        ghost
+    }
+
+    /// Read a resolved reference given the array and a gathered ghost
+    /// buffer.
+    #[inline]
+    pub fn read(&self, k: usize, x: &IrregArray<f64>, ghost: &[f64]) -> f64 {
+        match self.resolved[k] {
+            Resolved::Local(a) => x.local()[a as usize],
+            Resolved::Ghost(s) => ghost[s as usize],
+        }
+    }
+
+    /// Executor half 2: add `contrib` (indexed like the ghost buffer) into
+    /// the owners' elements of `y`, and `local_adds` directly.  Collective.
+    pub fn scatter_add(&self, comm: &mut Comm<'_>, y: &mut IrregArray<f64>, contrib: &[f64]) {
+        assert_eq!(contrib.len(), self.ghost_len());
+        let p = comm.size();
+        let tag = 0x3C00_0000 | self.seq;
+        for peer in 0..p {
+            if self.recv_counts[peer] == 0 {
+                continue;
+            }
+            let buf = contrib
+                [self.ghost_base[peer]..self.ghost_base[peer] + self.recv_counts[peer]]
+                .to_vec();
+            comm.ep().charge_copy_bytes(buf.len() * 8);
+            comm.send_t(peer, tag, &buf);
+        }
+        for peer in 0..p {
+            if self.send_addrs[peer].is_empty() {
+                continue;
+            }
+            let buf: Vec<f64> = comm.recv_t(peer, tag);
+            assert_eq!(buf.len(), self.send_addrs[peer].len());
+            comm.ep().charge_copy_bytes(buf.len() * 8);
+            comm.ep().charge_indirect(buf.len());
+            let data = y.local_mut();
+            for (&a, &v) in self.send_addrs[peer].iter().zip(&buf) {
+                data[a as usize] += v;
+            }
+        }
+    }
+
+    /// Accumulate into a resolved reference: local references add straight
+    /// into `y`, ghost references into `contrib` (to be shipped by
+    /// [`Self::scatter_add`]).
+    #[inline]
+    pub fn accumulate(&self, k: usize, y: &mut IrregArray<f64>, contrib: &mut [f64], v: f64) {
+        match self.resolved[k] {
+            Resolved::Local(a) => y.local_mut()[a as usize] += v,
+            Resolved::Ghost(s) => contrib[s as usize] += v,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Partition;
+    use mcsim::group::Group;
+    use mcsim::model::MachineModel;
+    use mcsim::world::World;
+
+    #[test]
+    fn gather_fetches_correct_values() {
+        let n = 24;
+        for p in [1, 2, 3] {
+            let world = World::with_model(p, MachineModel::zero());
+            world.run(move |ep| {
+                let mut comm = Comm::new(ep, Group::world(p));
+                let x = IrregArray::create(&mut comm, n, Partition::Random(4), |g| g as f64 * 10.0);
+                // Every rank wants a scattered set, with a duplicate.
+                let me = comm.rank();
+                let want: Vec<usize> = vec![
+                    (me * 7) % n,
+                    (me * 7 + 3) % n,
+                    (me * 7) % n, // duplicate
+                    (n - 1 - me) % n,
+                ];
+                let sched = CommSchedule::localize(&mut comm, x.table(), &want);
+                let ghost = sched.gather(&mut comm, &x);
+                for (k, &g) in want.iter().enumerate() {
+                    assert_eq!(sched.read(k, &x, &ghost), g as f64 * 10.0, "ref {k}");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn scatter_add_accumulates_at_owners() {
+        let n = 12;
+        let world = World::with_model(3, MachineModel::zero());
+        world.run(move |ep| {
+            let mut comm = Comm::new(ep, Group::world(3));
+            let x = IrregArray::create(&mut comm, n, Partition::Cyclic, |_| 0.0);
+            let mut y = IrregArray::over_table(x.table().clone(), x.my_globals().to_vec(), |_| 0.0);
+            // Every rank contributes 1.0 to every global index.
+            let want: Vec<usize> = (0..n).collect();
+            let sched = CommSchedule::localize(&mut comm, x.table(), &want);
+            let mut contrib = vec![0.0; sched.ghost_len()];
+            for k in 0..n {
+                sched.accumulate(k, &mut y, &mut contrib, 1.0);
+            }
+            sched.scatter_add(&mut comm, &mut y, &contrib);
+            // Each element received one contribution from each of 3 ranks.
+            for &v in y.local() {
+                assert_eq!(v, 3.0);
+            }
+        });
+    }
+
+    #[test]
+    fn schedule_reusable_across_steps() {
+        let n = 10;
+        let world = World::with_model(2, MachineModel::zero());
+        world.run(move |ep| {
+            let mut comm = Comm::new(ep, Group::world(2));
+            let mut x = IrregArray::create(&mut comm, n, Partition::Random(9), |g| g as f64);
+            let want: Vec<usize> = (0..n).rev().collect();
+            let sched = CommSchedule::localize(&mut comm, x.table(), &want);
+            for step in 0..3 {
+                let ghost = sched.gather(&mut comm, &x);
+                for (k, &g) in want.iter().enumerate() {
+                    assert_eq!(sched.read(k, &x, &ghost), (g + step) as f64);
+                }
+                for v in x.local_mut() {
+                    *v += 1.0;
+                }
+            }
+        });
+    }
+}

@@ -1,0 +1,246 @@
+//! Chaos's native copy between two translation-table-described arrays —
+//! the baseline of the paper's Table 2.
+//!
+//! To copy between a regular mesh and an irregular mesh *using only
+//! Chaos*, the paper explains one must first describe the regular mesh
+//! with a Chaos translation table (stored explicitly — extra memory), and
+//! then the copy "internally requires an extra copy of the data and also
+//! an extra level of indirect data access" compared to Meta-Chaos.  Both
+//! costs are reproduced in [`chaos_copy`].
+//!
+//! Schedule construction is the classic Chaos gather-schedule build: one
+//! collective dereference of the *source* table (the destination side
+//! finds its own elements by local membership).  Meta-Chaos's cooperation
+//! build pays the same dominant dereference plus generic matching on top,
+//! which is why the paper's Table 2 shows the two close together with
+//! cooperation slightly above.
+
+use std::cell::Cell;
+
+use mcsim::group::Comm;
+use mcsim::wire::Wire;
+
+use meta_chaos::schedule::Schedule;
+
+use crate::array::IrregArray;
+use crate::ttable::TranslationTable;
+
+thread_local! {
+    static CHAOS_SEQ: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Build the Chaos schedule for `dst[dst_map[k]] = src[src_map[k]]`
+/// (global index lists of equal length, replicated program-wide).
+/// Collective over the program.
+///
+/// This is the classic Chaos gather-schedule construction: each rank scans
+/// the destination map for the elements *it* stores (`dst_my_globals`, a
+/// purely local membership test), dereferences the matching source globals
+/// through the distributed source translation table — **one** collective
+/// dereference — and mails each source owner the list of addresses to
+/// pack.  The destination side needs no dereference of its own table at
+/// all, which is why the paper's Table 2 shows the Chaos build cheaper
+/// than Meta-Chaos cooperation (which pays generic matching on top).
+pub fn build_chaos_copy_schedule(
+    comm: &mut Comm<'_>,
+    src_table: &TranslationTable,
+    src_map: &[usize],
+    dst_my_globals: &[usize],
+    dst_map: &[usize],
+) -> Schedule {
+    assert_eq!(
+        src_map.len(),
+        dst_map.len(),
+        "source and destination maps must pair up"
+    );
+    let p = comm.size();
+    let me = comm.rank();
+    let n = src_map.len();
+
+    // Local address of each destination global this rank stores.
+    let dst_addr_of: std::collections::HashMap<usize, usize> = dst_my_globals
+        .iter()
+        .enumerate()
+        .map(|(a, &g)| (g, a))
+        .collect();
+    comm.ep().charge_schedule_insert(dst_my_globals.len());
+
+    // Scan the (replicated) destination map for my elements.
+    let mut mine: Vec<(usize, usize)> = Vec::new(); // (pos, daddr)
+    for (pos, gd) in dst_map.iter().enumerate() {
+        if let Some(&a) = dst_addr_of.get(gd) {
+            mine.push((pos, a));
+        }
+    }
+    comm.ep().charge_schedule_insert(dst_map.len());
+    let covered: usize = comm.allreduce_sum(mine.len());
+    assert_eq!(covered, n, "destination map covers {covered} of {n}");
+
+    // ONE collective dereference: where do my elements' sources live?
+    let src_globals: Vec<usize> = mine.iter().map(|&(pos, _)| src_map[pos]).collect();
+    let slocs = src_table.dereference(comm, &src_globals);
+
+    // Mail each source owner the addresses to pack, in my position order.
+    let mut reqs: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
+    let mut recvs: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
+    let mut local_pairs: Vec<(usize, usize)> = Vec::new();
+    for (&(_pos, daddr), &(sowner, saddr)) in mine.iter().zip(&slocs) {
+        if sowner as usize == me {
+            local_pairs.push((saddr as usize, daddr));
+        } else {
+            reqs[sowner as usize].push(saddr as usize);
+            recvs[sowner as usize].push(daddr);
+        }
+    }
+    comm.ep().charge_schedule_insert(mine.len());
+    let send_reqs = comm.alltoallv_t(reqs);
+    let mut sends: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
+    for (d, list) in send_reqs.into_iter().enumerate() {
+        comm.ep().charge_schedule_insert(list.len());
+        sends[d] = list;
+    }
+
+    let seq = CHAOS_SEQ.with(|c| {
+        let v = c.get();
+        c.set(v.wrapping_add(1));
+        v
+    });
+    Schedule::new(
+        comm.group().clone(),
+        0x0200_0000 | seq,
+        sends.into_iter().enumerate().collect(),
+        recvs.into_iter().enumerate().collect(),
+        local_pairs,
+        n,
+    )
+}
+
+/// Execute a Chaos copy with a prebuilt schedule.
+///
+/// Compared to Meta-Chaos's `data_move`, every element pays one extra
+/// internal copy and one extra level of indirection (the explicit
+/// regular↔point-wise correspondence Chaos must maintain, §5.1).
+pub fn chaos_copy<T>(
+    comm: &mut Comm<'_>,
+    sched: &Schedule,
+    src: &IrregArray<T>,
+    dst: &mut IrregArray<T>,
+) where
+    T: Copy + Wire,
+{
+    let elem = std::mem::size_of::<T>();
+    let t = 0x5800_0000 | sched.seq();
+    for (peer, addrs) in &sched.sends {
+        let buf: Vec<T> = addrs.iter().map(|&a| src.local()[a]).collect();
+        // Pack + the extra internal copy, plus the extra indirection.
+        comm.ep().charge_copy_bytes(2 * buf.len() * elem);
+        comm.ep().charge_indirect(buf.len());
+        comm.send_t(*peer, t, &buf);
+    }
+    if !sched.local_pairs.is_empty() {
+        let staged: Vec<T> = sched
+            .local_pairs
+            .iter()
+            .map(|&(s, _)| src.local()[s])
+            .collect();
+        // Pack + extra internal copy + unpack, with the extra indirection.
+        comm.ep().charge_copy_bytes(3 * staged.len() * elem);
+        comm.ep().charge_indirect(staged.len());
+        let data = dst.local_mut();
+        for (&(_, d), &v) in sched.local_pairs.iter().zip(&staged) {
+            data[d] = v;
+        }
+    }
+    for (peer, addrs) in &sched.recvs {
+        let buf: Vec<T> = comm.recv_t(*peer, t);
+        assert_eq!(buf.len(), addrs.len());
+        comm.ep().charge_copy_bytes(2 * buf.len() * elem);
+        comm.ep().charge_indirect(buf.len());
+        let data = dst.local_mut();
+        for (&a, &v) in addrs.iter().zip(&buf) {
+            data[a] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Partition;
+    use mcsim::group::Group;
+    use mcsim::model::MachineModel;
+    use mcsim::world::World;
+
+    #[test]
+    fn chaos_copy_is_correct() {
+        let n = 24;
+        for p in [1, 2, 3] {
+            let world = World::with_model(p, MachineModel::zero());
+            let out = world.run(move |ep| {
+                let mut comm = Comm::new(ep, Group::world(p));
+                let src =
+                    IrregArray::create(&mut comm, n, Partition::Random(11), |g| g as f64 * 2.0);
+                let mut dst = IrregArray::create(&mut comm, n, Partition::Cyclic, |_| -1.0);
+                // dst[k] = src[n-1-k]
+                let src_map: Vec<usize> = (0..n).rev().collect();
+                let dst_map: Vec<usize> = (0..n).collect();
+                let sched = build_chaos_copy_schedule(
+                    &mut comm,
+                    src.table(),
+                    &src_map,
+                    dst.my_globals(),
+                    &dst_map,
+                );
+                chaos_copy(&mut comm, &sched, &src, &mut dst);
+                dst.my_globals()
+                    .iter()
+                    .zip(dst.local())
+                    .map(|(&g, &v)| (g, v))
+                    .collect::<Vec<_>>()
+            });
+            for vals in out.results {
+                for (g, v) in vals {
+                    assert_eq!(v, (n - 1 - g) as f64 * 2.0, "p={p} dst[{g}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_copy_costs_more_than_meta_chaos_copy() {
+        // Same transfer, measured with the SP2 model: the Chaos executor
+        // pays an extra copy + indirection per element (§5.1's conclusion
+        // that "the data copy performs better" under Meta-Chaos).
+        let n = 512;
+        let world = World::with_model(2, MachineModel::sp2());
+        let out = world.run(move |ep| {
+            let g = Group::world(2);
+            let (chaos_t, mc_t);
+            {
+                let mut comm = Comm::new(ep, g.clone());
+                let src = IrregArray::create(&mut comm, n, Partition::Random(5), |g| g as f64);
+                let mut dst = IrregArray::create(&mut comm, n, Partition::Block, |_| 0.0);
+                let map: Vec<usize> = (0..n).collect();
+                let sched =
+                    build_chaos_copy_schedule(&mut comm, src.table(), &map, dst.my_globals(), &map);
+                // Synchronize clocks around each timed region so skew from
+                // the (asymmetric) setup does not leak into the deltas.
+                let t0 = comm.sync_clocks();
+                chaos_copy(&mut comm, &sched, &src, &mut dst);
+                chaos_t = comm.sync_clocks() - t0;
+
+                // Meta-Chaos executes the same motion with data_move.
+                let t1 = comm.sync_clocks();
+                meta_chaos::datamove::data_move(comm.ep(), &sched, &src, &mut dst);
+                mc_t = comm.sync_clocks() - t1;
+            }
+            (chaos_t, mc_t)
+        });
+        for (chaos_t, mc_t) in out.results {
+            assert!(
+                chaos_t > mc_t,
+                "chaos copy {chaos_t} must exceed meta-chaos copy {mc_t}"
+            );
+        }
+    }
+}

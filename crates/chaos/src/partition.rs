@@ -1,0 +1,227 @@
+//! Point partitioners: who owns which global index.
+//!
+//! Chaos leaves the data distribution to the application (typically the
+//! output of a mesh partitioner).  The reproduction provides three
+//! deterministic families: block, cyclic, and seeded pseudo-random — the
+//! last standing in for the partitioner output on the paper's 65 536-point
+//! unstructured mesh.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A partition of `0..n` over `p` program ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partition {
+    /// Contiguous blocks (rank 0 gets the first ⌈n/p⌉, …).
+    Block,
+    /// Round-robin: rank `g % p` owns `g`.
+    Cyclic,
+    /// Pseudo-random assignment from the given seed (balanced: every rank
+    /// gets ⌊n/p⌋ or ⌈n/p⌉ points).
+    Random(u64),
+}
+
+impl Partition {
+    /// The global indices rank `me` owns, in local-address order.
+    pub fn indices_of(&self, n: usize, p: usize, me: usize) -> Vec<usize> {
+        assert!(me < p);
+        let (lo, hi) = balanced_range(n, p, me);
+        match *self {
+            Partition::Block => (lo..hi).collect(),
+            Partition::Cyclic => (0..n).filter(|g| g % p == me).collect(),
+            Partition::Random(seed) => {
+                // Every rank derives the same global permutation, then takes
+                // its balanced contiguous slice of it.
+                let mut perm: Vec<usize> = (0..n).collect();
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                perm.shuffle(&mut rng);
+                let mut mine = perm[lo..hi].to_vec();
+                // Local-address order is sorted for cache-friendliness,
+                // matching what a real partitioner hand-off looks like.
+                mine.sort_unstable();
+                mine
+            }
+        }
+    }
+}
+
+/// Balanced contiguous split: ranks `0..n%p` get one extra element.
+fn balanced_range(n: usize, p: usize, me: usize) -> (usize, usize) {
+    let base = n / p;
+    let rem = n % p;
+    let lo = me * base + me.min(rem);
+    let hi = lo + base + usize::from(me < rem);
+    (lo, hi)
+}
+
+/// Recursive coordinate bisection over point coordinates — what a real
+/// mesh partitioner hands to Chaos.  Returns the owner of every point.
+///
+/// The point set is split along its longest axis into two balanced halves,
+/// recursively, until `p` parts exist (p need not be a power of two: parts
+/// are sized proportionally at every cut).  Deterministic: ties broken by
+/// point index.
+pub fn rcb_partition(coords: &[(f64, f64)], p: usize) -> Vec<usize> {
+    assert!(p >= 1, "need at least one part");
+    let mut owners = vec![0usize; coords.len()];
+    let idx: Vec<usize> = (0..coords.len()).collect();
+    rcb_rec(coords, idx, 0, p, &mut owners);
+    owners
+}
+
+fn rcb_rec(
+    coords: &[(f64, f64)],
+    mut idx: Vec<usize>,
+    first: usize,
+    parts: usize,
+    out: &mut [usize],
+) {
+    if parts == 1 {
+        for i in idx {
+            out[i] = first;
+        }
+        return;
+    }
+    // Split proportionally: left gets ceil(parts/2) of the parts.
+    let left_parts = parts.div_ceil(2);
+    let cut = (idx.len() * left_parts) / parts;
+
+    // Longest axis of the bounding box.
+    let (mut xmin, mut xmax, mut ymin, mut ymax) = (
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    );
+    for &i in &idx {
+        let (x, y) = coords[i];
+        xmin = xmin.min(x);
+        xmax = xmax.max(x);
+        ymin = ymin.min(y);
+        ymax = ymax.max(y);
+    }
+    let along_x = (xmax - xmin) >= (ymax - ymin);
+    idx.sort_unstable_by(|&a, &b| {
+        let ka = if along_x { coords[a].0 } else { coords[a].1 };
+        let kb = if along_x { coords[b].0 } else { coords[b].1 };
+        ka.total_cmp(&kb).then(a.cmp(&b))
+    });
+
+    let right = idx.split_off(cut);
+    rcb_rec(coords, idx, first, left_parts, out);
+    rcb_rec(coords, right, first + left_parts, parts - left_parts, out);
+}
+
+/// The global indices rank `me` owns under an RCB partition of `coords`,
+/// in local-address order (ascending).
+pub fn rcb_indices_of(coords: &[(f64, f64)], p: usize, me: usize) -> Vec<usize> {
+    rcb_partition(coords, p)
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, o)| o == me)
+        .map(|(g, _)| g)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn check_partition(part: Partition, n: usize, p: usize) {
+        let mut seen = HashSet::new();
+        let mut sizes = Vec::new();
+        for me in 0..p {
+            let mine = part.indices_of(n, p, me);
+            sizes.push(mine.len());
+            for g in mine {
+                assert!(g < n);
+                assert!(seen.insert(g), "{part:?}: {g} owned twice");
+            }
+        }
+        assert_eq!(seen.len(), n, "{part:?}: not all indices owned");
+        let max = sizes.iter().max().unwrap();
+        let min = sizes.iter().min().unwrap();
+        assert!(max - min <= n.div_ceil(p), "{part:?}: unbalanced {sizes:?}");
+    }
+
+    #[test]
+    fn partitions_cover_exactly_once() {
+        for p in [1, 2, 3, 5, 8] {
+            for n in [1, 7, 64, 100] {
+                check_partition(Partition::Block, n, p);
+                check_partition(Partition::Cyclic, n, p);
+                check_partition(Partition::Random(42), n, p);
+            }
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let a = Partition::Random(7).indices_of(50, 4, 2);
+        let b = Partition::Random(7).indices_of(50, 4, 2);
+        assert_eq!(a, b);
+        let c = Partition::Random(8).indices_of(50, 4, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn block_is_contiguous() {
+        let v = Partition::Block.indices_of(10, 3, 1);
+        assert_eq!(v, vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn rcb_covers_balanced_and_local() {
+        // Points on a 10x10 grid.
+        let coords: Vec<(f64, f64)> = (0..100)
+            .map(|k| ((k % 10) as f64, (k / 10) as f64))
+            .collect();
+        for p in [1usize, 2, 3, 4, 7, 8] {
+            let owners = rcb_partition(&coords, p);
+            let mut counts = vec![0usize; p];
+            for &o in &owners {
+                assert!(o < p);
+                counts[o] += 1;
+            }
+            assert_eq!(counts.iter().sum::<usize>(), 100);
+            let (mn, mx) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+            assert!(mx - mn <= 100_usize.div_ceil(p), "p={p}: {counts:?}");
+            // Locality: each part's bounding box is much smaller than the
+            // domain (for p=4 on a square grid, quadrant-sized).
+            if p == 4 {
+                for part in 0..4 {
+                    let pts: Vec<(f64, f64)> = (0..100)
+                        .filter(|&k| owners[k] == part)
+                        .map(|k| coords[k])
+                        .collect();
+                    let w = pts.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max)
+                        - pts.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+                    let h = pts.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max)
+                        - pts.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+                    assert!(w <= 5.0 && h <= 9.0, "part {part}: {w}x{h}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rcb_indices_partition_exactly() {
+        let coords: Vec<(f64, f64)> = (0..30)
+            .map(|k| ((k * 7 % 13) as f64, (k * 5 % 11) as f64))
+            .collect();
+        let mut seen = HashSet::new();
+        for me in 0..3 {
+            for g in rcb_indices_of(&coords, 3, me) {
+                assert!(seen.insert(g));
+            }
+        }
+        assert_eq!(seen.len(), 30);
+    }
+
+    #[test]
+    fn cyclic_strides() {
+        let v = Partition::Cyclic.indices_of(10, 3, 1);
+        assert_eq!(v, vec![1, 4, 7]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Array remapping — Chaos's redistribution primitive.
+//!
+//! Adaptive irregular applications periodically re-partition their data
+//! (after load imbalance or mesh adaptation) and *remap* every array onto
+//! the new distribution.  This is the native Chaos operation the paper's
+//! related work (Hwang et al., SP&E 1995) describes: build the new
+//! translation table, dereference the old one to find where each element
+//! currently lives, and migrate values with one aggregated message per
+//! processor pair.
+
+use std::sync::Arc;
+
+use mcsim::group::Comm;
+use mcsim::wire::Wire;
+
+use crate::array::IrregArray;
+use crate::ttable::TranslationTable;
+
+/// Migrate `arr` onto a new point-wise distribution.
+///
+/// `my_new_globals` lists the global indices this rank will own afterwards
+/// (in new local-address order); collectively they must cover `0..n`
+/// exactly once.  Returns the remapped array (sharing a freshly built
+/// translation table).
+pub fn remap<T: Copy + Wire + Default>(
+    comm: &mut Comm<'_>,
+    arr: &IrregArray<T>,
+    my_new_globals: Vec<usize>,
+) -> IrregArray<T> {
+    let p = comm.size();
+    let me = comm.rank();
+    let n = arr.len();
+
+    // New directory first (collective).
+    let new_table = TranslationTable::build(comm, n, &my_new_globals);
+
+    // Where does each of my new elements live right now?
+    let locs = arr.table().dereference(comm, &my_new_globals);
+
+    // Ask every current owner for the values at its addresses; self
+    // requests are satisfied locally.
+    let mut want_addrs: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
+    let mut slot: Vec<(usize, usize)> = Vec::with_capacity(my_new_globals.len());
+    let mut new_data: Vec<T> = Vec::with_capacity(my_new_globals.len());
+    // Seed with placeholder values, filled below.
+    for &(owner, addr) in &locs {
+        let owner = owner as usize;
+        if owner == me {
+            slot.push((usize::MAX, new_data.len()));
+            new_data.push(arr.local()[addr as usize]);
+        } else {
+            slot.push((owner, want_addrs[owner].len()));
+            want_addrs[owner].push(addr);
+            // Placeholder; overwritten after the exchange.
+            new_data.push(T::default());
+        }
+    }
+    comm.ep().charge_schedule_insert(my_new_globals.len());
+
+    let requests = comm.alltoallv_t(want_addrs);
+    // Serve values in request order.
+    let mut replies: Vec<Vec<T>> = Vec::with_capacity(p);
+    for list in requests {
+        comm.ep()
+            .charge_copy_bytes(list.len() * std::mem::size_of::<T>());
+        replies.push(list.into_iter().map(|a| arr.local()[a as usize]).collect());
+    }
+    let values = comm.alltoallv_t(replies);
+    for (k, &(owner, idx)) in slot.iter().enumerate() {
+        if owner != usize::MAX {
+            new_data[k] = values[owner][idx];
+        }
+    }
+    comm.ep()
+        .charge_copy_bytes(my_new_globals.len() * std::mem::size_of::<T>());
+
+    IrregArray::from_parts(Arc::new(new_table), my_new_globals, new_data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Partition;
+    use mcsim::group::Group;
+    use mcsim::model::MachineModel;
+    use mcsim::world::World;
+
+    #[test]
+    fn remap_preserves_values() {
+        let n = 40;
+        for p in [1, 2, 4] {
+            let world = World::with_model(p, MachineModel::zero());
+            world.run(move |ep| {
+                let mut comm = Comm::new(ep, Group::world(p));
+                let a = IrregArray::create(&mut comm, n, Partition::Random(3), |g| g as f64 * 1.5);
+                let new_mine = Partition::Random(77).indices_of(n, p, comm.rank());
+                let b = remap(&mut comm, &a, new_mine);
+                assert_eq!(b.len(), n);
+                for (&g, &v) in b.my_globals().iter().zip(b.local()) {
+                    assert_eq!(v, g as f64 * 1.5, "b[{g}]");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn remap_to_block_enables_local_scans() {
+        let n = 12;
+        let world = World::with_model(3, MachineModel::zero());
+        world.run(move |ep| {
+            let mut comm = Comm::new(ep, Group::world(3));
+            let a = IrregArray::create(&mut comm, n, Partition::Cyclic, |g| g as f64);
+            let new_mine = Partition::Block.indices_of(n, 3, comm.rank());
+            let b = remap(&mut comm, &a, new_mine.clone());
+            assert_eq!(b.my_globals(), new_mine.as_slice());
+            // Block layout: locals are contiguous ascending globals.
+            for w in b.my_globals().windows(2) {
+                assert_eq!(w[1], w[0] + 1);
+            }
+        });
+    }
+
+    #[test]
+    fn remap_twice_round_trips() {
+        let n = 20;
+        let world = World::with_model(2, MachineModel::zero());
+        world.run(move |ep| {
+            let mut comm = Comm::new(ep, Group::world(2));
+            let a = IrregArray::create(&mut comm, n, Partition::Random(1), |g| g as f64);
+            let new_mine = Partition::Random(2).indices_of(n, 2, comm.rank());
+            let there = remap(&mut comm, &a, new_mine);
+            let back = remap(&mut comm, &there, a.my_globals().to_vec());
+            assert_eq!(back.my_globals(), a.my_globals());
+            assert_eq!(back.local(), a.local());
+        });
+    }
+}

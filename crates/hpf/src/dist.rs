@@ -1,0 +1,416 @@
+//! HPF distribution directives and their owner arithmetic.
+//!
+//! An [`HpfDist`] mirrors `!hpf$ distribute A(BLOCK, CYCLIC(3))`-style
+//! directives: one [`DistKind`] per array dimension, mapped onto a
+//! processor arrangement.  All queries are closed-form, as in a real HPF
+//! runtime's local-addressing formulas.
+//!
+//! Local storage convention: owned elements are stored densely, ordered by
+//! their *global* coordinates (row-major), which for `BLOCK` degenerates to
+//! the familiar contiguous block and for `CYCLIC(K)` to the standard
+//! course/offset layout.
+
+use mcsim::error::SimError;
+use mcsim::wire::{Wire, WireReader};
+
+/// A per-dimension distribution directive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistKind {
+    /// `BLOCK`: balanced contiguous blocks.
+    Block,
+    /// `CYCLIC(k)`: round-robin in chunks of `k` (`CYCLIC` = `CYCLIC(1)`).
+    Cyclic(usize),
+    /// `*` (collapsed): the dimension is not distributed.
+    Collapsed,
+}
+
+impl DistKind {
+    /// Processor (along this dimension's proc axis) owning index `x` of an
+    /// extent-`n` dimension over `g` procs.
+    pub fn owner(&self, n: usize, g: usize, x: usize) -> usize {
+        debug_assert!(x < n);
+        match *self {
+            DistKind::Block => {
+                let base = n / g;
+                let rem = n % g;
+                let cut = rem * (base + 1);
+                if x < cut {
+                    x / (base + 1)
+                } else {
+                    rem + (x - cut) / base
+                }
+            }
+            DistKind::Cyclic(k) => {
+                assert!(k >= 1, "CYCLIC chunk must be >= 1");
+                (x / k) % g
+            }
+            DistKind::Collapsed => 0,
+        }
+    }
+
+    /// Local index (within the owner, along this dimension) of global `x`.
+    pub fn local(&self, n: usize, g: usize, x: usize) -> usize {
+        match *self {
+            DistKind::Block => {
+                let c = self.owner(n, g, x);
+                let base = n / g;
+                let rem = n % g;
+                let lo = c * base + c.min(rem);
+                x - lo
+            }
+            DistKind::Cyclic(k) => (x / (k * g)) * k + x % k,
+            DistKind::Collapsed => x,
+        }
+    }
+
+    /// How many indices of an extent-`n` dimension proc `c` of `g` owns.
+    pub fn local_count(&self, n: usize, g: usize, c: usize) -> usize {
+        match *self {
+            DistKind::Block => {
+                let base = n / g;
+                let rem = n % g;
+                base + usize::from(c < rem)
+            }
+            DistKind::Cyclic(k) => {
+                // Full courses plus the remainder chunk.
+                let per_course = k * g;
+                let full = (n / per_course) * k;
+                let tail = n % per_course;
+                let mine = tail.saturating_sub(c * k).min(k);
+                full + mine
+            }
+            DistKind::Collapsed => n,
+        }
+    }
+
+    /// True when ownership along the dimension forms one contiguous range.
+    pub fn is_contiguous(&self) -> bool {
+        matches!(self, DistKind::Block | DistKind::Collapsed)
+    }
+}
+
+impl Wire for DistKind {
+    fn write(&self, out: &mut Vec<u8>) {
+        match *self {
+            DistKind::Block => 0u8.write(out),
+            DistKind::Cyclic(k) => {
+                1u8.write(out);
+                k.write(out);
+            }
+            DistKind::Collapsed => 2u8.write(out),
+        }
+    }
+    fn read(r: &mut WireReader<'_>) -> Result<Self, SimError> {
+        match u8::read(r)? {
+            0 => Ok(DistKind::Block),
+            1 => {
+                let k = usize::read(r)?;
+                if k == 0 {
+                    return Err(SimError::Decode("CYCLIC(0)".into()));
+                }
+                Ok(DistKind::Cyclic(k))
+            }
+            2 => Ok(DistKind::Collapsed),
+            t => Err(SimError::Decode(format!("bad DistKind tag {t}"))),
+        }
+    }
+}
+
+/// A full distribution: shape, per-dim directives, and the processor
+/// arrangement (row-major over `proc_dims`, product = program size).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HpfDist {
+    shape: Vec<usize>,
+    kinds: Vec<DistKind>,
+    proc_dims: Vec<usize>,
+}
+
+impl HpfDist {
+    /// Build a distribution.  `proc_dims[d]` must be 1 wherever
+    /// `kinds[d]` is `Collapsed`.
+    pub fn new(shape: Vec<usize>, kinds: Vec<DistKind>, proc_dims: Vec<usize>) -> Self {
+        assert_eq!(shape.len(), kinds.len());
+        assert_eq!(shape.len(), proc_dims.len());
+        assert!(shape.iter().all(|&n| n > 0));
+        assert!(proc_dims.iter().all(|&g| g > 0));
+        for (d, k) in kinds.iter().enumerate() {
+            if matches!(k, DistKind::Collapsed) {
+                assert_eq!(proc_dims[d], 1, "collapsed dim {d} must have 1 proc");
+            }
+            if matches!(k, DistKind::Block) {
+                assert!(
+                    shape[d] >= proc_dims[d],
+                    "BLOCK dim {d}: extent {} < procs {}",
+                    shape[d],
+                    proc_dims[d]
+                );
+            }
+        }
+        HpfDist {
+            shape,
+            kinds,
+            proc_dims,
+        }
+    }
+
+    /// 1-D `BLOCK` over `p` procs.
+    pub fn block_1d(n: usize, p: usize) -> Self {
+        HpfDist::new(vec![n], vec![DistKind::Block], vec![p])
+    }
+
+    /// 2-D `(BLOCK, BLOCK)` over an explicit proc mesh.
+    pub fn block_block(rows: usize, cols: usize, prows: usize, pcols: usize) -> Self {
+        HpfDist::new(
+            vec![rows, cols],
+            vec![DistKind::Block, DistKind::Block],
+            vec![prows, pcols],
+        )
+    }
+
+    /// 2-D `(BLOCK, *)` row-block over `p` procs.
+    pub fn row_block(rows: usize, cols: usize, p: usize) -> Self {
+        HpfDist::new(
+            vec![rows, cols],
+            vec![DistKind::Block, DistKind::Collapsed],
+            vec![p, 1],
+        )
+    }
+
+    /// Global array shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Per-dimension directives.
+    pub fn kinds(&self) -> &[DistKind] {
+        &self.kinds
+    }
+
+    /// Processor arrangement extents.
+    pub fn proc_dims(&self) -> &[usize] {
+        &self.proc_dims
+    }
+
+    /// Program size (product of the processor arrangement).
+    pub fn num_procs(&self) -> usize {
+        self.proc_dims.iter().product()
+    }
+
+    /// Program-local rank owning global `coords`.
+    pub fn owner(&self, coords: &[usize]) -> usize {
+        let mut r = 0;
+        for (d, &c) in coords.iter().enumerate() {
+            let o = self.kinds[d].owner(self.shape[d], self.proc_dims[d], c);
+            r = r * self.proc_dims[d] + o;
+        }
+        r
+    }
+
+    /// Extents of rank `rank`'s local storage.
+    pub fn local_shape(&self, rank: usize) -> Vec<usize> {
+        let pc = self.proc_coords(rank);
+        (0..self.shape.len())
+            .map(|d| self.kinds[d].local_count(self.shape[d], self.proc_dims[d], pc[d]))
+            .collect()
+    }
+
+    /// Number of elements rank `rank` stores.
+    pub fn local_len(&self, rank: usize) -> usize {
+        self.local_shape(rank).iter().product()
+    }
+
+    /// Local address (row-major over the local storage) of `coords` on its
+    /// owning rank.
+    ///
+    /// Allocation-free (hot path: every element access goes through here).
+    pub fn local_addr(&self, rank: usize, coords: &[usize]) -> usize {
+        let mut addr = 0;
+        let mut rank_rem = rank;
+        let mut suffix: usize = self.proc_dims.iter().product();
+        for (d, &c) in coords.iter().enumerate() {
+            suffix /= self.proc_dims[d];
+            let pc = rank_rem / suffix;
+            rank_rem %= suffix;
+            let count = self.kinds[d].local_count(self.shape[d], self.proc_dims[d], pc);
+            let l = self.kinds[d].local(self.shape[d], self.proc_dims[d], c);
+            debug_assert!(l < count);
+            addr = addr * count + l;
+        }
+        addr
+    }
+
+    /// Processor-arrangement coordinates of `rank`.
+    pub fn proc_coords(&self, mut rank: usize) -> Vec<usize> {
+        let mut out = vec![0; self.proc_dims.len()];
+        for d in (0..self.proc_dims.len()).rev() {
+            out[d] = rank % self.proc_dims[d];
+            rank /= self.proc_dims[d];
+        }
+        out
+    }
+
+    /// For `BLOCK`/`Collapsed` dims: the contiguous `[lo, hi)` owned range
+    /// along `dim` by arrangement coordinate `c`.  Panics for cyclic dims.
+    pub fn block_bounds(&self, dim: usize, c: usize) -> (usize, usize) {
+        match self.kinds[dim] {
+            DistKind::Block => {
+                let n = self.shape[dim];
+                let g = self.proc_dims[dim];
+                let base = n / g;
+                let rem = n % g;
+                let lo = c * base + c.min(rem);
+                (lo, lo + base + usize::from(c < rem))
+            }
+            DistKind::Collapsed => (0, self.shape[dim]),
+            DistKind::Cyclic(_) => panic!("cyclic dim {dim} has no block bounds"),
+        }
+    }
+
+    /// True when every dimension's ownership is contiguous (enables the
+    /// box-intersection fast path in the Meta-Chaos adapter).
+    pub fn is_all_contiguous(&self) -> bool {
+        self.kinds.iter().all(|k| k.is_contiguous())
+    }
+}
+
+impl Wire for HpfDist {
+    fn write(&self, out: &mut Vec<u8>) {
+        self.shape.write(out);
+        self.kinds.write(out);
+        self.proc_dims.write(out);
+    }
+    fn read(r: &mut WireReader<'_>) -> Result<Self, SimError> {
+        let shape = Vec::<usize>::read(r)?;
+        let kinds = Vec::<DistKind>::read(r)?;
+        let proc_dims = Vec::<usize>::read(r)?;
+        if shape.len() != kinds.len() || shape.len() != proc_dims.len() {
+            return Err(SimError::Decode("dist dimension mismatch".into()));
+        }
+        Ok(HpfDist {
+            shape,
+            kinds,
+            proc_dims,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_owner_local_roundtrip() {
+        let k = DistKind::Block;
+        for (n, g) in [(10, 3), (16, 4), (7, 7)] {
+            let mut counts = vec![0usize; g];
+            for x in 0..n {
+                let o = k.owner(n, g, x);
+                let l = k.local(n, g, x);
+                assert!(l < k.local_count(n, g, o), "n={n} g={g} x={x}");
+                counts[o] += 1;
+            }
+            for c in 0..g {
+                assert_eq!(counts[c], k.local_count(n, g, c));
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_owner_local_roundtrip() {
+        for kk in [1usize, 2, 3] {
+            let k = DistKind::Cyclic(kk);
+            for (n, g) in [(10, 3), (17, 4), (5, 8)] {
+                let mut seen: Vec<Vec<usize>> = vec![Vec::new(); g];
+                for x in 0..n {
+                    let o = k.owner(n, g, x);
+                    seen[o].push(x);
+                }
+                for c in 0..g {
+                    assert_eq!(
+                        seen[c].len(),
+                        k.local_count(n, g, c),
+                        "k={kk} n={n} g={g} c={c}"
+                    );
+                    // Local indices must be 0..count in global order.
+                    for (i, &x) in seen[c].iter().enumerate() {
+                        assert_eq!(k.local(n, g, x), i, "k={kk} n={n} g={g} x={x}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic1_matches_modulo() {
+        let k = DistKind::Cyclic(1);
+        for x in 0..20 {
+            assert_eq!(k.owner(20, 4, x), x % 4);
+            assert_eq!(k.local(20, 4, x), x / 4);
+        }
+    }
+
+    #[test]
+    fn dist_2d_block_block() {
+        let d = HpfDist::block_block(8, 6, 2, 3);
+        assert_eq!(d.num_procs(), 6);
+        let mut counts = [0usize; 6];
+        for i in 0..8 {
+            for j in 0..6 {
+                let r = d.owner(&[i, j]);
+                let a = d.local_addr(r, &[i, j]);
+                assert!(a < d.local_len(r));
+                counts[r] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c == 8));
+    }
+
+    #[test]
+    fn local_addrs_are_dense_and_unique() {
+        let d = HpfDist::new(
+            vec![9, 10],
+            vec![DistKind::Cyclic(2), DistKind::Block],
+            vec![2, 2],
+        );
+        for r in 0..4 {
+            let mut seen = vec![false; d.local_len(r)];
+            for i in 0..9 {
+                for j in 0..10 {
+                    if d.owner(&[i, j]) == r {
+                        let a = d.local_addr(r, &[i, j]);
+                        assert!(!seen[a], "rank {r} addr {a} reused");
+                        seen[a] = true;
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "rank {r} has holes");
+        }
+    }
+
+    #[test]
+    fn row_block_collapsed() {
+        let d = HpfDist::row_block(10, 4, 3);
+        assert_eq!(d.owner(&[0, 3]), 0);
+        assert_eq!(d.owner(&[9, 0]), 2);
+        assert_eq!(d.block_bounds(0, 0), (0, 4));
+        assert_eq!(d.block_bounds(1, 0), (0, 4));
+        assert!(d.is_all_contiguous());
+        assert!(!HpfDist::new(vec![4], vec![DistKind::Cyclic(1)], vec![2]).is_all_contiguous());
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let d = HpfDist::new(
+            vec![9, 10],
+            vec![DistKind::Cyclic(2), DistKind::Block],
+            vec![2, 2],
+        );
+        assert_eq!(HpfDist::from_bytes(&d.to_bytes()).unwrap(), d);
+    }
+
+    #[test]
+    #[should_panic(expected = "collapsed dim")]
+    fn collapsed_needs_one_proc() {
+        let _ = HpfDist::new(vec![4], vec![DistKind::Collapsed], vec![2]);
+    }
+}

@@ -1,0 +1,69 @@
+//! `forall`-style data-parallel operations (owner-computes).
+//!
+//! The paper's Figure 1 loops are HPF `forall` constructs; this module
+//! provides the runtime pieces a compiler would target: elementwise maps
+//! with flop accounting and global reductions.
+
+use mcsim::group::Comm;
+
+use crate::array::HpfArray;
+
+/// `forall (coords) a(coords) = f(coords, a(coords))`, charging
+/// `flops_per_elem` for each owned update.  Purely local (owner computes).
+pub fn forall_update<T: Copy + Default>(
+    comm: &mut Comm<'_>,
+    a: &mut HpfArray<T>,
+    flops_per_elem: usize,
+    f: impl FnMut(&[usize], &mut T),
+) {
+    a.for_each_owned(f);
+    let owned = a.local().len();
+    comm.ep().charge_flops(owned * flops_per_elem);
+}
+
+/// Global sum over every element of the array.
+pub fn global_sum(comm: &mut Comm<'_>, a: &HpfArray<f64>) -> f64 {
+    let mut local = 0.0;
+    for &v in a.local() {
+        local += v;
+    }
+    comm.ep().charge_flops(a.local().len());
+    comm.allreduce_sum(local)
+}
+
+/// Global maximum of |a| (convergence checks in iterative solvers).
+pub fn global_max_abs(comm: &mut Comm<'_>, a: &HpfArray<f64>) -> f64 {
+    let mut local = 0.0f64;
+    for &v in a.local() {
+        local = local.max(v.abs());
+    }
+    comm.ep().charge_flops(a.local().len());
+    comm.allreduce_max_f64(local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::HpfDist;
+    use mcsim::group::Group;
+    use mcsim::model::MachineModel;
+    use mcsim::world::World;
+
+    #[test]
+    fn forall_and_reductions() {
+        let world = World::with_model(3, MachineModel::zero());
+        let out = world.run(|ep| {
+            let g = Group::world(3);
+            let mut a = HpfArray::<f64>::new(&g, ep.rank(), HpfDist::block_1d(12, 3));
+            let mut comm = Comm::new(ep, g);
+            forall_update(&mut comm, &mut a, 1, |c, v| *v = c[0] as f64 - 5.0);
+            let s = global_sum(&mut comm, &a);
+            let m = global_max_abs(&mut comm, &a);
+            (s, m)
+        });
+        for (s, m) in out.results {
+            assert_eq!(s, (0..12).map(|x| x as f64 - 5.0).sum::<f64>());
+            assert_eq!(m, 6.0);
+        }
+    }
+}

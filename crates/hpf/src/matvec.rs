@@ -1,0 +1,167 @@
+//! The HPF matrix–vector multiply server kernel (paper §5.4).
+//!
+//! The server program distributes the matrix by row blocks
+//! (`(BLOCK, *)`) and the operand/result vectors `BLOCK` over the same
+//! processors.  Each multiply:
+//!
+//! 1. allgathers the operand vector (the "internal communication" the
+//!    paper blames for the server not speeding up past 8 processes — its
+//!    cost *grows* with the process count),
+//! 2. computes the owned row block (`2·N·rows/P` flops),
+//! 3. leaves the result block-distributed, ready to be copied back to the
+//!    client by Meta-Chaos.
+
+use mcsim::group::Comm;
+
+use crate::array::HpfArray;
+use crate::dist::HpfDist;
+
+/// A matrix–vector multiply bound to one matrix distribution.
+#[derive(Debug, Clone)]
+pub struct MatVec {
+    rows: usize,
+    cols: usize,
+}
+
+impl MatVec {
+    /// Prepare for `y = A x` with `A` row-block distributed.
+    pub fn new(a: &HpfArray<f64>) -> Self {
+        let shape = a.dist().shape();
+        assert_eq!(shape.len(), 2, "matrix must be 2-D");
+        assert!(
+            a.dist().kinds()[1] == crate::dist::DistKind::Collapsed,
+            "matvec expects a row-block (BLOCK, *) matrix"
+        );
+        MatVec {
+            rows: shape[0],
+            cols: shape[1],
+        }
+    }
+
+    /// Matrix shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Compute `y = A x`.  Collective over the program.
+    ///
+    /// `x` must be `BLOCK` over `cols`, `y` `BLOCK` over `rows`, both on
+    /// the same program as `A`.
+    pub fn apply(
+        &self,
+        comm: &mut Comm<'_>,
+        a: &HpfArray<f64>,
+        x: &HpfArray<f64>,
+        y: &mut HpfArray<f64>,
+    ) {
+        assert_eq!(x.dist().shape(), &[self.cols], "operand shape");
+        assert_eq!(y.dist().shape(), &[self.rows], "result shape");
+
+        // 1. Allgather the operand vector.
+        let blocks: Vec<Vec<f64>> = comm.allgather_t(x.local().to_vec());
+        let mut full_x = Vec::with_capacity(self.cols);
+        for b in blocks {
+            full_x.extend(b);
+        }
+        assert_eq!(full_x.len(), self.cols);
+
+        // 2. Owned row block: y_i = Σ_j A_ij x_j.
+        let me = y.my_local();
+        let (rlo, rhi) = a.dist().block_bounds(0, a.dist().proc_coords(me)[0]);
+        let a_local = a.local();
+        let row_len = self.cols;
+        for (li, i) in (rlo..rhi).enumerate() {
+            let row = &a_local[li * row_len..(li + 1) * row_len];
+            let mut acc = 0.0;
+            for (v, xv) in row.iter().zip(&full_x) {
+                acc += v * xv;
+            }
+            y.set(&[i], acc);
+        }
+        comm.ep().charge_flops(2 * (rhi - rlo) * self.cols);
+    }
+}
+
+/// Distributions for a matvec server on `p` processes: `(A, x, y)`.
+pub fn server_dists(rows: usize, cols: usize, p: usize) -> (HpfDist, HpfDist, HpfDist) {
+    (
+        HpfDist::row_block(rows, cols, p),
+        HpfDist::block_1d(cols, p),
+        HpfDist::block_1d(rows, p),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsim::group::Group;
+    use mcsim::model::MachineModel;
+    use mcsim::world::World;
+
+    #[test]
+    fn matvec_matches_sequential() {
+        let (n, m) = (12, 9);
+        for p in [1, 2, 3, 4] {
+            let world = World::with_model(p, MachineModel::zero());
+            let out = world.run(move |ep| {
+                let g = Group::world(p);
+                let (da, dx, dy) = server_dists(n, m, p);
+                let mut a = HpfArray::<f64>::new(&g, ep.rank(), da);
+                let mut x = HpfArray::<f64>::new(&g, ep.rank(), dx);
+                let mut y = HpfArray::<f64>::new(&g, ep.rank(), dy);
+                a.for_each_owned(|c, v| *v = (c[0] * 2 + c[1]) as f64);
+                x.for_each_owned(|c, v| *v = 1.0 + c[0] as f64);
+                let mv = MatVec::new(&a);
+                let mut comm = Comm::new(ep, g);
+                mv.apply(&mut comm, &a, &x, &mut y);
+                // Return owned (row, value) pairs.
+                let mut got = Vec::new();
+                for i in 0..n {
+                    if y.owns(&[i]) {
+                        got.push((i, y.get(&[i])));
+                    }
+                }
+                got
+            });
+            // Sequential reference.
+            let want: Vec<f64> = (0..n)
+                .map(|i| {
+                    (0..m)
+                        .map(|j| ((i * 2 + j) as f64) * (1.0 + j as f64))
+                        .sum()
+                })
+                .collect();
+            for pairs in out.results {
+                for (i, v) in pairs {
+                    assert!((v - want[i]).abs() < 1e-9, "p={p} row {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_cost_grows_with_procs() {
+        // The server's internal communication per multiply must grow with
+        // the process count — the effect behind Figure 10's shape.
+        let time_for = |p: usize| {
+            let world = World::with_model(p, MachineModel::alpha_farm_atm());
+            let out = world.run(move |ep| {
+                let g = Group::world(p);
+                let (da, dx, dy) = server_dists(64, 64, p);
+                let a = HpfArray::<f64>::new(&g, ep.rank(), da);
+                let x = HpfArray::<f64>::new(&g, ep.rank(), dx);
+                let mut y = HpfArray::<f64>::new(&g, ep.rank(), dy);
+                let mv = MatVec::new(&a);
+                let mut comm = Comm::new(ep, g);
+                comm.barrier();
+                let t0 = comm.clock();
+                mv.apply(&mut comm, &a, &x, &mut y);
+                comm.sync_clocks() - t0
+            });
+            out.results[0]
+        };
+        // Tiny matrix: communication dominates, so 8 procs are slower
+        // than 2.
+        assert!(time_for(8) > time_for(2));
+    }
+}

@@ -1,0 +1,133 @@
+//! `REDISTRIBUTE` — HPF's dynamic redistribution directive, implemented
+//! *on top of Meta-Chaos*.
+//!
+//! HPF lets a program change an array's distribution at runtime
+//! (`!hpf$ redistribute A(CYCLIC)`).  Because an [`HpfArray`] exports the
+//! Meta-Chaos interface functions, redistribution is just a whole-array
+//! transfer between two differently distributed instances — a nice
+//! demonstration of the framework consuming its own machinery.
+
+use mcsim::group::Group;
+use mcsim::prelude::Endpoint;
+
+use meta_chaos::build::{compute_schedule, BuildMethod};
+use meta_chaos::datamove::data_move;
+use meta_chaos::region::RegularSection;
+use meta_chaos::setof::SetOfRegions;
+use meta_chaos::Side;
+
+use crate::array::HpfArray;
+use crate::dist::HpfDist;
+
+/// Produce a copy of `src` with distribution `new_dist` (same shape, same
+/// program).  Collective over `prog`.
+///
+/// # Panics
+/// Panics if the shapes differ or `new_dist` does not cover the program.
+pub fn redistribute<T: Copy + Default + mcsim::wire::Wire>(
+    ep: &mut Endpoint,
+    prog: &Group,
+    src: &HpfArray<T>,
+    new_dist: HpfDist,
+) -> HpfArray<T> {
+    assert_eq!(
+        src.dist().shape(),
+        new_dist.shape(),
+        "redistribution cannot change the array shape"
+    );
+    let mut dst = HpfArray::<T>::new(prog, ep.rank(), new_dist);
+    let whole = SetOfRegions::single(RegularSection::whole(src.dist().shape()));
+    let sched = compute_schedule(
+        ep,
+        prog,
+        prog,
+        Some(Side::new(src, &whole)),
+        prog,
+        Some(Side::new(&dst, &whole)),
+        // Both descriptors are a few integers: the communication-free
+        // duplication build is the natural choice here.
+        BuildMethod::Duplication,
+    )
+    .expect("same shape implies equal linearization lengths");
+    data_move(ep, &sched, src, &mut dst);
+    dst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::DistKind;
+    use mcsim::model::MachineModel;
+    use mcsim::world::World;
+
+    fn collect(a: &HpfArray<f64>) -> Vec<(Vec<usize>, f64)> {
+        let shape = a.dist().shape().to_vec();
+        let mut out = Vec::new();
+        if shape.len() == 1 {
+            for x in 0..shape[0] {
+                if a.owns(&[x]) {
+                    out.push((vec![x], a.get(&[x])));
+                }
+            }
+        } else {
+            for i in 0..shape[0] {
+                for j in 0..shape[1] {
+                    if a.owns(&[i, j]) {
+                        out.push((vec![i, j], a.get(&[i, j])));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn block_to_cyclic_and_back() {
+        let n = 30;
+        let world = World::with_model(3, MachineModel::zero());
+        world.run(move |ep| {
+            let g = Group::world(3);
+            let mut a = HpfArray::<f64>::new(&g, ep.rank(), HpfDist::block_1d(n, 3));
+            a.for_each_owned(|c, v| *v = 5.0 + c[0] as f64);
+            let b = redistribute(
+                ep,
+                &g,
+                &a,
+                HpfDist::new(vec![n], vec![DistKind::Cyclic(1)], vec![3]),
+            );
+            for (c, v) in collect(&b) {
+                assert_eq!(v, 5.0 + c[0] as f64);
+            }
+            // And back to BLOCK: identical to the original.
+            let c2 = redistribute(ep, &g, &b, HpfDist::block_1d(n, 3));
+            assert_eq!(c2.local(), a.local());
+        });
+    }
+
+    #[test]
+    fn two_d_block_block_to_row_block() {
+        let world = World::with_model(4, MachineModel::zero());
+        world.run(|ep| {
+            let g = Group::world(4);
+            let mut a = HpfArray::<f64>::new(&g, ep.rank(), HpfDist::block_block(8, 8, 2, 2));
+            a.for_each_owned(|c, v| *v = (c[0] * 8 + c[1]) as f64);
+            let b = redistribute(ep, &g, &a, HpfDist::row_block(8, 8, 4));
+            for (c, v) in collect(&b) {
+                assert_eq!(v, (c[0] * 8 + c[1]) as f64);
+            }
+            // Row-block: rank r owns rows 2r..2r+2 contiguously.
+            assert_eq!(b.local().len(), 16);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot change the array shape")]
+    fn shape_change_rejected() {
+        let world = World::with_model(1, MachineModel::zero());
+        world.run(|ep| {
+            let g = Group::world(1);
+            let a = HpfArray::<f64>::new(&g, ep.rank(), HpfDist::block_1d(10, 1));
+            let _ = redistribute(ep, &g, &a, HpfDist::block_1d(12, 1));
+        });
+    }
+}

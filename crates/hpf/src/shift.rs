@@ -1,0 +1,219 @@
+//! `CSHIFT` / `EOSHIFT` — HPF's array shift intrinsics, expressed as
+//! Meta-Chaos transfers.
+//!
+//! A circular shift along one dimension is two regular-section copies (the
+//! wrapped part and the rest) — a textbook use of multi-region
+//! SetOfRegions: both sides list two regions whose concatenated
+//! linearizations pair up elementwise.  The end-off shift is one section
+//! copy plus a local boundary fill.
+
+use mcsim::group::Group;
+use mcsim::prelude::Endpoint;
+use mcsim::wire::Wire;
+
+use meta_chaos::build::{compute_schedule, BuildMethod};
+use meta_chaos::datamove::data_move;
+use meta_chaos::region::{DimSlice, RegularSection};
+use meta_chaos::setof::SetOfRegions;
+use meta_chaos::Side;
+
+use crate::array::HpfArray;
+
+/// A whole-array section with dimension `dim` restricted to `[lo, hi)`.
+fn restricted(shape: &[usize], dim: usize, lo: usize, hi: usize) -> RegularSection {
+    RegularSection::new(
+        shape
+            .iter()
+            .enumerate()
+            .map(|(d, &n)| {
+                if d == dim {
+                    DimSlice::new(lo, hi)
+                } else {
+                    DimSlice::new(0, n)
+                }
+            })
+            .collect(),
+    )
+}
+
+/// `CSHIFT(a, shift, dim)`: result `r[.., i, ..] = a[.., (i + shift) mod n, ..]`
+/// along `dim`.  Negative shifts move the other way.  Collective.
+pub fn cshift<T: Copy + Default + Wire>(
+    ep: &mut Endpoint,
+    prog: &Group,
+    a: &HpfArray<T>,
+    dim: usize,
+    shift: isize,
+) -> HpfArray<T> {
+    let shape = a.dist().shape().to_vec();
+    assert!(dim < shape.len(), "shift dimension out of range");
+    let n = shape[dim];
+    let amt = shift.rem_euclid(n as isize) as usize;
+    let mut dst = HpfArray::<T>::new(prog, ep.rank(), a.dist().clone());
+    if amt == 0 {
+        // Pure copy.
+        let whole = SetOfRegions::single(RegularSection::whole(&shape));
+        let sched = compute_schedule(
+            ep,
+            prog,
+            prog,
+            Some(Side::new(a, &whole)),
+            prog,
+            Some(Side::new(&dst, &whole)),
+            BuildMethod::Duplication,
+        )
+        .expect("same shape");
+        data_move(ep, &sched, a, &mut dst);
+        return dst;
+    }
+
+    // Two region pairs: [amt, n) -> [0, n-amt) and [0, amt) -> [n-amt, n).
+    let src = SetOfRegions::from_regions(vec![
+        restricted(&shape, dim, amt, n),
+        restricted(&shape, dim, 0, amt),
+    ]);
+    let dstset = SetOfRegions::from_regions(vec![
+        restricted(&shape, dim, 0, n - amt),
+        restricted(&shape, dim, n - amt, n),
+    ]);
+    let sched = compute_schedule(
+        ep,
+        prog,
+        prog,
+        Some(Side::new(a, &src)),
+        prog,
+        Some(Side::new(&dst, &dstset)),
+        BuildMethod::Duplication,
+    )
+    .expect("matched region sizes");
+    data_move(ep, &sched, a, &mut dst);
+    dst
+}
+
+/// `EOSHIFT(a, shift, boundary, dim)`: like [`cshift`] but elements shifted
+/// past the edge are discarded and vacated positions filled with
+/// `boundary`.  Collective.
+pub fn eoshift<T: Copy + Default + Wire>(
+    ep: &mut Endpoint,
+    prog: &Group,
+    a: &HpfArray<T>,
+    dim: usize,
+    shift: isize,
+    boundary: T,
+) -> HpfArray<T> {
+    let shape = a.dist().shape().to_vec();
+    assert!(dim < shape.len(), "shift dimension out of range");
+    let n = shape[dim] as isize;
+    let mut dst = HpfArray::<T>::new(prog, ep.rank(), a.dist().clone());
+    // Pre-fill with the boundary value; the copied band overwrites.
+    dst.for_each_owned(|_, v| *v = boundary);
+
+    let amt = shift.clamp(-n, n);
+    let (src_lo, src_hi, dst_lo, dst_hi) = if amt >= 0 {
+        (amt as usize, n as usize, 0usize, (n - amt) as usize)
+    } else {
+        (0, (n + amt) as usize, (-amt) as usize, n as usize)
+    };
+    if src_lo < src_hi {
+        let src = SetOfRegions::single(restricted(&shape, dim, src_lo, src_hi));
+        let dstset = SetOfRegions::single(restricted(&shape, dim, dst_lo, dst_hi));
+        let sched = compute_schedule(
+            ep,
+            prog,
+            prog,
+            Some(Side::new(a, &src)),
+            prog,
+            Some(Side::new(&dst, &dstset)),
+            BuildMethod::Duplication,
+        )
+        .expect("matched band sizes");
+        data_move(ep, &sched, a, &mut dst);
+    }
+    dst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{DistKind, HpfDist};
+    use mcsim::model::MachineModel;
+    use mcsim::world::World;
+
+    fn collect1d(a: &HpfArray<f64>, n: usize) -> Vec<(usize, f64)> {
+        (0..n)
+            .filter(|&x| a.owns(&[x]))
+            .map(|x| (x, a.get(&[x])))
+            .collect()
+    }
+
+    #[test]
+    fn cshift_matches_fortran_semantics() {
+        let n = 12;
+        for shift in [0isize, 1, 5, -3, 12, -12, 25] {
+            let world = World::with_model(3, MachineModel::zero());
+            let out = world.run(move |ep| {
+                let g = Group::world(3);
+                let mut a = HpfArray::<f64>::new(&g, ep.rank(), HpfDist::block_1d(n, 3));
+                a.for_each_owned(|c, v| *v = c[0] as f64);
+                let r = cshift(ep, &g, &a, 0, shift);
+                collect1d(&r, n)
+            });
+            for vals in out.results {
+                for (i, v) in vals {
+                    let want = ((i as isize + shift).rem_euclid(n as isize)) as f64;
+                    assert_eq!(v, want, "shift {shift} r[{i}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cshift_2d_along_each_dim() {
+        let world = World::with_model(4, MachineModel::zero());
+        world.run(|ep| {
+            let g = Group::world(4);
+            let mut a = HpfArray::<f64>::new(&g, ep.rank(), HpfDist::block_block(6, 8, 2, 2));
+            a.for_each_owned(|c, v| *v = (c[0] * 8 + c[1]) as f64);
+            let r0 = cshift(ep, &g, &a, 0, 2);
+            let r1 = cshift(ep, &g, &a, 1, -3);
+            for i in 0..6 {
+                for j in 0..8 {
+                    if r0.owns(&[i, j]) {
+                        assert_eq!(r0.get(&[i, j]), (((i + 2) % 6) * 8 + j) as f64);
+                    }
+                    if r1.owns(&[i, j]) {
+                        let sj = (j as isize - 3).rem_euclid(8) as usize;
+                        assert_eq!(r1.get(&[i, j]), (i * 8 + sj) as f64);
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn eoshift_fills_boundary() {
+        let n = 10;
+        for shift in [2isize, -3, 0, 10, -11] {
+            let world = World::with_model(2, MachineModel::zero());
+            let out = world.run(move |ep| {
+                let g = Group::world(2);
+                let dist = HpfDist::new(vec![n], vec![DistKind::Cyclic(1)], vec![2]);
+                let mut a = HpfArray::<f64>::new(&g, ep.rank(), dist);
+                a.for_each_owned(|c, v| *v = 1.0 + c[0] as f64);
+                let r = eoshift(ep, &g, &a, 0, shift, -9.0);
+                collect1d(&r, n)
+            });
+            for vals in out.results {
+                for (i, v) in vals {
+                    let src = i as isize + shift;
+                    let want = if (0..n as isize).contains(&src) {
+                        1.0 + src as f64
+                    } else {
+                        -9.0
+                    };
+                    assert_eq!(v, want, "shift {shift} r[{i}]");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! `TRANSPOSE` — the HPF matrix-transpose intrinsic as a Meta-Chaos
+//! transfer.
+//!
+//! The trick is purely in the region lists: the source SetOfRegions is the
+//! matrix row by row, the destination SetOfRegions is the result column by
+//! column — two linearizations that pair `A[i][j]` with `Aᵀ[j][i]`
+//! elementwise.  The schedule is built once and handles any pair of
+//! distributions on either side.
+
+use mcsim::group::Group;
+use mcsim::prelude::Endpoint;
+use mcsim::wire::Wire;
+
+use meta_chaos::build::{compute_schedule, BuildMethod};
+use meta_chaos::datamove::data_move;
+use meta_chaos::region::{DimSlice, RegularSection};
+use meta_chaos::setof::SetOfRegions;
+use meta_chaos::Side;
+
+use crate::array::HpfArray;
+use crate::dist::HpfDist;
+
+/// `B = TRANSPOSE(A)`: returns a `cols × rows` array with distribution
+/// `out_dist`.  Collective over `prog`.
+pub fn transpose<T: Copy + Default + Wire>(
+    ep: &mut Endpoint,
+    prog: &Group,
+    a: &HpfArray<T>,
+    out_dist: HpfDist,
+) -> HpfArray<T> {
+    let shape = a.dist().shape();
+    assert_eq!(shape.len(), 2, "transpose needs a 2-D array");
+    let (rows, cols) = (shape[0], shape[1]);
+    assert_eq!(
+        out_dist.shape(),
+        &[cols, rows],
+        "output distribution must be the transposed shape"
+    );
+    let mut b = HpfArray::<T>::new(prog, ep.rank(), out_dist);
+
+    // Source: row i of A, for i in 0..rows — linearization = row-major A.
+    let src = SetOfRegions::from_regions(
+        (0..rows)
+            .map(|i| RegularSection::new(vec![DimSlice::new(i, i + 1), DimSlice::new(0, cols)]))
+            .collect(),
+    );
+    // Destination: column i of B — the same elements, transposed.
+    let dst = SetOfRegions::from_regions(
+        (0..rows)
+            .map(|i| RegularSection::new(vec![DimSlice::new(0, cols), DimSlice::new(i, i + 1)]))
+            .collect(),
+    );
+    let sched = compute_schedule(
+        ep,
+        prog,
+        prog,
+        Some(Side::new(a, &src)),
+        prog,
+        Some(Side::new(&b, &dst)),
+        BuildMethod::Duplication,
+    )
+    .expect("row and column linearizations pair up");
+    data_move(ep, &sched, a, &mut b);
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::DistKind;
+    use mcsim::model::MachineModel;
+    use mcsim::world::World;
+
+    #[test]
+    fn transpose_square_block_block() {
+        let world = World::with_model(4, MachineModel::zero());
+        world.run(|ep| {
+            let g = Group::world(4);
+            let mut a = HpfArray::<f64>::new(&g, ep.rank(), HpfDist::block_block(8, 8, 2, 2));
+            a.for_each_owned(|c, v| *v = (c[0] * 8 + c[1]) as f64);
+            let b = transpose(ep, &g, &a, HpfDist::block_block(8, 8, 2, 2));
+            for i in 0..8 {
+                for j in 0..8 {
+                    if b.owns(&[i, j]) {
+                        assert_eq!(b.get(&[i, j]), (j * 8 + i) as f64, "B[{i}][{j}]");
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn transpose_rectangular_across_distributions() {
+        // 6x10 row-block A into a 10x6 cyclic-rows B.
+        let world = World::with_model(3, MachineModel::zero());
+        world.run(|ep| {
+            let g = Group::world(3);
+            let mut a = HpfArray::<f64>::new(&g, ep.rank(), HpfDist::row_block(6, 10, 3));
+            a.for_each_owned(|c, v| *v = (c[0] * 100 + c[1]) as f64);
+            let out = HpfDist::new(
+                vec![10, 6],
+                vec![DistKind::Cyclic(1), DistKind::Collapsed],
+                vec![3, 1],
+            );
+            let b = transpose(ep, &g, &a, out);
+            for i in 0..10 {
+                for j in 0..6 {
+                    if b.owns(&[i, j]) {
+                        assert_eq!(b.get(&[i, j]), (j * 100 + i) as f64, "B[{i}][{j}]");
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let world = World::with_model(2, MachineModel::zero());
+        world.run(|ep| {
+            let g = Group::world(2);
+            let mut a = HpfArray::<f64>::new(&g, ep.rank(), HpfDist::row_block(5, 7, 2));
+            a.for_each_owned(|c, v| *v = (c[0] * 31 + c[1] * 7) as f64);
+            let bt = transpose(ep, &g, &a, HpfDist::row_block(7, 5, 2));
+            let back = transpose(ep, &g, &bt, HpfDist::row_block(5, 7, 2));
+            assert_eq!(back.local(), a.local());
+        });
+    }
+}

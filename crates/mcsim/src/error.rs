@@ -1,0 +1,51 @@
+//! Error types for the simulated machine.
+
+use std::fmt;
+
+/// Errors surfaced by the simulation layer.
+///
+/// Most misuse (sending to an out-of-range rank, decoding a malformed
+/// payload) is a programming error and panics with context, matching how an
+/// MPI implementation aborts the job; `SimError` covers the conditions a
+/// caller can meaningfully observe and handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A peer rank panicked; its failure is propagated instead of hanging.
+    PeerFailed {
+        /// Rank that failed.
+        rank: usize,
+        /// Panic message from the failed rank.
+        reason: String,
+    },
+    /// A typed receive could not decode the payload.
+    Decode(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::PeerFailed { rank, reason } => {
+                write!(f, "rank {rank} failed: {reason}")
+            }
+            SimError::Decode(msg) => write!(f, "wire decode error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = SimError::PeerFailed {
+            rank: 3,
+            reason: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "rank 3 failed: boom");
+        let d = SimError::Decode("short read".into());
+        assert!(d.to_string().contains("short read"));
+    }
+}

@@ -1,0 +1,311 @@
+//! Rank groups and communicators.
+//!
+//! A [`Group`] is an ordered set of global ranks plus a *context* that keeps
+//! its traffic (including collective traffic) separate from other groups' —
+//! the same mechanism MPI communicators use.  A [`Comm`] binds a group to
+//! this rank's [`Endpoint`] and provides local-rank addressing and the
+//! collective operations in [`crate::collectives`].
+//!
+//! Two-program experiments (paper §5.2, §5.4) split the world into disjoint
+//! groups with [`Group::split_two`]; Meta-Chaos then runs collectives over
+//! the union group.
+
+use crate::endpoint::Endpoint;
+use crate::message::Rank;
+use crate::tag::Tag;
+use crate::wire::Wire;
+
+/// An ordered set of world ranks with a communication context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    members: Vec<Rank>,
+    ctx: u32,
+}
+
+impl Group {
+    /// The group of all `world_size` ranks, in rank order.
+    pub fn world(world_size: usize) -> Self {
+        Group {
+            members: (0..world_size).collect(),
+            ctx: Tag::FIRST_USER_CTX,
+        }
+    }
+
+    /// A group over explicit members with a caller-chosen context.
+    ///
+    /// Contexts below [`Tag::FIRST_USER_CTX`] are reserved; members must be
+    /// distinct.
+    pub fn new(members: Vec<Rank>, ctx: u32) -> Self {
+        assert!(ctx >= Tag::FIRST_USER_CTX, "context {ctx} is reserved");
+        assert!(!members.is_empty(), "group must be non-empty");
+        let mut seen = members.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), members.len(), "duplicate members in group");
+        Group { members, ctx }
+    }
+
+    /// Split the world's first `a + b` ranks into two disjoint programs and
+    /// their union: `(program_a, program_b, union)`.
+    ///
+    /// Contexts are derived from `base_ctx` (`base_ctx`, `+1`, `+2`).
+    pub fn split_two(a: usize, b: usize, base_ctx: u32) -> (Group, Group, Group) {
+        let pa = Group::new((0..a).collect(), base_ctx);
+        let pb = Group::new((a..a + b).collect(), base_ctx + 1);
+        let un = Group::new((0..a + b).collect(), base_ctx + 2);
+        (pa, pb, un)
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The context id.
+    pub fn context(&self) -> u32 {
+        self.ctx
+    }
+
+    /// Members in local-rank order.
+    pub fn members(&self) -> &[Rank] {
+        &self.members
+    }
+
+    /// Global rank of local rank `local`.
+    pub fn global(&self, local: usize) -> Rank {
+        self.members[local]
+    }
+
+    /// Local rank of global rank `global`, if a member.
+    pub fn local_of(&self, global: Rank) -> Option<usize> {
+        self.members.iter().position(|&m| m == global)
+    }
+
+    /// True if `global` is a member.
+    pub fn contains(&self, global: Rank) -> bool {
+        self.local_of(global).is_some()
+    }
+}
+
+/// A group bound to this rank's endpoint: the object collectives run on.
+pub struct Comm<'e> {
+    ep: &'e mut Endpoint,
+    group: Group,
+    my_local: usize,
+}
+
+impl<'e> Comm<'e> {
+    /// Bind `group` to `ep`.  The endpoint's rank must be a member.
+    pub fn new(ep: &'e mut Endpoint, group: Group) -> Self {
+        let my_local = group
+            .local_of(ep.rank())
+            .unwrap_or_else(|| panic!("rank {} not in group {:?}", ep.rank(), group));
+        Comm {
+            ep,
+            group,
+            my_local,
+        }
+    }
+
+    /// Bind the all-ranks group to `ep`.
+    pub fn world(ep: &'e mut Endpoint) -> Self {
+        let g = Group::world(ep.world_size());
+        Comm::new(ep, g)
+    }
+
+    /// This rank's local rank within the group.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.my_local
+    }
+
+    /// Group size.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.group.size()
+    }
+
+    /// The underlying group.
+    pub fn group(&self) -> &Group {
+        &self.group
+    }
+
+    /// Escape hatch to the endpoint (for charging compute, reading the
+    /// clock, or global-rank sends).
+    pub fn ep(&mut self) -> &mut Endpoint {
+        self.ep
+    }
+
+    /// Read-only endpoint access.
+    pub fn ep_ref(&self) -> &Endpoint {
+        self.ep
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn clock(&self) -> f64 {
+        self.ep.clock()
+    }
+
+    /// Tag scoped to this group's context.
+    #[inline]
+    pub fn tag(&self, user: u32) -> Tag {
+        Tag::new(self.group.context(), user)
+    }
+
+    /// Send raw bytes to local rank `to`.
+    pub fn send(&mut self, to: usize, user_tag: u32, payload: Vec<u8>) {
+        let g = self.group.global(to);
+        let t = self.tag(user_tag);
+        self.ep.send(g, t, payload);
+    }
+
+    /// Receive raw bytes from local rank `from`.
+    pub fn recv(&mut self, from: usize, user_tag: u32) -> Vec<u8> {
+        let g = self.group.global(from);
+        let t = self.tag(user_tag);
+        self.ep.recv(g, t)
+    }
+
+    /// Typed send to local rank `to`.
+    pub fn send_t<T: Wire>(&mut self, to: usize, user_tag: u32, value: &T) {
+        let g = self.group.global(to);
+        let t = self.tag(user_tag);
+        self.ep.send_t(g, t, value);
+    }
+
+    /// Typed receive from local rank `from`.
+    pub fn recv_t<T: Wire>(&mut self, from: usize, user_tag: u32) -> T {
+        let g = self.group.global(from);
+        let t = self.tag(user_tag);
+        self.ep.recv_t(g, t)
+    }
+
+    /// Split this communicator by `color` (the `MPI_Comm_split` pattern):
+    /// every member passes a color and receives the group of members that
+    /// chose the same color, ordered by their rank in this communicator.
+    ///
+    /// The new group's context is `ctx_base + color`, so distinct colors
+    /// get disjoint tag spaces; `ctx_base` must leave all resulting
+    /// contexts in user space.  Collective.
+    pub fn split(&mut self, color: u32, ctx_base: u32) -> Group {
+        let pairs: Vec<(u32, usize)> = self.allgather_t((color, self.group().global(self.rank())));
+        let members: Vec<Rank> = pairs
+            .iter()
+            .filter(|&&(c, _)| c == color)
+            .map(|&(_, g)| g)
+            .collect();
+        Group::new(members, ctx_base + color)
+    }
+}
+
+impl std::fmt::Debug for Comm<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Comm")
+            .field("local_rank", &self.my_local)
+            .field("size", &self.group.size())
+            .field("ctx", &self.group.context())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MachineModel;
+    use crate::world::World;
+
+    #[test]
+    fn group_world_and_lookup() {
+        let g = Group::world(4);
+        assert_eq!(g.size(), 4);
+        assert_eq!(g.global(2), 2);
+        assert_eq!(g.local_of(3), Some(3));
+        assert_eq!(g.local_of(4), None);
+        assert!(g.contains(0));
+    }
+
+    #[test]
+    fn split_two_partitions() {
+        let (a, b, u) = Group::split_two(2, 3, 100);
+        assert_eq!(a.members(), &[0, 1]);
+        assert_eq!(b.members(), &[2, 3, 4]);
+        assert_eq!(u.members(), &[0, 1, 2, 3, 4]);
+        assert_ne!(a.context(), b.context());
+        assert_ne!(a.context(), u.context());
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn reserved_context_rejected() {
+        let _ = Group::new(vec![0], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_members_rejected() {
+        let _ = Group::new(vec![0, 1, 0], 50);
+    }
+
+    #[test]
+    fn subgroup_messaging_uses_local_ranks() {
+        let world = World::with_model(4, MachineModel::zero());
+        world.run(|ep| {
+            // Group of the odd ranks only: locals 0,1 = globals 1,3.
+            if ep.rank() % 2 == 1 {
+                let g = Group::new(vec![1, 3], 40);
+                let mut c = Comm::new(ep, g);
+                if c.rank() == 0 {
+                    c.send_t(1, 0, &7u32);
+                } else {
+                    let v: u32 = c.recv_t(0, 0);
+                    assert_eq!(v, 7);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn split_partitions_by_color() {
+        let world = World::with_model(5, MachineModel::zero());
+        world.run(|ep| {
+            let me = ep.rank();
+            let mut c = Comm::world(ep);
+            let color = (me % 2) as u32;
+            let sub = c.split(color, 60);
+            // Evens: {0, 2, 4}; odds: {1, 3}.
+            if me % 2 == 0 {
+                assert_eq!(sub.members(), &[0, 2, 4]);
+            } else {
+                assert_eq!(sub.members(), &[1, 3]);
+            }
+            assert_eq!(sub.context(), 60 + color);
+            // The subgroup is immediately usable as a communicator.
+            let mut subcomm = Comm::new(ep, sub);
+            let total: u64 = subcomm.allreduce_sum(me as u64);
+            if me % 2 == 0 {
+                assert_eq!(total, 6);
+            } else {
+                assert_eq!(total, 4);
+            }
+        });
+    }
+
+    #[test]
+    fn same_user_tag_different_ctx_no_crosstalk() {
+        let world = World::with_model(2, MachineModel::zero());
+        world.run(|ep| {
+            let g1 = Group::new(vec![0, 1], 30);
+            let g2 = Group::new(vec![0, 1], 31);
+            if ep.rank() == 0 {
+                Comm::new(ep, g1).send_t(1, 5, &111u32);
+                Comm::new(ep, g2).send_t(1, 5, &222u32);
+            } else {
+                // Receive in reverse group order: contexts must disambiguate.
+                let b: u32 = Comm::new(ep, g2).recv_t(0, 5);
+                let a: u32 = Comm::new(ep, g1).recv_t(0, 5);
+                assert_eq!((a, b), (111, 222));
+            }
+        });
+    }
+}

@@ -1,0 +1,84 @@
+//! # mcsim — a simulated distributed-memory parallel machine
+//!
+//! The Meta-Chaos paper ran on a 16-node IBM SP2 (MPL) and an 8-node DEC
+//! Alpha farm connected by ATM (PVM/UDP).  This crate substitutes those
+//! machines with a *simulated* message-passing machine:
+//!
+//! * every logical processor ("rank") is a real OS thread,
+//! * ranks exchange real byte messages through channels (so data motion is
+//!   bit-exact and testable),
+//! * each rank carries a deterministic **virtual clock**: sends, receives and
+//!   modeled computation charge time according to a configurable
+//!   [`MachineModel`] (message latency, per-byte wire cost, per-message CPU
+//!   overheads, per-element compute costs).
+//!
+//! Because all receives name their source and tag, virtual time is a pure
+//! function of the program and the model — independent of host scheduling and
+//! host core count.  Reported times are *simulated seconds*, which is what
+//! the reproduction harness prints.
+//!
+//! ## Layers
+//!
+//! * [`world`] — spawns a world of ranks and runs an SPMD closure on each.
+//! * [`endpoint`] — per-rank handle: point-to-point `send`/`recv`, the
+//!   virtual clock, and compute charging.
+//! * [`group`] / [`collectives`] — communicators over rank subsets with
+//!   barrier, broadcast, gather, allgather, reductions and alltoallv, all
+//!   built on the point-to-point layer (so their cost is modeled faithfully).
+//! * [`wire`] — a tiny self-describing codec for typed messages.
+//! * [`stats`] — per-pair message and byte counters, used by tests to assert
+//!   the paper's claim that Meta-Chaos sends exactly the hand-coded number
+//!   of messages.
+//!
+//! ## Example
+//!
+//! ```
+//! use mcsim::prelude::*;
+//!
+//! let world = World::new(4);
+//! let out = world.run(|ep| {
+//!     let mut comm = Comm::world(ep);
+//!     let me = comm.rank();
+//!     let sum: u64 = comm.allreduce_sum(me as u64);
+//!     sum
+//! });
+//! assert!(out.results.iter().all(|&s| s == 0 + 1 + 2 + 3));
+//! ```
+
+// Indexed loops over multiple parallel arrays are the clearest idiom in
+// this numerical code.
+#![allow(clippy::needless_range_loop)]
+
+pub mod collectives;
+pub mod endpoint;
+pub mod error;
+pub mod group;
+pub mod message;
+pub mod model;
+pub mod stats;
+pub mod tag;
+pub mod trace;
+pub mod wire;
+pub mod world;
+
+pub use endpoint::Endpoint;
+pub use error::SimError;
+pub use group::{Comm, Group};
+pub use message::Rank;
+pub use model::MachineModel;
+pub use stats::{NetStats, StatsSnapshot};
+pub use tag::Tag;
+pub use trace::{summarize, TraceEvent, TraceSummary};
+pub use wire::{Wire, WireReader};
+pub use world::{RunOutput, World};
+
+/// Convenient glob import for downstream crates.
+pub mod prelude {
+    pub use crate::endpoint::Endpoint;
+    pub use crate::group::{Comm, Group};
+    pub use crate::message::Rank;
+    pub use crate::model::MachineModel;
+    pub use crate::tag::Tag;
+    pub use crate::wire::{Wire, WireReader};
+    pub use crate::world::{RunOutput, World};
+}

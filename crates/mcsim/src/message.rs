@@ -1,0 +1,70 @@
+//! The message envelope exchanged between ranks.
+
+use crate::tag::Tag;
+
+/// A processor index in the world (0-based, dense).
+pub type Rank = usize;
+
+/// What a message carries.
+#[derive(Debug)]
+pub enum Body {
+    /// Ordinary data payload.
+    Data(Vec<u8>),
+    /// A rank panicked; receivers must propagate the failure instead of
+    /// hanging forever on a receive that will never be matched.
+    Poison(String),
+}
+
+/// A message in flight between two ranks.
+#[derive(Debug)]
+pub struct Message {
+    /// Global rank of the sender.
+    pub src: Rank,
+    /// Tag the sender attached.
+    pub tag: Tag,
+    /// Payload (or poison marker).
+    pub body: Body,
+    /// Virtual time at which the message becomes available at the receiver
+    /// (sender clock at send + latency + size / bandwidth).
+    pub arrival: f64,
+}
+
+impl Message {
+    /// Payload length in bytes (0 for poison).
+    pub fn len(&self) -> usize {
+        match &self.body {
+            Body::Data(d) => d.len(),
+            Body::Poison(_) => 0,
+        }
+    }
+
+    /// True if the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_len() {
+        let m = Message {
+            src: 0,
+            tag: Tag::user(0),
+            body: Body::Data(vec![1, 2, 3]),
+            arrival: 0.0,
+        };
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        let p = Message {
+            src: 0,
+            tag: Tag::user(0),
+            body: Body::Poison("x".into()),
+            arrival: 0.0,
+        };
+        assert_eq!(p.len(), 0);
+        assert!(p.is_empty());
+    }
+}

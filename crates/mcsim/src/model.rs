@@ -1,0 +1,163 @@
+//! Machine cost models for the virtual clock.
+//!
+//! The model is the classic postal/LogGP-style decomposition: a message of
+//! `n` bytes costs the sender `send_overhead + n * byte_copy_cost` of CPU
+//! time, travels for `latency + n * byte_wire_cost`, and costs the receiver
+//! `recv_overhead + n * byte_copy_cost`.  Computation is charged explicitly
+//! by the runtime libraries through [`crate::endpoint::Endpoint::charge`]
+//! using the per-element costs below.
+//!
+//! Two presets bracket the paper's testbeds:
+//!
+//! * [`MachineModel::sp2`] — 16-node IBM SP2 with MPL (Tables 1–5),
+//! * [`MachineModel::alpha_farm_atm`] — DEC Alpha SMP farm on an ATM
+//!   Gigaswitch via PVM/UDP (Figures 10–15): much higher latency and
+//!   per-message overhead, comparable bandwidth, faster CPUs.
+//!
+//! Absolute values are period-plausible rather than exact; the reproduction
+//! only claims the *shape* of the results.
+
+/// Cost parameters of the simulated machine (all in seconds, per unit).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineModel {
+    /// Wire latency per message.
+    pub latency: f64,
+    /// CPU time the sender spends per message (software overhead).
+    pub send_overhead: f64,
+    /// CPU time the receiver spends per message.
+    pub recv_overhead: f64,
+    /// Wire time per payload byte (1 / bandwidth).
+    pub byte_wire_cost: f64,
+    /// CPU time per payload byte for packing/copying at either end.
+    pub byte_copy_cost: f64,
+    /// Time per floating-point operation in modeled numeric kernels.
+    pub flop_cost: f64,
+    /// Time per element for a *distributed-directory* probe answered at a
+    /// translation-table owner (hashing, request processing — the Chaos
+    /// dereference path the paper identifies as dominant).
+    pub deref_local_cost: f64,
+    /// Time per element for a closed-form owner computation (block/cyclic
+    /// arithmetic in Parti/HPF-style libraries) — orders of magnitude
+    /// cheaper than a table probe.
+    pub owner_calc_cost: f64,
+    /// Time per element for an extra level of indirect memory access
+    /// (Chaos-style `x[ia[i]]`).
+    pub indirect_cost: f64,
+    /// Time per element for building/inserting into schedule data structures.
+    pub schedule_insert_cost: f64,
+}
+
+impl MachineModel {
+    /// 16-node IBM SP2 with the MPL message layer (the Tables 1–5 testbed).
+    pub fn sp2() -> Self {
+        MachineModel {
+            latency: 40e-6,
+            send_overhead: 30e-6,
+            recv_overhead: 30e-6,
+            byte_wire_cost: 1.0 / 34e6,
+            byte_copy_cost: 1.0 / 180e6,
+            flop_cost: 1.0 / 55e6,
+            deref_local_cost: 8.0e-6,
+            owner_calc_cost: 0.3e-6,
+            indirect_cost: 0.12e-6,
+            schedule_insert_cost: 0.3e-6,
+        }
+    }
+
+    /// DEC Alpha farm on an OC-3 ATM Gigaswitch, PVM/UDP transport (the
+    /// client/server testbed of Figures 10–15).
+    pub fn alpha_farm_atm() -> Self {
+        MachineModel {
+            latency: 500e-6,
+            send_overhead: 450e-6,
+            recv_overhead: 450e-6,
+            byte_wire_cost: 1.0 / 12e6,
+            byte_copy_cost: 1.0 / 250e6,
+            flop_cost: 1.0 / 1.5e6,
+            deref_local_cost: 6.0e-6,
+            owner_calc_cost: 0.25e-6,
+            indirect_cost: 0.4e-6,
+            schedule_insert_cost: 0.25e-6,
+        }
+    }
+
+    /// A zero-cost model: virtual time never advances.  Useful in unit tests
+    /// that only care about data correctness.
+    pub fn zero() -> Self {
+        MachineModel {
+            latency: 0.0,
+            send_overhead: 0.0,
+            recv_overhead: 0.0,
+            byte_wire_cost: 0.0,
+            byte_copy_cost: 0.0,
+            flop_cost: 0.0,
+            deref_local_cost: 0.0,
+            owner_calc_cost: 0.0,
+            indirect_cost: 0.0,
+            schedule_insert_cost: 0.0,
+        }
+    }
+
+    /// Sender-side CPU cost of a message of `bytes` payload bytes.
+    #[inline]
+    pub fn send_cost(&self, bytes: usize) -> f64 {
+        self.send_overhead + bytes as f64 * self.byte_copy_cost
+    }
+
+    /// Wire transit time for `bytes` payload bytes.
+    #[inline]
+    pub fn transit(&self, bytes: usize) -> f64 {
+        self.latency + bytes as f64 * self.byte_wire_cost
+    }
+
+    /// Receiver-side CPU cost of a message of `bytes` payload bytes.
+    #[inline]
+    pub fn recv_cost(&self, bytes: usize) -> f64 {
+        self.recv_overhead + bytes as f64 * self.byte_copy_cost
+    }
+}
+
+impl Default for MachineModel {
+    fn default() -> Self {
+        MachineModel::sp2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_positive() {
+        for m in [MachineModel::sp2(), MachineModel::alpha_farm_atm()] {
+            assert!(m.latency > 0.0);
+            assert!(m.byte_wire_cost > 0.0);
+            assert!(m.flop_cost > 0.0);
+        }
+    }
+
+    #[test]
+    fn atm_farm_has_higher_latency_than_sp2() {
+        // The figures' shapes rely on the ATM/PVM path being message-cost
+        // dominated relative to the SP2's switch.
+        assert!(MachineModel::alpha_farm_atm().latency > MachineModel::sp2().latency);
+        assert!(MachineModel::alpha_farm_atm().send_overhead > MachineModel::sp2().send_overhead);
+    }
+
+    #[test]
+    fn cost_helpers_scale_with_bytes() {
+        let m = MachineModel::sp2();
+        assert!(m.send_cost(1000) > m.send_cost(0));
+        assert!(m.transit(1000) > m.transit(0));
+        assert!(m.recv_cost(1000) > m.recv_cost(0));
+        assert_eq!(m.transit(0), m.latency);
+    }
+
+    #[test]
+    fn zero_model_is_free() {
+        let m = MachineModel::zero();
+        assert_eq!(m.send_cost(1 << 20), 0.0);
+        assert_eq!(m.transit(1 << 20), 0.0);
+        assert_eq!(m.recv_cost(1 << 20), 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Message traffic accounting.
+//!
+//! Each endpoint counts messages and bytes per destination.  The paper
+//! argues (§4.1.4) that Meta-Chaos generates *exactly* the same number and
+//! sizes of messages as hand-crafted message passing; the integration tests
+//! use these counters to assert that property.
+
+use crate::message::Rank;
+
+/// Counters local to one rank, snapshot-able at any point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Messages sent to each destination rank.
+    pub msgs_to: Vec<u64>,
+    /// Payload bytes sent to each destination rank.
+    pub bytes_to: Vec<u64>,
+}
+
+impl StatsSnapshot {
+    pub(crate) fn new(world: usize) -> Self {
+        StatsSnapshot {
+            msgs_to: vec![0; world],
+            bytes_to: vec![0; world],
+        }
+    }
+
+    /// Total messages sent.
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs_to.iter().sum()
+    }
+
+    /// Total payload bytes sent.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_to.iter().sum()
+    }
+
+    /// Counter delta `self - earlier` (for bracketing one operation).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        assert_eq!(self.msgs_to.len(), earlier.msgs_to.len());
+        StatsSnapshot {
+            msgs_to: self
+                .msgs_to
+                .iter()
+                .zip(&earlier.msgs_to)
+                .map(|(a, b)| a - b)
+                .collect(),
+            bytes_to: self
+                .bytes_to
+                .iter()
+                .zip(&earlier.bytes_to)
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+
+    pub(crate) fn record(&mut self, to: Rank, bytes: usize) {
+        self.msgs_to[to] += 1;
+        self.bytes_to[to] += bytes as u64;
+    }
+}
+
+/// Whole-world traffic: `pair[s][d]` = messages sent from rank `s` to `d`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetStats {
+    /// Per source rank: messages sent to each destination.
+    pub msgs: Vec<Vec<u64>>,
+    /// Per source rank: bytes sent to each destination.
+    pub bytes: Vec<Vec<u64>>,
+}
+
+impl NetStats {
+    pub(crate) fn from_locals(locals: Vec<StatsSnapshot>) -> Self {
+        NetStats {
+            msgs: locals.iter().map(|s| s.msgs_to.clone()).collect(),
+            bytes: locals.into_iter().map(|s| s.bytes_to).collect(),
+        }
+    }
+
+    /// Total number of messages in the run.
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs.iter().flatten().sum()
+    }
+
+    /// Total payload bytes in the run.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().flatten().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut s = StatsSnapshot::new(3);
+        s.record(1, 100);
+        s.record(1, 50);
+        s.record(2, 8);
+        assert_eq!(s.total_msgs(), 3);
+        assert_eq!(s.total_bytes(), 158);
+        assert_eq!(s.msgs_to, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn since_gives_delta() {
+        let mut a = StatsSnapshot::new(2);
+        a.record(0, 10);
+        let before = a.clone();
+        a.record(1, 20);
+        a.record(1, 5);
+        let d = a.since(&before);
+        assert_eq!(d.msgs_to, vec![0, 2]);
+        assert_eq!(d.bytes_to, vec![0, 25]);
+    }
+
+    #[test]
+    fn netstats_aggregates() {
+        let mut a = StatsSnapshot::new(2);
+        a.record(1, 7);
+        let mut b = StatsSnapshot::new(2);
+        b.record(0, 3);
+        let n = NetStats::from_locals(vec![a, b]);
+        assert_eq!(n.total_msgs(), 2);
+        assert_eq!(n.total_bytes(), 10);
+        assert_eq!(n.msgs[0][1], 1);
+        assert_eq!(n.msgs[1][0], 1);
+    }
+}

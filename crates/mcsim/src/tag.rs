@@ -1,0 +1,78 @@
+//! Message tags with separated namespaces.
+//!
+//! A [`Tag`] combines a 32-bit *context* (communicator id — the same trick
+//! MPI uses to keep collective traffic from colliding with user traffic)
+//! with a 32-bit user tag.
+
+/// A message tag: `(context, user)`.
+///
+/// Contexts `0..=15` are reserved for the library itself; user communicators
+/// are assigned contexts from 16 upward by [`crate::group::Group::context`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tag(pub u64);
+
+impl Tag {
+    /// Context used by world-level point-to-point traffic.
+    pub const WORLD_CTX: u32 = 0;
+    /// Context used by collective implementations.
+    pub const COLL_CTX: u32 = 1;
+    /// Context used by the shutdown/poison protocol.
+    pub const CONTROL_CTX: u32 = 2;
+    /// First context available to user communicators.
+    pub const FIRST_USER_CTX: u32 = 16;
+
+    /// Build a tag from a context and a user tag value.
+    #[inline]
+    pub fn new(ctx: u32, user: u32) -> Self {
+        Tag(((ctx as u64) << 32) | user as u64)
+    }
+
+    /// A plain user tag in the world context.
+    #[inline]
+    pub fn user(user: u32) -> Self {
+        Tag::new(Self::WORLD_CTX, user)
+    }
+
+    /// The context half of this tag.
+    #[inline]
+    pub fn ctx(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// The user half of this tag.
+    #[inline]
+    pub fn value(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+impl From<u32> for Tag {
+    fn from(user: u32) -> Self {
+        Tag::user(user)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_roundtrip() {
+        let t = Tag::new(17, 0xdead_beef);
+        assert_eq!(t.ctx(), 17);
+        assert_eq!(t.value(), 0xdead_beef);
+    }
+
+    #[test]
+    fn user_tag_is_world_context() {
+        let t = Tag::user(7);
+        assert_eq!(t.ctx(), Tag::WORLD_CTX);
+        assert_eq!(t.value(), 7);
+        assert_eq!(Tag::from(7u32), t);
+    }
+
+    #[test]
+    fn distinct_contexts_never_collide() {
+        assert_ne!(Tag::new(Tag::COLL_CTX, 5), Tag::new(Tag::WORLD_CTX, 5));
+    }
+}

@@ -1,0 +1,264 @@
+//! A small, explicit, little-endian wire codec.
+//!
+//! The simulated machine moves raw bytes; this module gives the runtime
+//! libraries a typed layer on top without pulling in a serialization
+//! framework.  Everything is fixed-layout little-endian, with lengths for
+//! variable-size values, so encode/decode round-trips are exact and cheap.
+
+use crate::error::SimError;
+
+/// Types that can be written to and read from a message payload.
+pub trait Wire: Sized {
+    /// Append this value's encoding to `out`.
+    fn write(&self, out: &mut Vec<u8>);
+    /// Decode a value from the reader.
+    fn read(r: &mut WireReader<'_>) -> Result<Self, SimError>;
+
+    /// Encode into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Decode from a complete buffer, requiring all bytes to be consumed.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, SimError> {
+        let mut r = WireReader::new(bytes);
+        let v = Self::read(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+/// Cursor over a received payload.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Start reading `buf` from the beginning.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Take `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], SimError> {
+        if self.remaining() < n {
+            return Err(SimError::Decode(format!(
+                "need {n} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Assert the payload was fully consumed.
+    pub fn finish(&self) -> Result<(), SimError> {
+        if self.remaining() != 0 {
+            return Err(SimError::Decode(format!(
+                "{} trailing bytes",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+macro_rules! impl_wire_numeric {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            #[inline]
+            fn write(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn read(r: &mut WireReader<'_>) -> Result<Self, SimError> {
+                let n = std::mem::size_of::<$t>();
+                let b = r.take(n)?;
+                Ok(<$t>::from_le_bytes(b.try_into().expect("sized take")))
+            }
+        }
+    )*};
+}
+
+impl_wire_numeric!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+impl Wire for usize {
+    fn write(&self, out: &mut Vec<u8>) {
+        (*self as u64).write(out);
+    }
+    fn read(r: &mut WireReader<'_>) -> Result<Self, SimError> {
+        Ok(u64::read(r)? as usize)
+    }
+}
+
+impl Wire for bool {
+    fn write(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn read(r: &mut WireReader<'_>) -> Result<Self, SimError> {
+        Ok(r.take(1)?[0] != 0)
+    }
+}
+
+impl Wire for () {
+    fn write(&self, _out: &mut Vec<u8>) {}
+    fn read(_r: &mut WireReader<'_>) -> Result<Self, SimError> {
+        Ok(())
+    }
+}
+
+impl Wire for String {
+    fn write(&self, out: &mut Vec<u8>) {
+        self.len().write(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn read(r: &mut WireReader<'_>) -> Result<Self, SimError> {
+        let n = usize::read(r)?;
+        let b = r.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|e| SimError::Decode(e.to_string()))
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn write(&self, out: &mut Vec<u8>) {
+        self.len().write(out);
+        for v in self {
+            v.write(out);
+        }
+    }
+    fn read(r: &mut WireReader<'_>) -> Result<Self, SimError> {
+        let n = usize::read(r)?;
+        // Guard against hostile/corrupt lengths blowing up allocation.
+        let mut v = Vec::with_capacity(n.min(r.remaining().max(16)));
+        for _ in 0..n {
+            v.push(T::read(r)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn write(&self, out: &mut Vec<u8>) {
+        match self {
+            None => false.write(out),
+            Some(v) => {
+                true.write(out);
+                v.write(out);
+            }
+        }
+    }
+    fn read(r: &mut WireReader<'_>) -> Result<Self, SimError> {
+        if bool::read(r)? {
+            Ok(Some(T::read(r)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn write(&self, out: &mut Vec<u8>) {
+        self.0.write(out);
+        self.1.write(out);
+    }
+    fn read(r: &mut WireReader<'_>) -> Result<Self, SimError> {
+        Ok((A::read(r)?, B::read(r)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn write(&self, out: &mut Vec<u8>) {
+        self.0.write(out);
+        self.1.write(out);
+        self.2.write(out);
+    }
+    fn read(r: &mut WireReader<'_>) -> Result<Self, SimError> {
+        Ok((A::read(r)?, B::read(r)?, C::read(r)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire, D: Wire> Wire for (A, B, C, D) {
+    fn write(&self, out: &mut Vec<u8>) {
+        self.0.write(out);
+        self.1.write(out);
+        self.2.write(out);
+        self.3.write(out);
+    }
+    fn read(r: &mut WireReader<'_>) -> Result<Self, SimError> {
+        Ok((A::read(r)?, B::read(r)?, C::read(r)?, D::read(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let b = v.to_bytes();
+        assert_eq!(T::from_bytes(&b).unwrap(), v);
+    }
+
+    #[test]
+    fn numeric_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(0xfeedu16);
+        roundtrip(123456789u32);
+        roundtrip(u64::MAX);
+        roundtrip(-5i32);
+        roundtrip(-5_000_000_000i64);
+        roundtrip(1.5f32);
+        roundtrip(std::f64::consts::PI);
+        roundtrip(usize::MAX / 2);
+    }
+
+    #[test]
+    fn composite_roundtrips() {
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip("hello Meta-Chaos".to_string());
+        roundtrip(Some(vec![(1usize, 2.0f64), (3, 4.0)]));
+        roundtrip(Option::<u32>::None);
+        roundtrip(((1u8, 2u16, 3u32), vec![true, false]));
+        roundtrip((1usize, 2usize, 3usize, vec![0.5f64]));
+        roundtrip(());
+        roundtrip(Vec::<f64>::new());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut b = 5u32.to_bytes();
+        b.push(0);
+        assert!(matches!(u32::from_bytes(&b), Err(SimError::Decode(_))));
+    }
+
+    #[test]
+    fn short_read_rejected() {
+        let b = 5u64.to_bytes();
+        assert!(matches!(u64::from_bytes(&b[..3]), Err(SimError::Decode(_))));
+    }
+
+    #[test]
+    fn corrupt_length_does_not_overallocate() {
+        // A Vec<u64> claiming usize::MAX elements with no bytes behind it
+        // must fail cleanly, not OOM.
+        let b = usize::MAX.to_bytes();
+        assert!(Vec::<u64>::from_bytes(&b).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut b = Vec::new();
+        2usize.write(&mut b);
+        b.extend_from_slice(&[0xff, 0xfe]);
+        assert!(String::from_bytes(&b).is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! World construction: spawn one thread per rank and run an SPMD closure.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crossbeam::channel::unbounded;
+
+use crate::endpoint::Endpoint;
+use crate::message::Message;
+use crate::model::MachineModel;
+use crate::stats::NetStats;
+
+/// A simulated machine with a fixed number of ranks and a cost model.
+#[derive(Debug, Clone)]
+pub struct World {
+    size: usize,
+    model: MachineModel,
+}
+
+/// Everything a run produces.
+#[derive(Debug)]
+pub struct RunOutput<R> {
+    /// Per-rank return values of the SPMD closure, indexed by rank.
+    pub results: Vec<R>,
+    /// Final virtual clock of each rank, in seconds.
+    pub clocks: Vec<f64>,
+    /// Simulated elapsed time of the whole run: `max(clocks)`.
+    pub elapsed: f64,
+    /// Aggregate message traffic.
+    pub stats: NetStats,
+}
+
+impl World {
+    /// A world of `size` ranks with the default (SP2) cost model.
+    pub fn new(size: usize) -> Self {
+        World::with_model(size, MachineModel::default())
+    }
+
+    /// A world of `size` ranks with an explicit cost model.
+    pub fn with_model(size: usize, model: MachineModel) -> Self {
+        assert!(size > 0, "world must have at least one rank");
+        World { size, model }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The cost model in effect.
+    pub fn model(&self) -> &MachineModel {
+        &self.model
+    }
+
+    /// Run `f` on every rank (as real threads) and collect the results.
+    ///
+    /// If any rank panics, the panic is re-raised on the caller's thread
+    /// after all ranks have been joined; peers blocked in `recv` are woken
+    /// by a poison message so the run always terminates.
+    pub fn run<F, R>(&self, f: F) -> RunOutput<R>
+    where
+        F: Fn(&mut Endpoint) -> R + Send + Sync,
+        R: Send,
+    {
+        let (txs, rxs): (Vec<_>, Vec<_>) = (0..self.size).map(|_| unbounded::<Message>()).unzip();
+
+        let mut endpoints: Vec<Endpoint> = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(rank, rx)| Endpoint::new(rank, self.size, txs.clone(), rx, self.model))
+            .collect();
+        drop(txs);
+
+        let f = &f;
+        let mut outcomes: Vec<Option<(R, f64, crate::stats::StatsSnapshot)>> =
+            (0..self.size).map(|_| None).collect();
+        let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
+
+        std::thread::scope(|s| {
+            let handles: Vec<_> = endpoints
+                .iter_mut()
+                .map(|ep| {
+                    s.spawn(move || {
+                        let result = catch_unwind(AssertUnwindSafe(|| f(ep)));
+                        match result {
+                            Ok(r) => Ok((r, ep.clock(), ep.stats_snapshot())),
+                            Err(e) => {
+                                let reason = panic_message(e.as_ref());
+                                ep.poison_all(&reason);
+                                Err(e)
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join().expect("rank thread itself must not die") {
+                    Ok(tuple) => outcomes[rank] = Some(tuple),
+                    Err(e) => {
+                        // Prefer the original failure over cascade panics
+                        // that ranks raise when they see a peer's poison.
+                        let is_cascade = panic_message(e.as_ref()).contains(CASCADE_MARKER);
+                        match (&panic_payload, is_cascade) {
+                            (None, _) => panic_payload = Some(e),
+                            (Some(prev), false)
+                                if panic_message(prev.as_ref()).contains(CASCADE_MARKER) =>
+                            {
+                                panic_payload = Some(e)
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        });
+
+        if let Some(p) = panic_payload {
+            resume_unwind(p);
+        }
+
+        let mut results = Vec::with_capacity(self.size);
+        let mut clocks = Vec::with_capacity(self.size);
+        let mut locals = Vec::with_capacity(self.size);
+        for o in outcomes {
+            let (r, c, st) = o.expect("no panic implies every rank completed");
+            results.push(r);
+            clocks.push(c);
+            locals.push(st);
+        }
+        let elapsed = clocks.iter().copied().fold(0.0f64, f64::max);
+        RunOutput {
+            results,
+            clocks,
+            elapsed,
+            stats: NetStats::from_locals(locals),
+        }
+    }
+}
+
+/// Substring identifying a panic caused by observing a peer's failure
+/// rather than an original fault.  Kept in sync with the message raised in
+/// [`crate::endpoint::Endpoint::recv`].
+pub(crate) const CASCADE_MARKER: &str = "peer rank";
+
+fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag::Tag;
+
+    #[test]
+    fn run_returns_results_in_rank_order() {
+        let world = World::with_model(5, MachineModel::zero());
+        let out = world.run(|ep| ep.rank() * 10);
+        assert_eq!(out.results, vec![0, 10, 20, 30, 40]);
+        assert_eq!(out.clocks.len(), 5);
+        assert_eq!(out.elapsed, 0.0);
+    }
+
+    #[test]
+    fn elapsed_is_max_clock() {
+        let world = World::with_model(3, MachineModel::zero());
+        let out = world.run(|ep| {
+            ep.charge(ep.rank() as f64);
+        });
+        assert_eq!(out.elapsed, 2.0);
+        assert_eq!(out.clocks, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate")]
+    fn panics_propagate() {
+        let world = World::with_model(2, MachineModel::zero());
+        world.run(|ep| {
+            if ep.rank() == 1 {
+                panic!("deliberate");
+            }
+            // Rank 0 blocks on a message that will never come; the poison
+            // from rank 1 must wake it rather than deadlock the test.
+            let _ = ep.recv(1, Tag::user(0));
+        });
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let world = World::new(1);
+        let out = world.run(|ep| ep.world_size());
+        assert_eq!(out.results, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = World::new(0);
+    }
+}

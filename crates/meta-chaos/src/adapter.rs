@@ -1,0 +1,191 @@
+//! The library interface (paper §4.1.3).
+//!
+//! To join the framework, a data-parallel library provides "a standard set
+//! of inquiry functions": dereference elements of a SetOfRegions to owning
+//! processor + local address, manipulate its Regions to build a
+//! linearization, and pack/unpack elements to/from communication buffers.
+//! [`McObject`] is that contract; [`McDescriptor`] is the shippable
+//! distribution descriptor that enables the *duplication* schedule-build
+//! strategy.
+//!
+//! The four workspace libraries (`multiblock`, `chaos`, `hpf`, `tulip`)
+//! implement these traits; see the `custom_library` example for how little
+//! a fifth library needs.
+
+use mcsim::group::Comm;
+use mcsim::prelude::Endpoint;
+use mcsim::wire::Wire;
+
+use crate::region::Region;
+use crate::setof::SetOfRegions;
+use crate::LocalAddr;
+
+/// Where one element lives: owning rank (global, world-wide) and local
+/// address within that rank's storage for the data structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Location {
+    /// Owning global rank.
+    pub rank: usize,
+    /// Offset within the owner's local storage.
+    pub addr: LocalAddr,
+}
+
+/// A shippable description of a data structure's distribution, sufficient
+/// to dereference any element *locally* (the duplication path, §5.1).
+///
+/// For regular distributions this is a few integers; for Chaos it is the
+/// entire translation table — "the same size as the data array", which is
+/// why the paper calls duplication impractical for Chaos across programs.
+pub trait McDescriptor: Wire + Clone + Send {
+    /// The Region type this descriptor understands.
+    type Region: Region + Wire;
+
+    /// Location of element `pos` of the linearization of `set`.
+    fn locate(&self, set: &SetOfRegions<Self::Region>, pos: usize) -> Location;
+
+    /// Locate every element of `set`, in linearization order.  The default
+    /// calls [`Self::locate`] per element; libraries may override with a
+    /// faster batch implementation.
+    fn locate_all(&self, set: &SetOfRegions<Self::Region>) -> Vec<Location> {
+        (0..set.total_len()).map(|p| self.locate(set, p)).collect()
+    }
+
+    /// Charge the virtual clock for `n` descriptor-based locates.
+    ///
+    /// Default: two closed-form operations per element (resolve the
+    /// linearization position to coordinates, then compute the owner).
+    /// Descriptors that probe a replicated translation table override this
+    /// with the table-probe cost — that difference is what makes the
+    /// duplication build "about twice" cooperation when Chaos is involved
+    /// (paper Table 2) yet cheaper than cooperation for regular–regular
+    /// transfers (Table 5).
+    fn charge_locates(&self, ep: &mut mcsim::prelude::Endpoint, n: usize) {
+        ep.charge_owner_calc(2 * n);
+    }
+}
+
+/// The interface functions a distributed data structure exports to
+/// Meta-Chaos (one instance per rank of the owning program, SPMD).
+pub trait McObject<T: Copy> {
+    /// The library's Region type.
+    type Region: Region + Wire;
+    /// The library's distribution descriptor.
+    type Descriptor: McDescriptor<Region = Self::Region>;
+
+    /// Collective over the owning program (`comm`): dereference the
+    /// elements of `set` and return, on each rank, the elements *this rank
+    /// owns* as `(linearization position, local address)` pairs, sorted by
+    /// position.
+    ///
+    /// Regular libraries answer from closed-form owner arithmetic with no
+    /// communication; Chaos consults its distributed translation table
+    /// (request–reply with the table owners).
+    fn deref_owned(
+        &self,
+        comm: &mut Comm<'_>,
+        set: &SetOfRegions<Self::Region>,
+    ) -> Vec<(usize, LocalAddr)>;
+
+    /// Collective over the owning program: locate *arbitrary*
+    /// linearization positions of `set` — not just owned ones.  Each
+    /// calling rank passes its own query list and receives `Location`s in
+    /// query order.
+    ///
+    /// Regular libraries answer with closed-form arithmetic (no
+    /// communication); Chaos performs another round trip through its
+    /// distributed translation table.  The duplication build strategy
+    /// calls this once per side, which is what makes it cost "about twice
+    /// as much" as cooperation when a Chaos array is involved (paper
+    /// §5.1) while remaining communication-free for regular–regular
+    /// transfers (§5.3).
+    fn locate_positions(
+        &self,
+        comm: &mut Comm<'_>,
+        set: &SetOfRegions<Self::Region>,
+        positions: &[usize],
+    ) -> Vec<Location>;
+
+    /// Collective over the owning program: produce a descriptor every rank
+    /// of the program holds in full (a Chaos implementation gathers its
+    /// table pieces here, and charges the clock accordingly).
+    fn descriptor(&self, comm: &mut Comm<'_>) -> Self::Descriptor;
+
+    /// Copy the elements at `addrs` (in order) into `out`.
+    fn pack(&self, ep: &mut Endpoint, addrs: &[LocalAddr], out: &mut Vec<T>);
+
+    /// Store `data` (in order) into the elements at `addrs`.
+    fn unpack(&mut self, ep: &mut Endpoint, addrs: &[LocalAddr], data: &[T]);
+}
+
+/// One side (source or destination) of a transfer: the object and the
+/// regions to move.  The owning program's [`Group`](mcsim::group::Group) is passed alongside to
+/// [`crate::compute_schedule`] (every rank knows both program groups, but
+/// only the owning program's ranks hold the object itself).
+pub struct Side<'a, T: Copy, O: McObject<T>> {
+    /// The distributed data structure.
+    pub obj: &'a O,
+    /// The elements to transfer, as the library's regions.
+    pub set: &'a SetOfRegions<O::Region>,
+    _t: std::marker::PhantomData<T>,
+}
+
+impl<'a, T: Copy, O: McObject<T>> Side<'a, T, O> {
+    /// Bundle a side.
+    pub fn new(obj: &'a O, set: &'a SetOfRegions<O::Region>) -> Self {
+        Side {
+            obj,
+            set,
+            _t: std::marker::PhantomData,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::IndexSet;
+    use mcsim::error::SimError;
+    use mcsim::wire::WireReader;
+
+    /// A toy descriptor: element `g` lives on rank `g % p`, addr `g / p`.
+    #[derive(Clone, Debug, PartialEq)]
+    struct CyclicDesc {
+        p: usize,
+    }
+
+    impl Wire for CyclicDesc {
+        fn write(&self, out: &mut Vec<u8>) {
+            self.p.write(out);
+        }
+        fn read(r: &mut WireReader<'_>) -> Result<Self, SimError> {
+            Ok(CyclicDesc { p: usize::read(r)? })
+        }
+    }
+
+    impl McDescriptor for CyclicDesc {
+        type Region = IndexSet;
+        fn locate(&self, set: &SetOfRegions<IndexSet>, pos: usize) -> Location {
+            let (ri, off) = set.locate_position(pos);
+            let g = set.regions()[ri].index(off);
+            Location {
+                rank: g % self.p,
+                addr: g / self.p,
+            }
+        }
+    }
+
+    #[test]
+    fn default_locate_all_matches_locate() {
+        let d = CyclicDesc { p: 3 };
+        let set = SetOfRegions::from_regions(vec![
+            IndexSet::new(vec![4, 7, 9]),
+            IndexSet::new(vec![0, 2]),
+        ]);
+        let all = d.locate_all(&set);
+        assert_eq!(all.len(), 5);
+        for (pos, loc) in all.iter().enumerate() {
+            assert_eq!(*loc, d.locate(&set, pos));
+        }
+        assert_eq!(all[0], Location { rank: 1, addr: 1 }); // g=4, p=3
+    }
+}

@@ -1,0 +1,944 @@
+//! Schedule construction (paper §4.1.3 and §5.1).
+//!
+//! Two strategies, both producing byte-identical data motion:
+//!
+//! * [`BuildMethod::Cooperation`] — each side dereferences only the
+//!   elements it owns; ownership is matched through position-block
+//!   coordinators; the destination side assembles the schedule and returns
+//!   each source rank its send half.  One dereference per side, several
+//!   small all-to-all exchanges.
+//! * [`BuildMethod::Duplication`] — the sides exchange *data descriptors*
+//!   (distribution metadata) and every rank redundantly dereferences the
+//!   entire transfer locally.  No matching communication at all — but two
+//!   full dereference sweeps, and for Chaos the descriptor is the whole
+//!   translation table.  This reproduces the paper's observation that
+//!   duplication costs ≈2× cooperation when a Chaos array is involved
+//!   (Table 2) yet is the cheapest method for regular–regular transfers in
+//!   one program (Table 5, where it needs no communication at all).
+//!
+//! The same entry point serves single-program transfers (every rank passes
+//! both sides) and two-program transfers (each rank passes its own side and
+//! `None` for the other).
+
+use std::cell::Cell;
+
+use mcsim::group::{Comm, Group};
+use mcsim::prelude::Endpoint;
+use mcsim::wire::Wire;
+
+use crate::adapter::{McDescriptor, McObject, Side};
+use crate::error::McError;
+use crate::linear::PosBlocks;
+use crate::schedule::Schedule;
+use crate::setof::SetOfRegions;
+use crate::LocalAddr;
+
+/// How to build the schedule (paper §5.1 "cooperation" vs "duplication").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildMethod {
+    /// Match ownership through coordinators; one dereference per side.
+    Cooperation,
+    /// Exchange descriptors; every rank dereferences everything locally.
+    Duplication,
+}
+
+thread_local! {
+    /// Per-rank schedule sequence counter.  All ranks of a union build
+    /// schedules in the same SPMD order, so the root's counter value,
+    /// broadcast at the end of each build, is a consistent unique id.
+    static SCHED_SEQ: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Tags used inside schedule building, in the union group's context.
+mod tag {
+    pub const DESC_SRC: u32 = 1001;
+    pub const DESC_DST: u32 = 1002;
+}
+
+/// Compute a communication schedule for copying the source SetOfRegions
+/// into the destination SetOfRegions (the paper's `MC_ComputeSched`).
+///
+/// Collective over `union` (which must contain every rank of both program
+/// groups).  Ranks belonging to `src_prog` must pass `Some` for `src`;
+/// ranks of `dst_prog` must pass `Some` for `dst`; single-program callers
+/// pass both.
+///
+/// Returns [`McError::LengthMismatch`] (consistently on every rank) when
+/// the two linearizations disagree in length — the paper's "only
+/// constraint" on a transfer.
+pub fn compute_schedule<T, S, D>(
+    ep: &mut Endpoint,
+    union: &Group,
+    src_prog: &Group,
+    src: Option<Side<'_, T, S>>,
+    dst_prog: &Group,
+    dst: Option<Side<'_, T, D>>,
+    method: BuildMethod,
+) -> Result<Schedule, McError>
+where
+    T: Copy,
+    S: McObject<T>,
+    D: McObject<T>,
+{
+    let me = ep.rank();
+    let me_ul = union
+        .local_of(me)
+        .unwrap_or_else(|| panic!("rank {me} not in the union group"));
+    debug_assert!(
+        src_prog.members().iter().all(|&r| union.contains(r))
+            && dst_prog.members().iter().all(|&r| union.contains(r)),
+        "program groups must be subsets of the union group"
+    );
+    let in_src = src_prog.contains(me);
+    let in_dst = dst_prog.contains(me);
+    assert_eq!(
+        in_src,
+        src.is_some(),
+        "rank {me}: src side must be Some exactly on source-program ranks"
+    );
+    assert_eq!(
+        in_dst,
+        dst.is_some(),
+        "rank {me}: dst side must be Some exactly on destination-program ranks"
+    );
+    assert!(
+        in_src || in_dst,
+        "rank {me} is in the union but in neither program"
+    );
+
+    let src_root_ul = union
+        .local_of(src_prog.global(0))
+        .expect("src root in union");
+    let dst_root_ul = union
+        .local_of(dst_prog.global(0))
+        .expect("dst root in union");
+
+    // Agree on the transfer length.
+    let (n_src, n_dst) = {
+        let mut ucomm = Comm::new(ep, union.clone());
+        let n_src = ucomm.bcast_t(
+            src_root_ul,
+            if me_ul == src_root_ul {
+                Some(src.as_ref().expect("root has src").set.total_len())
+            } else {
+                None
+            },
+        );
+        let n_dst = ucomm.bcast_t(
+            dst_root_ul,
+            if me_ul == dst_root_ul {
+                Some(dst.as_ref().expect("root has dst").set.total_len())
+            } else {
+                None
+            },
+        );
+        (n_src, n_dst)
+    };
+    if n_src != n_dst {
+        return Err(McError::LengthMismatch {
+            src: n_src,
+            dst: n_dst,
+        });
+    }
+    let n = n_src;
+
+    let built = match method {
+        BuildMethod::Cooperation => {
+            build_cooperation(ep, union, me_ul, src_prog, src, dst_prog, dst, n)
+        }
+        BuildMethod::Duplication => {
+            if src_prog.members() == dst_prog.members() {
+                let s = src.as_ref().expect("one-program rank has src");
+                let d = dst.as_ref().expect("one-program rank has dst");
+                build_duplication_one_program(ep, union, me_ul, src_prog, s, dst_prog, d)
+            } else {
+                build_duplication_two_programs(
+                    ep,
+                    union,
+                    me_ul,
+                    src_prog,
+                    src,
+                    src_root_ul,
+                    dst_prog,
+                    dst,
+                    dst_root_ul,
+                    n,
+                )
+            }
+        }
+    };
+    let (sends, recvs, local_pairs) = built?;
+
+    // Assign a consistent sequence number for message-stream separation.
+    let seq = {
+        let mut ucomm = Comm::new(ep, union.clone());
+        let mine = if me_ul == 0 {
+            let s = SCHED_SEQ.with(|c| {
+                let v = c.get();
+                c.set(v.wrapping_add(1));
+                v
+            });
+            Some(s)
+        } else {
+            None
+        };
+        ucomm.bcast_t(0, mine)
+    };
+
+    Ok(Schedule::new(
+        union.clone(),
+        seq,
+        sends,
+        recvs,
+        local_pairs,
+        n,
+    ))
+}
+
+type BuiltParts = (
+    Vec<(usize, Vec<LocalAddr>)>,
+    Vec<(usize, Vec<LocalAddr>)>,
+    Vec<(LocalAddr, LocalAddr)>,
+);
+
+#[allow(clippy::too_many_arguments)]
+fn build_cooperation<T, S, D>(
+    ep: &mut Endpoint,
+    union: &Group,
+    me_ul: usize,
+    src_prog: &Group,
+    src: Option<Side<'_, T, S>>,
+    dst_prog: &Group,
+    dst: Option<Side<'_, T, D>>,
+    n: usize,
+) -> Result<BuiltParts, McError>
+where
+    T: Copy,
+    S: McObject<T>,
+    D: McObject<T>,
+{
+    let p = union.size();
+
+    // Each side dereferences its own elements (collective per program).
+    let sown: Vec<(usize, LocalAddr)> = match &src {
+        Some(s) => {
+            let mut pcomm = Comm::new(ep, src_prog.clone());
+            s.obj.deref_owned(&mut pcomm, s.set)
+        }
+        None => Vec::new(),
+    };
+    let down: Vec<(usize, LocalAddr)> = match &dst {
+        Some(d) => {
+            let mut pcomm = Comm::new(ep, dst_prog.clone());
+            d.obj.deref_owned(&mut pcomm, d.set)
+        }
+        None => Vec::new(),
+    };
+    debug_assert!(sown.windows(2).all(|w| w[0].0 < w[1].0), "sown sorted");
+    debug_assert!(down.windows(2).all(|w| w[0].0 < w[1].0), "down sorted");
+
+    let mut ucomm = Comm::new(ep, union.clone());
+
+    // Library contract check: each side accounted for every position once.
+    let s_total: usize = ucomm.allreduce_sum(sown.len());
+    let d_total: usize = ucomm.allreduce_sum(down.len());
+    assert_eq!(s_total, n, "source library dereferenced {s_total} of {n}");
+    assert_eq!(
+        d_total, n,
+        "destination library dereferenced {d_total} of {n}"
+    );
+
+    let pb = PosBlocks::new(n, p);
+    let my_block = pb.range(me_ul);
+
+    // Positions travel as packed u32s and the per-element processing in
+    // the phases below is charged at memory-copy rates: the matching is a
+    // streaming scatter/merge over flat arrays, unlike the per-element
+    // *software* cost of a library dereference.
+    let pos32 = |pos: usize| -> u32 {
+        debug_assert!(
+            pos < u32::MAX as usize,
+            "transfer too large for wire format"
+        );
+        pos as u32
+    };
+
+    // Phases A & B: each side announces its owned positions to the
+    // position-block coordinators.
+    let announce = |ucomm: &mut Comm<'_>, owned: &[(usize, LocalAddr)]| {
+        let mut send: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
+        for &(pos, _) in owned {
+            send[pb.owner(pos)].push(pos32(pos));
+        }
+        ucomm.ep().charge_copy_bytes(4 * owned.len());
+        ucomm.alltoallv_t(send)
+    };
+    let src_at_coord = announce(&mut ucomm, &sown);
+    let dst_at_coord = announce(&mut ucomm, &down);
+
+    // Coordinator: record which union rank owns each position on each side.
+    const NONE: u32 = u32::MAX;
+    let record = |at_coord: Vec<Vec<u32>>, table: &mut Vec<u32>, dup_flag: &mut usize| {
+        let mut received = 0usize;
+        for (from, list) in at_coord.into_iter().enumerate() {
+            received += list.len();
+            for pos in list {
+                let slot = &mut table[pos as usize - my_block.start];
+                if *slot != NONE {
+                    *dup_flag = (*dup_flag).max(pos as usize + 1);
+                }
+                *slot = from as u32;
+            }
+        }
+        received
+    };
+    let mut src_of = vec![NONE; my_block.len()];
+    let mut dst_of = vec![NONE; my_block.len()];
+    let mut dup_flag: usize = 0; // pos+1 of first duplicate seen, else 0
+    let ra = record(src_at_coord, &mut src_of, &mut dup_flag);
+    let rb = record(dst_at_coord, &mut dst_of, &mut dup_flag);
+    ucomm.ep().charge_copy_bytes(4 * (ra + rb));
+    // Since totals matched n and coverage is exactly-once-or-duplicate, a
+    // duplicate implies some position is missing as well; surface it.
+    let dup = ucomm.allreduce_max_usize(dup_flag);
+    if dup != 0 {
+        return Err(McError::DuplicateDestination { pos: dup - 1 });
+    }
+    debug_assert!(src_of.iter().all(|&s| s != NONE), "positions uncovered");
+    debug_assert!(dst_of.iter().all(|&d| d != NONE), "positions uncovered");
+
+    // Phase C: coordinators tell each destination owner where its elements
+    // come from, in position order.
+    let mut to_dst: Vec<Vec<(u32, u32)>> = (0..p).map(|_| Vec::new()).collect();
+    for (i, pos) in my_block.clone().enumerate() {
+        let s = src_of[i];
+        let d = dst_of[i] as usize;
+        to_dst[d].push((pos32(pos), s));
+    }
+    ucomm.ep().charge_copy_bytes(8 * my_block.len());
+    let from_coord = ucomm.alltoallv_t(to_dst);
+    // Coordinators cover disjoint ascending position blocks, so simple
+    // concatenation in coordinator order is sorted by position.
+    let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(down.len());
+    for list in from_coord {
+        pairs.extend(list);
+    }
+    debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0));
+    assert_eq!(
+        pairs.len(),
+        down.len(),
+        "coordinator routing lost or duplicated positions"
+    );
+
+    // Destination assembles its receive half and each source rank's
+    // requests (paper: "the complete schedule ... then sent back").
+    let mut recvs: Vec<Vec<LocalAddr>> = (0..p).map(|_| Vec::new()).collect();
+    let mut reqs: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
+    for (&(pos, srank), &(dpos, daddr)) in pairs.iter().zip(&down) {
+        assert_eq!(pos as usize, dpos, "destination ownership out of sync");
+        recvs[srank as usize].push(daddr);
+        reqs[srank as usize].push(pos);
+    }
+    // Assembling the complete schedule on the destination side is the
+    // structure-building step that makes cooperation the most expensive
+    // method for regular-regular transfers (Table 5).
+    ucomm.ep().charge_schedule_insert(down.len());
+
+    // Phase D: sources receive the ordered position requests and translate
+    // them to local addresses by merge-join against their (sorted) owned
+    // list — both sides are position-ordered, so no hashing is needed.
+    let req_in = ucomm.alltoallv_t(reqs);
+    let mut sends: Vec<Vec<LocalAddr>> = (0..p).map(|_| Vec::new()).collect();
+    for (d, positions) in req_in.into_iter().enumerate() {
+        ucomm.ep().charge_copy_bytes(12 * positions.len());
+        let mut cursor = 0usize;
+        for pos in positions {
+            // Requests from one destination are ascending; restart only
+            // when a new destination's stream begins.
+            let pos = pos as usize;
+            if cursor < sown.len() && sown[cursor].0 > pos {
+                cursor = 0;
+            }
+            cursor += sown[cursor..]
+                .binary_search_by_key(&pos, |&(p, _)| p)
+                .unwrap_or_else(|_| panic!("requested position {pos} not owned here"));
+            sends[d].push(sown[cursor].1);
+        }
+    }
+
+    Ok(finish_parts(me_ul, sends, recvs))
+}
+
+/// Duplication within one program (paper §5.1): the sides first exchange
+/// *data descriptors* — for Chaos that replicates the translation table, a
+/// cost independent of the processor count — and then both "sides" (the
+/// same ranks) compute their halves of the schedule *independently*: each
+/// pass dereferences one array and locates the matching positions through
+/// the other's descriptor.  The locate machinery therefore runs twice
+/// ("must call the Chaos dereference function twice"), while for
+/// regular–regular transfers everything is closed-form and **no
+/// communication happens at all** (§5.3, Table 5).
+#[allow(clippy::too_many_arguments)]
+fn build_duplication_one_program<T, S, D>(
+    ep: &mut Endpoint,
+    union: &Group,
+    me_ul: usize,
+    src_prog: &Group,
+    src: &Side<'_, T, S>,
+    dst_prog: &Group,
+    dst: &Side<'_, T, D>,
+) -> Result<BuiltParts, McError>
+where
+    T: Copy,
+    S: McObject<T>,
+    D: McObject<T>,
+{
+    let p = union.size();
+    let me_global = ep.rank();
+
+    // Descriptor exchange.  Within one program every rank can construct
+    // both descriptors directly; Chaos charges its table replication here.
+    let sd: S::Descriptor = {
+        let mut pcomm = Comm::new(ep, src_prog.clone());
+        src.obj.descriptor(&mut pcomm)
+    };
+    let dd: D::Descriptor = {
+        let mut pcomm = Comm::new(ep, dst_prog.clone());
+        dst.obj.descriptor(&mut pcomm)
+    };
+
+    // Pass 1 — act as the source side: find my source elements, locate
+    // their destinations through the descriptor, build my send half.
+    let sown: Vec<(usize, LocalAddr)> = {
+        let mut pcomm = Comm::new(ep, src_prog.clone());
+        src.obj.deref_owned(&mut pcomm, src.set)
+    };
+    let mut sends: Vec<Vec<LocalAddr>> = (0..p).map(|_| Vec::new()).collect();
+    for &(pos, saddr) in &sown {
+        let loc = dd.locate(dst.set, pos);
+        let dl = union
+            .local_of(loc.rank)
+            .expect("destination owner outside union");
+        sends[dl].push(saddr);
+    }
+    dd.charge_locates(ep, sown.len());
+    // Light per-element bookkeeping only: this pass is a straight scan
+    // (the specialized native builders do the same work).
+    ep.charge_copy_bytes(8 * sown.len());
+
+    // Pass 2 — act as the destination side: find my destination elements,
+    // locate their sources, build my receive half.
+    let down: Vec<(usize, LocalAddr)> = {
+        let mut pcomm = Comm::new(ep, dst_prog.clone());
+        dst.obj.deref_owned(&mut pcomm, dst.set)
+    };
+    let mut recvs: Vec<Vec<LocalAddr>> = (0..p).map(|_| Vec::new()).collect();
+    for &(pos, daddr) in &down {
+        let loc = sd.locate(src.set, pos);
+        let sl = union
+            .local_of(loc.rank)
+            .expect("source owner outside union");
+        recvs[sl].push(daddr);
+    }
+    sd.charge_locates(ep, down.len());
+    ep.charge_copy_bytes(8 * down.len());
+
+    // Consistency: pass 1's view of my self-pairs must match pass 2's.
+    debug_assert_eq!(
+        sends[me_ul].len(),
+        recvs[me_ul].len(),
+        "rank {me_global}: independent passes disagree on local pairs"
+    );
+
+    Ok(finish_parts(me_ul, sends, recvs))
+}
+
+/// Duplication across two programs: descriptors (distribution metadata)
+/// are shipped between the programs, then every rank redundantly
+/// dereferences the whole transfer locally.  For Chaos the descriptor is
+/// the entire translation table — "very expensive", which is why the
+/// paper's two-program experiments use cooperation.
+#[allow(clippy::too_many_arguments)]
+fn build_duplication_two_programs<T, S, D>(
+    ep: &mut Endpoint,
+    union: &Group,
+    me_ul: usize,
+    src_prog: &Group,
+    src: Option<Side<'_, T, S>>,
+    src_root_ul: usize,
+    dst_prog: &Group,
+    dst: Option<Side<'_, T, D>>,
+    dst_root_ul: usize,
+    n: usize,
+) -> Result<BuiltParts, McError>
+where
+    T: Copy,
+    S: McObject<T>,
+    D: McObject<T>,
+{
+    let p = union.size();
+
+    // Side-local descriptor construction (collective per program; Chaos
+    // charges its table gather here).
+    let src_pack: Option<(S::Descriptor, SetOfRegions<S::Region>)> = src.map(|s| {
+        let mut pcomm = Comm::new(ep, src_prog.clone());
+        let d = s.obj.descriptor(&mut pcomm);
+        (d, s.set.clone())
+    });
+    let dst_pack: Option<(D::Descriptor, SetOfRegions<D::Region>)> = dst.map(|d| {
+        let mut pcomm = Comm::new(ep, dst_prog.clone());
+        let desc = d.obj.descriptor(&mut pcomm);
+        (desc, d.set.clone())
+    });
+
+    // Exchange descriptors across programs: each side's root ships
+    // (descriptor, regions) to the ranks that lack them.  Within a single
+    // program nobody lacks anything and no message is sent — matching the
+    // paper's Table 5 observation.
+    let (sd, sset) = share_pack(ep, union, me_ul, src_prog, src_root_ul, src_pack, true);
+    let (dd, dset) = share_pack(ep, union, me_ul, dst_prog, dst_root_ul, dst_pack, false);
+
+    // Redundant full dereference of both linearizations.
+    let src_locs = sd.locate_all(&sset);
+    let dst_locs = dd.locate_all(&dset);
+    ep.charge_deref(2 * n);
+    assert_eq!(src_locs.len(), n);
+    assert_eq!(dst_locs.len(), n);
+
+    let me_global = ep.rank();
+    let mut sends: Vec<Vec<LocalAddr>> = (0..p).map(|_| Vec::new()).collect();
+    let mut recvs: Vec<Vec<LocalAddr>> = (0..p).map(|_| Vec::new()).collect();
+    let mut kept = 0usize;
+    for pos in 0..n {
+        let s = src_locs[pos];
+        let d = dst_locs[pos];
+        if s.rank == me_global {
+            let dl = union
+                .local_of(d.rank)
+                .expect("destination owner outside union");
+            sends[dl].push(s.addr);
+            kept += 1;
+        }
+        if d.rank == me_global {
+            let sl = union.local_of(s.rank).expect("source owner outside union");
+            recvs[sl].push(d.addr);
+            kept += 1;
+        }
+    }
+    ep.charge_schedule_insert(kept);
+
+    Ok(finish_parts(me_ul, sends, recvs))
+}
+
+/// Ship `(descriptor, regions)` from the owning side to union ranks outside
+/// the owning program.  Every rank returns the full pair.
+fn share_pack<Desc: McDescriptor>(
+    ep: &mut Endpoint,
+    union: &Group,
+    me_ul: usize,
+    prog: &Group,
+    root_ul: usize,
+    pack: Option<(Desc, SetOfRegions<Desc::Region>)>,
+    is_src: bool,
+) -> (Desc, SetOfRegions<Desc::Region>) {
+    let t = if is_src { tag::DESC_SRC } else { tag::DESC_DST };
+    let outsiders: Vec<usize> = (0..union.size())
+        .filter(|&ul| !prog.contains(union.global(ul)))
+        .collect();
+    match pack {
+        Some((d, s)) => {
+            if me_ul == root_ul && !outsiders.is_empty() {
+                let bytes = (d.to_bytes(), s.to_bytes());
+                let mut ucomm = Comm::new(ep, union.clone());
+                for ul in outsiders {
+                    ucomm.send_t(ul, t, &bytes);
+                }
+            }
+            (d, s)
+        }
+        None => {
+            let mut ucomm = Comm::new(ep, union.clone());
+            let (db, sb): (Vec<u8>, Vec<u8>) = ucomm.recv_t(root_ul, t);
+            let d = Desc::from_bytes(&db).expect("descriptor decode");
+            let s = SetOfRegions::<Desc::Region>::from_bytes(&sb).expect("regions decode");
+            (d, s)
+        }
+    }
+}
+
+/// Pull the self entry out into local pairs and attach peer ids.
+fn finish_parts(
+    me_ul: usize,
+    mut sends: Vec<Vec<LocalAddr>>,
+    mut recvs: Vec<Vec<LocalAddr>>,
+) -> BuiltParts {
+    let self_send = std::mem::take(&mut sends[me_ul]);
+    let self_recv = std::mem::take(&mut recvs[me_ul]);
+    assert_eq!(
+        self_send.len(),
+        self_recv.len(),
+        "self send/recv halves must pair up"
+    );
+    let local_pairs: Vec<(LocalAddr, LocalAddr)> = self_send.into_iter().zip(self_recv).collect();
+    let sends = sends.into_iter().enumerate().collect();
+    let recvs = recvs.into_iter().enumerate().collect();
+    (sends, recvs, local_pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datamove::{data_move, data_move_recv, data_move_send};
+    use crate::region::IndexSet;
+    use crate::testlib::BlockVec;
+    use mcsim::model::MachineModel;
+    use mcsim::world::World;
+
+    fn sched_one_program(
+        p: usize,
+        n: usize,
+        src_idx: Vec<usize>,
+        dst_idx: Vec<usize>,
+        method: BuildMethod,
+    ) -> mcsim::world::RunOutput<(Schedule, Vec<f64>)> {
+        let world = World::with_model(p, MachineModel::zero());
+        world.run(move |ep| {
+            let g = Group::world(ep.world_size());
+            let src = BlockVec::create(&g, ep.rank(), n, |i| i as f64);
+            let mut dst = BlockVec::create(&g, ep.rank(), n, |_| -1.0);
+            let sset = SetOfRegions::single(IndexSet::new(src_idx.clone()));
+            let dset = SetOfRegions::single(IndexSet::new(dst_idx.clone()));
+            let sched = compute_schedule(
+                ep,
+                &g,
+                &g,
+                Some(Side::new(&src, &sset)),
+                &g,
+                Some(Side::new(&dst, &dset)),
+                method,
+            )
+            .expect("schedule");
+            data_move(ep, &sched, &src, &mut dst);
+            (sched, dst.data.clone())
+        })
+    }
+
+    /// Reference semantics: dst[dst_idx[k]] = src[src_idx[k]].
+    fn reference(n: usize, src_idx: &[usize], dst_idx: &[usize]) -> Vec<f64> {
+        let mut v: Vec<f64> = vec![-1.0; n];
+        for (s, d) in src_idx.iter().zip(dst_idx) {
+            v[*d] = *s as f64;
+        }
+        v
+    }
+
+    fn gather_global(p: usize, n: usize, pieces: &[Vec<f64>]) -> Vec<f64> {
+        // BlockVec uses block distribution: concatenation in rank order.
+        let mut out = Vec::with_capacity(n);
+        for piece in pieces.iter().take(p) {
+            out.extend_from_slice(piece);
+        }
+        out.truncate(n);
+        out
+    }
+
+    #[test]
+    fn one_program_copy_both_methods() {
+        let n = 40;
+        let src_idx: Vec<usize> = (0..20).map(|i| 2 * i).collect(); // evens
+        let dst_idx: Vec<usize> = (0..20).rev().collect(); // reversed prefix
+        for method in [BuildMethod::Cooperation, BuildMethod::Duplication] {
+            for p in [1, 2, 3, 4] {
+                let out = sched_one_program(p, n, src_idx.clone(), dst_idx.clone(), method);
+                let pieces: Vec<Vec<f64>> = out.results.iter().map(|(_, d)| d.clone()).collect();
+                let got = gather_global(p, n, &pieces);
+                assert_eq!(
+                    got,
+                    reference(n, &src_idx, &dst_idx),
+                    "method {method:?} p {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cooperation_and_duplication_build_identical_motion() {
+        let n = 30;
+        let src_idx: Vec<usize> = vec![5, 1, 29, 14, 7, 22];
+        let dst_idx: Vec<usize> = vec![0, 2, 4, 6, 8, 10];
+        for p in [2, 3, 5] {
+            let a = sched_one_program(
+                p,
+                n,
+                src_idx.clone(),
+                dst_idx.clone(),
+                BuildMethod::Cooperation,
+            );
+            let b = sched_one_program(
+                p,
+                n,
+                src_idx.clone(),
+                dst_idx.clone(),
+                BuildMethod::Duplication,
+            );
+            for r in 0..p {
+                let (sa, _) = &a.results[r];
+                let (sb, _) = &b.results[r];
+                assert_eq!(sa.sends, sb.sends, "rank {r} sends");
+                assert_eq!(sa.recvs, sb.recvs, "rank {r} recvs");
+                assert_eq!(sa.local_pairs, sb.local_pairs, "rank {r} locals");
+            }
+        }
+    }
+
+    #[test]
+    fn length_mismatch_is_reported_on_every_rank() {
+        let world = World::with_model(3, MachineModel::zero());
+        let out = world.run(|ep| {
+            let g = Group::world(ep.world_size());
+            let src = BlockVec::create(&g, ep.rank(), 10, |i| i as f64);
+            let dst = BlockVec::create(&g, ep.rank(), 10, |_| 0.0);
+            let sset = SetOfRegions::single(IndexSet::new(vec![0, 1, 2]));
+            let dset = SetOfRegions::single(IndexSet::new(vec![0, 1]));
+            compute_schedule(
+                ep,
+                &g,
+                &g,
+                Some(Side::new(&src, &sset)),
+                &g,
+                Some(Side::new(&dst, &dset)),
+                BuildMethod::Cooperation,
+            )
+        });
+        for r in out.results {
+            assert_eq!(r.unwrap_err(), McError::LengthMismatch { src: 3, dst: 2 });
+        }
+    }
+
+    #[test]
+    fn two_program_transfer() {
+        // Ranks 0..2 run the source program, ranks 2..5 the destination.
+        let n = 24;
+        let world = World::with_model(5, MachineModel::zero());
+        let out = world.run(move |ep| {
+            let (pa, pb, un) = Group::split_two(2, 3, 100);
+            let in_src = pa.contains(ep.rank());
+            let sset = SetOfRegions::single(IndexSet::new((0..12).collect()));
+            let dset = SetOfRegions::single(IndexSet::new((12..24).collect()));
+            if in_src {
+                let src = BlockVec::create(&pa, ep.rank(), n, |i| 100.0 + i as f64);
+                let sched = compute_schedule::<f64, BlockVec, BlockVec>(
+                    ep,
+                    &un,
+                    &pa,
+                    Some(Side::new(&src, &sset)),
+                    &pb,
+                    None,
+                    BuildMethod::Cooperation,
+                )
+                .unwrap();
+                data_move_send(ep, &sched, &src);
+                Vec::new()
+            } else {
+                let mut dst = BlockVec::create(&pb, ep.rank(), n, |_| -1.0);
+                let sched = compute_schedule::<f64, BlockVec, BlockVec>(
+                    ep,
+                    &un,
+                    &pa,
+                    None,
+                    &pb,
+                    Some(Side::new(&dst, &dset)),
+                    BuildMethod::Cooperation,
+                )
+                .unwrap();
+                data_move_recv(ep, &sched, &mut dst);
+                dst.data.clone()
+            }
+        });
+        // Destination program (ranks 2..5) holds a 24-element block vector;
+        // positions 12..24 must now be 100..112 in linearization order.
+        let dst_global = gather_global(3, n, &out.results[2..]);
+        for g in 0..12 {
+            assert_eq!(dst_global[g], -1.0);
+        }
+        for (k, g) in (12..24).enumerate() {
+            assert_eq!(dst_global[g], 100.0 + k as f64);
+        }
+    }
+
+    #[test]
+    fn two_program_duplication_matches_cooperation() {
+        let n = 16;
+        for method in [BuildMethod::Cooperation, BuildMethod::Duplication] {
+            let world = World::with_model(4, MachineModel::zero());
+            let out = world.run(move |ep| {
+                let (pa, pb, un) = Group::split_two(2, 2, 100);
+                let sset = SetOfRegions::single(IndexSet::new(vec![3, 9, 12, 1]));
+                let dset = SetOfRegions::single(IndexSet::new(vec![15, 0, 7, 8]));
+                if pa.contains(ep.rank()) {
+                    let src = BlockVec::create(&pa, ep.rank(), n, |i| i as f64 * 10.0);
+                    let sched = compute_schedule::<f64, BlockVec, BlockVec>(
+                        ep,
+                        &un,
+                        &pa,
+                        Some(Side::new(&src, &sset)),
+                        &pb,
+                        None,
+                        method,
+                    )
+                    .unwrap();
+                    data_move_send(ep, &sched, &src);
+                    Vec::new()
+                } else {
+                    let mut dst = BlockVec::create(&pb, ep.rank(), n, |_| f64::NAN);
+                    let sched = compute_schedule::<f64, BlockVec, BlockVec>(
+                        ep,
+                        &un,
+                        &pa,
+                        None,
+                        &pb,
+                        Some(Side::new(&dst, &dset)),
+                        method,
+                    )
+                    .unwrap();
+                    data_move_recv(ep, &sched, &mut dst);
+                    dst.data.clone()
+                }
+            });
+            let dst_global = gather_global(2, n, &out.results[2..]);
+            // dst[15]=src[3], dst[0]=src[9], dst[7]=src[12], dst[8]=src[1]
+            assert_eq!(dst_global[15], 30.0, "{method:?}");
+            assert_eq!(dst_global[0], 90.0, "{method:?}");
+            assert_eq!(dst_global[7], 120.0, "{method:?}");
+            assert_eq!(dst_global[8], 10.0, "{method:?}");
+        }
+    }
+
+    #[test]
+    fn schedule_reuse_and_reversal() {
+        let n = 12;
+        let world = World::with_model(3, MachineModel::zero());
+        let out = world.run(move |ep| {
+            let g = Group::world(ep.world_size());
+            let mut a = BlockVec::create(&g, ep.rank(), n, |i| i as f64);
+            let mut b = BlockVec::create(&g, ep.rank(), n, |_| 0.0);
+            let aset = SetOfRegions::single(IndexSet::new((0..6).collect()));
+            let bset = SetOfRegions::single(IndexSet::new((6..12).collect()));
+            let sched = compute_schedule(
+                ep,
+                &g,
+                &g,
+                Some(Side::new(&a, &aset)),
+                &g,
+                Some(Side::new(&b, &bset)),
+                BuildMethod::Cooperation,
+            )
+            .unwrap();
+            // Forward twice (reuse), then backward via the reversed schedule.
+            data_move(ep, &sched, &a, &mut b);
+            data_move(ep, &sched, &a, &mut b);
+            // Modify b, then pull it back into a.
+            for v in b.data.iter_mut() {
+                *v += 0.5;
+            }
+            let rev = sched.reversed();
+            data_move(ep, &rev, &b, &mut a);
+            (a.data.clone(), b.data.clone())
+        });
+        let a: Vec<f64> = out.results.iter().flat_map(|(x, _)| x.clone()).collect();
+        // a[0..6] came back from b[6..12] = original a[0..6] + 0.5.
+        for g in 0..6 {
+            assert_eq!(a[g], g as f64 + 0.5);
+        }
+        for g in 6..12 {
+            assert_eq!(a[g], g as f64);
+        }
+    }
+
+    #[test]
+    fn message_count_matches_hand_coded() {
+        // 4 ranks, block vectors of 16: copy global 0..8 (owned by union
+        // ranks 0,1) into 8..16 (owned by ranks 2,3).  Hand-coded message
+        // passing needs exactly one message per (source-owner,
+        // dest-owner) pair with data: (0->2), (1->3) — block size 4 aligns
+        // 0..4 -> 8..12 (rank0 -> rank2) and 4..8 -> 12..16 (rank1 -> rank3).
+        let n = 16;
+        let world = World::with_model(4, MachineModel::zero());
+        let out = world.run(move |ep| {
+            let g = Group::world(ep.world_size());
+            let src = BlockVec::create(&g, ep.rank(), n, |i| i as f64);
+            let mut dst = BlockVec::create(&g, ep.rank(), n, |_| 0.0);
+            let sset = SetOfRegions::single(IndexSet::new((0..8).collect()));
+            let dset = SetOfRegions::single(IndexSet::new((8..16).collect()));
+            let sched = compute_schedule(
+                ep,
+                &g,
+                &g,
+                Some(Side::new(&src, &sset)),
+                &g,
+                Some(Side::new(&dst, &dset)),
+                BuildMethod::Duplication,
+            )
+            .unwrap();
+            let before = ep.stats_snapshot();
+            data_move(ep, &sched, &src, &mut dst);
+            let delta = ep.stats_snapshot().since(&before);
+            (sched.msgs_out(), delta.total_msgs(), delta.total_bytes())
+        });
+        let per_rank: Vec<_> = out.results;
+        assert_eq!(per_rank[0].0, 1);
+        assert_eq!(per_rank[1].0, 1);
+        assert_eq!(per_rank[2].0, 0);
+        assert_eq!(per_rank[3].0, 0);
+        // Exactly one real message each from ranks 0 and 1; payload is
+        // 4 elements * 8 bytes + the Vec length header.
+        assert_eq!(per_rank[0].1, 1);
+        assert_eq!(per_rank[1].1, 1);
+        assert_eq!(per_rank[0].2, 4 * 8 + 8);
+    }
+
+    #[test]
+    fn empty_transfer() {
+        let out = sched_one_program(2, 10, vec![], vec![], BuildMethod::Cooperation);
+        for (sched, data) in out.results {
+            assert_eq!(sched.total_elems, 0);
+            assert_eq!(sched.msgs_out() + sched.msgs_in() + sched.elems_local(), 0);
+            assert!(data.iter().all(|&v| v == -1.0));
+        }
+    }
+
+    #[test]
+    fn duplicate_destination_detected() {
+        let world = World::with_model(2, MachineModel::zero());
+        let out = world.run(|ep| {
+            let g = Group::world(ep.world_size());
+            let src = BlockVec::create(&g, ep.rank(), 10, |i| i as f64);
+            let dst = BlockVec::create(&g, ep.rank(), 10, |_| 0.0);
+            let sset = SetOfRegions::single(IndexSet::new(vec![0, 1]));
+            // Destination lists the same position's element twice -> the
+            // same (pos) routed twice is NOT what happens (positions are
+            // distinct); instead, a library bug is simulated by a dest set
+            // whose deref covers a position twice.  With IndexSet the
+            // visible symptom is two positions with one owner each, which
+            // is legal; so here we check the legal-but-odd case succeeds
+            // deterministically (last writer wins).
+            let dset = SetOfRegions::single(IndexSet::new(vec![5, 5]));
+            let mut dstm = dst;
+            let sched = compute_schedule(
+                ep,
+                &g,
+                &g,
+                Some(Side::new(&src, &sset)),
+                &g,
+                Some(Side::new(&dstm, &dset)),
+                BuildMethod::Cooperation,
+            )
+            .unwrap();
+            data_move(ep, &sched, &src, &mut dstm);
+            dstm.data.clone()
+        });
+        let all: Vec<f64> = out.results.into_iter().flatten().collect();
+        // Position order: dst element 5 receives src[0] then src[1].
+        assert_eq!(all[5], 1.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Named-port coupling of data-parallel programs.
+//!
+//! The paper's conclusion sketches coupling data-parallel programs to
+//! object systems (CORBA) with Meta-Chaos as the transport; its companion
+//! work (Ranganathan et al., ICS'96) couples time-stepped data-parallel
+//! programs.  This module provides the minimal mechanism both need: a
+//! registry of *named ports*, each holding a reusable [`Schedule`], so a
+//! program can `put("boundary", …)` / `get("boundary", …)` without
+//! re-specifying regions every time — the "Unix pipe" analogy of §5.4.
+
+use std::collections::HashMap;
+
+use mcsim::prelude::Endpoint;
+use mcsim::wire::Wire;
+
+use crate::adapter::McObject;
+use crate::datamove::{data_move_recv, data_move_send};
+use crate::schedule::Schedule;
+
+/// A registry of named, reusable transfer schedules.
+#[derive(Debug, Default)]
+pub struct Coupler {
+    ports: HashMap<String, Schedule>,
+}
+
+impl Coupler {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Coupler::default()
+    }
+
+    /// Register `sched` under `name` (replacing any previous binding).
+    pub fn bind(&mut self, name: impl Into<String>, sched: Schedule) {
+        self.ports.insert(name.into(), sched);
+    }
+
+    /// Look up a port.
+    pub fn port(&self, name: &str) -> Option<&Schedule> {
+        self.ports.get(name)
+    }
+
+    /// Names of all bound ports, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.ports.keys().map(|s| s.as_str()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Send this program's half of port `name` from `src`.
+    ///
+    /// # Panics
+    /// Panics if the port is unbound.
+    pub fn put<T, S>(&self, ep: &mut Endpoint, name: &str, src: &S)
+    where
+        T: Copy + Wire,
+        S: McObject<T>,
+    {
+        let sched = self
+            .ports
+            .get(name)
+            .unwrap_or_else(|| panic!("port '{name}' is not bound"));
+        data_move_send(ep, sched, src);
+    }
+
+    /// Receive this program's half of port `name` into `dst`.
+    ///
+    /// # Panics
+    /// Panics if the port is unbound.
+    pub fn get<T, D>(&self, ep: &mut Endpoint, name: &str, dst: &mut D)
+    where
+        T: Copy + Wire,
+        D: McObject<T>,
+    {
+        let sched = self
+            .ports
+            .get(name)
+            .unwrap_or_else(|| panic!("port '{name}' is not bound"));
+        data_move_recv(ep, sched, dst);
+    }
+
+    /// Send in the *reverse* direction of port `name` (uses the schedule's
+    /// symmetry, §4.3).
+    pub fn put_reverse<T, S>(&self, ep: &mut Endpoint, name: &str, src: &S)
+    where
+        T: Copy + Wire,
+        S: McObject<T>,
+    {
+        let sched = self
+            .ports
+            .get(name)
+            .unwrap_or_else(|| panic!("port '{name}' is not bound"))
+            .reversed();
+        data_move_send(ep, &sched, src);
+    }
+
+    /// Receive in the *reverse* direction of port `name`.
+    pub fn get_reverse<T, D>(&self, ep: &mut Endpoint, name: &str, dst: &mut D)
+    where
+        T: Copy + Wire,
+        D: McObject<T>,
+    {
+        let sched = self
+            .ports
+            .get(name)
+            .unwrap_or_else(|| panic!("port '{name}' is not bound"))
+            .reversed();
+        data_move_recv(ep, &sched, dst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsim::group::Group;
+
+    #[test]
+    fn bind_and_lookup() {
+        let mut c = Coupler::new();
+        assert!(c.port("x").is_none());
+        let sched = Schedule::new(Group::world(2), 0, vec![], vec![], vec![], 0);
+        c.bind("x", sched.clone());
+        c.bind("a", sched);
+        assert!(c.port("x").is_some());
+        assert_eq!(c.names(), vec!["a", "x"]);
+    }
+}

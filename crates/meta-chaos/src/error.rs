@@ -1,0 +1,59 @@
+//! Error types for schedule construction.
+
+use std::fmt;
+
+/// Errors a schedule build can report to the caller.
+///
+/// SPMD protocol violations (a rank of the owning program passing `None`
+/// for its side, mismatched collective sequences, …) are programming errors
+/// and panic instead, mirroring an MPI abort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum McError {
+    /// Source and destination SetOfRegions describe different element
+    /// counts, so no linearization-to-linearization mapping exists
+    /// (the paper's "only constraint", §4.1.2).
+    LengthMismatch {
+        /// Elements in the source linearization.
+        src: usize,
+        /// Elements in the destination linearization.
+        dst: usize,
+    },
+    /// A destination linearization position was claimed by two elements
+    /// (e.g. an [`crate::IndexSet`] with duplicate indices used as a
+    /// destination).
+    DuplicateDestination {
+        /// The offending linearization position.
+        pos: usize,
+    },
+}
+
+impl fmt::Display for McError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McError::LengthMismatch { src, dst } => write!(
+                f,
+                "source linearization has {src} elements but destination has {dst}"
+            ),
+            McError::DuplicateDestination { pos } => {
+                write!(f, "destination position {pos} specified more than once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for McError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = McError::LengthMismatch { src: 3, dst: 5 };
+        assert!(e.to_string().contains("3"));
+        assert!(e.to_string().contains("5"));
+        assert!(McError::DuplicateDestination { pos: 9 }
+            .to_string()
+            .contains("9"));
+    }
+}

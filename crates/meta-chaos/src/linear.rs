@@ -1,0 +1,97 @@
+//! Linearization arithmetic (paper §4.1.2).
+//!
+//! The linearization ℓ maps a [`SetOfRegions`](crate::SetOfRegions) to an
+//! abstract total order of its elements; ℓ⁻¹ maps positions back.  It is
+//! **virtual**: no storage is ever allocated for it.  What the runtime does
+//! need is to *partition* positions among processors during schedule
+//! construction — the block partition below assigns position `p` of a
+//! length-`n` linearization to coordinator `p / ceil(n/P)`.
+
+/// Block partition of `0..total` positions over `parts` coordinators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PosBlocks {
+    total: usize,
+    parts: usize,
+    block: usize,
+}
+
+impl PosBlocks {
+    /// Partition `total` positions over `parts` coordinators.
+    pub fn new(total: usize, parts: usize) -> Self {
+        assert!(parts > 0, "need at least one part");
+        let block = if total == 0 { 1 } else { total.div_ceil(parts) };
+        PosBlocks {
+            total,
+            parts,
+            block,
+        }
+    }
+
+    /// Coordinator responsible for position `pos`.
+    #[inline]
+    pub fn owner(&self, pos: usize) -> usize {
+        debug_assert!(pos < self.total, "position {pos} of {}", self.total);
+        (pos / self.block).min(self.parts - 1)
+    }
+
+    /// The half-open range of positions coordinated by `part`.
+    pub fn range(&self, part: usize) -> std::ops::Range<usize> {
+        let lo = (part * self.block).min(self.total);
+        let hi = ((part + 1) * self.block).min(self.total);
+        lo..hi
+    }
+
+    /// Number of positions coordinated by `part`.
+    pub fn size_of(&self, part: usize) -> usize {
+        let r = self.range(part);
+        r.end - r.start
+    }
+
+    /// Total positions.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_everything_once() {
+        for total in [0usize, 1, 7, 16, 100] {
+            for parts in [1usize, 2, 3, 8, 16] {
+                let pb = PosBlocks::new(total, parts);
+                let mut covered = vec![0u32; total];
+                for part in 0..parts {
+                    for p in pb.range(part) {
+                        assert_eq!(pb.owner(p), part, "total={total} parts={parts} p={p}");
+                        covered[p] += 1;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c == 1));
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_are_contiguous_and_ordered() {
+        let pb = PosBlocks::new(10, 4);
+        let mut next = 0;
+        for part in 0..4 {
+            let r = pb.range(part);
+            assert_eq!(r.start, next);
+            next = r.end;
+        }
+        assert_eq!(next, 10);
+    }
+
+    #[test]
+    fn more_parts_than_positions() {
+        let pb = PosBlocks::new(2, 5);
+        assert_eq!(pb.size_of(0), 1);
+        assert_eq!(pb.size_of(1), 1);
+        assert_eq!(pb.size_of(2), 0);
+        assert_eq!(pb.owner(1), 1);
+    }
+}

@@ -1,0 +1,83 @@
+//! Position-block routing: the distributed rendezvous used by
+//! cooperation-style schedule building.
+//!
+//! Ownership of linearization positions is scattered across ranks (each
+//! rank knows only the positions *it* owns).  To match source owners with
+//! destination owners without replicating anything, positions are routed to
+//! a *coordinator* chosen by block partition of the position space
+//! ([`crate::linear::PosBlocks`]) — the same distributed-directory pattern
+//! Chaos uses for its translation tables.
+
+use mcsim::group::Comm;
+use mcsim::wire::Wire;
+
+use crate::linear::PosBlocks;
+
+/// Route `(pos, payload)` items to each position's coordinator.
+///
+/// Returns, on every rank, the items it coordinates as
+/// `(sender local rank, pos, payload)`, ordered by sender and, within a
+/// sender, by the sender's emission order.
+pub fn route_by_position<T: Wire>(
+    comm: &mut Comm<'_>,
+    blocks: &PosBlocks,
+    items: Vec<(usize, T)>,
+) -> Vec<(usize, usize, T)> {
+    let p = comm.size();
+    let mut send: Vec<Vec<(usize, T)>> = (0..p).map(|_| Vec::new()).collect();
+    let n_items = items.len();
+    for (pos, payload) in items {
+        send[blocks.owner(pos)].push((pos, payload));
+    }
+    comm.ep().charge_schedule_insert(n_items);
+    let recv = comm.alltoallv_t(send);
+    let mut out = Vec::new();
+    for (from, list) in recv.into_iter().enumerate() {
+        comm.ep().charge_schedule_insert(list.len());
+        for (pos, payload) in list {
+            out.push((from, pos, payload));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsim::model::MachineModel;
+    use mcsim::world::World;
+
+    #[test]
+    fn items_reach_their_coordinator() {
+        let world = World::with_model(4, MachineModel::zero());
+        world.run(|ep| {
+            let me = ep.rank();
+            let mut comm = mcsim::group::Comm::world(ep);
+            let blocks = PosBlocks::new(16, 4);
+            // Every rank owns positions pos with pos % 4 == me.
+            let items: Vec<(usize, u64)> = (0..16)
+                .filter(|p| p % 4 == me)
+                .map(|p| (p, (p * 100) as u64))
+                .collect();
+            let got = route_by_position(&mut comm, &blocks, items);
+            // I coordinate positions 4*me..4*me+4, one from each sender.
+            assert_eq!(got.len(), 4);
+            for &(from, pos, payload) in &got {
+                assert_eq!(blocks.owner(pos), me);
+                assert_eq!(pos % 4, from);
+                assert_eq!(payload, (pos * 100) as u64);
+            }
+        });
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let world = World::with_model(3, MachineModel::zero());
+        world.run(|ep| {
+            let mut comm = mcsim::group::Comm::world(ep);
+            let blocks = PosBlocks::new(10, 3);
+            let got = route_by_position::<u32>(&mut comm, &blocks, Vec::new());
+            assert!(got.is_empty());
+        });
+    }
+}

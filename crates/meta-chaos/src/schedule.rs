@@ -1,0 +1,212 @@
+//! Communication schedules (paper §4.1.3–§4.1.4).
+//!
+//! A [`Schedule`] records, per rank, which local elements are sent to which
+//! peers and which local elements receive from which peers — plus direct
+//! local copies when a rank owns both ends of a pair.  Properties the paper
+//! relies on, all upheld (and tested) here:
+//!
+//! * **aggregation** — at most one message per communicating pair, with
+//!   buffer order equal on both sides (linearization order);
+//! * **reusability** — a schedule moves data any number of times;
+//! * **symmetry** — [`Schedule::reversed`] turns an A→B schedule into the
+//!   B→A schedule at zero cost.
+
+use mcsim::error::SimError;
+use mcsim::group::Group;
+use mcsim::wire::{Wire, WireReader};
+
+use crate::LocalAddr;
+
+/// A per-rank communication schedule over a (union) group of ranks.
+///
+/// `sends` / `recvs` are keyed by the peer's *local rank within
+/// [`Schedule::group`]*, contain only non-empty transfers, and are sorted by
+/// peer.  Address lists are in linearization order, which makes the packed
+/// buffer order identical on the sending and receiving side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    group: Group,
+    seq: u32,
+    /// `(peer local rank, local addresses to pack)`, sorted by peer.
+    pub sends: Vec<(usize, Vec<LocalAddr>)>,
+    /// `(peer local rank, local addresses to fill)`, sorted by peer.
+    pub recvs: Vec<(usize, Vec<LocalAddr>)>,
+    /// Same-rank `(source address, destination address)` pairs, copied
+    /// directly with no intermediate buffer (paper §5.3 contrasts this with
+    /// Multiblock Parti's internal staging buffer).
+    pub local_pairs: Vec<(LocalAddr, LocalAddr)>,
+    /// Total elements of the whole transfer (global, same on every rank).
+    pub total_elems: usize,
+}
+
+impl Schedule {
+    /// Assemble a schedule (used by the builders in [`crate::build`]).
+    pub fn new(
+        group: Group,
+        seq: u32,
+        mut sends: Vec<(usize, Vec<LocalAddr>)>,
+        mut recvs: Vec<(usize, Vec<LocalAddr>)>,
+        local_pairs: Vec<(LocalAddr, LocalAddr)>,
+        total_elems: usize,
+    ) -> Self {
+        sends.retain(|(_, a)| !a.is_empty());
+        recvs.retain(|(_, a)| !a.is_empty());
+        sends.sort_by_key(|&(p, _)| p);
+        recvs.sort_by_key(|&(p, _)| p);
+        Schedule {
+            group,
+            seq,
+            sends,
+            recvs,
+            local_pairs,
+            total_elems,
+        }
+    }
+
+    /// The union group the schedule communicates over.
+    pub fn group(&self) -> &Group {
+        &self.group
+    }
+
+    /// Build-time sequence number (disambiguates message streams when
+    /// several schedules share a group).
+    pub fn seq(&self) -> u32 {
+        self.seq
+    }
+
+    /// The schedule for the opposite direction: what was sent is received
+    /// and vice versa.  The paper's schedules are symmetric (§4.3); this is
+    /// how the client/server experiment reuses one vector schedule for both
+    /// the operand (client→server) and the result (server→client).
+    pub fn reversed(&self) -> Schedule {
+        Schedule {
+            group: self.group.clone(),
+            seq: self.seq,
+            sends: self.recvs.clone(),
+            recvs: self.sends.clone(),
+            local_pairs: self.local_pairs.iter().map(|&(s, d)| (d, s)).collect(),
+            total_elems: self.total_elems,
+        }
+    }
+
+    /// Number of messages this rank sends when the schedule runs.
+    pub fn msgs_out(&self) -> usize {
+        self.sends.len()
+    }
+
+    /// Number of messages this rank receives when the schedule runs.
+    pub fn msgs_in(&self) -> usize {
+        self.recvs.len()
+    }
+
+    /// Elements this rank sends (excluding local copies).
+    pub fn elems_out(&self) -> usize {
+        self.sends.iter().map(|(_, a)| a.len()).sum()
+    }
+
+    /// Elements this rank receives (excluding local copies).
+    pub fn elems_in(&self) -> usize {
+        self.recvs.iter().map(|(_, a)| a.len()).sum()
+    }
+
+    /// Elements this rank copies locally.
+    pub fn elems_local(&self) -> usize {
+        self.local_pairs.len()
+    }
+}
+
+impl Wire for Schedule {
+    fn write(&self, out: &mut Vec<u8>) {
+        // Group = (members, context).
+        self.group.members().to_vec().write(out);
+        self.group.context().write(out);
+        self.seq.write(out);
+        self.sends.write(out);
+        self.recvs.write(out);
+        self.local_pairs.write(out);
+        self.total_elems.write(out);
+    }
+    fn read(r: &mut WireReader<'_>) -> Result<Self, SimError> {
+        let members = Vec::<usize>::read(r)?;
+        let ctx = u32::read(r)?;
+        let seq = u32::read(r)?;
+        let sends = Vec::<(usize, Vec<LocalAddr>)>::read(r)?;
+        let recvs = Vec::<(usize, Vec<LocalAddr>)>::read(r)?;
+        let local_pairs = Vec::<(LocalAddr, LocalAddr)>::read(r)?;
+        let total_elems = usize::read(r)?;
+        if members.is_empty() {
+            return Err(SimError::Decode("schedule with empty group".into()));
+        }
+        if ctx < mcsim::tag::Tag::FIRST_USER_CTX {
+            return Err(SimError::Decode(format!("reserved group context {ctx}")));
+        }
+        let mut uniq = members.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        if uniq.len() != members.len() {
+            return Err(SimError::Decode("duplicate group members".into()));
+        }
+        Ok(Schedule {
+            group: Group::new(members, ctx),
+            seq,
+            sends,
+            recvs,
+            local_pairs,
+            total_elems,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schedule {
+        Schedule::new(
+            Group::world(3),
+            7,
+            vec![(2, vec![5, 6]), (1, vec![0]), (0, vec![])],
+            vec![(1, vec![9])],
+            vec![(1, 2), (3, 4)],
+            6,
+        )
+    }
+
+    #[test]
+    fn new_sorts_and_drops_empty() {
+        let s = sample();
+        assert_eq!(s.sends.len(), 2);
+        assert_eq!(s.sends[0].0, 1);
+        assert_eq!(s.sends[1].0, 2);
+        assert_eq!(s.msgs_out(), 2);
+        assert_eq!(s.msgs_in(), 1);
+        assert_eq!(s.elems_out(), 3);
+        assert_eq!(s.elems_in(), 1);
+        assert_eq!(s.elems_local(), 2);
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_everything() {
+        use mcsim::wire::Wire;
+        let s = sample();
+        let b = s.to_bytes();
+        let back = Schedule::from_bytes(&b).unwrap();
+        assert_eq!(back, s);
+        // Corrupt group decoding is rejected.
+        let mut bad = Vec::new();
+        Vec::<usize>::new().write(&mut bad);
+        assert!(Schedule::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn reversed_swaps_directions() {
+        let s = sample();
+        let r = s.reversed();
+        assert_eq!(r.sends, s.recvs);
+        assert_eq!(r.recvs, s.sends);
+        assert_eq!(r.local_pairs, vec![(2, 1), (4, 3)]);
+        assert_eq!(r.seq(), s.seq());
+        // Double reversal is the identity.
+        assert_eq!(r.reversed(), s);
+    }
+}

@@ -1,0 +1,156 @@
+//! Ordered collections of regions (paper §4.1.1).
+//!
+//! Regions are gathered into an ordered group called a *SetOfRegions*.  The
+//! linearization of a SetOfRegions is the linearization of its first region
+//! followed by the linearizations of the rest (paper §4.1.2).
+
+use mcsim::error::SimError;
+use mcsim::wire::{Wire, WireReader};
+
+use crate::region::Region;
+
+/// An ordered group of regions; the unit a data transfer is specified over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetOfRegions<R> {
+    regions: Vec<R>,
+}
+
+impl<R: Region> SetOfRegions<R> {
+    /// An empty set (add regions with [`Self::add`], mirroring the paper's
+    /// `MC_NewSetOfRegion` / `MC_AddRegion2Set` calls).
+    pub fn new() -> Self {
+        SetOfRegions {
+            regions: Vec::new(),
+        }
+    }
+
+    /// Build directly from regions.
+    pub fn from_regions(regions: Vec<R>) -> Self {
+        SetOfRegions { regions }
+    }
+
+    /// A set containing a single region.
+    pub fn single(region: R) -> Self {
+        SetOfRegions {
+            regions: vec![region],
+        }
+    }
+
+    /// Append a region (order is significant: it extends the linearization).
+    pub fn add(&mut self, region: R) {
+        self.regions.push(region);
+    }
+
+    /// The regions in order.
+    pub fn regions(&self) -> &[R] {
+        &self.regions
+    }
+
+    /// Number of regions.
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Total elements across all regions — the linearization length.
+    pub fn total_len(&self) -> usize {
+        self.regions.iter().map(|r| r.len()).sum()
+    }
+
+    /// Linearization offsets: `offsets()[i]` is the position of region `i`'s
+    /// first element in the set's linearization (one extra trailing entry
+    /// equals [`Self::total_len`]).
+    pub fn offsets(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.regions.len() + 1);
+        let mut acc = 0;
+        out.push(0);
+        for r in &self.regions {
+            acc += r.len();
+            out.push(acc);
+        }
+        out
+    }
+
+    /// Map a linearization position to `(region index, offset inside it)`.
+    pub fn locate_position(&self, pos: usize) -> (usize, usize) {
+        let mut rem = pos;
+        for (i, r) in self.regions.iter().enumerate() {
+            let n = r.len();
+            if rem < n {
+                return (i, rem);
+            }
+            rem -= n;
+        }
+        panic!(
+            "position {pos} out of range for SetOfRegions of {} elements",
+            self.total_len()
+        );
+    }
+}
+
+impl<R: Region> Default for SetOfRegions<R> {
+    fn default() -> Self {
+        SetOfRegions::new()
+    }
+}
+
+impl<R: Region + Wire> Wire for SetOfRegions<R> {
+    fn write(&self, out: &mut Vec<u8>) {
+        self.regions.write(out);
+    }
+    fn read(r: &mut WireReader<'_>) -> Result<Self, SimError> {
+        Ok(SetOfRegions {
+            regions: Vec::<R>::read(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::{IndexSet, RegularSection};
+
+    #[test]
+    fn totals_and_offsets() {
+        let mut s = SetOfRegions::new();
+        s.add(RegularSection::of_bounds(&[(0, 2), (0, 3)])); // 6
+        s.add(RegularSection::of_bounds(&[(5, 7), (1, 2)])); // 2
+        assert_eq!(s.num_regions(), 2);
+        assert_eq!(s.total_len(), 8);
+        assert_eq!(s.offsets(), vec![0, 6, 8]);
+    }
+
+    #[test]
+    fn locate_position_spans_regions() {
+        let s = SetOfRegions::from_regions(vec![
+            IndexSet::new(vec![10, 20, 30]),
+            IndexSet::new(vec![40]),
+            IndexSet::new(vec![50, 60]),
+        ]);
+        assert_eq!(s.locate_position(0), (0, 0));
+        assert_eq!(s.locate_position(2), (0, 2));
+        assert_eq!(s.locate_position(3), (1, 0));
+        assert_eq!(s.locate_position(4), (2, 0));
+        assert_eq!(s.locate_position(5), (2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn locate_position_out_of_range() {
+        let s = SetOfRegions::single(IndexSet::new(vec![1]));
+        let _ = s.locate_position(1);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let s = SetOfRegions::from_regions(vec![IndexSet::new(vec![3, 1]), IndexSet::new(vec![])]);
+        let b = s.to_bytes();
+        assert_eq!(SetOfRegions::<IndexSet>::from_bytes(&b).unwrap(), s);
+    }
+
+    #[test]
+    fn empty_set() {
+        let s: SetOfRegions<IndexSet> = SetOfRegions::default();
+        assert_eq!(s.total_len(), 0);
+        assert_eq!(s.offsets(), vec![0]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Collective schedule validation.
+//!
+//! A schedule is distributed state: each rank holds only its halves, so
+//! several invariants can only be checked globally.  [`validate_schedule`]
+//! performs those checks collectively and reports the findings everywhere
+//! — useful in tests, debug builds, and when developing a new library's
+//! interface functions.
+
+use mcsim::group::Comm;
+use mcsim::prelude::Endpoint;
+
+use crate::schedule::Schedule;
+
+/// Problems a global validation can find.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleIssue {
+    /// Rank `a` plans to send `planned` elements to `b`, but `b` expects
+    /// `expected` from `a`.
+    PairMismatch {
+        /// Sending union-local rank.
+        a: usize,
+        /// Receiving union-local rank.
+        b: usize,
+        /// Elements in `a`'s send list.
+        planned: usize,
+        /// Elements in `b`'s receive list.
+        expected: usize,
+    },
+    /// The global element count (messages + local pairs) does not cover
+    /// the transfer size.
+    CoverageMismatch {
+        /// Elements accounted for.
+        covered: usize,
+        /// Elements the schedule claims to move.
+        total: usize,
+    },
+    /// Ranks disagree about the schedule's sequence number.
+    SeqMismatch,
+}
+
+/// Collectively validate `sched` over its union group.  Every rank
+/// receives the same list of issues (empty = valid).
+pub fn validate_schedule(ep: &mut Endpoint, sched: &Schedule) -> Vec<ScheduleIssue> {
+    let mut comm = Comm::new(ep, sched.group().clone());
+    let p = comm.size();
+
+    // Dense per-pair counts from this rank's perspective.
+    let mut send_counts = vec![0usize; p];
+    for (peer, addrs) in &sched.sends {
+        send_counts[*peer] = addrs.len();
+    }
+    let mut recv_counts = vec![0usize; p];
+    for (peer, addrs) in &sched.recvs {
+        recv_counts[*peer] = addrs.len();
+    }
+
+    // Everyone learns everyone's counts (p is small; this is a test aid).
+    let all_sends: Vec<Vec<usize>> = comm.allgather_t(send_counts);
+    let all_recvs: Vec<Vec<usize>> = comm.allgather_t(recv_counts);
+    let all_locals: Vec<usize> = comm.allgather_t(sched.elems_local());
+    let all_seqs: Vec<u32> = comm.allgather_t(sched.seq());
+
+    let mut issues = Vec::new();
+    for a in 0..p {
+        for b in 0..p {
+            let planned = all_sends[a][b];
+            let expected = all_recvs[b][a];
+            if planned != expected {
+                issues.push(ScheduleIssue::PairMismatch {
+                    a,
+                    b,
+                    planned,
+                    expected,
+                });
+            }
+        }
+    }
+    let moved: usize = all_sends.iter().flatten().sum::<usize>() + all_locals.iter().sum::<usize>();
+    if moved != sched.total_elems {
+        issues.push(ScheduleIssue::CoverageMismatch {
+            covered: moved,
+            total: sched.total_elems,
+        });
+    }
+    if all_seqs.iter().any(|&s| s != all_seqs[0]) {
+        issues.push(ScheduleIssue::SeqMismatch);
+    }
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{compute_schedule, BuildMethod};
+    use crate::region::IndexSet;
+    use crate::setof::SetOfRegions;
+    use crate::testlib::BlockVec;
+    use crate::Side;
+    use mcsim::group::Group;
+    use mcsim::model::MachineModel;
+    use mcsim::world::World;
+
+    #[test]
+    fn well_formed_schedules_validate() {
+        let world = World::with_model(3, MachineModel::zero());
+        world.run(|ep| {
+            let g = Group::world(3);
+            let a = BlockVec::create(&g, ep.rank(), 18, |i| i as f64);
+            let b = BlockVec::create(&g, ep.rank(), 18, |_| 0.0);
+            let sset = SetOfRegions::single(IndexSet::new((0..9).collect()));
+            let dset = SetOfRegions::single(IndexSet::new((9..18).collect()));
+            let sched = compute_schedule(
+                ep,
+                &g,
+                &g,
+                Some(Side::new(&a, &sset)),
+                &g,
+                Some(Side::new(&b, &dset)),
+                BuildMethod::Cooperation,
+            )
+            .unwrap();
+            assert!(validate_schedule(ep, &sched).is_empty());
+            // The reversed schedule is just as valid.
+            assert!(validate_schedule(ep, &sched.reversed()).is_empty());
+        });
+    }
+
+    #[test]
+    fn corrupted_schedule_is_detected() {
+        let world = World::with_model(2, MachineModel::zero());
+        world.run(|ep| {
+            let g = Group::world(2);
+            let a = BlockVec::create(&g, ep.rank(), 8, |i| i as f64);
+            let b = BlockVec::create(&g, ep.rank(), 8, |_| 0.0);
+            let sset = SetOfRegions::single(IndexSet::new((0..4).collect()));
+            let dset = SetOfRegions::single(IndexSet::new((4..8).collect()));
+            let mut sched = compute_schedule(
+                ep,
+                &g,
+                &g,
+                Some(Side::new(&a, &sset)),
+                &g,
+                Some(Side::new(&b, &dset)),
+                BuildMethod::Duplication,
+            )
+            .unwrap();
+            // Corrupt rank 0's send half.
+            if ep.rank() == 0 {
+                if let Some((_, addrs)) = sched.sends.first_mut() {
+                    addrs.pop();
+                }
+            }
+            let issues = validate_schedule(ep, &sched);
+            assert!(
+                issues
+                    .iter()
+                    .any(|i| matches!(i, ScheduleIssue::PairMismatch { .. })),
+                "{issues:?}"
+            );
+            assert!(
+                issues
+                    .iter()
+                    .any(|i| matches!(i, ScheduleIssue::CoverageMismatch { .. })),
+                "{issues:?}"
+            );
+        });
+    }
+}

@@ -1,0 +1,140 @@
+//! Processor grids: mapping program-local ranks onto an n-dimensional grid.
+
+/// An n-dimensional arrangement of `P` processors (row-major rank order,
+/// last dimension fastest — matching the array layout convention).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcGrid {
+    dims: Vec<usize>,
+}
+
+impl ProcGrid {
+    /// Build from explicit extents.
+    pub fn new(dims: Vec<usize>) -> Self {
+        assert!(!dims.is_empty(), "grid needs at least one dimension");
+        assert!(dims.iter().all(|&d| d > 0), "grid extents must be positive");
+        ProcGrid { dims }
+    }
+
+    /// Factor `p` processors into an `ndim` grid as close to cubic as
+    /// possible (e.g. 12 → 4×3, 16 → 4×4, 8 in 3-D → 2×2×2).
+    pub fn factor(p: usize, ndim: usize) -> Self {
+        assert!(p > 0 && ndim > 0);
+        let mut dims = vec![1; ndim];
+        let mut rem = p;
+        for (d, slot) in dims.iter_mut().enumerate() {
+            let dims_left = ndim - d;
+            if dims_left == 1 {
+                *slot = rem;
+                break;
+            }
+            // Smallest divisor of `rem` that is >= ceil(rem^(1/dims_left)):
+            // keeps extents non-increasing and as balanced as the divisor
+            // structure of `rem` allows (same rule as MPI_Dims_create).
+            let ideal = (rem as f64).powf(1.0 / dims_left as f64).ceil() as usize;
+            let mut f = ideal.clamp(1, rem);
+            while !rem.is_multiple_of(f) {
+                f += 1;
+            }
+            *slot = f;
+            rem /= f;
+        }
+        debug_assert_eq!(dims.iter().product::<usize>(), p);
+        ProcGrid { dims }
+    }
+
+    /// Total processors.
+    pub fn size(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Dimensionality.
+    pub fn ndim(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Per-dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Grid coordinates of program-local rank `rank`.
+    pub fn coords_of(&self, mut rank: usize) -> Vec<usize> {
+        assert!(rank < self.size(), "rank {rank} outside grid");
+        let mut out = vec![0; self.ndim()];
+        for d in (0..self.ndim()).rev() {
+            out[d] = rank % self.dims[d];
+            rank /= self.dims[d];
+        }
+        out
+    }
+
+    /// Program-local rank of grid coordinates `coords`.
+    pub fn rank_of(&self, coords: &[usize]) -> usize {
+        assert_eq!(coords.len(), self.ndim());
+        let mut r = 0;
+        for (d, &c) in coords.iter().enumerate() {
+            assert!(c < self.dims[d], "coord {c} outside grid dim {d}");
+            r = r * self.dims[d] + c;
+        }
+        r
+    }
+
+    /// The neighbouring rank one step along `dim` in direction `dir`
+    /// (−1 or +1), or `None` at the grid edge (non-periodic).
+    pub fn neighbor(&self, rank: usize, dim: usize, dir: isize) -> Option<usize> {
+        let mut c = self.coords_of(rank);
+        let x = c[dim] as isize + dir;
+        if x < 0 || x as usize >= self.dims[dim] {
+            return None;
+        }
+        c[dim] = x as usize;
+        Some(self.rank_of(&c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_products_are_exact() {
+        for p in 1..=32 {
+            for ndim in 1..=3 {
+                let g = ProcGrid::factor(p, ndim);
+                assert_eq!(g.size(), p, "p={p} ndim={ndim} dims={:?}", g.dims());
+                assert_eq!(g.ndim(), ndim);
+            }
+        }
+    }
+
+    #[test]
+    fn factor_is_nearly_square() {
+        assert_eq!(ProcGrid::factor(16, 2).dims(), &[4, 4]);
+        assert_eq!(ProcGrid::factor(12, 2).dims(), &[4, 3]);
+        assert_eq!(ProcGrid::factor(8, 3).dims(), &[2, 2, 2]);
+        assert_eq!(ProcGrid::factor(2, 2).dims(), &[2, 1]);
+        assert_eq!(ProcGrid::factor(7, 2).dims(), &[7, 1]);
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let g = ProcGrid::new(vec![3, 4]);
+        for r in 0..12 {
+            assert_eq!(g.rank_of(&g.coords_of(r)), r);
+        }
+        assert_eq!(g.coords_of(0), vec![0, 0]);
+        assert_eq!(g.coords_of(1), vec![0, 1]); // last dim fastest
+        assert_eq!(g.coords_of(4), vec![1, 0]);
+    }
+
+    #[test]
+    fn neighbors_respect_edges() {
+        let g = ProcGrid::new(vec![2, 2]);
+        // rank 0 = (0,0)
+        assert_eq!(g.neighbor(0, 0, 1), Some(2));
+        assert_eq!(g.neighbor(0, 0, -1), None);
+        assert_eq!(g.neighbor(0, 1, 1), Some(1));
+        assert_eq!(g.neighbor(3, 1, 1), None);
+        assert_eq!(g.neighbor(3, 0, -1), Some(1));
+    }
+}

@@ -1,0 +1,462 @@
+//! Geometric multigrid over block-distributed arrays — the multigrid /
+//! multiblock application domain (GMD, Multiblock Parti) the paper's
+//! introduction motivates.
+//!
+//! The inter-grid transfer operators are *strided regular-section copies*:
+//! restriction samples the fine grid at stride 2 into the coarse grid, and
+//! prolongation injects the coarse grid back into the fine grid's even
+//! points — both expressed with the native Parti schedule machinery and
+//! built once per level pair (inspector), then reused every V-cycle
+//! (executor).
+//!
+//! The solver is a textbook V-cycle for the 2-D Poisson equation
+//! `-Δu = f` with zero Dirichlet boundaries: damped-Jacobi smoothing,
+//! separable full-weighting restriction, and bilinear prolongation (both
+//! transfers arranged so only face halos are ever needed).  It is
+//! deliberately simple — the point is the *communication structure*, which
+//! is exactly what Multiblock Parti provided to real multigrid codes.
+
+use mcsim::group::{Comm, Group};
+use mcsim::prelude::Endpoint;
+
+use meta_chaos::region::{DimSlice, RegularSection};
+use meta_chaos::schedule::Schedule;
+
+use crate::array::MultiblockArray;
+use crate::ghost::{build_ghost_schedule, exchange_halo, GhostSchedule};
+use crate::native_move::{build_copy_schedule, parti_copy};
+
+/// One multigrid level: solution, right-hand side, and two haloed work
+/// arrays (residual/staging and the separable-transfer temporary), plus
+/// the level's halo schedules.
+struct Level {
+    u: MultiblockArray<f64>,
+    f: MultiblockArray<f64>,
+    /// Residual / correction staging (halo 1).
+    r: MultiblockArray<f64>,
+    /// Separable-transfer temporary (halo 1).
+    t: MultiblockArray<f64>,
+    ghost_u: GhostSchedule,
+    ghost_r: GhostSchedule,
+    ghost_t: GhostSchedule,
+    /// Grid spacing squared (h² for this level).
+    h2: f64,
+    n: usize,
+}
+
+/// A V-cycle Poisson solver over `levels` grids; the finest is
+/// `(2^levels * base + 1)` points per side.
+pub struct Multigrid {
+    levels: Vec<Level>,
+    /// Restriction schedules: fine residual (stride 2) → coarse rhs.
+    restrict: Vec<Schedule>,
+    /// Prolongation schedules: coarse solution → fine correction points.
+    prolong: Vec<Schedule>,
+    nu_pre: usize,
+    nu_post: usize,
+}
+
+impl Multigrid {
+    /// Build the hierarchy (inspector): allocate every level and its
+    /// inter-grid schedules.  Collective over `prog`.
+    ///
+    /// `finest_n` must be of the form `2^k * m + 1` with at least
+    /// `levels - 1` halvings possible; every level must still cover the
+    /// processor grid.
+    pub fn new(
+        ep: &mut Endpoint,
+        prog: &Group,
+        finest_n: usize,
+        levels: usize,
+        nu_pre: usize,
+        nu_post: usize,
+    ) -> Self {
+        assert!(levels >= 1);
+        let me = ep.rank();
+        let mut lv = Vec::with_capacity(levels);
+        let mut n = finest_n;
+        let mut h = 1.0 / (finest_n - 1) as f64;
+        for _ in 0..levels {
+            assert!(n >= 3, "coarsest grid too small");
+            let u = MultiblockArray::<f64>::with_halo(prog, me, &[n, n], 1);
+            let f = MultiblockArray::<f64>::with_halo(prog, me, &[n, n], 0);
+            let r = MultiblockArray::<f64>::with_halo(prog, me, &[n, n], 1);
+            let t = MultiblockArray::<f64>::with_halo(prog, me, &[n, n], 1);
+            let ghost_u = build_ghost_schedule(ep, &u);
+            let ghost_r = build_ghost_schedule(ep, &r);
+            let ghost_t = build_ghost_schedule(ep, &t);
+            lv.push(Level {
+                u,
+                f,
+                r,
+                t,
+                ghost_u,
+                ghost_r,
+                ghost_t,
+                h2: h * h,
+                n,
+            });
+            assert!(n % 2 == 1, "grid size must be odd for coarsening");
+            n = (n - 1) / 2 + 1;
+            h *= 2.0;
+        }
+
+        // Inter-grid schedules between consecutive levels.
+        let mut restrict = Vec::new();
+        let mut prolong = Vec::new();
+        for k in 0..levels - 1 {
+            let (fine, coarse) = (&lv[k], &lv[k + 1]);
+            // Fine even points (stride 2 over the whole grid) pair with all
+            // coarse points, in row-major order on both sides.
+            let fine_even = RegularSection::new(vec![
+                DimSlice::strided(0, fine.n, 2),
+                DimSlice::strided(0, fine.n, 2),
+            ]);
+            let coarse_all = RegularSection::whole(&[coarse.n, coarse.n]);
+            restrict.push(build_copy_schedule(
+                ep,
+                prog,
+                &fine.t, // full-weighted residual, staged in t
+                &fine_even,
+                &coarse.f,
+                &coarse_all,
+            ));
+            prolong.push(build_copy_schedule(
+                ep,
+                prog,
+                &coarse.u,
+                &coarse_all,
+                &fine.t, // correction staged into t, then interpolated
+                &fine_even,
+            ));
+        }
+        Multigrid {
+            levels: lv,
+            restrict,
+            prolong,
+            nu_pre,
+            nu_post,
+        }
+    }
+
+    /// Finest-level grid size.
+    pub fn finest_n(&self) -> usize {
+        self.levels[0].n
+    }
+
+    /// Set the finest right-hand side from `f(x, y)` (unit square).
+    pub fn set_rhs(&mut self, f: impl Fn(f64, f64) -> f64) {
+        let n = self.levels[0].n;
+        let h = 1.0 / (n - 1) as f64;
+        self.levels[0]
+            .f
+            .fill_with(|c| f(c[0] as f64 * h, c[1] as f64 * h));
+        self.levels[0].u.fill_with(|_| 0.0);
+    }
+
+    /// Damped Jacobi smoothing sweeps on level `k`.
+    fn smooth(ep: &mut Endpoint, level: &mut Level, sweeps: usize) {
+        const OMEGA: f64 = 0.8;
+        for _ in 0..sweeps {
+            exchange_halo(ep, &mut level.u, &level.ghost_u);
+            let boxx = level.u.my_box();
+            let (ilo, ihi) = (boxx[0].0.max(1), boxx[0].1.min(level.n - 1));
+            let (jlo, jhi) = (boxx[1].0.max(1), boxx[1].1.min(level.n - 1));
+            let mut upd = Vec::new();
+            for i in ilo..ihi {
+                for j in jlo..jhi {
+                    let nb = level.u.get(&[i - 1, j])
+                        + level.u.get(&[i + 1, j])
+                        + level.u.get(&[i, j - 1])
+                        + level.u.get(&[i, j + 1]);
+                    let jac = 0.25 * (nb + level.h2 * level.f.get(&[i, j]));
+                    upd.push((1.0 - OMEGA) * level.u.get(&[i, j]) + OMEGA * jac);
+                }
+            }
+            let mut k = 0;
+            for i in ilo..ihi {
+                for j in jlo..jhi {
+                    level.u.set(&[i, j], upd[k]);
+                    k += 1;
+                }
+            }
+            ep.charge_flops(upd.len() * 10);
+        }
+    }
+
+    /// Residual `r = f + Δu` on level `k` (zero on the boundary).
+    fn residual(ep: &mut Endpoint, level: &mut Level) {
+        exchange_halo(ep, &mut level.u, &level.ghost_u);
+        let boxx = level.u.my_box();
+        let n = level.n;
+        let mut vals = Vec::new();
+        for i in boxx[0].0..boxx[0].1 {
+            for j in boxx[1].0..boxx[1].1 {
+                let v = if i == 0 || j == 0 || i == n - 1 || j == n - 1 {
+                    0.0
+                } else {
+                    let lap = level.u.get(&[i - 1, j])
+                        + level.u.get(&[i + 1, j])
+                        + level.u.get(&[i, j - 1])
+                        + level.u.get(&[i, j + 1])
+                        - 4.0 * level.u.get(&[i, j]);
+                    level.f.get(&[i, j]) + lap / level.h2
+                };
+                vals.push(((i, j), v));
+            }
+        }
+        for ((i, j), v) in vals {
+            level.r.set(&[i, j], v);
+        }
+        ep.charge_flops(level.r.local().len() * 8);
+    }
+
+    /// Separable full-weighting of the residual into `t`:
+    /// `t = (1/16)[1 2 1]ᵀ[1 2 1] r` computed as two 1-D passes so only
+    /// face halos are needed.
+    fn full_weight(ep: &mut Endpoint, level: &mut Level) {
+        let n = level.n;
+        exchange_halo(ep, &mut level.r, &level.ghost_r);
+        let boxx = level.r.my_box();
+        // Pass 1 (j direction) into t.
+        let mut vals = Vec::new();
+        for i in boxx[0].0..boxx[0].1 {
+            for j in boxx[1].0..boxx[1].1 {
+                let v = if j == 0 || j == n - 1 {
+                    0.0
+                } else {
+                    0.25 * (level.r.get(&[i, j - 1])
+                        + 2.0 * level.r.get(&[i, j])
+                        + level.r.get(&[i, j + 1]))
+                };
+                vals.push(v);
+            }
+        }
+        let mut k = 0;
+        for i in boxx[0].0..boxx[0].1 {
+            for j in boxx[1].0..boxx[1].1 {
+                level.t.set(&[i, j], vals[k]);
+                k += 1;
+            }
+        }
+        exchange_halo(ep, &mut level.t, &level.ghost_t);
+        // Pass 2 (i direction), in place over owned points of t.
+        let mut vals = Vec::new();
+        for i in boxx[0].0..boxx[0].1 {
+            for j in boxx[1].0..boxx[1].1 {
+                let v = if i == 0 || i == n - 1 {
+                    0.0
+                } else {
+                    0.25 * (level.t.get(&[i - 1, j])
+                        + 2.0 * level.t.get(&[i, j])
+                        + level.t.get(&[i + 1, j]))
+                };
+                vals.push(v);
+            }
+        }
+        let mut k = 0;
+        for i in boxx[0].0..boxx[0].1 {
+            for j in boxx[1].0..boxx[1].1 {
+                level.t.set(&[i, j], vals[k]);
+                k += 1;
+            }
+        }
+        ep.charge_flops(2 * vals.len() * 4);
+    }
+
+    /// Bilinear interpolation of the coarse correction (already injected
+    /// into `t` at even-even points; everything else must be zeroed
+    /// beforehand), then `u += t` over the interior.
+    fn interpolate_and_correct(ep: &mut Endpoint, level: &mut Level) {
+        let n = level.n;
+        exchange_halo(ep, &mut level.t, &level.ghost_t);
+        let boxx = level.t.my_box();
+        // Fill odd-j points on even-i rows.
+        let mut vals = Vec::new();
+        for i in boxx[0].0..boxx[0].1 {
+            for j in boxx[1].0..boxx[1].1 {
+                if i % 2 == 0 && j % 2 == 1 {
+                    vals.push((
+                        i,
+                        j,
+                        0.5 * (level.t.get(&[i, j - 1]) + level.t.get(&[i, j + 1])),
+                    ));
+                }
+            }
+        }
+        for &(i, j, v) in &vals {
+            level.t.set(&[i, j], v);
+        }
+        exchange_halo(ep, &mut level.t, &level.ghost_t);
+        // Fill odd-i rows from the completed even-i rows.
+        let mut vals = Vec::new();
+        for i in boxx[0].0..boxx[0].1 {
+            if i % 2 == 0 {
+                continue;
+            }
+            for j in boxx[1].0..boxx[1].1 {
+                vals.push((
+                    i,
+                    j,
+                    0.5 * (level.t.get(&[i - 1, j]) + level.t.get(&[i + 1, j])),
+                ));
+            }
+        }
+        for &(i, j, v) in &vals {
+            level.t.set(&[i, j], v);
+        }
+        // Correct the interior.
+        let mut count = 0;
+        for i in boxx[0].0..boxx[0].1 {
+            for j in boxx[1].0..boxx[1].1 {
+                if i > 0 && j > 0 && i < n - 1 && j < n - 1 {
+                    let v = level.u.get(&[i, j]) + level.t.get(&[i, j]);
+                    level.u.set(&[i, j], v);
+                    count += 1;
+                }
+            }
+        }
+        ep.charge_flops(3 * count);
+    }
+
+    /// One V-cycle.  Returns the finest-level residual 2-norm afterwards
+    /// (collective).
+    pub fn v_cycle(&mut self, ep: &mut Endpoint, prog: &Group) -> f64 {
+        let last = self.levels.len() - 1;
+        // Downward leg.
+        for k in 0..last {
+            Self::smooth(ep, &mut self.levels[k], self.nu_pre);
+            Self::residual(ep, &mut self.levels[k]);
+            Self::full_weight(ep, &mut self.levels[k]);
+            // Restrict the weighted residual -> coarse rhs; zero coarse u.
+            let (fine, coarse) = self.levels.split_at_mut(k + 1);
+            parti_copy(ep, &self.restrict[k], &fine[k].t, &mut coarse[0].f);
+            coarse[0].u.fill_with(|_| 0.0);
+        }
+        // Coarsest solve: extra smoothing.
+        Self::smooth(ep, &mut self.levels[last], 32);
+        // Upward leg.
+        for k in (0..last).rev() {
+            // Stage the coarse correction into t at even-even points and
+            // interpolate the rest.
+            let (fine, coarse) = self.levels.split_at_mut(k + 1);
+            fine[k].t.fill_with(|_| 0.0);
+            parti_copy(ep, &self.prolong[k], &coarse[0].u, &mut fine[k].t);
+            Self::interpolate_and_correct(ep, &mut fine[k]);
+            Self::smooth(ep, &mut fine[k], self.nu_post);
+        }
+        // Finest residual norm.
+        Self::residual(ep, &mut self.levels[0]);
+        let local: f64 = {
+            let lvl = &self.levels[0];
+            let boxx = lvl.r.my_box();
+            let mut acc = 0.0;
+            for i in boxx[0].0..boxx[0].1 {
+                for j in boxx[1].0..boxx[1].1 {
+                    let v = lvl.r.get(&[i, j]);
+                    acc += v * v;
+                }
+            }
+            acc
+        };
+        let mut comm = Comm::new(ep, prog.clone());
+        comm.allreduce_sum(local).sqrt()
+    }
+
+    /// Read the finest solution at `coords` (must be owned by this rank).
+    pub fn solution_at(&self, coords: &[usize]) -> f64 {
+        self.levels[0].u.get(coords)
+    }
+
+    /// True if this rank owns finest-level `coords`.
+    pub fn owns(&self, coords: &[usize]) -> bool {
+        self.levels[0].u.owns(coords)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsim::model::MachineModel;
+    use mcsim::world::World;
+
+    #[test]
+    fn v_cycles_reduce_the_residual() {
+        for p in [1, 2, 4] {
+            let world = World::with_model(p, MachineModel::zero());
+            world.run(move |ep| {
+                let g = Group::world(p);
+                // 17x17 finest grid, 3 levels (17 -> 9 -> 5).
+                let mut mg = Multigrid::new(ep, &g, 17, 3, 2, 2);
+                mg.set_rhs(|x, y| {
+                    2.0 * std::f64::consts::PI
+                        * std::f64::consts::PI
+                        * (std::f64::consts::PI * x).sin()
+                        * (std::f64::consts::PI * y).sin()
+                });
+                let r0 = mg.v_cycle(ep, &g);
+                let mut r_prev = r0;
+                for _ in 0..4 {
+                    let r = mg.v_cycle(ep, &g);
+                    assert!(r < r_prev, "p={p}: residual must shrink ({r} vs {r_prev})");
+                    r_prev = r;
+                }
+                assert!(
+                    r_prev < r0 * 0.1,
+                    "p={p}: 5 V-cycles must cut the residual 10x ({r_prev} vs {r0})"
+                );
+            });
+        }
+    }
+
+    #[test]
+    fn solution_approaches_the_analytic_answer() {
+        // -Δu = 2π² sin(πx) sin(πy) has u = sin(πx) sin(πy).
+        let world = World::with_model(2, MachineModel::zero());
+        world.run(|ep| {
+            let g = Group::world(2);
+            let mut mg = Multigrid::new(ep, &g, 33, 4, 2, 2);
+            let pi = std::f64::consts::PI;
+            mg.set_rhs(move |x, y| 2.0 * pi * pi * (pi * x).sin() * (pi * y).sin());
+            for _ in 0..12 {
+                mg.v_cycle(ep, &g);
+            }
+            let h = 1.0 / 32.0;
+            let mut worst = 0.0f64;
+            for i in 0..33 {
+                for j in 0..33 {
+                    if mg.owns(&[i, j]) {
+                        let want = (pi * i as f64 * h).sin() * (pi * j as f64 * h).sin();
+                        worst = worst.max((mg.solution_at(&[i, j]) - want).abs());
+                    }
+                }
+            }
+            // Second-order discretization error on a 33-point grid.
+            assert!(worst < 5e-3, "max error {worst}");
+        });
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let run = |p: usize| {
+            let world = World::with_model(p, MachineModel::zero());
+            let out = world.run(move |ep| {
+                let g = Group::world(p);
+                let mut mg = Multigrid::new(ep, &g, 17, 2, 1, 1);
+                mg.set_rhs(|x, y| x + y);
+                let mut last = 0.0;
+                for _ in 0..3 {
+                    last = mg.v_cycle(ep, &g);
+                }
+                last
+            });
+            out.results[0]
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert!(
+            (serial - parallel).abs() < 1e-10 * serial.abs().max(1.0),
+            "{serial} vs {parallel}"
+        );
+    }
+}

@@ -1,0 +1,288 @@
+//! Multiblock Parti's *native* regular-section copy — the specialized
+//! baseline Meta-Chaos is compared against in the paper's Table 5.
+//!
+//! Parti builds the same aggregated schedule Meta-Chaos would (one message
+//! per processor pair, linearization order), but:
+//!
+//! * schedule construction is pure closed-form arithmetic over the caller's
+//!   *owned* elements only — the cheapest possible inspector;
+//! * local (same-rank) copies are staged through an intermediate buffer,
+//!   one extra copy Meta-Chaos does not pay (§5.3: "Meta-Chaos performs a
+//!   direct copy ... while Multiblock Parti requires an intermediate
+//!   buffer").
+
+use std::cell::Cell;
+
+use mcsim::group::{Comm, Group};
+use mcsim::prelude::Endpoint;
+use mcsim::wire::Wire;
+
+use meta_chaos::region::{Region, RegularSection};
+use meta_chaos::schedule::Schedule;
+
+use crate::array::MultiblockArray;
+
+thread_local! {
+    static PARTI_SEQ: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Build Parti's schedule for `dst[dsec] = src[ssec]` within one program.
+///
+/// Both arrays must live on the same program `prog`; the two sections must
+/// have the same element count.
+pub fn build_copy_schedule<T: Copy + Default>(
+    ep: &mut Endpoint,
+    prog: &Group,
+    src: &MultiblockArray<T>,
+    ssec: &RegularSection,
+    dst: &MultiblockArray<T>,
+    dsec: &RegularSection,
+) -> Schedule {
+    assert_eq!(ssec.len(), dsec.len(), "section element counts must match");
+    let p = prog.size();
+    let me_local = prog.local_of(ep.rank()).expect("caller in program");
+
+    let mut sends: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
+    let mut recvs: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
+
+    // Send half: my owned part of the source section, in section order.
+    let mut inspected = 0usize;
+    if let Some(sub) = ssec.intersect_box(&src.my_box()) {
+        let mut it = sub.iter_coords();
+        while let Some(coords) = it.advance() {
+            let pos = ssec.position_of(coords).expect("subset");
+            let dcoords = dsec.coords_of(pos);
+            let downer = dst.dist().owner(&dcoords);
+            let saddr = src.dist().local_addr(me_local, coords);
+            sends[downer].push(saddr);
+        }
+        inspected += sub.len();
+    }
+    // Receive half: my owned part of the destination section.
+    if let Some(sub) = dsec.intersect_box(&dst.my_box()) {
+        let mut it = sub.iter_coords();
+        while let Some(coords) = it.advance() {
+            let pos = dsec.position_of(coords).expect("subset");
+            let scoords = ssec.coords_of(pos);
+            let sowner = src.dist().owner(&scoords);
+            let daddr = dst.dist().local_addr(me_local, coords);
+            recvs[sowner].push(daddr);
+        }
+        inspected += sub.len();
+    }
+    // Two closed-form lookups per inspected element.
+    ep.charge_owner_calc(2 * inspected);
+    ep.charge_schedule_insert(inspected);
+
+    // Keep the self entry as explicit local pairs; the Parti executor
+    // stages them through a buffer (see `parti_copy`).
+    let self_send = std::mem::take(&mut sends[me_local]);
+    let self_recv = std::mem::take(&mut recvs[me_local]);
+    assert_eq!(self_send.len(), self_recv.len());
+    let local_pairs = self_send.into_iter().zip(self_recv).collect();
+
+    // SPMD-consistent sequence number (all program ranks build native
+    // schedules in the same order).
+    let seq = PARTI_SEQ.with(|c| {
+        let v = c.get();
+        c.set(v.wrapping_add(1));
+        v
+    });
+
+    Schedule::new(
+        prog.clone(),
+        0x0100_0000 | seq,
+        sends.into_iter().enumerate().collect(),
+        recvs.into_iter().enumerate().collect(),
+        local_pairs,
+        ssec.len(),
+    )
+}
+
+/// Execute a native Parti copy with a prebuilt schedule.  Reusable.
+pub fn parti_copy<T>(
+    ep: &mut Endpoint,
+    sched: &Schedule,
+    src: &MultiblockArray<T>,
+    dst: &mut MultiblockArray<T>,
+) where
+    T: Copy + Default + Wire,
+{
+    let elem = std::mem::size_of::<T>();
+    let t = 0x5000_0000 | sched.seq();
+    for (peer, addrs) in &sched.sends {
+        let buf: Vec<T> = addrs.iter().map(|&a| src.local()[a]).collect();
+        ep.charge_copy_bytes(buf.len() * elem);
+        let mut comm = Comm::new(ep, sched.group().clone());
+        comm.send_t(*peer, t, &buf);
+    }
+    // Local part: staged through an intermediate buffer (pack, stage,
+    // unpack — one more copy than Meta-Chaos's direct local transfer).
+    if !sched.local_pairs.is_empty() {
+        let staged: Vec<T> = sched
+            .local_pairs
+            .iter()
+            .map(|&(s, _)| src.local()[s])
+            .collect();
+        ep.charge_copy_bytes(2 * staged.len() * elem);
+        let data = dst.local_mut();
+        for (&(_, d), &v) in sched.local_pairs.iter().zip(&staged) {
+            data[d] = v;
+        }
+        ep.charge_copy_bytes(staged.len() * elem);
+    }
+    for (peer, addrs) in &sched.recvs {
+        let buf: Vec<T> = {
+            let mut comm = Comm::new(ep, sched.group().clone());
+            comm.recv_t(*peer, t)
+        };
+        assert_eq!(buf.len(), addrs.len());
+        ep.charge_copy_bytes(buf.len() * elem);
+        let data = dst.local_mut();
+        for (&a, &v) in addrs.iter().zip(&buf) {
+            data[a] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsim::model::MachineModel;
+    use mcsim::world::World;
+    use meta_chaos::build::{compute_schedule, BuildMethod};
+    use meta_chaos::setof::SetOfRegions;
+    use meta_chaos::Side;
+
+    fn collect_owned(a: &MultiblockArray<f64>) -> Vec<(usize, usize, f64)> {
+        let boxx = a.my_box();
+        let mut vals = Vec::new();
+        for i in boxx[0].0..boxx[0].1 {
+            for j in boxx[1].0..boxx[1].1 {
+                vals.push((i, j, a.get(&[i, j])));
+            }
+        }
+        vals
+    }
+
+    #[test]
+    fn native_copy_is_correct() {
+        for p in [1, 2, 4] {
+            let world = World::with_model(p, MachineModel::zero());
+            let out = world.run(|ep| {
+                let g = Group::world(ep.world_size());
+                let mut b = MultiblockArray::<f64>::new(&g, ep.rank(), &[10, 10]);
+                b.fill_with(|c| (c[0] * 10 + c[1]) as f64);
+                let mut a = MultiblockArray::<f64>::new(&g, ep.rank(), &[10, 10]);
+                let ssec = RegularSection::of_bounds(&[(0, 5), (0, 10)]);
+                let dsec = RegularSection::of_bounds(&[(5, 10), (0, 10)]);
+                let sched = build_copy_schedule(ep, &g, &b, &ssec, &a, &dsec);
+                parti_copy(ep, &sched, &b, &mut a);
+                collect_owned(&a)
+            });
+            for vals in out.results {
+                for (i, j, v) in vals {
+                    let expect = if i >= 5 {
+                        ((i - 5) * 10 + j) as f64
+                    } else {
+                        0.0
+                    };
+                    assert_eq!(v, expect, "p={p} A[{i}][{j}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn native_schedule_matches_meta_chaos_motion() {
+        // Parti and Meta-Chaos must generate identical message structure
+        // (the paper's §4.1.4 claim, checked per rank).
+        let world = World::with_model(4, MachineModel::zero());
+        world.run(|ep| {
+            let g = Group::world(ep.world_size());
+            let b = MultiblockArray::<f64>::new(&g, ep.rank(), &[12, 12]);
+            let a = MultiblockArray::<f64>::new(&g, ep.rank(), &[12, 12]);
+            let ssec = RegularSection::of_bounds(&[(0, 6), (2, 12)]);
+            let dsec = RegularSection::of_bounds(&[(6, 12), (0, 10)]);
+            let native = build_copy_schedule(ep, &g, &b, &ssec, &a, &dsec);
+            let sset = SetOfRegions::single(ssec.clone());
+            let dset = SetOfRegions::single(dsec.clone());
+            let mc = compute_schedule(
+                ep,
+                &g,
+                &g,
+                Some(Side::new(&b, &sset)),
+                &g,
+                Some(Side::new(&a, &dset)),
+                BuildMethod::Duplication,
+            )
+            .unwrap();
+            assert_eq!(native.sends, mc.sends);
+            assert_eq!(native.recvs, mc.recvs);
+            assert_eq!(native.local_pairs, mc.local_pairs);
+        });
+    }
+
+    #[test]
+    fn reuse_native_schedule() {
+        let world = World::with_model(2, MachineModel::zero());
+        world.run(|ep| {
+            let g = Group::world(ep.world_size());
+            let mut b = MultiblockArray::<f64>::new(&g, ep.rank(), &[8, 8]);
+            let mut a = MultiblockArray::<f64>::new(&g, ep.rank(), &[8, 8]);
+            let sec = RegularSection::of_bounds(&[(0, 8), (0, 8)]);
+            let sched = build_copy_schedule(ep, &g, &b, &sec, &a, &sec);
+            for round in 0..3 {
+                b.fill_with(|c| (c[0] + c[1] + round) as f64);
+                parti_copy(ep, &sched, &b, &mut a);
+                let boxx = a.my_box();
+                for i in boxx[0].0..boxx[0].1 {
+                    for j in boxx[1].0..boxx[1].1 {
+                        assert_eq!(a.get(&[i, j]), (i + j + round) as f64);
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn parti_local_copy_costs_more_than_meta_chaos() {
+        // Single rank: the whole copy is local.  Parti stages through a
+        // buffer; Meta-Chaos copies directly — so Parti's virtual time for
+        // the copy must be strictly larger (§5.3).
+        let world = World::with_model(1, MachineModel::sp2());
+        let out = world.run(|ep| {
+            let g = Group::world(1);
+            let mut b = MultiblockArray::<f64>::new(&g, ep.rank(), &[64, 64]);
+            b.fill_with(|c| c[0] as f64);
+            let mut a = MultiblockArray::<f64>::new(&g, ep.rank(), &[64, 64]);
+            let sec = RegularSection::of_bounds(&[(0, 64), (0, 64)]);
+            let native = build_copy_schedule(ep, &g, &b, &sec, &a, &sec);
+            let t0 = ep.clock();
+            parti_copy(ep, &native, &b, &mut a);
+            let parti_time = ep.clock() - t0;
+
+            let sset = SetOfRegions::single(sec.clone());
+            let dset = SetOfRegions::single(sec.clone());
+            let mc = compute_schedule(
+                ep,
+                &g,
+                &g,
+                Some(Side::new(&b, &sset)),
+                &g,
+                Some(Side::new(&a, &dset)),
+                BuildMethod::Duplication,
+            )
+            .unwrap();
+            let t1 = ep.clock();
+            meta_chaos::datamove::data_move(ep, &mc, &b, &mut a);
+            let mc_time = ep.clock() - t1;
+            (parti_time, mc_time)
+        });
+        let (parti_time, mc_time) = out.results[0];
+        assert!(
+            parti_time > mc_time,
+            "parti {parti_time} should exceed meta-chaos {mc_time}"
+        );
+    }
+}

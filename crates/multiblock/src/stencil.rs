@@ -1,0 +1,445 @@
+//! General n-dimensional stencils over block-distributed arrays.
+//!
+//! [`Stencil`] describes an arbitrary set of (offset, coefficient) taps;
+//! [`StencilOp`] is its inspector/executor pairing: the halo schedule is
+//! built once for the stencil's radius, and each application performs one
+//! halo exchange plus a Jacobi-style update of every interior point.  The
+//! hardwired 5-point [`RegularSweep`](crate::sweep::RegularSweep) is the
+//! special case `Stencil::five_point()` (in 2-D).
+
+use mcsim::prelude::Endpoint;
+
+use crate::array::MultiblockArray;
+use crate::ghost::{build_ghost_schedule, exchange_halo, GhostSchedule};
+
+/// One tap of a stencil: a per-dimension offset and a coefficient.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tap {
+    /// Offset per dimension (e.g. `[-1, 0]` = north neighbour in 2-D).
+    pub offset: Vec<isize>,
+    /// Multiplicative coefficient.
+    pub coef: f64,
+}
+
+/// An n-dimensional linear stencil.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stencil {
+    taps: Vec<Tap>,
+    radius: usize,
+    ndim: usize,
+}
+
+impl Stencil {
+    /// Build from taps (all with the same dimensionality, at least one).
+    pub fn new(taps: Vec<Tap>) -> Self {
+        assert!(!taps.is_empty(), "stencil needs at least one tap");
+        let ndim = taps[0].offset.len();
+        assert!(ndim > 0);
+        let mut radius = 0usize;
+        for t in &taps {
+            assert_eq!(t.offset.len(), ndim, "mixed-dimensional taps");
+            for &o in &t.offset {
+                radius = radius.max(o.unsigned_abs());
+            }
+        }
+        Stencil { taps, radius, ndim }
+    }
+
+    /// The classic 2-D 5-point average (the paper's Figure 1 Loop 1).
+    pub fn five_point() -> Self {
+        Stencil::new(
+            [[0isize, -1], [-1, 0], [1, 0], [0, 1]]
+                .into_iter()
+                .map(|o| Tap {
+                    offset: o.to_vec(),
+                    coef: 0.25,
+                })
+                .collect(),
+        )
+    }
+
+    /// A 2-D 9-point box average.
+    pub fn nine_point() -> Self {
+        let mut taps = Vec::new();
+        for di in -1isize..=1 {
+            for dj in -1isize..=1 {
+                taps.push(Tap {
+                    offset: vec![di, dj],
+                    coef: 1.0 / 9.0,
+                });
+            }
+        }
+        Stencil::new(taps)
+    }
+
+    /// Maximum absolute offset (halo width required).
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// Dimensionality.
+    pub fn ndim(&self) -> usize {
+        self.ndim
+    }
+
+    /// The taps.
+    pub fn taps(&self) -> &[Tap] {
+        &self.taps
+    }
+}
+
+/// A stencil bound to an array's distribution: reusable halo schedule plus
+/// the update kernel.
+#[derive(Debug, Clone)]
+pub struct StencilOp {
+    stencil: Stencil,
+    ghost: GhostSchedule,
+    shape: Vec<usize>,
+}
+
+impl StencilOp {
+    /// Inspector: build the halo schedule for applying `stencil` to `arr`.
+    ///
+    /// The array's halo must be at least the stencil radius, and corners
+    /// are not exchanged, so diagonal taps require the blocks to be
+    /// face-adjacent only in the dimensions they reach through — for the
+    /// diagonal-free stencils (`five_point`, axis-aligned Laplacians) any
+    /// block grid works; for `nine_point` the grid must be 1-D in one of
+    /// the two dimensions or the interior must not touch block corners.
+    pub fn new(ep: &mut Endpoint, arr: &MultiblockArray<f64>, stencil: Stencil) -> Self {
+        assert_eq!(
+            arr.dist().shape().len(),
+            stencil.ndim(),
+            "stencil dimensionality must match the array"
+        );
+        assert!(
+            arr.dist().halo() >= stencil.radius(),
+            "array halo {} smaller than stencil radius {}",
+            arr.dist().halo(),
+            stencil.radius()
+        );
+        StencilOp {
+            ghost: build_ghost_schedule(ep, arr),
+            shape: arr.dist().shape().to_vec(),
+            stencil,
+        }
+    }
+
+    /// The stencil.
+    pub fn stencil(&self) -> &Stencil {
+        &self.stencil
+    }
+
+    /// Executor: one Jacobi application over all interior points (those
+    /// whose every tap stays inside the global domain).  Returns the
+    /// number of points this rank updated.
+    pub fn apply(&self, ep: &mut Endpoint, arr: &mut MultiblockArray<f64>) -> usize {
+        exchange_halo(ep, arr, &self.ghost);
+
+        let r = self.stencil.radius();
+        let boxx = arr.my_box();
+        let ndim = self.shape.len();
+        // Interior bounds per dim: intersect my box with [r, n - r).
+        let lo: Vec<usize> = (0..ndim).map(|d| boxx[d].0.max(r)).collect();
+        let hi: Vec<usize> = (0..ndim)
+            .map(|d| boxx[d].1.min(self.shape[d] - r))
+            .collect();
+        if (0..ndim).any(|d| lo[d] >= hi[d]) {
+            return 0;
+        }
+
+        // Gather new values first (Jacobi), then store.
+        let mut coords = lo.clone();
+        let mut new_vals = Vec::new();
+        let mut neighbor = vec![0usize; ndim];
+        loop {
+            let mut acc = 0.0;
+            for t in self.stencil.taps() {
+                for d in 0..ndim {
+                    neighbor[d] = (coords[d] as isize + t.offset[d]) as usize;
+                }
+                acc += t.coef * arr.get(&neighbor);
+            }
+            new_vals.push(acc);
+            let mut d = ndim;
+            loop {
+                if d == 0 {
+                    break;
+                }
+                d -= 1;
+                coords[d] += 1;
+                if coords[d] < hi[d] {
+                    break;
+                }
+                coords[d] = lo[d];
+                if d == 0 {
+                    // done
+                    coords = lo.clone();
+                    let updated = new_vals.len();
+                    let mut k = 0;
+                    loop {
+                        arr.set(&coords, new_vals[k]);
+                        k += 1;
+                        let mut dd = ndim;
+                        loop {
+                            if dd == 0 {
+                                ep.charge_flops(updated * 2 * self.stencil.taps().len());
+                                return updated;
+                            }
+                            dd -= 1;
+                            coords[dd] += 1;
+                            if coords[dd] < hi[dd] {
+                                break;
+                            }
+                            coords[dd] = lo[dd];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsim::group::Group;
+    use mcsim::model::MachineModel;
+    use mcsim::world::World;
+
+    fn run_parallel(stencil: Stencil, n: usize, p: usize, steps: usize) -> Vec<Vec<f64>> {
+        let world = World::with_model(p, MachineModel::zero());
+        let out = world.run(move |ep| {
+            let g = Group::world(p);
+            let r = stencil.radius();
+            let mut a = MultiblockArray::<f64>::with_halo(&g, ep.rank(), &[n, n], r);
+            a.fill_with(|c| ((c[0] * 5 + c[1] * 11) % 7) as f64);
+            let op = StencilOp::new(ep, &a, stencil.clone());
+            for _ in 0..steps {
+                op.apply(ep, &mut a);
+            }
+            let boxx = a.my_box();
+            let mut vals = Vec::new();
+            for i in boxx[0].0..boxx[0].1 {
+                for j in boxx[1].0..boxx[1].1 {
+                    vals.push((i, j, a.get(&[i, j])));
+                }
+            }
+            vals
+        });
+        let mut grid = vec![vec![0.0; n]; n];
+        for vals in out.results {
+            for (i, j, v) in vals {
+                grid[i][j] = v;
+            }
+        }
+        grid
+    }
+
+    fn run_reference(stencil: &Stencil, n: usize, steps: usize) -> Vec<Vec<f64>> {
+        let r = stencil.radius();
+        let mut a: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| ((i * 5 + j * 11) % 7) as f64).collect())
+            .collect();
+        for _ in 0..steps {
+            let old = a.clone();
+            for i in r..n - r {
+                for j in r..n - r {
+                    let mut acc = 0.0;
+                    for t in stencil.taps() {
+                        let ni = (i as isize + t.offset[0]) as usize;
+                        let nj = (j as isize + t.offset[1]) as usize;
+                        acc += t.coef * old[ni][nj];
+                    }
+                    a[i][j] = acc;
+                }
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn five_point_matches_hardwired_sweep_semantics() {
+        let got = run_parallel(Stencil::five_point(), 10, 2, 2);
+        let want = run_reference(&Stencil::five_point(), 10, 2);
+        for i in 0..10 {
+            for j in 0..10 {
+                assert!((got[i][j] - want[i][j]).abs() < 1e-12, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn axis_laplacian_radius_two() {
+        // 1-D-in-each-axis radius-2 stencil: no diagonal taps, so any grid
+        // shape is fine.
+        let taps = vec![
+            Tap {
+                offset: vec![-2, 0],
+                coef: -1.0 / 12.0,
+            },
+            Tap {
+                offset: vec![-1, 0],
+                coef: 4.0 / 3.0,
+            },
+            Tap {
+                offset: vec![0, 0],
+                coef: -2.5,
+            },
+            Tap {
+                offset: vec![1, 0],
+                coef: 4.0 / 3.0,
+            },
+            Tap {
+                offset: vec![2, 0],
+                coef: -1.0 / 12.0,
+            },
+            Tap {
+                offset: vec![0, -2],
+                coef: -1.0 / 12.0,
+            },
+            Tap {
+                offset: vec![0, -1],
+                coef: 4.0 / 3.0,
+            },
+            Tap {
+                offset: vec![0, 1],
+                coef: 4.0 / 3.0,
+            },
+            Tap {
+                offset: vec![0, 2],
+                coef: -1.0 / 12.0,
+            },
+        ];
+        let st = Stencil::new(taps);
+        assert_eq!(st.radius(), 2);
+        // Use a 1-D process decomposition so radius-2 halos along the
+        // split dimension suffice (faces only, no corners needed).
+        let got = run_parallel(st.clone(), 12, 3, 1);
+        let want = run_reference(&st, 12, 1);
+        for i in 0..12 {
+            for j in 0..12 {
+                assert!((got[i][j] - want[i][j]).abs() < 1e-12, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn three_dimensional_seven_point() {
+        // 3-D 7-point average on a 6x6x6 box over 4 procs.
+        let mut taps = vec![Tap {
+            offset: vec![0, 0, 0],
+            coef: 0.4,
+        }];
+        for d in 0..3 {
+            for s in [-1isize, 1] {
+                let mut o = vec![0isize; 3];
+                o[d] = s;
+                taps.push(Tap {
+                    offset: o,
+                    coef: 0.1,
+                });
+            }
+        }
+        let st = Stencil::new(taps);
+        let n = 6;
+        let world = World::with_model(4, MachineModel::zero());
+        let out = world.run(move |ep| {
+            let g = Group::world(4);
+            let mut a = MultiblockArray::<f64>::with_halo(&g, ep.rank(), &[n, n, n], 1);
+            a.fill_with(|c| ((c[0] * 3 + c[1] * 5 + c[2] * 7) % 4) as f64);
+            let op = StencilOp::new(ep, &a, st.clone());
+            op.apply(ep, &mut a);
+            let boxx = a.my_box();
+            let mut vals = Vec::new();
+            for i in boxx[0].0..boxx[0].1 {
+                for j in boxx[1].0..boxx[1].1 {
+                    for k in boxx[2].0..boxx[2].1 {
+                        vals.push((i, j, k, a.get(&[i, j, k])));
+                    }
+                }
+            }
+            vals
+        });
+        // Sequential reference.
+        let f = |i: usize, j: usize, k: usize| ((i * 3 + j * 5 + k * 7) % 4) as f64;
+        let mut want = vec![vec![vec![0.0f64; n]; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    want[i][j][k] = f(i, j, k);
+                }
+            }
+        }
+        let old = want.clone();
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                for k in 1..n - 1 {
+                    want[i][j][k] = 0.4 * old[i][j][k]
+                        + 0.1
+                            * (old[i - 1][j][k]
+                                + old[i + 1][j][k]
+                                + old[i][j - 1][k]
+                                + old[i][j + 1][k]
+                                + old[i][j][k - 1]
+                                + old[i][j][k + 1]);
+                }
+            }
+        }
+        for vals in out.results {
+            for (i, j, k, v) in vals {
+                assert!((v - want[i][j][k]).abs() < 1e-12, "({i},{j},{k})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "halo")]
+    fn insufficient_halo_rejected() {
+        let world = World::with_model(1, MachineModel::zero());
+        world.run(|ep| {
+            let g = Group::world(1);
+            let a = MultiblockArray::<f64>::with_halo(&g, ep.rank(), &[8, 8], 1);
+            let st = Stencil::new(vec![Tap {
+                offset: vec![2, 0],
+                coef: 1.0,
+            }]);
+            let _ = StencilOp::new(ep, &a, st);
+        });
+    }
+
+    #[test]
+    fn one_dimensional_stencil() {
+        let st = Stencil::new(vec![
+            Tap {
+                offset: vec![-1],
+                coef: 0.5,
+            },
+            Tap {
+                offset: vec![1],
+                coef: 0.5,
+            },
+        ]);
+        let world = World::with_model(2, MachineModel::zero());
+        let out = world.run(move |ep| {
+            let g = Group::world(2);
+            let mut a = MultiblockArray::<f64>::with_halo(&g, ep.rank(), &[8], 1);
+            a.fill_with(|c| c[0] as f64);
+            let op = StencilOp::new(ep, &a, st.clone());
+            let updated = op.apply(ep, &mut a);
+            let boxx = a.my_box();
+            let vals: Vec<(usize, f64)> =
+                (boxx[0].0..boxx[0].1).map(|x| (x, a.get(&[x]))).collect();
+            (updated, vals)
+        });
+        let total: usize = out.results.iter().map(|(u, _)| u).sum();
+        assert_eq!(total, 6); // interior 1..7
+        for (_, vals) in out.results {
+            for (x, v) in vals {
+                // Interior points average x-1 and x+1 (= x); the edges are
+                // untouched and still hold their initial value x.
+                assert_eq!(v, x as f64, "a[{x}]");
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! The complete Meta-Chaos integration of the Tulip collection — all a
+//! library must supply (paper §4.1.3): a Region type (we reuse
+//! [`IndexSet`]), a descriptor with `locate`, an owned-elements
+//! dereference, and pack/unpack.  Everything is closed-form because the
+//! deal distribution is `g % P`.
+
+use mcsim::error::SimError;
+use mcsim::group::Comm;
+use mcsim::prelude::Endpoint;
+use mcsim::wire::{Wire, WireReader};
+
+use meta_chaos::adapter::{Location, McDescriptor, McObject};
+use meta_chaos::region::IndexSet;
+use meta_chaos::setof::SetOfRegions;
+use meta_chaos::LocalAddr;
+
+use crate::collection::DistributedCollection;
+
+/// Descriptor of a dealt collection: size + member ranks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TulipDesc {
+    /// Collection size.
+    pub n: usize,
+    /// Global ranks of the owning program.
+    pub members: Vec<usize>,
+}
+
+impl Wire for TulipDesc {
+    fn write(&self, out: &mut Vec<u8>) {
+        self.n.write(out);
+        self.members.write(out);
+    }
+    fn read(r: &mut WireReader<'_>) -> Result<Self, SimError> {
+        Ok(TulipDesc {
+            n: usize::read(r)?,
+            members: Vec::<usize>::read(r)?,
+        })
+    }
+}
+
+impl McDescriptor for TulipDesc {
+    type Region = IndexSet;
+
+    fn locate(&self, set: &SetOfRegions<IndexSet>, pos: usize) -> Location {
+        let (ri, off) = set.locate_position(pos);
+        let g = set.regions()[ri].index(off);
+        let p = self.members.len();
+        Location {
+            rank: self.members[g % p],
+            addr: g / p,
+        }
+    }
+}
+
+impl<T: Copy + Default> McObject<T> for DistributedCollection<T> {
+    type Region = IndexSet;
+    type Descriptor = TulipDesc;
+
+    fn deref_owned(
+        &self,
+        comm: &mut Comm<'_>,
+        set: &SetOfRegions<IndexSet>,
+    ) -> Vec<(usize, LocalAddr)> {
+        let me = self.my_local();
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        for region in set.regions() {
+            for &g in region.indices() {
+                if self.owner_of(g) == me {
+                    out.push((pos, self.local_of(g)));
+                }
+                pos += 1;
+            }
+        }
+        comm.ep().charge_owner_calc(pos);
+        out
+    }
+
+    fn locate_positions(
+        &self,
+        comm: &mut Comm<'_>,
+        set: &SetOfRegions<IndexSet>,
+        positions: &[usize],
+    ) -> Vec<Location> {
+        let p = self.num_procs();
+        comm.ep().charge_owner_calc(positions.len());
+        positions
+            .iter()
+            .map(|&pos| {
+                let (ri, off) = set.locate_position(pos);
+                let g = set.regions()[ri].index(off);
+                Location {
+                    rank: self.members()[g % p],
+                    addr: g / p,
+                }
+            })
+            .collect()
+    }
+
+    fn descriptor(&self, _comm: &mut Comm<'_>) -> TulipDesc {
+        TulipDesc {
+            n: self.len(),
+            members: self.members().to_vec(),
+        }
+    }
+
+    fn pack(&self, ep: &mut Endpoint, addrs: &[LocalAddr], out: &mut Vec<T>) {
+        let data = self.local();
+        out.extend(addrs.iter().map(|&a| data[a]));
+        ep.charge_copy_bytes(addrs.len() * std::mem::size_of::<T>());
+    }
+
+    fn unpack(&mut self, ep: &mut Endpoint, addrs: &[LocalAddr], vals: &[T]) {
+        assert_eq!(addrs.len(), vals.len());
+        let data = self.local_mut();
+        for (&a, &v) in addrs.iter().zip(vals) {
+            data[a] = v;
+        }
+        ep.charge_copy_bytes(addrs.len() * std::mem::size_of::<T>());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsim::group::Group;
+    use mcsim::model::MachineModel;
+    use mcsim::world::World;
+    use meta_chaos::build::{compute_schedule, BuildMethod};
+    use meta_chaos::datamove::data_move;
+    use meta_chaos::Side;
+
+    #[test]
+    fn tulip_to_tulip_copy() {
+        let world = World::with_model(3, MachineModel::zero());
+        let out = world.run(|ep| {
+            let g = Group::world(3);
+            let mut src = DistributedCollection::<f64>::new(&g, ep.rank(), 12);
+            src.apply(|g, v| *v = g as f64 * 3.0);
+            let mut dst = DistributedCollection::<f64>::new(&g, ep.rank(), 12);
+            // dst[k] = src[11-k]
+            let sset = SetOfRegions::single(IndexSet::new((0..12).rev().collect()));
+            let dset = SetOfRegions::single(IndexSet::new((0..12).collect()));
+            let sched = compute_schedule(
+                ep,
+                &g,
+                &g,
+                Some(Side::new(&src, &sset)),
+                &g,
+                Some(Side::new(&dst, &dset)),
+                BuildMethod::Cooperation,
+            )
+            .unwrap();
+            data_move(ep, &sched, &src, &mut dst);
+            let mut got = Vec::new();
+            let me = dst.my_local();
+            let p = dst.num_procs();
+            for (l, &v) in dst.local().iter().enumerate() {
+                got.push((l * p + me, v));
+            }
+            got
+        });
+        for vals in out.results {
+            for (g, v) in vals {
+                assert_eq!(v, (11 - g) as f64 * 3.0, "dst[{g}]");
+            }
+        }
+    }
+
+    #[test]
+    fn descriptor_locate_agrees() {
+        let world = World::with_model(2, MachineModel::zero());
+        world.run(|ep| {
+            let g = Group::world(2);
+            let c = DistributedCollection::<f64>::new(&g, ep.rank(), 9);
+            let set = SetOfRegions::single(IndexSet::new(vec![8, 0, 5]));
+            let mut comm = Comm::new(ep, g);
+            let owned = c.deref_owned(&mut comm, &set);
+            let desc = c.descriptor(&mut comm);
+            let me = comm.ep_ref().rank();
+            for &(pos, addr) in &owned {
+                assert_eq!(desc.locate(&set, pos), Location { rank: me, addr });
+            }
+        });
+    }
+
+    #[test]
+    fn desc_wire_roundtrip() {
+        let d = TulipDesc {
+            n: 5,
+            members: vec![2, 4],
+        };
+        assert_eq!(TulipDesc::from_bytes(&d.to_bytes()).unwrap(), d);
+    }
+}

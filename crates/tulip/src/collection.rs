@@ -1,0 +1,128 @@
+//! A pC++-style distributed collection.
+//!
+//! pC++ distributes collections of element objects over processors; Tulip
+//! is its runtime.  The reproduction keeps the essential shape: `n`
+//! elements dealt round-robin (`element g` lives on rank `g % P` at local
+//! index `g / P`), with a parallel `apply` over owned elements.
+
+use mcsim::group::Group;
+
+/// One rank's share of a distributed collection.
+#[derive(Debug, Clone)]
+pub struct DistributedCollection<T> {
+    n: usize,
+    members: Vec<usize>,
+    my_local: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> DistributedCollection<T> {
+    /// Create an `n`-element collection on the program `prog`.
+    pub fn new(prog: &Group, me_global: usize, n: usize) -> Self {
+        let my_local = prog.local_of(me_global).expect("member rank");
+        let p = prog.size();
+        let mine = n / p + usize::from(my_local < n % p);
+        DistributedCollection {
+            n,
+            members: prog.members().to_vec(),
+            my_local,
+            data: vec![T::default(); mine],
+        }
+    }
+
+    /// Collection size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for an empty collection.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Global ranks of the owning program.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// This rank's program-local index.
+    pub fn my_local(&self) -> usize {
+        self.my_local
+    }
+
+    /// Program size.
+    pub fn num_procs(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Owning program-local rank of element `g`.
+    pub fn owner_of(&self, g: usize) -> usize {
+        g % self.num_procs()
+    }
+
+    /// Local index of element `g` on its owner.
+    pub fn local_of(&self, g: usize) -> usize {
+        g / self.num_procs()
+    }
+
+    /// Local elements.
+    pub fn local(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable local elements.
+    pub fn local_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Apply `f(global index, &mut element)` to every owned element —
+    /// pC++'s elementwise parallel method invocation.
+    pub fn apply(&mut self, mut f: impl FnMut(usize, &mut T)) {
+        let p = self.num_procs();
+        let me = self.my_local;
+        for (l, v) in self.data.iter_mut().enumerate() {
+            f(l * p + me, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsim::model::MachineModel;
+    use mcsim::world::World;
+
+    #[test]
+    fn deal_is_balanced_and_consistent() {
+        let world = World::with_model(3, MachineModel::zero());
+        let out = world.run(|ep| {
+            let g = Group::world(3);
+            let mut c = DistributedCollection::<f64>::new(&g, ep.rank(), 10);
+            c.apply(|g, v| *v = g as f64);
+            (c.local().to_vec(), ep.rank())
+        });
+        let mut seen = vec![false; 10];
+        for (vals, rank) in out.results {
+            for (l, v) in vals.into_iter().enumerate() {
+                let g = l * 3 + rank;
+                assert_eq!(v, g as f64);
+                seen[g] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn owner_math() {
+        let world = World::with_model(2, MachineModel::zero());
+        world.run(|ep| {
+            let g = Group::world(2);
+            let c = DistributedCollection::<f64>::new(&g, ep.rank(), 7);
+            for g in 0..7 {
+                assert_eq!(c.owner_of(g), g % 2);
+                assert_eq!(c.local_of(g), g / 2);
+            }
+            assert_eq!(c.len(), 7);
+        });
+    }
+}

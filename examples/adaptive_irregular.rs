@@ -1,0 +1,153 @@
+//! Adaptive irregular computation: repartition and remap at runtime.
+//!
+//! Chaos's home turf (and the paper's motivation for point-wise
+//! distributions) is *adaptive* irregular codes: after the mesh adapts,
+//! the partitioner runs again and every array is **remapped** onto the new
+//! distribution.  This example walks the full cycle:
+//!
+//! 1. partition mesh points geometrically with RCB,
+//! 2. build the inspector (gather/scatter schedule) and sweep,
+//! 3. "adapt": refine activity in one corner of the domain,
+//! 4. repartition with RCB on the new activity weights, remap the arrays,
+//!    rebuild the inspector, and keep sweeping — data intact.
+//!
+//! Run with `cargo run --example adaptive_irregular`.
+
+use mcsim::group::{Comm, Group};
+use mcsim::{MachineModel, World};
+
+use chaos::partition::rcb_indices_of;
+use chaos::{remap, IrregArray, IrregularSweep};
+
+const SIDE: usize = 48;
+const NODES: usize = SIDE * SIDE;
+
+fn coords() -> Vec<(f64, f64)> {
+    (0..NODES)
+        .map(|k| ((k / SIDE) as f64, (k % SIDE) as f64))
+        .collect()
+}
+
+/// Geometric edges concentrated by `focus`: 0 = uniform, 1 = bottom-left.
+fn edges(focus: bool, m: usize) -> Vec<(usize, usize)> {
+    let pick = |e: usize| -> (usize, usize) {
+        let (i, j) = if focus {
+            ((e * 13 + 5) % (SIDE / 2), (e * 31 + 7) % (SIDE / 2))
+        } else {
+            ((e * 13 + 5) % SIDE, (e * 31 + 7) % SIDE)
+        };
+        let ni = (i + 1).min(SIDE - 1);
+        let nj = (j + 2).min(SIDE - 1);
+        (i * SIDE + j, ni * SIDE + nj)
+    };
+    (0..m).map(pick).collect()
+}
+
+fn main() {
+    let procs = 4;
+    println!("adaptive irregular mesh: {NODES} points on {procs} processors\n");
+
+    let world = World::with_model(procs, MachineModel::sp2());
+    let out = world.run(move |ep| {
+        let g = Group::world(procs);
+        let me = g.local_of(ep.rank()).expect("member");
+
+        // Phase 1: uniform activity, RCB partition on coordinates.
+        let part1 = rcb_indices_of(&coords(), procs, me);
+        let (mut x, mut y) = {
+            let mut comm = Comm::new(ep, g.clone());
+            let x = {
+                let t =
+                    std::sync::Arc::new(chaos::TranslationTable::build(&mut comm, NODES, &part1));
+                IrregArray::over_table(t, part1.clone(), |gi| (gi % 10) as f64)
+            };
+            let y = IrregArray::over_table(x.table().clone(), x.my_globals().to_vec(), |_| 0.0);
+            (x, y)
+        };
+        let e1 = edges(false, 2 * NODES);
+        let my_e1: Vec<(usize, usize)> = {
+            let mine: std::collections::HashSet<usize> = part1.iter().copied().collect();
+            e1.into_iter().filter(|&(u, _)| mine.contains(&u)).collect()
+        };
+        let sweep1 = {
+            let mut comm = Comm::new(ep, g.clone());
+            IrregularSweep::new(&mut comm, x.table(), &my_e1)
+        };
+        let t0 = Comm::new(ep, g.clone()).sync_clocks();
+        for _ in 0..3 {
+            let mut comm = Comm::new(ep, g.clone());
+            sweep1.step(&mut comm, &x, &mut y);
+        }
+        let t1 = Comm::new(ep, g.clone()).sync_clocks();
+
+        // Phase 2: activity concentrates; repartition by weighted
+        // coordinates (duplicate the hot corner's points in the RCB input
+        // by weighting — here simply partition the hot subdomain's
+        // points evenly by feeding RCB only their coordinates scaled up).
+        let e2 = edges(true, 2 * NODES);
+        let mut weighted = coords();
+        for (u, v) in &e2 {
+            // Pull the partitioner's attention to active points by
+            // perturbing them toward their edge partners (a crude but
+            // deterministic activity weighting).
+            let (ui, uj) = (weighted[*u].0, weighted[*u].1);
+            let (vi, vj) = (weighted[*v].0, weighted[*v].1);
+            weighted[*u] = (ui * 0.999 + vi * 0.001, uj * 0.999 + vj * 0.001);
+        }
+        let part2 = rcb_indices_of(&weighted, procs, me);
+
+        // Remap both arrays onto the new partition — values preserved.
+        let (x2, mut y2) = {
+            let mut comm = Comm::new(ep, g.clone());
+            let x2 = remap(&mut comm, &x, part2.clone());
+            let y2 = remap(&mut comm, &y, part2.clone());
+            (x2, y2)
+        };
+        x = x2;
+        let my_e2: Vec<(usize, usize)> = {
+            let mine: std::collections::HashSet<usize> = part2.iter().copied().collect();
+            e2.into_iter().filter(|&(u, _)| mine.contains(&u)).collect()
+        };
+        let sweep2 = {
+            let mut comm = Comm::new(ep, g.clone());
+            IrregularSweep::new(&mut comm, x.table(), &my_e2)
+        };
+        let t2 = Comm::new(ep, g.clone()).sync_clocks();
+        for _ in 0..3 {
+            let mut comm = Comm::new(ep, g.clone());
+            sweep2.step(&mut comm, &x, &mut y2);
+        }
+        let t3 = Comm::new(ep, g.clone()).sync_clocks();
+
+        let checksum = {
+            let local: f64 = y2.local().iter().sum();
+            let mut comm = Comm::new(ep, g.clone());
+            comm.allreduce_sum(local)
+        };
+        (
+            sweep1.num_ghosts(),
+            sweep2.num_ghosts(),
+            (t1 - t0) / 3.0,
+            (t3 - t2) / 3.0,
+            checksum,
+        )
+    });
+
+    let ghosts1: usize = out.results.iter().map(|r| r.0).sum();
+    let ghosts2: usize = out.results.iter().map(|r| r.1).sum();
+    let (_, _, step1, step2, checksum) = out.results[0];
+    println!(
+        "phase 1 (uniform activity):   {ghosts1:5} ghosts, {:.2} ms/step",
+        step1 * 1e3
+    );
+    println!(
+        "phase 2 (after remap):        {ghosts2:5} ghosts, {:.2} ms/step",
+        step2 * 1e3
+    );
+    println!("\nflux checksum after both phases: {checksum:.3}");
+    println!(
+        "the remap migrated every array element to its new owner (verified\n\
+         by the chaos::remap test suite); schedules were rebuilt once and\n\
+         reused for all subsequent steps."
+    );
+}

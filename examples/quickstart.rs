@@ -1,0 +1,95 @@
+//! Quickstart: the paper's Figure 9 scenario in miniature.
+//!
+//! Two HPF-style distributed arrays with *different* distributions
+//! exchange an array section through Meta-Chaos:
+//!
+//! ```text
+//! A[0:4, 1:7) = B[5:9, 5:11)
+//! ```
+//!
+//! Run with `cargo run --example quickstart`.
+
+use mcsim::group::Group;
+use mcsim::{MachineModel, World};
+use meta_chaos::build::{compute_schedule, BuildMethod};
+use meta_chaos::datamove::data_move;
+use meta_chaos::region::RegularSection;
+use meta_chaos::setof::SetOfRegions;
+use meta_chaos::Side;
+
+use hpf::{DistKind, HpfArray, HpfDist};
+
+fn main() {
+    let procs = 4;
+    println!("Meta-Chaos quickstart on {procs} simulated processors\n");
+
+    let world = World::with_model(procs, MachineModel::sp2());
+    let out = world.run(|ep| {
+        let g = Group::world(ep.world_size());
+
+        // B: 12x12, (BLOCK, BLOCK) over a 2x2 processor grid.
+        let mut b = HpfArray::<f64>::new(&g, ep.rank(), HpfDist::block_block(12, 12, 2, 2));
+        b.for_each_owned(|c, v| *v = (c[0] * 100 + c[1]) as f64);
+
+        // A: 8x8, (CYCLIC, BLOCK) — a completely different distribution.
+        let mut a = HpfArray::<f64>::new(
+            &g,
+            ep.rank(),
+            HpfDist::new(
+                vec![8, 8],
+                vec![DistKind::Cyclic(1), DistKind::Block],
+                vec![2, 2],
+            ),
+        );
+
+        // Step 1+2: describe both sides as SetOfRegions.
+        let src = SetOfRegions::single(RegularSection::of_bounds(&[(5, 9), (5, 11)]));
+        let dst = SetOfRegions::single(RegularSection::of_bounds(&[(0, 4), (1, 7)]));
+
+        // Step 3: build the communication schedule (collective).
+        let sched = compute_schedule(
+            ep,
+            &g,
+            &g,
+            Some(Side::new(&b, &src)),
+            &g,
+            Some(Side::new(&a, &dst)),
+            BuildMethod::Cooperation,
+        )
+        .expect("schedule");
+
+        // Step 4: move the data (reusable as often as needed).
+        data_move(ep, &sched, &b, &mut a);
+
+        // Collect this rank's view of A for printing on rank 0.
+        let mut mine = Vec::new();
+        for i in 0..8 {
+            for j in 0..8 {
+                if a.owns(&[i, j]) {
+                    mine.push((i, j, a.get(&[i, j])));
+                }
+            }
+        }
+        (mine, sched.msgs_out(), ep.clock())
+    });
+
+    // Reassemble and print the destination array.
+    let mut grid = [[0.0f64; 8]; 8];
+    let mut msgs = 0;
+    for (vals, m, _) in &out.results {
+        msgs += m;
+        for &(i, j, v) in vals {
+            grid[i][j] = v;
+        }
+    }
+    println!("A after the copy (rows 0..8):");
+    for row in &grid {
+        let line: Vec<String> = row.iter().map(|v| format!("{v:4.0}")).collect();
+        println!("  {}", line.join(" "));
+    }
+    println!("\nexpected: A[i][j] = B[i+5][j+4] = (i+5)*100 + (j+4) for i<4, 1<=j<7");
+    println!(
+        "total messages: {msgs}; simulated elapsed: {:.3} ms",
+        out.elapsed * 1e3
+    );
+}

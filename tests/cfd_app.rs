@@ -1,0 +1,255 @@
+//! End-to-end test of the paper's motivating application (Figure 1): a
+//! time-step loop sweeping a structured mesh (Multiblock Parti) and an
+//! unstructured mesh (Chaos), exchanging boundary data through Meta-Chaos
+//! between the sweeps.
+//!
+//! The same computation is run three ways and must produce *identical*
+//! results:
+//!
+//! 1. sequentially (plain Rust reference),
+//! 2. as one SPMD program using both libraries,
+//! 3. as two separate programs coupled by Meta-Chaos.
+
+use mcsim::group::{Comm, Group};
+use meta_chaos::build::{compute_schedule, BuildMethod};
+use meta_chaos::datamove::{data_move, data_move_recv, data_move_send};
+use meta_chaos::region::{IndexSet, RegularSection};
+use meta_chaos::setof::SetOfRegions;
+use meta_chaos::Side;
+use meta_chaos_repro::test_world;
+
+use chaos::{IrregArray, IrregularSweep, Partition};
+use multiblock::sweep::RegularSweep;
+use multiblock::MultiblockArray;
+
+const SIDE: usize = 12;
+const NODES: usize = SIDE * SIDE;
+const STEPS: usize = 3;
+
+/// Boundary mapping: mesh point (i,j) <-> irregular node perm(i*SIDE+j).
+fn mapping() -> Vec<usize> {
+    (0..NODES).map(|k| (k * 29 + 3) % NODES).collect() // 29 coprime to 144
+}
+
+fn edges() -> Vec<(usize, usize)> {
+    (0..2 * NODES)
+        .map(|e| ((e * 13 + 5) % NODES, (e * 31 + 7) % NODES))
+        .collect()
+}
+
+fn init_mesh(i: usize, j: usize) -> f64 {
+    ((i * 7 + j * 3) % 11) as f64
+}
+
+/// Plain sequential reference of the Figure-1 loop.
+fn reference() -> Vec<f64> {
+    let perm = mapping();
+    let edge_list = edges();
+    let mut a: Vec<Vec<f64>> = (0..SIDE)
+        .map(|i| (0..SIDE).map(|j| init_mesh(i, j)).collect())
+        .collect();
+    let mut x = vec![0.0f64; NODES];
+    let mut y = vec![0.0f64; NODES];
+    for _ in 0..STEPS {
+        // Loop 1: structured sweep (Jacobi, scaled by 1/4).
+        let old = a.clone();
+        for i in 1..SIDE - 1 {
+            for j in 1..SIDE - 1 {
+                a[i][j] = 0.25 * (old[i][j - 1] + old[i - 1][j] + old[i + 1][j] + old[i][j + 1]);
+            }
+        }
+        // Loop 2: regular -> irregular boundary exchange.
+        for k in 0..NODES {
+            x[perm[k]] = a[k / SIDE][k % SIDE];
+        }
+        // Loop 3: unstructured sweep (accumulating).
+        for &(u, v) in &edge_list {
+            let c = 0.25 * (x[u] + x[v]);
+            y[u] += c;
+            y[v] += c;
+        }
+        // Loop 4: irregular -> regular exchange (of y this time, so the
+        // meshes genuinely interact across steps).
+        for k in 0..NODES {
+            a[k / SIDE][k % SIDE] = y[perm[k]];
+        }
+    }
+    // Flattened final mesh.
+    (0..NODES).map(|k| a[k / SIDE][k % SIDE]).collect()
+}
+
+/// One SPMD program using both libraries.
+fn one_program(p: usize) -> Vec<f64> {
+    let out = test_world(p).run(move |ep| {
+        let g = Group::world(p);
+        let perm = mapping();
+        let edge_list = edges();
+        let mut a = MultiblockArray::<f64>::with_halo(&g, ep.rank(), &[SIDE, SIDE], 1);
+        a.fill_with(|c| init_mesh(c[0], c[1]));
+        let (x, mut y) = {
+            let mut comm = Comm::new(ep, g.clone());
+            let x = IrregArray::create(&mut comm, NODES, Partition::Random(5), |_| 0.0);
+            let y = IrregArray::over_table(x.table().clone(), x.my_globals().to_vec(), |_| 0.0);
+            (x, y)
+        };
+        let mut x = x;
+        let me = g.local_of(ep.rank()).expect("member");
+        let chunk = edge_list.len().div_ceil(p);
+        let lo = (me * chunk).min(edge_list.len());
+        let hi = ((me + 1) * chunk).min(edge_list.len());
+
+        // Inspectors.
+        let reg = RegularSweep::new(ep, &a);
+        let irr = {
+            let mut comm = Comm::new(ep, g.clone());
+            IrregularSweep::new(&mut comm, x.table(), &edge_list[lo..hi])
+        };
+        let mesh_set = SetOfRegions::single(RegularSection::whole(&[SIDE, SIDE]));
+        let node_set = SetOfRegions::single(IndexSet::new(perm.clone()));
+        let to_irreg = compute_schedule(
+            ep,
+            &g,
+            &g,
+            Some(Side::new(&a, &mesh_set)),
+            &g,
+            Some(Side::new(&x, &node_set)),
+            BuildMethod::Cooperation,
+        )
+        .unwrap();
+
+        // Executor loop.
+        for _ in 0..STEPS {
+            reg.step(ep, &mut a);
+            data_move(ep, &to_irreg, &a, &mut x);
+            let mut comm = Comm::new(ep, g.clone());
+            irr.step(&mut comm, &x, &mut y);
+            // Loop 4 copies y back into the mesh through the reversed
+            // schedule (y shares x's distribution).
+            data_move(ep, &to_irreg.reversed(), &y, &mut a);
+        }
+        let boxx = a.my_box();
+        let mut out = Vec::new();
+        for i in boxx[0].0..boxx[0].1 {
+            for j in boxx[1].0..boxx[1].1 {
+                out.push((i * SIDE + j, a.get(&[i, j])));
+            }
+        }
+        out
+    });
+    let mut flat = vec![f64::NAN; NODES];
+    for vals in out.results {
+        for (k, v) in vals {
+            flat[k] = v;
+        }
+    }
+    flat
+}
+
+/// Two separate programs coupled by Meta-Chaos.
+fn two_programs(preg: usize, pirreg: usize) -> Vec<f64> {
+    let out = test_world(preg + pirreg).run(move |ep| {
+        let (pa, pb, un) = Group::split_two(preg, pirreg, 32);
+        let perm = mapping();
+        let edge_list = edges();
+        let mesh_set = SetOfRegions::single(RegularSection::whole(&[SIDE, SIDE]));
+        let node_set = SetOfRegions::single(IndexSet::new(perm.clone()));
+        if pa.contains(ep.rank()) {
+            // Structured-mesh program.
+            let mut a = MultiblockArray::<f64>::with_halo(&pa, ep.rank(), &[SIDE, SIDE], 1);
+            a.fill_with(|c| init_mesh(c[0], c[1]));
+            let reg = RegularSweep::new(ep, &a);
+            let sched = compute_schedule::<f64, MultiblockArray<f64>, IrregArray<f64>>(
+                ep,
+                &un,
+                &pa,
+                Some(Side::new(&a, &mesh_set)),
+                &pb,
+                None,
+                BuildMethod::Cooperation,
+            )
+            .unwrap();
+            for _ in 0..STEPS {
+                reg.step(ep, &mut a);
+                data_move_send(ep, &sched, &a);
+                data_move_recv(ep, &sched.reversed(), &mut a);
+            }
+            let boxx = a.my_box();
+            let mut out = Vec::new();
+            for i in boxx[0].0..boxx[0].1 {
+                for j in boxx[1].0..boxx[1].1 {
+                    out.push((i * SIDE + j, a.get(&[i, j])));
+                }
+            }
+            out
+        } else {
+            // Unstructured-mesh program.
+            let (mut x, mut y, irr) = {
+                let mut comm = Comm::new(ep, pb.clone());
+                let x = IrregArray::create(&mut comm, NODES, Partition::Random(5), |_| 0.0);
+                let y = IrregArray::over_table(x.table().clone(), x.my_globals().to_vec(), |_| 0.0);
+                let me = comm.rank();
+                let chunk = edge_list.len().div_ceil(pb.size());
+                let lo = (me * chunk).min(edge_list.len());
+                let hi = ((me + 1) * chunk).min(edge_list.len());
+                let irr = IrregularSweep::new(&mut comm, x.table(), &edge_list[lo..hi]);
+                (x, y, irr)
+            };
+            let sched = compute_schedule::<f64, MultiblockArray<f64>, IrregArray<f64>>(
+                ep,
+                &un,
+                &pa,
+                None,
+                &pb,
+                Some(Side::new(&x, &node_set)),
+                BuildMethod::Cooperation,
+            )
+            .unwrap();
+            for _ in 0..STEPS {
+                data_move_recv(ep, &sched, &mut x);
+                let mut comm = Comm::new(ep, pb.clone());
+                irr.step(&mut comm, &x, &mut y);
+                data_move_send(ep, &sched.reversed(), &y);
+            }
+            Vec::new()
+        }
+    });
+    let mut flat = vec![f64::NAN; NODES];
+    for vals in out.results {
+        for (k, v) in vals {
+            flat[k] = v;
+        }
+    }
+    flat
+}
+
+#[test]
+fn one_program_matches_sequential_reference() {
+    let want = reference();
+    for p in [1, 2, 4] {
+        let got = one_program(p);
+        for k in 0..NODES {
+            assert!(
+                (got[k] - want[k]).abs() < 1e-9,
+                "p={p} mesh[{k}]: {} vs {}",
+                got[k],
+                want[k]
+            );
+        }
+    }
+}
+
+#[test]
+fn two_programs_match_sequential_reference() {
+    let want = reference();
+    for (preg, pirreg) in [(1, 2), (2, 2), (2, 3)] {
+        let got = two_programs(preg, pirreg);
+        for k in 0..NODES {
+            assert!(
+                (got[k] - want[k]).abs() < 1e-9,
+                "({preg},{pirreg}) mesh[{k}]: {} vs {}",
+                got[k],
+                want[k]
+            );
+        }
+    }
+}

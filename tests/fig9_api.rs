@@ -1,0 +1,112 @@
+//! The paper's Figure 9, transliterated through the paper-flavoured API
+//! (`meta_chaos::api`): two HPF programs exchanging an array section.
+//!
+//! Amusingly, the figure's literal bounds do not pair up:
+//! `B(50:100, 50:100)` is 51×51 = 2601 elements while
+//! `A(1:50, 10:60)` is 50×51 = 2550.  The first test shows Meta-Chaos
+//! *catching* that erratum (the "only constraint" of §4.1.2); the second
+//! runs the corrected transfer end to end.
+
+use mcsim::group::Group;
+use meta_chaos::api::{
+    create_region_hpf, mc_add_region_2_set, mc_compute_sched_dst, mc_compute_sched_src,
+    mc_data_move_recv, mc_data_move_send, mc_new_set_of_region,
+};
+use meta_chaos::McError;
+use meta_chaos_repro::test_world;
+
+use hpf::{HpfArray, HpfDist};
+
+#[test]
+fn paper_figure9_bounds_are_mismatched_and_detected() {
+    let out = test_world(4).run(|ep| {
+        let (src_prog, dst_prog, un) = Group::split_two(2, 2, 32);
+        if src_prog.contains(ep.rank()) {
+            // program source: B(200,100), distribute (block, block)
+            let b =
+                HpfArray::<f64>::new(&src_prog, ep.rank(), HpfDist::block_block(200, 100, 2, 1));
+            // Rleft = (50, 50); Rright = (100, 100)
+            let region = create_region_hpf(&[50, 50], &[100, 100]);
+            let mut set = mc_new_set_of_region();
+            mc_add_region_2_set(region, &mut set);
+            mc_compute_sched_src::<f64, HpfArray<f64>, HpfArray<f64>>(
+                ep, &un, &src_prog, &b, &set, &dst_prog,
+            )
+            .unwrap_err()
+        } else {
+            // program destination: A(50,60), distribute (block, block)
+            let a = HpfArray::<f64>::new(&dst_prog, ep.rank(), HpfDist::block_block(50, 60, 2, 1));
+            // Rleft = (1, 10); Rright = (50, 60)
+            let region = create_region_hpf(&[1, 10], &[50, 60]);
+            let mut set = mc_new_set_of_region();
+            mc_add_region_2_set(region, &mut set);
+            mc_compute_sched_dst::<f64, HpfArray<f64>, HpfArray<f64>>(
+                ep, &un, &src_prog, &dst_prog, &a, &set,
+            )
+            .unwrap_err()
+        }
+    });
+    for e in out.results {
+        assert_eq!(
+            e,
+            McError::LengthMismatch {
+                src: 51 * 51,
+                dst: 50 * 51
+            }
+        );
+    }
+}
+
+#[test]
+fn corrected_figure9_transfer_runs() {
+    // Shrink the source's first dimension by one: B(51:100, 50:100).
+    let out = test_world(4).run(|ep| {
+        let (src_prog, dst_prog, un) = Group::split_two(2, 2, 32);
+        if src_prog.contains(ep.rank()) {
+            let mut b =
+                HpfArray::<f64>::new(&src_prog, ep.rank(), HpfDist::block_block(200, 100, 2, 1));
+            b.for_each_owned(|c, v| *v = (c[0] * 1000 + c[1]) as f64);
+            let region = create_region_hpf(&[51, 50], &[100, 100]);
+            let mut set = mc_new_set_of_region();
+            mc_add_region_2_set(region, &mut set);
+            let sched = mc_compute_sched_src::<f64, HpfArray<f64>, HpfArray<f64>>(
+                ep, &un, &src_prog, &b, &set, &dst_prog,
+            )
+            .unwrap();
+            mc_data_move_send(ep, &sched, &b);
+            Vec::new()
+        } else {
+            let mut a =
+                HpfArray::<f64>::new(&dst_prog, ep.rank(), HpfDist::block_block(50, 60, 2, 1));
+            let region = create_region_hpf(&[1, 10], &[50, 60]);
+            let mut set = mc_new_set_of_region();
+            mc_add_region_2_set(region, &mut set);
+            let sched = mc_compute_sched_dst::<f64, HpfArray<f64>, HpfArray<f64>>(
+                ep, &un, &src_prog, &dst_prog, &a, &set,
+            )
+            .unwrap();
+            mc_data_move_recv(ep, &sched, &mut a);
+            let mut got = Vec::new();
+            for i in 0..50 {
+                for j in 0..60 {
+                    if a.owns(&[i, j]) {
+                        got.push((i, j, a.get(&[i, j])));
+                    }
+                }
+            }
+            got
+        }
+    });
+    // A[1:50, 10:60] (1-based incl) = A[0..50, 9..60) receives
+    // B[51:100, 50:100] = B[50..100, 49..100).
+    for vals in &out.results[2..] {
+        for &(i, j, v) in vals {
+            let expect = if (9..60).contains(&j) {
+                ((i + 50) * 1000 + (j - 9 + 49)) as f64
+            } else {
+                0.0
+            };
+            assert_eq!(v, expect, "A[{i}][{j}]");
+        }
+    }
+}

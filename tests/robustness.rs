@@ -1,0 +1,151 @@
+//! Robustness properties: hostile wire input never panics, distribution
+//! arithmetic round-trips under random parameters, HPF shifts agree with
+//! their sequential semantics, and communication traces account for every
+//! message.
+
+use proptest::prelude::*;
+
+use mcsim::group::Group;
+use mcsim::trace::summarize;
+use mcsim::wire::Wire;
+use meta_chaos_repro::test_world;
+
+use hpf::{cshift, HpfArray, HpfDist};
+use multiblock::{BlockDist, ProcGrid};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Decoding arbitrary bytes must fail cleanly, never panic or
+    /// over-allocate.
+    #[test]
+    fn wire_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Vec::<f64>::from_bytes(&bytes);
+        let _ = Vec::<u32>::from_bytes(&bytes);
+        let _ = String::from_bytes(&bytes);
+        let _ = Vec::<(usize, u32)>::from_bytes(&bytes);
+        let _ = Option::<Vec<u64>>::from_bytes(&bytes);
+        let _ = meta_chaos::region::RegularSection::from_bytes(&bytes);
+        let _ = meta_chaos::region::IndexSet::from_bytes(&bytes);
+        let _ = multiblock::BlockDesc::from_bytes(&bytes);
+        let _ = chaos::IrregDesc::from_bytes(&bytes);
+        let _ = hpf::HpfDesc::from_bytes(&bytes);
+        let _ = tulip::TulipDesc::from_bytes(&bytes);
+    }
+
+    /// Every wire value must survive an encode/decode round trip.
+    #[test]
+    fn wire_roundtrip_structured(
+        v in proptest::collection::vec((any::<u32>(), any::<f64>()), 0..20),
+        s in "[a-zA-Z0-9 ]{0,24}",
+    ) {
+        let b = v.to_bytes();
+        let back = Vec::<(u32, f64)>::from_bytes(&b).unwrap();
+        prop_assert_eq!(back.len(), v.len());
+        for ((a1, b1), (a2, b2)) in v.iter().zip(&back) {
+            prop_assert_eq!(a1, a2);
+            prop_assert!((b1 == b2) || (b1.is_nan() && b2.is_nan()));
+        }
+        let owned = s.to_string();
+        prop_assert_eq!(String::from_bytes(&owned.to_bytes()).unwrap(), owned);
+    }
+
+    /// Block distribution owner/local-address arithmetic must be a
+    /// bijection between owned coordinates and dense local addresses.
+    #[test]
+    fn block_dist_addressing_bijective(
+        n0 in 1usize..12, n1 in 1usize..12,
+        g0 in 1usize..4, g1 in 1usize..4,
+        halo in 0usize..3,
+    ) {
+        prop_assume!(n0 >= g0 && n1 >= g1);
+        let d = BlockDist::new(vec![n0, n1], ProcGrid::new(vec![g0, g1]), halo);
+        for rank in 0..g0 * g1 {
+            let mut seen = std::collections::HashSet::new();
+            let boxx = d.owned_box(rank);
+            for i in boxx[0].0..boxx[0].1 {
+                for j in boxx[1].0..boxx[1].1 {
+                    prop_assert_eq!(d.owner(&[i, j]), rank);
+                    let a = d.local_addr(rank, &[i, j]);
+                    prop_assert!(a < d.local_alloc_len(rank));
+                    prop_assert!(seen.insert(a), "addr {} reused", a);
+                    prop_assert_eq!(d.global_coords(rank, a), Some(vec![i, j]));
+                }
+            }
+        }
+    }
+
+    /// Parallel CSHIFT equals the sequential definition for random sizes,
+    /// shifts and process counts.
+    #[test]
+    fn cshift_matches_sequential(
+        n in 2usize..20,
+        p in 1usize..4,
+        shift in -25isize..25,
+    ) {
+        prop_assume!(n >= p);
+        let out = test_world(p).run(move |ep| {
+            let g = Group::world(p);
+            let mut a = HpfArray::<f64>::new(&g, ep.rank(), HpfDist::block_1d(n, p));
+            a.for_each_owned(|c, v| *v = (c[0] * 3) as f64);
+            let r = cshift(ep, &g, &a, 0, shift);
+            (0..n)
+                .filter(|&x| r.owns(&[x]))
+                .map(|x| (x, r.get(&[x])))
+                .collect::<Vec<_>>()
+        });
+        for vals in out.results {
+            for (i, v) in vals {
+                let want = ((i as isize + shift).rem_euclid(n as isize) * 3) as f64;
+                prop_assert_eq!(v, want, "n={} p={} shift={} r[{}]", n, p, shift, i);
+            }
+        }
+    }
+}
+
+/// Trace accounting: sends on one side equal receives on the other, with
+/// matching byte totals, through a full Meta-Chaos transfer.
+#[test]
+fn traces_balance_across_ranks() {
+    use chaos::{IrregArray, Partition};
+    use mcsim::group::Comm;
+    use meta_chaos::build::{compute_schedule, BuildMethod};
+    use meta_chaos::datamove::data_move;
+    use meta_chaos::region::{IndexSet, RegularSection};
+    use meta_chaos::setof::SetOfRegions;
+    use meta_chaos::Side;
+    use multiblock::MultiblockArray;
+
+    let n = 36;
+    let out = test_world(3).run(move |ep| {
+        ep.enable_trace();
+        let g = Group::world(3);
+        let mut a = MultiblockArray::<f64>::new(&g, ep.rank(), &[n]);
+        a.fill_with(|c| c[0] as f64);
+        let mut x = {
+            let mut comm = Comm::new(ep, g.clone());
+            IrregArray::create(&mut comm, n, Partition::Random(5), |_| 0.0)
+        };
+        let sset = SetOfRegions::single(RegularSection::whole(&[n]));
+        let dset = SetOfRegions::single(IndexSet::new((0..n).rev().collect()));
+        let sched = compute_schedule(
+            ep,
+            &g,
+            &g,
+            Some(Side::new(&a, &sset)),
+            &g,
+            Some(Side::new(&x, &dset)),
+            BuildMethod::Cooperation,
+        )
+        .unwrap();
+        data_move(ep, &sched, &a, &mut x);
+        summarize(&ep.take_trace())
+    });
+    let sends: usize = out.results.iter().map(|s| s.sends).sum();
+    let recvs: usize = out.results.iter().map(|s| s.recvs).sum();
+    let bytes_out: usize = out.results.iter().map(|s| s.bytes_out).sum();
+    let bytes_in: usize = out.results.iter().map(|s| s.bytes_in).sum();
+    assert_eq!(sends, recvs, "every send must be received");
+    assert_eq!(bytes_out, bytes_in, "every byte must be received");
+    assert!(sends > 0);
+}

@@ -1,0 +1,289 @@
+//! Property-based tests of the Meta-Chaos core invariants:
+//!
+//! * a copy always equals the sequential reference `dst[perm_d[k]] =
+//!   src[perm_s[k]]`, for random region structures and distributions;
+//! * cooperation and duplication build identical data motion;
+//! * every destination element is delivered exactly once;
+//! * reversing a schedule and copying back restores the source;
+//! * block/cyclic owner arithmetic is self-consistent.
+
+use proptest::prelude::*;
+
+use mcsim::group::{Comm, Group};
+use meta_chaos::build::{compute_schedule, BuildMethod};
+use meta_chaos::datamove::data_move;
+use meta_chaos::region::{IndexSet, Region, RegularSection};
+use meta_chaos::setof::SetOfRegions;
+use meta_chaos::Side;
+use meta_chaos_repro::test_world;
+
+use chaos::{IrregArray, Partition};
+use hpf::{DistKind, HpfArray, HpfDist};
+
+/// A random ordered selection of `k` distinct indices from `0..n`.
+fn selection(n: usize, k: usize, seed: u64) -> Vec<usize> {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut all: Vec<usize> = (0..n).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    all.shuffle(&mut rng);
+    all.truncate(k);
+    all
+}
+
+/// Split a list of indices into 1–4 IndexSet regions at random points.
+fn random_regions(indices: &[usize], cuts_seed: u64) -> SetOfRegions<IndexSet> {
+    let n = indices.len();
+    let mut cuts = vec![0, n];
+    if n > 2 {
+        cuts.push(1 + (cuts_seed as usize) % (n - 1));
+        cuts.push(1 + (cuts_seed as usize * 7) % (n - 1));
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut regions = Vec::new();
+    for w in cuts.windows(2) {
+        regions.push(IndexSet::new(indices[w[0]..w[1]].to_vec()));
+    }
+    SetOfRegions::from_regions(regions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_chaos_copy_matches_reference(
+        n in 8usize..48,
+        k_frac in 1usize..=4,
+        p in 1usize..=4,
+        src_seed in 0u64..1000,
+        dst_seed in 0u64..1000,
+        part_seed in 0u64..1000,
+        method_pick in 0u8..2,
+    ) {
+        let k = (n * k_frac / 4).max(1);
+        let src_idx = selection(n, k, src_seed);
+        let dst_idx = selection(n, k, dst_seed);
+        let method = if method_pick == 0 {
+            BuildMethod::Cooperation
+        } else {
+            BuildMethod::Duplication
+        };
+        let (si, di) = (src_idx.clone(), dst_idx.clone());
+        let out = test_world(p).run(move |ep| {
+            let g = Group::world(p);
+            let src = {
+                let mut comm = Comm::new(ep, g.clone());
+                IrregArray::create(&mut comm, n, Partition::Random(part_seed), |gi| {
+                    gi as f64 * 2.0
+                })
+            };
+            let mut dst = {
+                let mut comm = Comm::new(ep, g.clone());
+                IrregArray::create(&mut comm, n, Partition::Random(part_seed ^ 0xabc), |_| {
+                    f64::NAN
+                })
+            };
+            let sset = random_regions(&si, src_seed ^ 1);
+            let dset = random_regions(&di, dst_seed ^ 2);
+            // Region splits may disagree between sides; only totals matter.
+            prop_assert_eq!(sset.total_len(), dset.total_len());
+            let sched = compute_schedule(
+                ep,
+                &g,
+                &g,
+                Some(Side::new(&src, &sset)),
+                &g,
+                Some(Side::new(&dst, &dset)),
+                method,
+            )
+            .unwrap();
+
+            // Invariant: delivered elements (messages + local pairs) equal
+            // the transfer size, rank-summed.
+            let delivered = sched.elems_in() + sched.elems_local();
+            data_move(ep, &sched, &src, &mut dst);
+            let snap: Vec<(usize, f64)> = dst
+                .my_globals()
+                .iter()
+                .zip(dst.local())
+                .map(|(&g, &v)| (g, v))
+                .collect();
+            Ok((delivered, snap))
+        });
+        let results: Vec<_> = out.results.into_iter().collect::<Result<Vec<_>, _>>()?;
+        let total_delivered: usize = results.iter().map(|(d, _)| d).sum();
+        prop_assert_eq!(total_delivered, k);
+
+        // Reference semantics.
+        let mut expect = vec![f64::NAN; n];
+        for (s, d) in src_idx.iter().zip(&dst_idx) {
+            expect[*d] = *s as f64 * 2.0;
+        }
+        for (_, snap) in results {
+            for (gi, v) in snap {
+                if expect[gi].is_nan() {
+                    prop_assert!(v.is_nan(), "dst[{}] written unexpectedly", gi);
+                } else {
+                    prop_assert_eq!(v, expect[gi], "dst[{}]", gi);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coop_equals_dup_motion(
+        n in 8usize..40,
+        p in 2usize..=4,
+        seed in 0u64..500,
+    ) {
+        let k = n / 2;
+        let src_idx = selection(n, k, seed);
+        let dst_idx = selection(n, k, seed ^ 999);
+        let (si, di) = (src_idx.clone(), dst_idx.clone());
+        let out = test_world(p).run(move |ep| {
+            let g = Group::world(p);
+            let src = {
+                let mut comm = Comm::new(ep, g.clone());
+                IrregArray::create(&mut comm, n, Partition::Random(seed), |gi| gi as f64)
+            };
+            let dst = {
+                let mut comm = Comm::new(ep, g.clone());
+                IrregArray::create(&mut comm, n, Partition::Cyclic, |_| 0.0)
+            };
+            let sset = SetOfRegions::single(IndexSet::new(si.clone()));
+            let dset = SetOfRegions::single(IndexSet::new(di.clone()));
+            let mut scheds = Vec::new();
+            for method in [BuildMethod::Cooperation, BuildMethod::Duplication] {
+                scheds.push(
+                    compute_schedule(
+                        ep,
+                        &g,
+                        &g,
+                        Some(Side::new(&src, &sset)),
+                        &g,
+                        Some(Side::new(&dst, &dset)),
+                        method,
+                    )
+                    .unwrap(),
+                );
+            }
+            let a = &scheds[0];
+            let b = &scheds[1];
+            (a.sends == b.sends, a.recvs == b.recvs, a.local_pairs == b.local_pairs)
+        });
+        for (s, r, l) in out.results {
+            prop_assert!(s && r && l);
+        }
+    }
+
+    #[test]
+    fn reverse_round_trip_restores_source(
+        n in 8usize..32,
+        p in 1usize..=3,
+        seed in 0u64..500,
+    ) {
+        let k = (n / 2).max(1);
+        let src_idx = selection(n, k, seed);
+        let dst_idx = selection(n, k, seed ^ 77);
+        let (si, di) = (src_idx, dst_idx);
+        let out = test_world(p).run(move |ep| {
+            let g = Group::world(p);
+            let mut h = HpfArray::<f64>::new(&g, ep.rank(), HpfDist::block_1d(n, p));
+            h.for_each_owned(|c, v| *v = 100.0 + c[0] as f64);
+            let mut x = {
+                let mut comm = Comm::new(ep, g.clone());
+                IrregArray::create(&mut comm, n, Partition::Random(seed), |_| 0.0)
+            };
+            // HPF side: per-element sections in the chosen order.
+            let sset = SetOfRegions::from_regions(
+                si.iter()
+                    .map(|&i| RegularSection::of_bounds(&[(i, i + 1)]))
+                    .collect(),
+            );
+            let dset = SetOfRegions::single(IndexSet::new(di.clone()));
+            let sched = compute_schedule(
+                ep,
+                &g,
+                &g,
+                Some(Side::new(&h, &sset)),
+                &g,
+                Some(Side::new(&x, &dset)),
+                BuildMethod::Cooperation,
+            )
+            .unwrap();
+            data_move(ep, &sched, &h, &mut x);
+            // Perturb h, then restore it from x via the reversed schedule.
+            let before: Vec<(usize, f64)> = (0..n)
+                .filter(|&i| h.owns(&[i]))
+                .map(|i| (i, h.get(&[i])))
+                .collect();
+            h.for_each_owned(|_, v| *v = -1.0);
+            data_move(ep, &sched.reversed(), &x, &mut h);
+            let after: Vec<(usize, f64)> = (0..n)
+                .filter(|&i| h.owns(&[i]))
+                .map(|i| (i, h.get(&[i])))
+                .collect();
+            let si = si.clone();
+            let touched: Vec<usize> = si.clone();
+            (before, after, touched)
+        });
+        for (before, after, touched) in out.results {
+            for ((i, b), (j, a)) in before.into_iter().zip(after) {
+                prop_assert_eq!(i, j);
+                if touched.contains(&i) {
+                    prop_assert_eq!(a, b, "restored h[{}]", i);
+                } else {
+                    prop_assert_eq!(a, -1.0, "untouched h[{}]", i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hpf_owner_arithmetic_consistent(
+        n in 1usize..200,
+        g in 1usize..8,
+        kind_pick in 0u8..3,
+        chunk in 1usize..5,
+    ) {
+        let kind = match kind_pick {
+            0 => DistKind::Block,
+            1 => DistKind::Cyclic(chunk),
+            _ => DistKind::Collapsed,
+        };
+        let g = if matches!(kind, DistKind::Collapsed) { 1 } else { g };
+        prop_assume!(!matches!(kind, DistKind::Block) || n >= g);
+        let mut counts = vec![0usize; g];
+        for x in 0..n {
+            let o = kind.owner(n, g, x);
+            prop_assert!(o < g);
+            let l = kind.local(n, g, x);
+            prop_assert!(l < kind.local_count(n, g, o), "x={} owner={} local={}", x, o, l);
+            counts[o] += 1;
+        }
+        for (c, &count) in counts.iter().enumerate() {
+            prop_assert_eq!(count, kind.local_count(n, g, c));
+        }
+    }
+
+    #[test]
+    fn regular_section_linearization_bijective(
+        lo0 in 0usize..5, cnt0 in 1usize..6, st0 in 1usize..4,
+        lo1 in 0usize..5, cnt1 in 1usize..6, st1 in 1usize..4,
+    ) {
+        let sec = RegularSection::new(vec![
+            meta_chaos::DimSlice::strided(lo0, lo0 + cnt0 * st0, st0),
+            meta_chaos::DimSlice::strided(lo1, lo1 + cnt1 * st1, st1),
+        ]);
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..sec.len() {
+            let c = sec.coords_of(k);
+            prop_assert_eq!(sec.position_of(&c), Some(k));
+            prop_assert!(seen.insert(c));
+        }
+        prop_assert_eq!(seen.len(), sec.len());
+    }
+}

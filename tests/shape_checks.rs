@@ -1,0 +1,85 @@
+//! Shape checks: the paper's qualitative claims, asserted at reduced
+//! problem sizes so the suite stays fast.  The full-size reproductions
+//! live in `crates/bench/benches/` (see EXPERIMENTS.md).
+
+use bench::clientserver::{break_even, client_server};
+use bench::meshes::{table1, table2, table34};
+use bench::regular::table5;
+
+#[test]
+fn table1_shape_executor_scales() {
+    let r2 = table1(2, 48, 2, 2);
+    let r8 = table1(8, 48, 2, 2);
+    assert!(r8.executor_ms < r2.executor_ms);
+    assert!(r8.inspector_ms < r2.inspector_ms);
+}
+
+#[test]
+fn table2_shape_methods() {
+    let r = table2(4, 64);
+    // Duplication ≈ 2× cooperation (second dereference + descriptor).
+    assert!(r.dup_sched_ms > 1.4 * r.coop_sched_ms);
+    // Cooperation tracks the native Chaos build.
+    assert!(r.coop_sched_ms < 1.6 * r.chaos_sched_ms);
+    assert!(r.coop_sched_ms > 0.6 * r.chaos_sched_ms);
+    // Meta-Chaos copies are faster (no extra copy/indirection).
+    assert!(r.coop_copy_ms < r.chaos_copy_ms);
+}
+
+#[test]
+fn table34_shape_scaling() {
+    // Build time scales with the irregular side, not the regular side.
+    let c22 = table34(2, 2, 48);
+    let c24 = table34(2, 4, 48);
+    let c42 = table34(4, 2, 48);
+    assert!(
+        c24.sched_ms < 0.8 * c22.sched_ms,
+        "more irregular procs must speed the build: {} vs {}",
+        c24.sched_ms,
+        c22.sched_ms
+    );
+    let rel = (c42.sched_ms - c22.sched_ms).abs() / c22.sched_ms;
+    assert!(
+        rel < 0.25,
+        "regular procs should barely matter: {} vs {}",
+        c42.sched_ms,
+        c22.sched_ms
+    );
+    // Copy time is limited by the smaller program.
+    let c44 = table34(4, 4, 48);
+    assert!(c44.copy_ms < c22.copy_ms);
+}
+
+#[test]
+fn table5_shape_ordering() {
+    let r = table5(4, 200);
+    assert!(r.parti_sched_ms <= r.dup_sched_ms);
+    assert!(r.dup_sched_ms < r.coop_sched_ms);
+    // Copies are essentially the same for all three methods.
+    let max = r.parti_copy_ms.max(r.coop_copy_ms).max(r.dup_copy_ms);
+    let min = r.parti_copy_ms.min(r.coop_copy_ms).min(r.dup_copy_ms);
+    assert!(max - min < 0.15 * max + 1e-9);
+}
+
+#[test]
+fn client_server_shape() {
+    // The matrix transfer dominates a single vector round trip, and
+    // per-vector costs grow with the server size while compute shrinks.
+    let small = client_server(1, 2, 192, 1);
+    let big = client_server(1, 8, 192, 1);
+    assert!(small.matrix_ms > small.vector_ms);
+    assert!(big.server_ms < small.server_ms);
+    assert!(big.vector_ms > small.vector_ms);
+    // Results are identical regardless of the server size.
+    assert!((small.checksum - big.checksum).abs() < 1e-9);
+}
+
+#[test]
+fn break_even_improves_with_servers() {
+    let be4 = break_even(1, 4, 384).expect("4-server break-even exists");
+    let be8 = break_even(1, 8, 384).expect("8-server break-even exists");
+    assert!(
+        be8 <= be4,
+        "more servers should amortize faster: {be8} vs {be4}"
+    );
+}

@@ -1,0 +1,147 @@
+//! Three separately running programs coupled pairwise by Meta-Chaos — the
+//! paper's shipboard-fire scenario (structural mechanics + CFD + flame
+//! codes) has exactly this shape.  Each coupling is an independent union
+//! group; schedules are built pairwise and reused every step.
+//!
+//! Pipeline: A (Multiblock Parti) → B (Chaos) → C (HPF), with C's output
+//! checked against a sequential composition of the three "physics" steps.
+
+use mcsim::group::{Comm, Group};
+use meta_chaos::build::{compute_schedule, BuildMethod};
+use meta_chaos::datamove::{data_move_recv, data_move_send};
+use meta_chaos::region::{IndexSet, RegularSection};
+use meta_chaos::setof::SetOfRegions;
+use meta_chaos::Side;
+use meta_chaos_repro::test_world;
+
+use chaos::{IrregArray, Partition};
+use hpf::{HpfArray, HpfDist};
+use multiblock::MultiblockArray;
+
+const N: usize = 36;
+const STEPS: usize = 4;
+
+/// Sequential composition: A doubles, B adds its global index, C keeps.
+fn reference() -> Vec<f64> {
+    let mut field: Vec<f64> = (0..N).map(|g| g as f64).collect();
+    let mut out = vec![0.0; N];
+    for _ in 0..STEPS {
+        for v in field.iter_mut() {
+            *v *= 2.0; // A's physics
+        }
+        let staged: Vec<f64> = field
+            .iter()
+            .enumerate()
+            .map(|(g, &v)| v + g as f64) // B's physics
+            .collect();
+        out.copy_from_slice(&staged); // C accumulates the latest view
+    }
+    out
+}
+
+#[test]
+fn pipeline_of_three_programs() {
+    let (pa, pb, pc) = (2usize, 2usize, 2usize);
+    let world = test_world(pa + pb + pc);
+    let out = world.run(move |ep| {
+        // Global rank layout: A = 0..2, B = 2..4, C = 4..6.
+        let ga = Group::new((0..pa).collect(), 40);
+        let gb = Group::new((pa..pa + pb).collect(), 41);
+        let gc = Group::new((pa + pb..pa + pb + pc).collect(), 42);
+        let ab = Group::new((0..pa + pb).collect(), 43);
+        let bc = Group::new((pa..pa + pb + pc).collect(), 44);
+
+        let reg_set: SetOfRegions<RegularSection> =
+            SetOfRegions::single(RegularSection::whole(&[N]));
+        let idx_set: SetOfRegions<IndexSet> = SetOfRegions::single(IndexSet::new((0..N).collect()));
+
+        let me = ep.rank();
+        if ga.contains(me) {
+            // -------- program A: owns the field, doubles it each step ----
+            let mut f = MultiblockArray::<f64>::new(&ga, me, &[N]);
+            f.fill_with(|c| c[0] as f64);
+            let to_b = compute_schedule::<f64, MultiblockArray<f64>, IrregArray<f64>>(
+                ep,
+                &ab,
+                &ga,
+                Some(Side::new(&f, &reg_set)),
+                &gb,
+                None,
+                BuildMethod::Cooperation,
+            )
+            .unwrap();
+            for _ in 0..STEPS {
+                for v in f.local_mut() {
+                    *v *= 2.0;
+                }
+                data_move_send(ep, &to_b, &f);
+            }
+            Vec::new()
+        } else if gb.contains(me) {
+            // -------- program B: mirror + add-index, forward to C --------
+            let mut mirror = {
+                let mut comm = Comm::new(ep, gb.clone());
+                IrregArray::create(&mut comm, N, Partition::Random(7), |_| 0.0)
+            };
+            let from_a = compute_schedule::<f64, MultiblockArray<f64>, IrregArray<f64>>(
+                ep,
+                &ab,
+                &ga,
+                None,
+                &gb,
+                Some(Side::new(&mirror, &idx_set)),
+                BuildMethod::Cooperation,
+            )
+            .unwrap();
+            let to_c = compute_schedule::<f64, IrregArray<f64>, HpfArray<f64>>(
+                ep,
+                &bc,
+                &gb,
+                Some(Side::new(&mirror, &idx_set)),
+                &gc,
+                None,
+                BuildMethod::Cooperation,
+            )
+            .unwrap();
+            for _ in 0..STEPS {
+                data_move_recv(ep, &from_a, &mut mirror);
+                let globals = mirror.my_globals().to_vec();
+                for (a, v) in mirror.local_mut().iter_mut().enumerate() {
+                    *v += globals[a] as f64;
+                }
+                data_move_send(ep, &to_c, &mirror);
+            }
+            Vec::new()
+        } else {
+            // -------- program C: receives the processed field ------------
+            let mut sink = HpfArray::<f64>::new(&gc, me, HpfDist::block_1d(N, pc));
+            let from_b = compute_schedule::<f64, IrregArray<f64>, HpfArray<f64>>(
+                ep,
+                &bc,
+                &gb,
+                None,
+                &gc,
+                Some(Side::new(&sink, &reg_set)),
+                BuildMethod::Cooperation,
+            )
+            .unwrap();
+            for _ in 0..STEPS {
+                data_move_recv(ep, &from_b, &mut sink);
+            }
+            (0..N)
+                .filter(|&x| sink.owns(&[x]))
+                .map(|x| (x, sink.get(&[x])))
+                .collect::<Vec<(usize, f64)>>()
+        }
+    });
+
+    let want = reference();
+    let mut seen = 0;
+    for vals in &out.results[pa + pb..] {
+        for &(g, v) in vals {
+            assert_eq!(v, want[g], "sink[{g}]");
+            seen += 1;
+        }
+    }
+    assert_eq!(seen, N);
+}

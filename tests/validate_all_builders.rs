@@ -1,0 +1,74 @@
+//! Every schedule builder in the workspace — Meta-Chaos cooperation and
+//! duplication, native Multiblock Parti, native Chaos — must produce
+//! schedules that pass the collective global validation (pairwise send/
+//! receive agreement, full coverage, consistent sequence numbers).
+
+use mcsim::group::{Comm, Group};
+use meta_chaos::build::{compute_schedule, BuildMethod};
+use meta_chaos::region::{IndexSet, RegularSection};
+use meta_chaos::setof::SetOfRegions;
+use meta_chaos::validate::validate_schedule;
+use meta_chaos::Side;
+use meta_chaos_repro::test_world;
+
+use chaos::native_copy::build_chaos_copy_schedule;
+use chaos::{IrregArray, Partition};
+use multiblock::native_move::build_copy_schedule;
+use multiblock::MultiblockArray;
+
+#[test]
+fn all_builders_produce_globally_consistent_schedules() {
+    let n = 48usize;
+    test_world(4).run(move |ep| {
+        let g = Group::world(4);
+        let mut a = MultiblockArray::<f64>::new(&g, ep.rank(), &[n]);
+        a.fill_with(|c| c[0] as f64);
+        let b = MultiblockArray::<f64>::new(&g, ep.rank(), &[n]);
+        let x = {
+            let mut comm = Comm::new(ep, g.clone());
+            IrregArray::create(&mut comm, n, Partition::Random(5), |_| 0.0)
+        };
+
+        // Meta-Chaos, both methods, regular -> irregular.
+        let sset = SetOfRegions::single(RegularSection::whole(&[n]));
+        let dset = SetOfRegions::single(IndexSet::new((0..n).rev().collect()));
+        for method in [BuildMethod::Cooperation, BuildMethod::Duplication] {
+            let sched = compute_schedule(
+                ep,
+                &g,
+                &g,
+                Some(Side::new(&a, &sset)),
+                &g,
+                Some(Side::new(&x, &dset)),
+                method,
+            )
+            .unwrap();
+            assert!(
+                validate_schedule(ep, &sched).is_empty(),
+                "{method:?} schedule invalid"
+            );
+        }
+
+        // Native Parti section copy.
+        let ssec = RegularSection::of_bounds(&[(0, n / 2)]);
+        let dsec = RegularSection::of_bounds(&[(n / 2, n)]);
+        let parti = build_copy_schedule(ep, &g, &a, &ssec, &b, &dsec);
+        assert!(validate_schedule(ep, &parti).is_empty(), "parti invalid");
+        assert!(
+            validate_schedule(ep, &parti.reversed()).is_empty(),
+            "reversed parti invalid"
+        );
+
+        // Native Chaos copy.
+        let src_map: Vec<usize> = (0..n).collect();
+        let dst_map: Vec<usize> = (0..n).map(|k| (k * 7 + 1) % n).collect();
+        let chaos_sched = {
+            let mut comm = Comm::new(ep, g.clone());
+            build_chaos_copy_schedule(&mut comm, x.table(), &src_map, x.my_globals(), &dst_map)
+        };
+        assert!(
+            validate_schedule(ep, &chaos_sched).is_empty(),
+            "chaos invalid"
+        );
+    });
+}
