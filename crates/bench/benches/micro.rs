@@ -1,9 +1,14 @@
-//! Criterion micro-benchmarks of the host-side hot paths: linearization
-//! arithmetic, owner computations, wire encoding, and schedule assembly.
-//! These measure *real* wall time (not simulated time) — they are about
-//! the reproduction's own efficiency.
+//! Micro-benchmarks of the host-side hot paths: linearization arithmetic,
+//! owner computations, wire encoding, and schedule assembly.  These
+//! measure *real* wall time (not simulated time) — they are about the
+//! reproduction's own efficiency.
+//!
+//! Hand-rolled harness (no external benchmark framework): each case is
+//! warmed up, then timed over enough iterations to fill a fixed
+//! measurement window, reporting ns/iter.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use mcsim::group::Group;
 use mcsim::wire::Wire;
@@ -12,94 +17,102 @@ use meta_chaos::region::{DimSlice, Region, RegularSection};
 use meta_chaos::schedule::Schedule;
 use meta_chaos::setof::SetOfRegions;
 
-fn bench_linearization(c: &mut Criterion) {
-    let sec = RegularSection::new(vec![DimSlice::strided(1, 1000, 3), DimSlice::new(5, 800)]);
-    c.bench_function("regular_section_coords_of", |b| {
-        let n = sec.len();
-        let mut k = 0usize;
-        b.iter(|| {
-            k = (k + 7919) % n;
-            black_box(sec.coords_of(black_box(k)))
-        })
-    });
-    c.bench_function("regular_section_iter_coords_1k", |b| {
-        let small = RegularSection::of_bounds(&[(0, 32), (0, 32)]);
-        b.iter(|| {
-            let mut it = small.iter_coords();
-            let mut acc = 0usize;
-            while let Some(cs) = it.advance() {
-                acc += cs[0] + cs[1];
+/// Time `f` and print `name: ns/iter` (median of 5 batches).
+fn bench(name: &str, mut f: impl FnMut()) {
+    // Warm-up.
+    let warm_until = Instant::now() + Duration::from_millis(150);
+    while Instant::now() < warm_until {
+        f();
+    }
+    // Calibrate a batch size targeting ~10ms per batch.
+    let t0 = Instant::now();
+    f();
+    let one = t0.elapsed().as_nanos().max(1);
+    let batch = ((10_000_000 / one) as usize).clamp(1, 10_000_000);
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..batch {
+                f();
             }
-            black_box(acc)
+            t.elapsed().as_nanos() as f64 / batch as f64
         })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    println!("{name:<32} {:>12.1} ns/iter", samples[2]);
+}
+
+fn bench_linearization() {
+    let sec = RegularSection::new(vec![DimSlice::strided(1, 1000, 3), DimSlice::new(5, 800)]);
+    let n = sec.len();
+    let mut k = 0usize;
+    bench("regular_section_coords_of", || {
+        k = (k + 7919) % n;
+        black_box(sec.coords_of(black_box(k)));
     });
-    c.bench_function("set_locate_position", |b| {
-        let set = SetOfRegions::from_regions(vec![
-            RegularSection::of_bounds(&[(0, 100), (0, 100)]),
-            RegularSection::of_bounds(&[(0, 50), (0, 50)]),
-        ]);
-        let n = set.total_len();
-        let mut k = 0usize;
-        b.iter(|| {
-            k = (k + 4099) % n;
-            black_box(set.locate_position(black_box(k)))
-        })
+    let small = RegularSection::of_bounds(&[(0, 32), (0, 32)]);
+    bench("regular_section_iter_coords_1k", || {
+        let mut it = small.iter_coords();
+        let mut acc = 0usize;
+        while let Some(cs) = it.advance() {
+            acc += cs[0] + cs[1];
+        }
+        black_box(acc);
+    });
+    let set = SetOfRegions::from_regions(vec![
+        RegularSection::of_bounds(&[(0, 100), (0, 100)]),
+        RegularSection::of_bounds(&[(0, 50), (0, 50)]),
+    ]);
+    let total = set.total_len();
+    let mut j = 0usize;
+    bench("set_locate_position", || {
+        j = (j + 4099) % total;
+        black_box(set.locate_position(black_box(j)));
     });
 }
 
-fn bench_posblocks(c: &mut Criterion) {
+fn bench_posblocks() {
     let pb = PosBlocks::new(1 << 20, 16);
-    c.bench_function("posblocks_owner", |b| {
-        let mut k = 0usize;
-        b.iter(|| {
-            k = (k + 104729) % (1 << 20);
-            black_box(pb.owner(black_box(k)))
-        })
+    let mut k = 0usize;
+    bench("posblocks_owner", || {
+        k = (k + 104729) % (1 << 20);
+        black_box(pb.owner(black_box(k)));
     });
 }
 
-fn bench_wire(c: &mut Criterion) {
+fn bench_wire() {
     let data: Vec<f64> = (0..4096).map(|i| i as f64 * 0.5).collect();
-    c.bench_function("wire_encode_4k_f64", |b| {
-        b.iter(|| black_box(black_box(&data).to_bytes()))
+    bench("wire_encode_4k_f64", || {
+        black_box(black_box(&data).to_bytes());
     });
     let bytes = data.to_bytes();
-    c.bench_function("wire_decode_4k_f64", |b| {
-        b.iter(|| black_box(Vec::<f64>::from_bytes(black_box(&bytes)).unwrap()))
+    bench("wire_decode_4k_f64", || {
+        black_box(Vec::<f64>::from_bytes(black_box(&bytes)).unwrap());
     });
 }
 
-fn bench_schedule(c: &mut Criterion) {
+fn bench_schedule() {
     let sends: Vec<(usize, Vec<usize>)> = (0..16).map(|p| (p, (0..256).collect())).collect();
     let recvs = sends.clone();
-    c.bench_function("schedule_new_16x256", |b| {
-        b.iter(|| {
-            black_box(Schedule::new(
-                Group::world(16),
-                0,
-                black_box(sends.clone()),
-                black_box(recvs.clone()),
-                Vec::new(),
-                16 * 256,
-            ))
-        })
+    bench("schedule_new_16x256", || {
+        black_box(Schedule::new(
+            Group::world(16),
+            0,
+            black_box(sends.clone()),
+            black_box(recvs.clone()),
+            Vec::new(),
+            16 * 256,
+        ));
     });
     let sched = Schedule::new(Group::world(16), 0, sends, recvs, Vec::new(), 16 * 256);
-    c.bench_function("schedule_reversed", |b| {
-        b.iter(|| black_box(sched.reversed()))
+    bench("schedule_reversed", || {
+        black_box(sched.reversed());
     });
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_millis(400))
-        .warm_up_time(std::time::Duration::from_millis(150))
+fn main() {
+    bench_linearization();
+    bench_posblocks();
+    bench_wire();
+    bench_schedule();
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_linearization, bench_posblocks, bench_wire, bench_schedule
-}
-criterion_main!(benches);

@@ -104,7 +104,7 @@ pub fn client_server(pclient: usize, pserver: usize, n: usize, nvec: usize) -> C
             )
             .expect("vector schedule");
             let t1 = sync(ep, &un);
-            data_move_send(ep, &mat_sched, &a);
+            data_move_send(ep, &mat_sched, &a).unwrap();
             let t2 = sync(ep, &un);
 
             let mut server_ms = 0.0;
@@ -112,12 +112,12 @@ pub fn client_server(pclient: usize, pserver: usize, n: usize, nvec: usize) -> C
             for it in 0..nvec {
                 x.fill_with(|c| vector_value(it, c[0]));
                 let u0 = sync(ep, &un);
-                data_move_send(ep, &vec_sched, &x);
+                data_move_send(ep, &vec_sched, &x).unwrap();
                 let u1 = sync(ep, &un);
                 // server computes here
                 let u2 = sync(ep, &un);
                 // Result comes back over the *same* schedule, reversed.
-                data_move_recv(ep, &vec_sched.reversed(), &mut y);
+                data_move_recv(ep, &vec_sched.reversed(), &mut y).unwrap();
                 let u3 = sync(ep, &un);
                 server_ms += u2 - u1;
                 vector_ms += (u1 - u0) + (u3 - u2);
@@ -156,7 +156,7 @@ pub fn client_server(pclient: usize, pserver: usize, n: usize, nvec: usize) -> C
             )
             .expect("vector schedule");
             let t1 = sync(ep, &un);
-            data_move_recv(ep, &mat_sched, &mut a_s);
+            data_move_recv(ep, &mat_sched, &mut a_s).unwrap();
             let t2 = sync(ep, &un);
 
             let mv = MatVec::new(&a_s);
@@ -164,14 +164,14 @@ pub fn client_server(pclient: usize, pserver: usize, n: usize, nvec: usize) -> C
             let mut vector_ms = 0.0;
             for _ in 0..nvec {
                 let u0 = sync(ep, &un);
-                data_move_recv(ep, &vec_sched, &mut x_s);
+                data_move_recv(ep, &vec_sched, &mut x_s).unwrap();
                 let u1 = sync(ep, &un);
                 {
                     let mut comm = Comm::new(ep, ps.clone());
                     mv.apply(&mut comm, &a_s, &x_s, &mut y_s);
                 }
                 let u2 = sync(ep, &un);
-                data_move_send(ep, &vec_sched.reversed(), &y_s);
+                data_move_send(ep, &vec_sched.reversed(), &y_s).unwrap();
                 let u3 = sync(ep, &un);
                 server_ms += u2 - u1;
                 vector_ms += (u1 - u0) + (u3 - u2);

@@ -18,6 +18,7 @@
 //! explicit sizes so tests can use smaller instances.
 
 pub mod clientserver;
+pub mod executor;
 pub mod meshes;
 pub mod regular;
 pub mod report;

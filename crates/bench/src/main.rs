@@ -13,9 +13,10 @@
 use std::env;
 
 use bench::clientserver::{break_even, client_server};
+use bench::executor::executor_micro;
 use bench::meshes::{table1, table2, table34};
 use bench::regular::table5;
-use bench::report::fmt_ms;
+use bench::report::{fmt_ms, write_json_report, JsonValue};
 
 fn arg(args: &[String], name: &str, default: usize) -> usize {
     args.iter()
@@ -35,6 +36,8 @@ fn usage() -> ! {
            table5   [--procs P] [--side S]            Parti vs Meta-Chaos\n\
            fig10    [--client C] [--servers S] [--n N] [--vectors V]\n\
            fig15    [--client C] [--servers S] [--n N]\n\
+           micro    [--elements N] [--procs P] [--reps R] executor fast path vs\n\
+                    element-list baseline; writes BENCH_executor.json\n\
            all                                         every table at paper size\n\
            list                                        this message"
     );
@@ -122,6 +125,46 @@ fn main() {
                 Some(k) => println!("break-even after {k} vectors"),
                 None => println!("never breaks even"),
             }
+        }
+        "micro" => {
+            let r = executor_micro(
+                arg(&args, "--elements", 1 << 20),
+                arg(&args, "--procs", 2),
+                arg(&args, "--reps", 5),
+            );
+            println!(
+                "executor micro: {} elements x {} procs, {} reps\n\
+                 run-compressed  {:>10.0} ns/move  {:>8.0} MB/s  ({} schedule runs)\n\
+                 element-list    {:>10.0} ns/move  {:>8.0} MB/s\n\
+                 speedup         {:>10.2}x",
+                r.elements,
+                r.procs,
+                r.reps,
+                r.fast_ns,
+                r.fast_mbps(),
+                r.sched_runs,
+                r.elementwise_ns,
+                r.elementwise_mbps(),
+                r.speedup()
+            );
+            let path = "BENCH_executor.json";
+            write_json_report(
+                path,
+                &[
+                    ("bench", JsonValue::Str("executor".into())),
+                    ("elements", JsonValue::Int(r.elements as u64)),
+                    ("procs", JsonValue::Int(r.procs as u64)),
+                    ("reps", JsonValue::Int(r.reps as u64)),
+                    ("sched_runs", JsonValue::Int(r.sched_runs as u64)),
+                    ("fast_ns_per_move", JsonValue::Num(r.fast_ns)),
+                    ("elementwise_ns_per_move", JsonValue::Num(r.elementwise_ns)),
+                    ("fast_mb_per_s", JsonValue::Num(r.fast_mbps())),
+                    ("elementwise_mb_per_s", JsonValue::Num(r.elementwise_mbps())),
+                    ("speedup", JsonValue::Num(r.speedup())),
+                ],
+            )
+            .expect("write BENCH_executor.json");
+            println!("wrote {path}");
         }
         "all" => {
             for p in [2, 4, 8, 16] {

@@ -23,17 +23,15 @@ use meta_chaos::Side;
 use multiblock::sweep::RegularSweep;
 use multiblock::MultiblockArray;
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use mcsim::rng::Rng;
 
 use crate::ms;
 
 /// Deterministic pseudo-random edge list over `nodes` mesh points.
 pub fn edge_list(nodes: usize, edges: usize, seed: u64) -> Vec<(usize, usize)> {
-    use rand::Rng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..edges)
-        .map(|_| (rng.gen_range(0..nodes), rng.gen_range(0..nodes)))
+        .map(|_| (rng.gen_range(nodes), rng.gen_range(nodes)))
         .collect()
 }
 
@@ -46,14 +44,13 @@ pub fn geometric_edge_list(
     radius: usize,
     seed: u64,
 ) -> Vec<(usize, usize)> {
-    use rand::Rng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..edges)
         .map(|_| {
-            let i = rng.gen_range(0..side);
-            let j = rng.gen_range(0..side);
-            let di = rng.gen_range(0..=2 * radius) as isize - radius as isize;
-            let dj = rng.gen_range(0..=2 * radius) as isize - radius as isize;
+            let i = rng.gen_range(side);
+            let j = rng.gen_range(side);
+            let di = rng.gen_range(2 * radius + 1) as isize - radius as isize;
+            let dj = rng.gen_range(2 * radius + 1) as isize - radius as isize;
             let ni = (i as isize + di).clamp(0, side as isize - 1) as usize;
             let nj = (j as isize + dj).clamp(0, side as isize - 1) as usize;
             (i * side + j, ni * side + nj)
@@ -132,8 +129,8 @@ pub fn table1_partitioned(
 /// Deterministic permutation of `0..n` — the `Reg2Irreg` mapping.
 pub fn mesh_mapping(n: usize, seed: u64) -> Vec<usize> {
     let mut perm: Vec<usize> = (0..n).collect();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    perm.shuffle(&mut rng);
+    let mut rng = Rng::seed_from_u64(seed);
+    rng.shuffle(&mut perm);
     perm
 }
 
@@ -370,8 +367,8 @@ pub fn table34(preg: usize, pirreg: usize, side: usize) -> Table34Cell {
             )
             .expect("schedule");
             let t1 = sync(ep, &un);
-            data_move_send(ep, &sched, &a);
-            data_move_recv(ep, &sched.reversed(), &mut a);
+            data_move_send(ep, &sched, &a).unwrap();
+            data_move_recv(ep, &sched.reversed(), &mut a).unwrap();
             let t2 = sync(ep, &un);
             (t1 - t0, t2 - t1)
         } else {
@@ -391,8 +388,8 @@ pub fn table34(preg: usize, pirreg: usize, side: usize) -> Table34Cell {
             )
             .expect("schedule");
             let t1 = sync(ep, &un);
-            data_move_recv(ep, &sched, &mut x);
-            data_move_send(ep, &sched.reversed(), &x);
+            data_move_recv(ep, &sched, &mut x).unwrap();
+            data_move_send(ep, &sched.reversed(), &x).unwrap();
             let t2 = sync(ep, &un);
             (t1 - t0, t2 - t1)
         }

@@ -25,6 +25,57 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// One field of a flat JSON report object.
+pub enum JsonValue {
+    /// A finite number (rendered with enough precision to round-trip).
+    Num(f64),
+    /// An integer.
+    Int(u64),
+    /// A string (escaped on render).
+    Str(String),
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a flat JSON object, fields in the given order.
+pub fn json_object(fields: &[(&str, JsonValue)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\": ", json_escape(k)));
+        match v {
+            JsonValue::Num(n) => {
+                assert!(n.is_finite(), "JSON has no NaN/inf (field {k})");
+                out.push_str(&format!("{n:.3}"));
+            }
+            JsonValue::Int(n) => out.push_str(&n.to_string()),
+            JsonValue::Str(s) => out.push_str(&format!("\"{}\"", json_escape(s))),
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Write a JSON report file (adds a trailing newline).
+pub fn write_json_report(path: &str, fields: &[(&str, JsonValue)]) -> std::io::Result<()> {
+    std::fs::write(path, json_object(fields) + "\n")
+}
+
 /// Format a simulated-milliseconds value the way the paper prints times.
 pub fn fmt_ms(v: f64) -> String {
     if v >= 100.0 {
@@ -39,6 +90,19 @@ pub fn fmt_ms(v: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_object_renders_flat_fields() {
+        let s = json_object(&[
+            ("bench", JsonValue::Str("exec\"utor".into())),
+            ("speedup", JsonValue::Num(2.5)),
+            ("elements", JsonValue::Int(1 << 20)),
+        ]);
+        assert_eq!(
+            s,
+            "{\"bench\": \"exec\\\"utor\", \"speedup\": 2.500, \"elements\": 1048576}"
+        );
+    }
 
     #[test]
     fn fmt_ms_ranges() {

@@ -131,7 +131,7 @@ pub fn chaos_copy<T>(
     let elem = std::mem::size_of::<T>();
     let t = 0x5800_0000 | sched.seq();
     for (peer, addrs) in &sched.sends {
-        let buf: Vec<T> = addrs.iter().map(|&a| src.local()[a]).collect();
+        let buf: Vec<T> = addrs.iter().map(|a| src.local()[a]).collect();
         // Pack + the extra internal copy, plus the extra indirection.
         comm.ep().charge_copy_bytes(2 * buf.len() * elem);
         comm.ep().charge_indirect(buf.len());
@@ -141,13 +141,13 @@ pub fn chaos_copy<T>(
         let staged: Vec<T> = sched
             .local_pairs
             .iter()
-            .map(|&(s, _)| src.local()[s])
+            .map(|(s, _)| src.local()[s])
             .collect();
         // Pack + extra internal copy + unpack, with the extra indirection.
         comm.ep().charge_copy_bytes(3 * staged.len() * elem);
         comm.ep().charge_indirect(staged.len());
         let data = dst.local_mut();
-        for (&(_, d), &v) in sched.local_pairs.iter().zip(&staged) {
+        for ((_, d), &v) in sched.local_pairs.iter().zip(&staged) {
             data[d] = v;
         }
     }
@@ -157,7 +157,7 @@ pub fn chaos_copy<T>(
         comm.ep().charge_copy_bytes(2 * buf.len() * elem);
         comm.ep().charge_indirect(buf.len());
         let data = dst.local_mut();
-        for (&a, &v) in addrs.iter().zip(&buf) {
+        for (a, &v) in addrs.iter().zip(&buf) {
             data[a] = v;
         }
     }

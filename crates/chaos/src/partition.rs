@@ -6,8 +6,7 @@
 //! last standing in for the partitioner output on the paper's 65 536-point
 //! unstructured mesh.
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use mcsim::rng::Rng;
 
 /// A partition of `0..n` over `p` program ranks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,8 +32,8 @@ impl Partition {
                 // Every rank derives the same global permutation, then takes
                 // its balanced contiguous slice of it.
                 let mut perm: Vec<usize> = (0..n).collect();
-                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-                perm.shuffle(&mut rng);
+                let mut rng = Rng::seed_from_u64(seed);
+                rng.shuffle(&mut perm);
                 let mut mine = perm[lo..hi].to_vec();
                 // Local-address order is sorted for cache-friendliness,
                 // matching what a real partitioner hand-off looks like.

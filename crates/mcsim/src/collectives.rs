@@ -458,21 +458,19 @@ mod tests {
 mod property_tests {
     use crate::group::Comm;
     use crate::model::MachineModel;
+    use crate::rng::Rng;
     use crate::world::World;
-    use proptest::prelude::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
-
-        /// Collectives must agree with their sequential definitions for
-        /// random group sizes and values.
-        #[test]
-        fn collectives_match_sequential(
-            p in 1usize..6,
-            vals in proptest::collection::vec(-1000i64..1000, 6),
-            root in 0usize..6,
-        ) {
-            let root = root % p;
+    /// Collectives must agree with their sequential definitions for
+    /// seeded-random group sizes and values (deterministic loop, no
+    /// external property-testing framework).
+    #[test]
+    fn collectives_match_sequential() {
+        let mut rng = Rng::seed_from_u64(0x5eed);
+        for _case in 0..16 {
+            let p = 1 + rng.gen_range(5);
+            let vals: Vec<i64> = (0..6).map(|_| rng.gen_range(2000) as i64 - 1000).collect();
+            let root = rng.gen_range(p);
             let vals2 = vals.clone();
             let world = World::with_model(p, MachineModel::zero());
             let out = world.run(move |ep| {
@@ -488,39 +486,43 @@ mod property_tests {
             let want: Vec<i64> = vals.iter().take(p).copied().collect();
             let want_sum: i64 = want.iter().sum();
             for (r, (sum, gathered, bcast, all, scan)) in out.results.into_iter().enumerate() {
-                prop_assert_eq!(sum, want_sum);
-                prop_assert_eq!(bcast, want[root]);
-                prop_assert_eq!(&all, &want);
-                prop_assert_eq!(scan, want[..=r].iter().sum::<i64>());
+                assert_eq!(sum, want_sum);
+                assert_eq!(bcast, want[root]);
+                assert_eq!(&all, &want);
+                assert_eq!(scan, want[..=r].iter().sum::<i64>());
                 if r == root {
-                    prop_assert_eq!(gathered, Some(want.clone()));
+                    assert_eq!(gathered, Some(want.clone()));
                 } else {
-                    prop_assert_eq!(gathered, None);
+                    assert_eq!(gathered, None);
                 }
             }
         }
+    }
 
-        /// alltoallv is a transpose of the send matrix.
-        #[test]
-        fn alltoallv_transposes(p in 1usize..5, seed in 0u64..100) {
-            let world = World::with_model(p, MachineModel::zero());
-            world.run(move |ep| {
-                let mut c = Comm::world(ep);
-                let me = c.rank();
-                let send: Vec<Vec<u64>> = (0..p)
-                    .map(|d| {
-                        let len = ((seed as usize + me * 3 + d) % 4) + 1;
-                        (0..len).map(|k| (me * 1000 + d * 10 + k) as u64).collect()
-                    })
-                    .collect();
-                let recv = c.alltoallv_t(send);
-                for (s, buf) in recv.iter().enumerate() {
-                    let len = ((seed as usize + s * 3 + me) % 4) + 1;
-                    let want: Vec<u64> =
-                        (0..len).map(|k| (s * 1000 + me * 10 + k) as u64).collect();
-                    assert_eq!(buf, &want, "from {s}");
-                }
-            });
+    /// alltoallv is a transpose of the send matrix.
+    #[test]
+    fn alltoallv_transposes() {
+        for p in 1usize..5 {
+            for seed in [0u64, 1, 17, 42, 99] {
+                let world = World::with_model(p, MachineModel::zero());
+                world.run(move |ep| {
+                    let mut c = Comm::world(ep);
+                    let me = c.rank();
+                    let send: Vec<Vec<u64>> = (0..p)
+                        .map(|d| {
+                            let len = ((seed as usize + me * 3 + d) % 4) + 1;
+                            (0..len).map(|k| (me * 1000 + d * 10 + k) as u64).collect()
+                        })
+                        .collect();
+                    let recv = c.alltoallv_t(send);
+                    for (s, buf) in recv.iter().enumerate() {
+                        let len = ((seed as usize + s * 3 + me) % 4) + 1;
+                        let want: Vec<u64> =
+                            (0..len).map(|k| (s * 1000 + me * 10 + k) as u64).collect();
+                        assert_eq!(buf, &want, "from {s}");
+                    }
+                });
+            }
         }
     }
 }

@@ -12,8 +12,7 @@
 //! * per-destination traffic counters.
 
 use std::collections::VecDeque;
-
-use crossbeam::channel::{Receiver, Sender};
+use std::sync::mpsc::{Receiver, Sender};
 
 use crate::error::SimError;
 use crate::message::{Body, Message, Rank};
@@ -22,6 +21,10 @@ use crate::stats::StatsSnapshot;
 use crate::tag::Tag;
 use crate::trace::TraceEvent;
 use crate::wire::Wire;
+
+/// Most buffers kept in an endpoint's reuse pool; beyond this they are
+/// dropped so a burst of large transfers cannot pin memory forever.
+const BUF_POOL_CAP: usize = 32;
 
 /// One rank's handle on the simulated machine.
 pub struct Endpoint {
@@ -35,6 +38,10 @@ pub struct Endpoint {
     model: MachineModel,
     stats: StatsSnapshot,
     trace: Option<Vec<TraceEvent>>,
+    /// Reusable byte buffers.  Sends take from here; receives recycle
+    /// decoded payloads back, so a steady-state exchange loop (the
+    /// executor's `data_move`) allocates no fresh wire buffers.
+    buf_pool: Vec<Vec<u8>>,
 }
 
 impl Endpoint {
@@ -55,6 +62,7 @@ impl Endpoint {
             model,
             stats: StatsSnapshot::new(world),
             trace: None,
+            buf_pool: Vec::new(),
         }
     }
 
@@ -155,6 +163,25 @@ impl Endpoint {
         self.stats.clone()
     }
 
+    /// Count a schedule-cache lookup (`hit = true` when a memoized schedule
+    /// was reused instead of re-running the inspector).
+    pub fn record_sched_cache(&mut self, hit: bool) {
+        self.stats.record_sched_cache(hit);
+    }
+
+    /// Take an empty byte buffer, reusing pooled capacity when available.
+    pub fn take_buf(&mut self) -> Vec<u8> {
+        self.buf_pool.pop().unwrap_or_default()
+    }
+
+    /// Return a buffer to the pool for reuse (cleared, capacity kept).
+    pub fn recycle_buf(&mut self, mut buf: Vec<u8>) {
+        if self.buf_pool.len() < BUF_POOL_CAP && buf.capacity() > 0 {
+            buf.clear();
+            self.buf_pool.push(buf);
+        }
+    }
+
     /// Send `payload` to global rank `to` with `tag`.
     ///
     /// Charges the sender's clock and stamps the message with its arrival
@@ -186,9 +213,12 @@ impl Endpoint {
         let _ = self.senders[to].send(msg);
     }
 
-    /// Typed send: encodes `value` with the [`Wire`] codec.
+    /// Typed send: encodes `value` with the [`Wire`] codec into a pooled
+    /// buffer.
     pub fn send_t<T: Wire>(&mut self, to: Rank, tag: Tag, value: &T) {
-        self.send(to, tag, value.to_bytes());
+        let mut buf = self.take_buf();
+        value.write(&mut buf);
+        self.send(to, tag, buf);
     }
 
     /// Receive the next message from `from` with `tag` (blocking).
@@ -257,10 +287,14 @@ impl Endpoint {
         }
     }
 
-    /// Typed receive.
+    /// Typed receive.  The decoded payload's byte buffer is recycled into
+    /// this endpoint's pool, which is what feeds [`Endpoint::take_buf`] in
+    /// steady state.
     pub fn recv_t<T: Wire>(&mut self, from: Rank, tag: Tag) -> T {
         let bytes = self.recv(from, tag);
-        match T::from_bytes(&bytes) {
+        let decoded = T::from_bytes(&bytes);
+        self.recycle_buf(bytes);
+        match decoded {
             Ok(v) => v,
             Err(e) => panic!(
                 "rank {}: decode of message from {from} tag {tag:?} failed: {e}",

@@ -10,6 +10,8 @@
 //! groups with [`Group::split_two`]; Meta-Chaos then runs collectives over
 //! the union group.
 
+use std::borrow::Cow;
+
 use crate::endpoint::Endpoint;
 use crate::message::Rank;
 use crate::tag::Tag;
@@ -88,21 +90,38 @@ impl Group {
 }
 
 /// A group bound to this rank's endpoint: the object collectives run on.
+///
+/// The group is held as a [`Cow`] so hot loops can bind an existing
+/// `&Group` with [`Comm::borrowed`] instead of cloning the member list per
+/// construction.
 pub struct Comm<'e> {
     ep: &'e mut Endpoint,
-    group: Group,
+    group: Cow<'e, Group>,
     my_local: usize,
 }
 
 impl<'e> Comm<'e> {
-    /// Bind `group` to `ep`.  The endpoint's rank must be a member.
+    /// Bind an owned `group` to `ep`.  The endpoint's rank must be a member.
     pub fn new(ep: &'e mut Endpoint, group: Group) -> Self {
         let my_local = group
             .local_of(ep.rank())
             .unwrap_or_else(|| panic!("rank {} not in group {:?}", ep.rank(), group));
         Comm {
             ep,
-            group,
+            group: Cow::Owned(group),
+            my_local,
+        }
+    }
+
+    /// Bind `group` by reference — no member-list clone.  This is the
+    /// constructor the executor uses once per `data_move`.
+    pub fn borrowed(ep: &'e mut Endpoint, group: &'e Group) -> Self {
+        let my_local = group
+            .local_of(ep.rank())
+            .unwrap_or_else(|| panic!("rank {} not in group {:?}", ep.rank(), group));
+        Comm {
+            ep,
+            group: Cow::Borrowed(group),
             my_local,
         }
     }
@@ -127,7 +146,7 @@ impl<'e> Comm<'e> {
 
     /// The underlying group.
     pub fn group(&self) -> &Group {
-        &self.group
+        self.group.as_ref()
     }
 
     /// Escape hatch to the endpoint (for charging compute, reading the

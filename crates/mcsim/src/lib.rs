@@ -55,6 +55,7 @@ pub mod error;
 pub mod group;
 pub mod message;
 pub mod model;
+pub mod rng;
 pub mod stats;
 pub mod tag;
 pub mod trace;
@@ -66,6 +67,7 @@ pub use error::SimError;
 pub use group::{Comm, Group};
 pub use message::Rank;
 pub use model::MachineModel;
+pub use rng::Rng;
 pub use stats::{NetStats, StatsSnapshot};
 pub use tag::Tag;
 pub use trace::{summarize, TraceEvent, TraceSummary};

@@ -14,6 +14,10 @@ pub struct StatsSnapshot {
     pub msgs_to: Vec<u64>,
     /// Payload bytes sent to each destination rank.
     pub bytes_to: Vec<u64>,
+    /// Schedule-cache hits recorded on this rank (see `meta_chaos::api`).
+    pub sched_cache_hits: u64,
+    /// Schedule-cache misses (full inspector runs) recorded on this rank.
+    pub sched_cache_misses: u64,
 }
 
 impl StatsSnapshot {
@@ -21,6 +25,8 @@ impl StatsSnapshot {
         StatsSnapshot {
             msgs_to: vec![0; world],
             bytes_to: vec![0; world],
+            sched_cache_hits: 0,
+            sched_cache_misses: 0,
         }
     }
 
@@ -50,12 +56,22 @@ impl StatsSnapshot {
                 .zip(&earlier.bytes_to)
                 .map(|(a, b)| a - b)
                 .collect(),
+            sched_cache_hits: self.sched_cache_hits - earlier.sched_cache_hits,
+            sched_cache_misses: self.sched_cache_misses - earlier.sched_cache_misses,
         }
     }
 
     pub(crate) fn record(&mut self, to: Rank, bytes: usize) {
         self.msgs_to[to] += 1;
         self.bytes_to[to] += bytes as u64;
+    }
+
+    pub(crate) fn record_sched_cache(&mut self, hit: bool) {
+        if hit {
+            self.sched_cache_hits += 1;
+        } else {
+            self.sched_cache_misses += 1;
+        }
     }
 }
 

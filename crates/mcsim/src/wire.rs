@@ -28,6 +28,37 @@ pub trait Wire: Sized {
         r.finish()?;
         Ok(v)
     }
+
+    /// Append the encoding of every element of `slice` to `out`.
+    ///
+    /// The byte layout is identical to writing each element in turn; scalar
+    /// types override this with a single bulk byte copy, which is what makes
+    /// `Vec<f64>`-style payloads (the executor's data messages) encode in
+    /// one `memcpy` instead of N codec calls.
+    fn write_slice(slice: &[Self], out: &mut Vec<u8>) {
+        for v in slice {
+            v.write(out);
+        }
+    }
+
+    /// Decode `n` consecutive values, appending them to `out`.  Bulk
+    /// counterpart of [`Wire::write_slice`]; same layout as `n` reads.
+    fn read_extend(r: &mut WireReader<'_>, n: usize, out: &mut Vec<Self>) -> Result<(), SimError> {
+        for _ in 0..n {
+            out.push(Self::read(r)?);
+        }
+        Ok(())
+    }
+
+    /// Decode `out.len()` consecutive values straight into an existing
+    /// slice — the allocation-free counterpart of [`Wire::read_extend`],
+    /// used to unpack message payloads directly into library storage.
+    fn read_slice(r: &mut WireReader<'_>, out: &mut [Self]) -> Result<(), SimError> {
+        for slot in out.iter_mut() {
+            *slot = Self::read(r)?;
+        }
+        Ok(())
+    }
 }
 
 /// Cursor over a received payload.
@@ -86,6 +117,85 @@ macro_rules! impl_wire_numeric {
                 let b = r.take(n)?;
                 Ok(<$t>::from_le_bytes(b.try_into().expect("sized take")))
             }
+
+            fn write_slice(slice: &[Self], out: &mut Vec<u8>) {
+                if cfg!(target_endian = "little") {
+                    // The wire format *is* the little-endian in-memory
+                    // layout, so the whole slice is one byte copy.
+                    // SAFETY: any initialized scalar slice is valid as bytes.
+                    let bytes = unsafe {
+                        std::slice::from_raw_parts(
+                            slice.as_ptr().cast::<u8>(),
+                            std::mem::size_of_val(slice),
+                        )
+                    };
+                    out.extend_from_slice(bytes);
+                } else {
+                    for v in slice {
+                        v.write(out);
+                    }
+                }
+            }
+
+            fn read_extend(
+                r: &mut WireReader<'_>,
+                n: usize,
+                out: &mut Vec<Self>,
+            ) -> Result<(), SimError> {
+                let size = std::mem::size_of::<$t>();
+                let total = n
+                    .checked_mul(size)
+                    .ok_or_else(|| SimError::Decode("element count overflows".into()))?;
+                // Taking all bytes up front also guards allocation against
+                // hostile lengths: the bytes must actually be present.
+                let b = r.take(total)?;
+                if cfg!(target_endian = "little") {
+                    out.reserve(n);
+                    // SAFETY: the reserved tail is writable for `total`
+                    // bytes, scalars have no invalid bit patterns, and the
+                    // source/destination cannot overlap.
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(
+                            b.as_ptr(),
+                            out.as_mut_ptr().add(out.len()).cast::<u8>(),
+                            total,
+                        );
+                        out.set_len(out.len() + n);
+                    }
+                } else {
+                    out.reserve(n);
+                    for chunk in b.chunks_exact(size) {
+                        out.push(<$t>::from_le_bytes(chunk.try_into().expect("sized chunk")));
+                    }
+                }
+                Ok(())
+            }
+
+            fn read_slice(r: &mut WireReader<'_>, out: &mut [Self]) -> Result<(), SimError> {
+                let size = std::mem::size_of::<$t>();
+                let total = out
+                    .len()
+                    .checked_mul(size)
+                    .ok_or_else(|| SimError::Decode("element count overflows".into()))?;
+                let b = r.take(total)?;
+                if cfg!(target_endian = "little") {
+                    // SAFETY: `out` is an initialized scalar slice of
+                    // exactly `total` bytes; source and destination are
+                    // distinct allocations.
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(
+                            b.as_ptr(),
+                            out.as_mut_ptr().cast::<u8>(),
+                            total,
+                        );
+                    }
+                } else {
+                    for (slot, chunk) in out.iter_mut().zip(b.chunks_exact(size)) {
+                        *slot = <$t>::from_le_bytes(chunk.try_into().expect("sized chunk"));
+                    }
+                }
+                Ok(())
+            }
         }
     )*};
 }
@@ -132,17 +242,13 @@ impl Wire for String {
 impl<T: Wire> Wire for Vec<T> {
     fn write(&self, out: &mut Vec<u8>) {
         self.len().write(out);
-        for v in self {
-            v.write(out);
-        }
+        T::write_slice(self, out);
     }
     fn read(r: &mut WireReader<'_>) -> Result<Self, SimError> {
         let n = usize::read(r)?;
         // Guard against hostile/corrupt lengths blowing up allocation.
         let mut v = Vec::with_capacity(n.min(r.remaining().max(16)));
-        for _ in 0..n {
-            v.push(T::read(r)?);
-        }
+        T::read_extend(r, n, &mut v)?;
         Ok(v)
     }
 }

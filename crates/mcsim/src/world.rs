@@ -1,8 +1,7 @@
 //! World construction: spawn one thread per rank and run an SPMD closure.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-
-use crossbeam::channel::unbounded;
+use std::sync::mpsc::channel;
 
 use crate::endpoint::Endpoint;
 use crate::message::Message;
@@ -61,7 +60,7 @@ impl World {
         F: Fn(&mut Endpoint) -> R + Send + Sync,
         R: Send,
     {
-        let (txs, rxs): (Vec<_>, Vec<_>) = (0..self.size).map(|_| unbounded::<Message>()).unzip();
+        let (txs, rxs): (Vec<_>, Vec<_>) = (0..self.size).map(|_| channel::<Message>()).unzip();
 
         let mut endpoints: Vec<Endpoint> = rxs
             .into_iter()

@@ -17,6 +17,7 @@ use mcsim::prelude::Endpoint;
 use mcsim::wire::Wire;
 
 use crate::region::Region;
+use crate::schedule::AddrRuns;
 use crate::setof::SetOfRegions;
 use crate::LocalAddr;
 
@@ -115,6 +116,61 @@ pub trait McObject<T: Copy> {
 
     /// Store `data` (in order) into the elements at `addrs`.
     fn unpack(&mut self, ep: &mut Endpoint, addrs: &[LocalAddr], data: &[T]);
+
+    /// Copy the elements covered by run-compressed `runs` (in run order)
+    /// into `out`.
+    ///
+    /// The default expands the runs and calls [`McObject::pack`], so
+    /// existing libraries work unchanged.  Libraries whose local storage is
+    /// a dense array (the regular ones: multiblock, hpf, tulip) override
+    /// this with one `extend_from_slice` per run — the executor fast path
+    /// that makes regular-section transfers a handful of `memcpy`s.
+    fn pack_runs(&self, ep: &mut Endpoint, runs: &AddrRuns, out: &mut Vec<T>) {
+        self.pack(ep, &runs.to_vec(), out);
+    }
+
+    /// Store `data` into the elements covered by `runs` (in run order).
+    /// Bulk counterpart of [`McObject::unpack`]; same default/override
+    /// contract as [`McObject::pack_runs`].
+    fn unpack_runs(&mut self, ep: &mut Endpoint, runs: &AddrRuns, data: &[T]) {
+        self.unpack(ep, &runs.to_vec(), data);
+    }
+
+    /// Encode the elements covered by `runs` straight into a wire buffer
+    /// (payload bytes only — the caller writes the element-count header).
+    ///
+    /// The default stages through a scratch vector; dense-array libraries
+    /// override this with one [`Wire::write_slice`] per run, so a send
+    /// packs source storage → wire buffer in a single copy with no
+    /// intermediate typed buffer.
+    fn pack_runs_wire(&self, ep: &mut Endpoint, runs: &AddrRuns, out: &mut Vec<u8>)
+    where
+        T: Wire,
+    {
+        let mut scratch = Vec::with_capacity(runs.len());
+        self.pack_runs(ep, runs, &mut scratch);
+        T::write_slice(&scratch, out);
+    }
+
+    /// Decode `runs.len()` elements from a received payload straight into
+    /// the elements covered by `runs` (the caller has already consumed the
+    /// count header).  Default stages through a scratch vector; dense-array
+    /// libraries override with one [`Wire::read_slice`] per run, making
+    /// receive-side unpacking wire buffer → library storage in one copy.
+    fn unpack_runs_wire(
+        &mut self,
+        ep: &mut Endpoint,
+        runs: &AddrRuns,
+        r: &mut mcsim::wire::WireReader<'_>,
+    ) -> Result<(), mcsim::error::SimError>
+    where
+        T: Wire,
+    {
+        let mut scratch = Vec::with_capacity(runs.len());
+        T::read_extend(r, runs.len(), &mut scratch)?;
+        self.unpack_runs(ep, runs, &scratch);
+        Ok(())
+    }
 }
 
 /// One side (source or destination) of a transfer: the object and the

@@ -18,7 +18,10 @@
 //! Regions in the paper are specified with Fortran-style *inclusive*
 //! bounds; [`create_region_hpf`] performs that conversion.
 
-use mcsim::group::Group;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use mcsim::group::{Comm, Group};
 use mcsim::prelude::Endpoint;
 use mcsim::wire::Wire;
 
@@ -29,6 +32,64 @@ use crate::error::McError;
 use crate::region::{DimSlice, Region, RegularSection};
 use crate::schedule::Schedule;
 use crate::setof::SetOfRegions;
+
+thread_local! {
+    /// Per-rank memo of built schedules, keyed by a transfer fingerprint
+    /// agreed across the union group.  Lives for one `World::run` (each run
+    /// gets fresh rank threads), reproducing the paper's computed-once,
+    /// reused-many-times inspector economics as a measurable cache.
+    static SCHED_CACHE: RefCell<HashMap<u64, Schedule>> = RefCell::new(HashMap::new());
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a accumulation over `bytes` into `h`.
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// Fold a group's identity into a fingerprint.
+fn fnv_group(h: &mut u64, g: &Group) {
+    for &m in g.members() {
+        fnv1a(h, &(m as u64).to_le_bytes());
+    }
+    fnv1a(h, &g.context().to_le_bytes());
+}
+
+/// Combine every rank's local fingerprint into one key (collective over
+/// `union`) and probe the cache.  Folding *all* ranks' fingerprints in
+/// makes the hit/miss decision identical everywhere even if one rank's
+/// inputs diverge, so a hit (which skips the build's communication) can
+/// never deadlock against a miss.
+fn sched_cache_probe(ep: &mut Endpoint, union: &Group, local_fp: u64) -> (u64, Option<Schedule>) {
+    let all: Vec<u64> = Comm::borrowed(ep, union).allgather_t(local_fp);
+    let mut key = FNV_OFFSET;
+    for v in all {
+        fnv1a(&mut key, &v.to_le_bytes());
+    }
+    let hit = SCHED_CACHE.with(|c| c.borrow().get(&key).cloned());
+    ep.record_sched_cache(hit.is_some());
+    (key, hit)
+}
+
+fn sched_cache_insert(key: u64, sched: &Schedule) {
+    SCHED_CACHE.with(|c| c.borrow_mut().insert(key, sched.clone()));
+}
+
+/// Number of schedules this rank has memoized (diagnostics/tests).
+pub fn mc_sched_cache_len() -> usize {
+    SCHED_CACHE.with(|c| c.borrow().len())
+}
+
+/// Drop every memoized schedule on this rank.  Collective discipline is the
+/// caller's problem: clear on all ranks or on none (benchmarks use this to
+/// re-measure cold builds).
+pub fn mc_sched_cache_clear() {
+    SCHED_CACHE.with(|c| c.borrow_mut().clear());
+}
 
 /// `CreateRegion_HPF(ndim, left, right)`: an HPF array-section region from
 /// Fortran-style **inclusive** 1-based bounds, as in the paper's example
@@ -61,6 +122,12 @@ pub fn mc_add_region_2_set<R: Region>(region: R, set: &mut SetOfRegions<R>) {
 
 /// `MC_ComputeSched` for a transfer within one program (the Figure 2
 /// scenario: both data structures in the same data-parallel program).
+///
+/// Memoized: the transfer is fingerprinted over both distribution
+/// descriptors, both region sets and the group; a repeat call with
+/// identical inputs returns the cached schedule without running the
+/// inspector (hits/misses are counted in
+/// [`StatsSnapshot`](mcsim::stats::StatsSnapshot)).
 #[allow(clippy::too_many_arguments)]
 pub fn mc_compute_sched<T, S, D>(
     ep: &mut Endpoint,
@@ -75,7 +142,20 @@ where
     S: McObject<T>,
     D: McObject<T>,
 {
-    compute_schedule(
+    let mut fp = FNV_OFFSET;
+    {
+        let mut pcomm = Comm::borrowed(ep, prog);
+        fnv1a(&mut fp, &src_obj.descriptor(&mut pcomm).to_bytes());
+        fnv1a(&mut fp, &dst_obj.descriptor(&mut pcomm).to_bytes());
+    }
+    fnv1a(&mut fp, &src_set.to_bytes());
+    fnv1a(&mut fp, &dst_set.to_bytes());
+    fnv_group(&mut fp, prog);
+    let (key, hit) = sched_cache_probe(ep, prog, fp);
+    if let Some(sched) = hit {
+        return Ok(sched);
+    }
+    let sched = compute_schedule(
         ep,
         prog,
         prog,
@@ -83,11 +163,26 @@ where
         prog,
         Some(Side::new(dst_obj, dst_set)),
         BuildMethod::Cooperation,
-    )
+    )?;
+    sched_cache_insert(key, &sched);
+    Ok(sched)
+}
+
+/// Fold the parts of a two-program fingerprint every rank knows.
+fn two_program_fp(union: &Group, src_prog: &Group, dst_prog: &Group) -> u64 {
+    let mut fp = FNV_OFFSET;
+    fnv_group(&mut fp, union);
+    fnv_group(&mut fp, src_prog);
+    fnv_group(&mut fp, dst_prog);
+    fp
 }
 
 /// `MC_ComputeSched` called from the *source* program of a two-program
 /// transfer (the Figure 3 scenario).
+///
+/// Memoized like [`mc_compute_sched`]: each rank fingerprints its own
+/// side's descriptor and regions, and the cache key folds every union
+/// rank's fingerprint together, so both programs agree on hit vs. miss.
 pub fn mc_compute_sched_src<T, S, D>(
     ep: &mut Endpoint,
     union: &Group,
@@ -101,7 +196,17 @@ where
     S: McObject<T>,
     D: McObject<T>,
 {
-    compute_schedule::<T, S, D>(
+    let mut fp = two_program_fp(union, src_prog, dst_prog);
+    {
+        let mut pcomm = Comm::borrowed(ep, src_prog);
+        fnv1a(&mut fp, &src_obj.descriptor(&mut pcomm).to_bytes());
+    }
+    fnv1a(&mut fp, &src_set.to_bytes());
+    let (key, hit) = sched_cache_probe(ep, union, fp);
+    if let Some(sched) = hit {
+        return Ok(sched);
+    }
+    let sched = compute_schedule::<T, S, D>(
         ep,
         union,
         src_prog,
@@ -109,11 +214,13 @@ where
         dst_prog,
         None,
         BuildMethod::Cooperation,
-    )
+    )?;
+    sched_cache_insert(key, &sched);
+    Ok(sched)
 }
 
 /// `MC_ComputeSched` called from the *destination* program of a
-/// two-program transfer.
+/// two-program transfer.  Memoized; see [`mc_compute_sched_src`].
 pub fn mc_compute_sched_dst<T, S, D>(
     ep: &mut Endpoint,
     union: &Group,
@@ -127,7 +234,17 @@ where
     S: McObject<T>,
     D: McObject<T>,
 {
-    compute_schedule::<T, S, D>(
+    let mut fp = two_program_fp(union, src_prog, dst_prog);
+    {
+        let mut pcomm = Comm::borrowed(ep, dst_prog);
+        fnv1a(&mut fp, &dst_obj.descriptor(&mut pcomm).to_bytes());
+    }
+    fnv1a(&mut fp, &dst_set.to_bytes());
+    let (key, hit) = sched_cache_probe(ep, union, fp);
+    if let Some(sched) = hit {
+        return Ok(sched);
+    }
+    let sched = compute_schedule::<T, S, D>(
         ep,
         union,
         src_prog,
@@ -135,7 +252,9 @@ where
         dst_prog,
         Some(Side::new(dst_obj, dst_set)),
         BuildMethod::Cooperation,
-    )
+    )?;
+    sched_cache_insert(key, &sched);
+    Ok(sched)
 }
 
 /// `MC_Copy(B1, A1)`: same-program data copy with a prebuilt schedule.
@@ -149,21 +268,25 @@ where
 }
 
 /// `MC_DataMoveSend(schedId, B)`.
-pub fn mc_data_move_send<T, S>(ep: &mut Endpoint, sched: &Schedule, src: &S)
+pub fn mc_data_move_send<T, S>(ep: &mut Endpoint, sched: &Schedule, src: &S) -> Result<(), McError>
 where
     T: Copy + Wire,
     S: McObject<T>,
 {
-    datamove::data_move_send(ep, sched, src);
+    datamove::data_move_send(ep, sched, src)
 }
 
 /// `MC_DataMoveRecv(schedId, A)`.
-pub fn mc_data_move_recv<T, D>(ep: &mut Endpoint, sched: &Schedule, dst: &mut D)
+pub fn mc_data_move_recv<T, D>(
+    ep: &mut Endpoint,
+    sched: &Schedule,
+    dst: &mut D,
+) -> Result<(), McError>
 where
     T: Copy + Wire,
     D: McObject<T>,
 {
-    datamove::data_move_recv(ep, sched, dst);
+    datamove::data_move_recv(ep, sched, dst)
 }
 
 #[cfg(test)]

@@ -115,7 +115,7 @@ where
 
     // Agree on the transfer length.
     let (n_src, n_dst) = {
-        let mut ucomm = Comm::new(ep, union.clone());
+        let mut ucomm = Comm::borrowed(ep, union);
         let n_src = ucomm.bcast_t(
             src_root_ul,
             if me_ul == src_root_ul {
@@ -171,7 +171,7 @@ where
 
     // Assign a consistent sequence number for message-stream separation.
     let seq = {
-        let mut ucomm = Comm::new(ep, union.clone());
+        let mut ucomm = Comm::borrowed(ep, union);
         let mine = if me_ul == 0 {
             let s = SCHED_SEQ.with(|c| {
                 let v = c.get();
@@ -222,14 +222,14 @@ where
     // Each side dereferences its own elements (collective per program).
     let sown: Vec<(usize, LocalAddr)> = match &src {
         Some(s) => {
-            let mut pcomm = Comm::new(ep, src_prog.clone());
+            let mut pcomm = Comm::borrowed(ep, src_prog);
             s.obj.deref_owned(&mut pcomm, s.set)
         }
         None => Vec::new(),
     };
     let down: Vec<(usize, LocalAddr)> = match &dst {
         Some(d) => {
-            let mut pcomm = Comm::new(ep, dst_prog.clone());
+            let mut pcomm = Comm::borrowed(ep, dst_prog);
             d.obj.deref_owned(&mut pcomm, d.set)
         }
         None => Vec::new(),
@@ -237,7 +237,7 @@ where
     debug_assert!(sown.windows(2).all(|w| w[0].0 < w[1].0), "sown sorted");
     debug_assert!(down.windows(2).all(|w| w[0].0 < w[1].0), "down sorted");
 
-    let mut ucomm = Comm::new(ep, union.clone());
+    let mut ucomm = Comm::borrowed(ep, union);
 
     // Library contract check: each side accounted for every position once.
     let s_total: usize = ucomm.allreduce_sum(sown.len());
@@ -399,18 +399,18 @@ where
     // Descriptor exchange.  Within one program every rank can construct
     // both descriptors directly; Chaos charges its table replication here.
     let sd: S::Descriptor = {
-        let mut pcomm = Comm::new(ep, src_prog.clone());
+        let mut pcomm = Comm::borrowed(ep, src_prog);
         src.obj.descriptor(&mut pcomm)
     };
     let dd: D::Descriptor = {
-        let mut pcomm = Comm::new(ep, dst_prog.clone());
+        let mut pcomm = Comm::borrowed(ep, dst_prog);
         dst.obj.descriptor(&mut pcomm)
     };
 
     // Pass 1 — act as the source side: find my source elements, locate
     // their destinations through the descriptor, build my send half.
     let sown: Vec<(usize, LocalAddr)> = {
-        let mut pcomm = Comm::new(ep, src_prog.clone());
+        let mut pcomm = Comm::borrowed(ep, src_prog);
         src.obj.deref_owned(&mut pcomm, src.set)
     };
     let mut sends: Vec<Vec<LocalAddr>> = (0..p).map(|_| Vec::new()).collect();
@@ -429,7 +429,7 @@ where
     // Pass 2 — act as the destination side: find my destination elements,
     // locate their sources, build my receive half.
     let down: Vec<(usize, LocalAddr)> = {
-        let mut pcomm = Comm::new(ep, dst_prog.clone());
+        let mut pcomm = Comm::borrowed(ep, dst_prog);
         dst.obj.deref_owned(&mut pcomm, dst.set)
     };
     let mut recvs: Vec<Vec<LocalAddr>> = (0..p).map(|_| Vec::new()).collect();
@@ -481,12 +481,12 @@ where
     // Side-local descriptor construction (collective per program; Chaos
     // charges its table gather here).
     let src_pack: Option<(S::Descriptor, SetOfRegions<S::Region>)> = src.map(|s| {
-        let mut pcomm = Comm::new(ep, src_prog.clone());
+        let mut pcomm = Comm::borrowed(ep, src_prog);
         let d = s.obj.descriptor(&mut pcomm);
         (d, s.set.clone())
     });
     let dst_pack: Option<(D::Descriptor, SetOfRegions<D::Region>)> = dst.map(|d| {
-        let mut pcomm = Comm::new(ep, dst_prog.clone());
+        let mut pcomm = Comm::borrowed(ep, dst_prog);
         let desc = d.obj.descriptor(&mut pcomm);
         (desc, d.set.clone())
     });
@@ -549,7 +549,7 @@ fn share_pack<Desc: McDescriptor>(
         Some((d, s)) => {
             if me_ul == root_ul && !outsiders.is_empty() {
                 let bytes = (d.to_bytes(), s.to_bytes());
-                let mut ucomm = Comm::new(ep, union.clone());
+                let mut ucomm = Comm::borrowed(ep, union);
                 for ul in outsiders {
                     ucomm.send_t(ul, t, &bytes);
                 }
@@ -557,7 +557,7 @@ fn share_pack<Desc: McDescriptor>(
             (d, s)
         }
         None => {
-            let mut ucomm = Comm::new(ep, union.clone());
+            let mut ucomm = Comm::borrowed(ep, union);
             let (db, sb): (Vec<u8>, Vec<u8>) = ucomm.recv_t(root_ul, t);
             let d = Desc::from_bytes(&db).expect("descriptor decode");
             let s = SetOfRegions::<Desc::Region>::from_bytes(&sb).expect("regions decode");
@@ -737,7 +737,7 @@ mod tests {
                     BuildMethod::Cooperation,
                 )
                 .unwrap();
-                data_move_send(ep, &sched, &src);
+                data_move_send(ep, &sched, &src).unwrap();
                 Vec::new()
             } else {
                 let mut dst = BlockVec::create(&pb, ep.rank(), n, |_| -1.0);
@@ -751,7 +751,7 @@ mod tests {
                     BuildMethod::Cooperation,
                 )
                 .unwrap();
-                data_move_recv(ep, &sched, &mut dst);
+                data_move_recv(ep, &sched, &mut dst).unwrap();
                 dst.data.clone()
             }
         });
@@ -787,7 +787,7 @@ mod tests {
                         method,
                     )
                     .unwrap();
-                    data_move_send(ep, &sched, &src);
+                    data_move_send(ep, &sched, &src).unwrap();
                     Vec::new()
                 } else {
                     let mut dst = BlockVec::create(&pb, ep.rank(), n, |_| f64::NAN);
@@ -801,7 +801,7 @@ mod tests {
                         method,
                     )
                     .unwrap();
-                    data_move_recv(ep, &sched, &mut dst);
+                    data_move_recv(ep, &sched, &mut dst).unwrap();
                     dst.data.clone()
                 }
             });

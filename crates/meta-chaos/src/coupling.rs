@@ -15,6 +15,7 @@ use mcsim::wire::Wire;
 
 use crate::adapter::McObject;
 use crate::datamove::{data_move_recv, data_move_send};
+use crate::error::McError;
 use crate::schedule::Schedule;
 
 /// A registry of named, reusable transfer schedules.
@@ -50,7 +51,7 @@ impl Coupler {
     ///
     /// # Panics
     /// Panics if the port is unbound.
-    pub fn put<T, S>(&self, ep: &mut Endpoint, name: &str, src: &S)
+    pub fn put<T, S>(&self, ep: &mut Endpoint, name: &str, src: &S) -> Result<(), McError>
     where
         T: Copy + Wire,
         S: McObject<T>,
@@ -59,14 +60,14 @@ impl Coupler {
             .ports
             .get(name)
             .unwrap_or_else(|| panic!("port '{name}' is not bound"));
-        data_move_send(ep, sched, src);
+        data_move_send(ep, sched, src)
     }
 
     /// Receive this program's half of port `name` into `dst`.
     ///
     /// # Panics
     /// Panics if the port is unbound.
-    pub fn get<T, D>(&self, ep: &mut Endpoint, name: &str, dst: &mut D)
+    pub fn get<T, D>(&self, ep: &mut Endpoint, name: &str, dst: &mut D) -> Result<(), McError>
     where
         T: Copy + Wire,
         D: McObject<T>,
@@ -75,12 +76,12 @@ impl Coupler {
             .ports
             .get(name)
             .unwrap_or_else(|| panic!("port '{name}' is not bound"));
-        data_move_recv(ep, sched, dst);
+        data_move_recv(ep, sched, dst)
     }
 
     /// Send in the *reverse* direction of port `name` (uses the schedule's
     /// symmetry, §4.3).
-    pub fn put_reverse<T, S>(&self, ep: &mut Endpoint, name: &str, src: &S)
+    pub fn put_reverse<T, S>(&self, ep: &mut Endpoint, name: &str, src: &S) -> Result<(), McError>
     where
         T: Copy + Wire,
         S: McObject<T>,
@@ -90,11 +91,11 @@ impl Coupler {
             .get(name)
             .unwrap_or_else(|| panic!("port '{name}' is not bound"))
             .reversed();
-        data_move_send(ep, &sched, src);
+        data_move_send(ep, &sched, src)
     }
 
     /// Receive in the *reverse* direction of port `name`.
-    pub fn get_reverse<T, D>(&self, ep: &mut Endpoint, name: &str, dst: &mut D)
+    pub fn get_reverse<T, D>(&self, ep: &mut Endpoint, name: &str, dst: &mut D) -> Result<(), McError>
     where
         T: Copy + Wire,
         D: McObject<T>,
@@ -104,7 +105,7 @@ impl Coupler {
             .get(name)
             .unwrap_or_else(|| panic!("port '{name}' is not bound"))
             .reversed();
-        data_move_recv(ep, &sched, dst);
+        data_move_recv(ep, &sched, dst)
     }
 }
 

@@ -6,6 +6,17 @@
 //! the schedule lists.  Same-rank pairs are copied directly with no
 //! intermediate buffer.
 //!
+//! The executor rides the schedule's run-length compression end to end:
+//! packing and unpacking go through [`McObject::pack_runs`] /
+//! [`McObject::unpack_runs`] (slice copies for regular libraries), the wire
+//! codec bulk-encodes scalar payloads, the communicator binds the
+//! schedule's group by reference once per half instead of cloning it per
+//! peer, and wire buffers come from the endpoint's reuse pool — so a
+//! steady-state `data_move` loop does no per-element codec work and no
+//! fresh heap allocation.  [`data_move_elementwise`] keeps the
+//! pre-compression executor alive for apples-to-apples benchmarking (same
+//! messages, per-element paths).
+//!
 //! [`data_move`] serves single-program transfers; across two programs the
 //! source program calls [`data_move_send`] and the destination calls
 //! [`data_move_recv`] (the paper's `MC_DataMoveSend` / `MC_DataMoveRecv`).
@@ -14,9 +25,10 @@
 
 use mcsim::group::Comm;
 use mcsim::prelude::Endpoint;
-use mcsim::wire::Wire;
+use mcsim::wire::{Wire, WireReader};
 
 use crate::adapter::McObject;
+use crate::error::McError;
 use crate::schedule::Schedule;
 
 /// User-tag bit layout for data-move traffic: schedule seq in the high
@@ -41,37 +53,49 @@ where
 }
 
 /// Source-program half of a two-program transfer.
-pub fn data_move_send<T, S>(ep: &mut Endpoint, sched: &Schedule, src: &S)
+///
+/// Fails (without communicating) when the schedule evidently belongs to a
+/// different call: cross-program schedules never contain local pairs, and
+/// a rank that also receives must use [`data_move`] or be on the
+/// [`data_move_recv`] side.
+pub fn data_move_send<T, S>(ep: &mut Endpoint, sched: &Schedule, src: &S) -> Result<(), McError>
 where
     T: Copy + Wire,
     S: McObject<T>,
 {
-    assert!(
-        sched.local_pairs.is_empty(),
-        "cross-program schedules cannot have local pairs"
-    );
-    assert!(
-        sched.recvs.is_empty(),
-        "this rank's schedule has receives; use data_move or data_move_recv"
-    );
+    if !sched.local_pairs.is_empty() {
+        return Err(McError::LocalPairsInCrossProgramMove {
+            pairs: sched.local_pairs.len(),
+        });
+    }
+    if !sched.recvs.is_empty() {
+        return Err(McError::SendSideHasReceives {
+            peers: sched.msgs_in(),
+        });
+    }
     send_half(ep, sched, src);
+    Ok(())
 }
 
-/// Destination-program half of a two-program transfer.
-pub fn data_move_recv<T, D>(ep: &mut Endpoint, sched: &Schedule, dst: &mut D)
+/// Destination-program half of a two-program transfer.  Misuse reporting
+/// mirrors [`data_move_send`].
+pub fn data_move_recv<T, D>(ep: &mut Endpoint, sched: &Schedule, dst: &mut D) -> Result<(), McError>
 where
     T: Copy + Wire,
     D: McObject<T>,
 {
-    assert!(
-        sched.local_pairs.is_empty(),
-        "cross-program schedules cannot have local pairs"
-    );
-    assert!(
-        sched.sends.is_empty(),
-        "this rank's schedule has sends; use data_move or data_move_send"
-    );
+    if !sched.local_pairs.is_empty() {
+        return Err(McError::LocalPairsInCrossProgramMove {
+            pairs: sched.local_pairs.len(),
+        });
+    }
+    if !sched.sends.is_empty() {
+        return Err(McError::RecvSideHasSends {
+            peers: sched.msgs_out(),
+        });
+    }
     recv_half(ep, sched, dst);
+    Ok(())
 }
 
 fn send_half<T, S>(ep: &mut Endpoint, sched: &Schedule, src: &S)
@@ -79,14 +103,19 @@ where
     T: Copy + Wire,
     S: McObject<T>,
 {
+    if sched.sends.is_empty() {
+        return;
+    }
     let t = move_tag(sched.seq());
-    let mut buf: Vec<T> = Vec::new();
-    for (peer, addrs) in &sched.sends {
-        buf.clear();
-        buf.reserve(addrs.len());
-        src.pack(ep, addrs, &mut buf);
-        let mut comm = Comm::new(ep, sched.group().clone());
-        comm.send_t(*peer, t, &buf);
+    let mut comm = Comm::borrowed(ep, sched.group());
+    for (peer, runs) in &sched.sends {
+        // Encode the `Vec<T>` wire layout directly: count header, then the
+        // source elements packed straight into a pooled wire buffer — one
+        // copy, no intermediate typed buffer.
+        let mut buf = comm.ep().take_buf();
+        runs.len().write(&mut buf);
+        src.pack_runs_wire(comm.ep(), runs, &mut buf);
+        comm.send(*peer, t, buf);
     }
 }
 
@@ -95,18 +124,26 @@ where
     T: Copy + Wire,
     D: McObject<T>,
 {
+    if sched.recvs.is_empty() {
+        return;
+    }
     let t = move_tag(sched.seq());
-    for (peer, addrs) in &sched.recvs {
-        let data: Vec<T> = {
-            let mut comm = Comm::new(ep, sched.group().clone());
-            comm.recv_t(*peer, t)
-        };
+    let mut comm = Comm::borrowed(ep, sched.group());
+    for (peer, runs) in &sched.recvs {
+        let bytes = comm.recv(*peer, t);
+        let mut r = WireReader::new(&bytes);
+        let count = usize::read(&mut r)
+            .unwrap_or_else(|e| panic!("message from peer {peer} has no element count: {e}"));
         assert_eq!(
-            data.len(),
-            addrs.len(),
+            count,
+            runs.len(),
             "message from peer {peer} has wrong element count"
         );
-        dst.unpack(ep, addrs, &data);
+        // Unpack wire bytes straight into library storage, then recycle
+        // the buffer so steady-state loops allocate nothing.
+        dst.unpack_runs_wire(comm.ep(), runs, &mut r)
+            .unwrap_or_else(|e| panic!("message from peer {peer} failed to decode: {e}"));
+        comm.ep().recycle_buf(bytes);
     }
 }
 
@@ -119,10 +156,50 @@ where
     if sched.local_pairs.is_empty() {
         return;
     }
-    let (saddrs, daddrs): (Vec<_>, Vec<_>) = sched.local_pairs.iter().copied().unzip();
+    let (saddrs, daddrs) = sched.local_pairs.split_sides();
     let mut buf: Vec<T> = Vec::with_capacity(saddrs.len());
-    src.pack(ep, &saddrs, &mut buf);
-    dst.unpack(ep, &daddrs, &buf);
+    src.pack_runs(ep, &saddrs, &mut buf);
+    dst.unpack_runs(ep, &daddrs, &buf);
     // Direct copy: no extra staging charge beyond pack + unpack — this is
     // the local-copy advantage over Parti's intermediate buffer (§5.3).
+}
+
+/// Ablation baseline: the pre-optimization executor, kept for measuring
+/// the run-compressed fast path against.  Produces byte-identical messages
+/// and identical results, but expands every run back to explicit address
+/// lists, packs element by element, and clones the communicator group per
+/// peer.  Benchmarks only — not part of the Meta-Chaos API surface.
+pub fn data_move_elementwise<T, S, D>(ep: &mut Endpoint, sched: &Schedule, src: &S, dst: &mut D)
+where
+    T: Copy + Wire,
+    S: McObject<T>,
+    D: McObject<T>,
+{
+    let t = move_tag(sched.seq());
+    for (peer, runs) in &sched.sends {
+        let addrs = runs.to_vec();
+        let mut buf: Vec<T> = Vec::with_capacity(addrs.len());
+        src.pack(ep, &addrs, &mut buf);
+        let mut comm = Comm::new(ep, sched.group().clone());
+        comm.send_t(*peer, t, &buf);
+    }
+    if !sched.local_pairs.is_empty() {
+        let (saddrs, daddrs): (Vec<_>, Vec<_>) = sched.local_pairs.iter().unzip();
+        let mut buf: Vec<T> = Vec::with_capacity(saddrs.len());
+        src.pack(ep, &saddrs, &mut buf);
+        dst.unpack(ep, &daddrs, &buf);
+    }
+    for (peer, runs) in &sched.recvs {
+        let addrs = runs.to_vec();
+        let data: Vec<T> = {
+            let mut comm = Comm::new(ep, sched.group().clone());
+            comm.recv_t(*peer, t)
+        };
+        assert_eq!(
+            data.len(),
+            addrs.len(),
+            "message from peer {peer} has wrong element count"
+        );
+        dst.unpack(ep, &addrs, &data);
+    }
 }

@@ -25,6 +25,26 @@ pub enum McError {
         /// The offending linearization position.
         pos: usize,
     },
+    /// A schedule with same-rank copy pairs was passed to one half of a
+    /// two-program transfer; cross-program schedules never have local
+    /// pairs, so this schedule belongs to `data_move`.
+    LocalPairsInCrossProgramMove {
+        /// Number of local pairs present.
+        pairs: usize,
+    },
+    /// `data_move_send` was called with a schedule under which this rank
+    /// also receives — the caller is on the wrong side (or should be using
+    /// `data_move`).
+    SendSideHasReceives {
+        /// Number of peers this rank would receive from.
+        peers: usize,
+    },
+    /// `data_move_recv` was called with a schedule under which this rank
+    /// also sends.
+    RecvSideHasSends {
+        /// Number of peers this rank would send to.
+        peers: usize,
+    },
 }
 
 impl fmt::Display for McError {
@@ -37,6 +57,18 @@ impl fmt::Display for McError {
             McError::DuplicateDestination { pos } => {
                 write!(f, "destination position {pos} specified more than once")
             }
+            McError::LocalPairsInCrossProgramMove { pairs } => write!(
+                f,
+                "cross-program schedules cannot have local pairs ({pairs} present); use data_move"
+            ),
+            McError::SendSideHasReceives { peers } => write!(
+                f,
+                "this rank's schedule has receives from {peers} peer(s); use data_move or data_move_recv"
+            ),
+            McError::RecvSideHasSends { peers } => write!(
+                f,
+                "this rank's schedule has sends to {peers} peer(s); use data_move or data_move_send"
+            ),
         }
     }
 }

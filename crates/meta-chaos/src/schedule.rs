@@ -10,12 +10,262 @@
 //! * **reusability** — a schedule moves data any number of times;
 //! * **symmetry** — [`Schedule::reversed`] turns an A→B schedule into the
 //!   B→A schedule at zero cost.
+//!
+//! Address lists are stored **run-length compressed** ([`AddrRuns`] /
+//! [`PairRuns`]): regular-section transfers produce long stretches of
+//! consecutive local addresses, so a schedule over millions of elements
+//! collapses to a handful of `(start, len)` runs.  The executor exploits
+//! the runs for contiguous slice copies; irregular (Chaos-style) transfers
+//! degrade gracefully to one run per element.
 
 use mcsim::error::SimError;
 use mcsim::group::Group;
 use mcsim::wire::{Wire, WireReader};
 
 use crate::LocalAddr;
+
+/// A run-length-compressed list of local addresses: maximal runs of
+/// consecutive addresses stored as `(start, len)`.
+///
+/// Preserves order exactly — iterating yields the original address list.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AddrRuns {
+    runs: Vec<(LocalAddr, usize)>,
+    total: usize,
+}
+
+impl AddrRuns {
+    /// An empty list.
+    pub fn new() -> Self {
+        AddrRuns::default()
+    }
+
+    /// Append one address, merging into the last run when consecutive.
+    #[inline]
+    pub fn push(&mut self, addr: LocalAddr) {
+        if let Some(last) = self.runs.last_mut() {
+            if last.0 + last.1 == addr {
+                last.1 += 1;
+                self.total += 1;
+                return;
+            }
+        }
+        self.runs.push((addr, 1));
+        self.total += 1;
+    }
+
+    /// Append a whole `(start, len)` run (merged if it continues the last).
+    pub fn push_run(&mut self, start: LocalAddr, len: usize) {
+        if len == 0 {
+            return;
+        }
+        if let Some(last) = self.runs.last_mut() {
+            if last.0 + last.1 == start {
+                last.1 += len;
+                self.total += len;
+                return;
+            }
+        }
+        self.runs.push((start, len));
+        self.total += len;
+    }
+
+    /// Number of addresses (not runs).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// True if no addresses are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The compressed `(start, len)` runs.
+    #[inline]
+    pub fn runs(&self) -> &[(LocalAddr, usize)] {
+        &self.runs
+    }
+
+    /// Iterate the addresses in original order.
+    pub fn iter(&self) -> impl Iterator<Item = LocalAddr> + '_ {
+        self.runs.iter().flat_map(|&(s, l)| s..s + l)
+    }
+
+    /// Expand back to an explicit address list.
+    pub fn to_vec(&self) -> Vec<LocalAddr> {
+        let mut v = Vec::with_capacity(self.total);
+        v.extend(self.iter());
+        v
+    }
+
+    /// Drop all but the first `keep` addresses (used by tests to corrupt a
+    /// schedule; cheap because runs are ordered).
+    pub fn truncate(&mut self, keep: usize) {
+        if keep >= self.total {
+            return;
+        }
+        let mut seen = 0usize;
+        let mut cut = self.runs.len();
+        for (i, run) in self.runs.iter_mut().enumerate() {
+            if seen + run.1 >= keep {
+                run.1 = keep - seen;
+                cut = if run.1 == 0 { i } else { i + 1 };
+                break;
+            }
+            seen += run.1;
+        }
+        self.runs.truncate(cut);
+        self.total = keep;
+    }
+}
+
+impl FromIterator<LocalAddr> for AddrRuns {
+    fn from_iter<I: IntoIterator<Item = LocalAddr>>(iter: I) -> Self {
+        let mut r = AddrRuns::new();
+        for a in iter {
+            r.push(a);
+        }
+        r
+    }
+}
+
+impl Wire for AddrRuns {
+    fn write(&self, out: &mut Vec<u8>) {
+        self.runs.write(out);
+    }
+    fn read(r: &mut WireReader<'_>) -> Result<Self, SimError> {
+        let runs = Vec::<(usize, usize)>::read(r)?;
+        let mut total = 0usize;
+        for &(start, len) in &runs {
+            if len == 0 {
+                return Err(SimError::Decode("empty address run".into()));
+            }
+            if start.checked_add(len).is_none() {
+                return Err(SimError::Decode("address run overflows".into()));
+            }
+            total = total
+                .checked_add(len)
+                .ok_or_else(|| SimError::Decode("address run total overflows".into()))?;
+        }
+        Ok(AddrRuns { runs, total })
+    }
+}
+
+/// Run-length-compressed `(source, destination)` address pairs for direct
+/// local copies: maximal stretches where both sides advance consecutively,
+/// stored as `(src_start, dst_start, len)`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PairRuns {
+    runs: Vec<(LocalAddr, LocalAddr, usize)>,
+    total: usize,
+}
+
+impl PairRuns {
+    /// An empty list.
+    pub fn new() -> Self {
+        PairRuns::default()
+    }
+
+    /// Append one pair, merging when both sides are consecutive.
+    #[inline]
+    pub fn push(&mut self, src: LocalAddr, dst: LocalAddr) {
+        if let Some(last) = self.runs.last_mut() {
+            if last.0 + last.2 == src && last.1 + last.2 == dst {
+                last.2 += 1;
+                self.total += 1;
+                return;
+            }
+        }
+        self.runs.push((src, dst, 1));
+        self.total += 1;
+    }
+
+    /// Number of pairs (not runs).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// True if no pairs are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The compressed `(src_start, dst_start, len)` runs.
+    #[inline]
+    pub fn runs(&self) -> &[(LocalAddr, LocalAddr, usize)] {
+        &self.runs
+    }
+
+    /// Iterate the pairs in original order.
+    pub fn iter(&self) -> impl Iterator<Item = (LocalAddr, LocalAddr)> + '_ {
+        self.runs
+            .iter()
+            .flat_map(|&(s, d, l)| (0..l).map(move |k| (s + k, d + k)))
+    }
+
+    /// Expand back to an explicit pair list.
+    pub fn to_vec(&self) -> Vec<(LocalAddr, LocalAddr)> {
+        let mut v = Vec::with_capacity(self.total);
+        v.extend(self.iter());
+        v
+    }
+
+    /// The same pairs with source and destination swapped.
+    pub fn swapped(&self) -> PairRuns {
+        PairRuns {
+            runs: self.runs.iter().map(|&(s, d, l)| (d, s, l)).collect(),
+            total: self.total,
+        }
+    }
+
+    /// Split into the source-address runs and destination-address runs
+    /// (both in pair order), for bulk pack/unpack of the local copies.
+    pub fn split_sides(&self) -> (AddrRuns, AddrRuns) {
+        let mut srcs = AddrRuns::new();
+        let mut dsts = AddrRuns::new();
+        for &(s, d, l) in &self.runs {
+            srcs.push_run(s, l);
+            dsts.push_run(d, l);
+        }
+        (srcs, dsts)
+    }
+}
+
+impl FromIterator<(LocalAddr, LocalAddr)> for PairRuns {
+    fn from_iter<I: IntoIterator<Item = (LocalAddr, LocalAddr)>>(iter: I) -> Self {
+        let mut r = PairRuns::new();
+        for (s, d) in iter {
+            r.push(s, d);
+        }
+        r
+    }
+}
+
+impl Wire for PairRuns {
+    fn write(&self, out: &mut Vec<u8>) {
+        self.runs.write(out);
+    }
+    fn read(r: &mut WireReader<'_>) -> Result<Self, SimError> {
+        let runs = Vec::<(usize, usize, usize)>::read(r)?;
+        let mut total = 0usize;
+        for &(s, d, l) in &runs {
+            if l == 0 {
+                return Err(SimError::Decode("empty pair run".into()));
+            }
+            if s.checked_add(l).is_none() || d.checked_add(l).is_none() {
+                return Err(SimError::Decode("pair run overflows".into()));
+            }
+            total = total
+                .checked_add(l)
+                .ok_or_else(|| SimError::Decode("pair run total overflows".into()))?;
+        }
+        Ok(PairRuns { runs, total })
+    }
+}
 
 /// A per-rank communication schedule over a (union) group of ranks.
 ///
@@ -27,38 +277,46 @@ use crate::LocalAddr;
 pub struct Schedule {
     group: Group,
     seq: u32,
-    /// `(peer local rank, local addresses to pack)`, sorted by peer.
-    pub sends: Vec<(usize, Vec<LocalAddr>)>,
-    /// `(peer local rank, local addresses to fill)`, sorted by peer.
-    pub recvs: Vec<(usize, Vec<LocalAddr>)>,
+    /// `(peer local rank, run-compressed local addresses to pack)`, sorted
+    /// by peer.
+    pub sends: Vec<(usize, AddrRuns)>,
+    /// `(peer local rank, run-compressed local addresses to fill)`, sorted
+    /// by peer.
+    pub recvs: Vec<(usize, AddrRuns)>,
     /// Same-rank `(source address, destination address)` pairs, copied
     /// directly with no intermediate buffer (paper §5.3 contrasts this with
     /// Multiblock Parti's internal staging buffer).
-    pub local_pairs: Vec<(LocalAddr, LocalAddr)>,
+    pub local_pairs: PairRuns,
     /// Total elements of the whole transfer (global, same on every rank).
     pub total_elems: usize,
 }
 
 impl Schedule {
-    /// Assemble a schedule (used by the builders in [`crate::build`]).
+    /// Assemble a schedule from explicit per-element address lists (the
+    /// shape the builders in [`crate::build`] naturally produce); lists are
+    /// run-compressed here.
     pub fn new(
         group: Group,
         seq: u32,
-        mut sends: Vec<(usize, Vec<LocalAddr>)>,
-        mut recvs: Vec<(usize, Vec<LocalAddr>)>,
+        sends: Vec<(usize, Vec<LocalAddr>)>,
+        recvs: Vec<(usize, Vec<LocalAddr>)>,
         local_pairs: Vec<(LocalAddr, LocalAddr)>,
         total_elems: usize,
     ) -> Self {
-        sends.retain(|(_, a)| !a.is_empty());
-        recvs.retain(|(_, a)| !a.is_empty());
-        sends.sort_by_key(|&(p, _)| p);
-        recvs.sort_by_key(|&(p, _)| p);
+        let compress = |mut lists: Vec<(usize, Vec<LocalAddr>)>| -> Vec<(usize, AddrRuns)> {
+            lists.retain(|(_, a)| !a.is_empty());
+            lists.sort_by_key(|&(p, _)| p);
+            lists
+                .into_iter()
+                .map(|(p, a)| (p, a.into_iter().collect()))
+                .collect()
+        };
         Schedule {
             group,
             seq,
-            sends,
-            recvs,
-            local_pairs,
+            sends: compress(sends),
+            recvs: compress(recvs),
+            local_pairs: local_pairs.into_iter().collect(),
             total_elems,
         }
     }
@@ -84,7 +342,7 @@ impl Schedule {
             seq: self.seq,
             sends: self.recvs.clone(),
             recvs: self.sends.clone(),
-            local_pairs: self.local_pairs.iter().map(|&(s, d)| (d, s)).collect(),
+            local_pairs: self.local_pairs.swapped(),
             total_elems: self.total_elems,
         }
     }
@@ -113,6 +371,15 @@ impl Schedule {
     pub fn elems_local(&self) -> usize {
         self.local_pairs.len()
     }
+
+    /// Total `(start, len)` runs across both halves — the executor's
+    /// bookkeeping cost, which compression keeps far below element count
+    /// for regular transfers.
+    pub fn num_runs(&self) -> usize {
+        self.sends.iter().map(|(_, a)| a.runs().len()).sum::<usize>()
+            + self.recvs.iter().map(|(_, a)| a.runs().len()).sum::<usize>()
+            + self.local_pairs.runs().len()
+    }
 }
 
 impl Wire for Schedule {
@@ -130,9 +397,9 @@ impl Wire for Schedule {
         let members = Vec::<usize>::read(r)?;
         let ctx = u32::read(r)?;
         let seq = u32::read(r)?;
-        let sends = Vec::<(usize, Vec<LocalAddr>)>::read(r)?;
-        let recvs = Vec::<(usize, Vec<LocalAddr>)>::read(r)?;
-        let local_pairs = Vec::<(LocalAddr, LocalAddr)>::read(r)?;
+        let sends = Vec::<(usize, AddrRuns)>::read(r)?;
+        let recvs = Vec::<(usize, AddrRuns)>::read(r)?;
+        let local_pairs = PairRuns::read(r)?;
         let total_elems = usize::read(r)?;
         if members.is_empty() {
             return Err(SimError::Decode("schedule with empty group".into()));
@@ -204,9 +471,70 @@ mod tests {
         let r = s.reversed();
         assert_eq!(r.sends, s.recvs);
         assert_eq!(r.recvs, s.sends);
-        assert_eq!(r.local_pairs, vec![(2, 1), (4, 3)]);
+        assert_eq!(r.local_pairs.to_vec(), vec![(2, 1), (4, 3)]);
         assert_eq!(r.seq(), s.seq());
         // Double reversal is the identity.
         assert_eq!(r.reversed(), s);
+    }
+
+    #[test]
+    fn runs_compress_contiguous_addresses() {
+        let s = Schedule::new(
+            Group::world(2),
+            0,
+            vec![(1, (100..1100).collect())],
+            vec![(1, (0..500).chain(800..1300).collect())],
+            (0..64).map(|k| (k, k + 4096)).collect(),
+            1000,
+        );
+        assert_eq!(s.sends[0].1.runs(), &[(100, 1000)]);
+        assert_eq!(s.recvs[0].1.runs(), &[(0, 500), (800, 500)]);
+        assert_eq!(s.local_pairs.runs(), &[(0, 4096, 64)]);
+        assert_eq!(s.elems_out(), 1000);
+        assert_eq!(s.elems_in(), 1000);
+        assert_eq!(s.elems_local(), 64);
+        assert_eq!(s.num_runs(), 4);
+    }
+
+    #[test]
+    fn addr_runs_truncate() {
+        let mut r: AddrRuns = vec![0, 1, 2, 10, 11, 20].into_iter().collect();
+        assert_eq!(r.runs().len(), 3);
+        r.truncate(4);
+        assert_eq!(r.to_vec(), vec![0, 1, 2, 10]);
+        r.truncate(3);
+        assert_eq!(r.to_vec(), vec![0, 1, 2]);
+        r.truncate(100);
+        assert_eq!(r.len(), 3);
+        r.truncate(0);
+        assert!(r.is_empty());
+        assert!(r.runs().is_empty());
+    }
+
+    #[test]
+    fn addr_runs_decode_rejects_corrupt() {
+        use mcsim::wire::Wire;
+        // Zero-length run.
+        let bad = vec![(5usize, 0usize)];
+        let mut b = Vec::new();
+        bad.write(&mut b);
+        assert!(AddrRuns::from_bytes(&b).is_err());
+        // Overflowing run.
+        let bad = vec![(usize::MAX, 2usize)];
+        let mut b = Vec::new();
+        bad.write(&mut b);
+        assert!(AddrRuns::from_bytes(&b).is_err());
+        // Valid roundtrip.
+        let good: AddrRuns = vec![3, 4, 5, 9].into_iter().collect();
+        assert_eq!(AddrRuns::from_bytes(&good.to_bytes()).unwrap(), good);
+    }
+
+    #[test]
+    fn pair_runs_split_sides() {
+        let p: PairRuns = vec![(0, 10), (1, 11), (2, 12), (7, 3)].into_iter().collect();
+        let (s, d) = p.split_sides();
+        assert_eq!(s.to_vec(), vec![0, 1, 2, 7]);
+        assert_eq!(d.to_vec(), vec![10, 11, 12, 3]);
+        assert_eq!(p.swapped().to_vec(), vec![(10, 0), (11, 1), (12, 2), (3, 7)]);
     }
 }

@@ -162,6 +162,53 @@ impl<T: Copy + Default> McObject<T> for SeqVec<T> {
         }
         ep.charge_copy_bytes(addrs.len() * std::mem::size_of::<T>());
     }
+
+    fn pack_runs(&self, ep: &mut Endpoint, runs: &crate::schedule::AddrRuns, out: &mut Vec<T>) {
+        for &(start, len) in runs.runs() {
+            out.extend_from_slice(&self.data[start..start + len]);
+        }
+        ep.charge_copy_bytes(runs.len() * std::mem::size_of::<T>());
+    }
+
+    fn unpack_runs(&mut self, ep: &mut Endpoint, runs: &crate::schedule::AddrRuns, vals: &[T]) {
+        assert_eq!(runs.len(), vals.len());
+        let mut off = 0;
+        for &(start, len) in runs.runs() {
+            self.data[start..start + len].copy_from_slice(&vals[off..off + len]);
+            off += len;
+        }
+        ep.charge_copy_bytes(runs.len() * std::mem::size_of::<T>());
+    }
+
+    fn pack_runs_wire(
+        &self,
+        ep: &mut Endpoint,
+        runs: &crate::schedule::AddrRuns,
+        out: &mut Vec<u8>,
+    ) where
+        T: Wire,
+    {
+        for &(start, len) in runs.runs() {
+            T::write_slice(&self.data[start..start + len], out);
+        }
+        ep.charge_copy_bytes(runs.len() * std::mem::size_of::<T>());
+    }
+
+    fn unpack_runs_wire(
+        &mut self,
+        ep: &mut Endpoint,
+        runs: &crate::schedule::AddrRuns,
+        r: &mut WireReader<'_>,
+    ) -> Result<(), SimError>
+    where
+        T: Wire,
+    {
+        for &(start, len) in runs.runs() {
+            T::read_slice(r, &mut self.data[start..start + len])?;
+        }
+        ep.charge_copy_bytes(runs.len() * std::mem::size_of::<T>());
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -152,4 +152,46 @@ impl McObject<f64> for BlockVec {
         }
         ep.charge_copy_bytes(addrs.len() * 8);
     }
+
+    fn pack_runs(&self, ep: &mut Endpoint, runs: &crate::schedule::AddrRuns, out: &mut Vec<f64>) {
+        for &(start, len) in runs.runs() {
+            out.extend_from_slice(&self.data[start..start + len]);
+        }
+        ep.charge_copy_bytes(runs.len() * 8);
+    }
+
+    fn unpack_runs(&mut self, ep: &mut Endpoint, runs: &crate::schedule::AddrRuns, vals: &[f64]) {
+        assert_eq!(runs.len(), vals.len());
+        let mut off = 0;
+        for &(start, len) in runs.runs() {
+            self.data[start..start + len].copy_from_slice(&vals[off..off + len]);
+            off += len;
+        }
+        ep.charge_copy_bytes(runs.len() * 8);
+    }
+
+    fn pack_runs_wire(
+        &self,
+        ep: &mut Endpoint,
+        runs: &crate::schedule::AddrRuns,
+        out: &mut Vec<u8>,
+    ) {
+        for &(start, len) in runs.runs() {
+            f64::write_slice(&self.data[start..start + len], out);
+        }
+        ep.charge_copy_bytes(runs.len() * 8);
+    }
+
+    fn unpack_runs_wire(
+        &mut self,
+        ep: &mut Endpoint,
+        runs: &crate::schedule::AddrRuns,
+        r: &mut WireReader<'_>,
+    ) -> Result<(), SimError> {
+        for &(start, len) in runs.runs() {
+            f64::read_slice(r, &mut self.data[start..start + len])?;
+        }
+        ep.charge_copy_bytes(runs.len() * 8);
+        Ok(())
+    }
 }

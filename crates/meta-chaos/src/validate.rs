@@ -41,7 +41,7 @@ pub enum ScheduleIssue {
 /// Collectively validate `sched` over its union group.  Every rank
 /// receives the same list of issues (empty = valid).
 pub fn validate_schedule(ep: &mut Endpoint, sched: &Schedule) -> Vec<ScheduleIssue> {
-    let mut comm = Comm::new(ep, sched.group().clone());
+    let mut comm = Comm::borrowed(ep, sched.group());
     let p = comm.size();
 
     // Dense per-pair counts from this rank's perspective.
@@ -147,7 +147,8 @@ mod tests {
             // Corrupt rank 0's send half.
             if ep.rank() == 0 {
                 if let Some((_, addrs)) = sched.sends.first_mut() {
-                    addrs.pop();
+                    let keep = addrs.len() - 1;
+                    addrs.truncate(keep);
                 }
             }
             let issues = validate_schedule(ep, &sched);

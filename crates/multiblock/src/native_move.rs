@@ -111,9 +111,9 @@ pub fn parti_copy<T>(
     let elem = std::mem::size_of::<T>();
     let t = 0x5000_0000 | sched.seq();
     for (peer, addrs) in &sched.sends {
-        let buf: Vec<T> = addrs.iter().map(|&a| src.local()[a]).collect();
+        let buf: Vec<T> = addrs.iter().map(|a| src.local()[a]).collect();
         ep.charge_copy_bytes(buf.len() * elem);
-        let mut comm = Comm::new(ep, sched.group().clone());
+        let mut comm = Comm::borrowed(ep, sched.group());
         comm.send_t(*peer, t, &buf);
     }
     // Local part: staged through an intermediate buffer (pack, stage,
@@ -122,24 +122,24 @@ pub fn parti_copy<T>(
         let staged: Vec<T> = sched
             .local_pairs
             .iter()
-            .map(|&(s, _)| src.local()[s])
+            .map(|(s, _)| src.local()[s])
             .collect();
         ep.charge_copy_bytes(2 * staged.len() * elem);
         let data = dst.local_mut();
-        for (&(_, d), &v) in sched.local_pairs.iter().zip(&staged) {
+        for ((_, d), &v) in sched.local_pairs.iter().zip(&staged) {
             data[d] = v;
         }
         ep.charge_copy_bytes(staged.len() * elem);
     }
     for (peer, addrs) in &sched.recvs {
         let buf: Vec<T> = {
-            let mut comm = Comm::new(ep, sched.group().clone());
+            let mut comm = Comm::borrowed(ep, sched.group());
             comm.recv_t(*peer, t)
         };
         assert_eq!(buf.len(), addrs.len());
         ep.charge_copy_bytes(buf.len() * elem);
         let data = dst.local_mut();
-        for (&a, &v) in addrs.iter().zip(&buf) {
+        for (a, &v) in addrs.iter().zip(&buf) {
             data[a] = v;
         }
     }

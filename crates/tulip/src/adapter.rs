@@ -11,6 +11,7 @@ use mcsim::wire::{Wire, WireReader};
 
 use meta_chaos::adapter::{Location, McDescriptor, McObject};
 use meta_chaos::region::IndexSet;
+use meta_chaos::schedule::AddrRuns;
 use meta_chaos::setof::SetOfRegions;
 use meta_chaos::LocalAddr;
 
@@ -117,6 +118,53 @@ impl<T: Copy + Default> McObject<T> for DistributedCollection<T> {
             data[a] = v;
         }
         ep.charge_copy_bytes(addrs.len() * std::mem::size_of::<T>());
+    }
+
+    fn pack_runs(&self, ep: &mut Endpoint, runs: &AddrRuns, out: &mut Vec<T>) {
+        let data = self.local();
+        for &(start, len) in runs.runs() {
+            out.extend_from_slice(&data[start..start + len]);
+        }
+        ep.charge_copy_bytes(runs.len() * std::mem::size_of::<T>());
+    }
+
+    fn unpack_runs(&mut self, ep: &mut Endpoint, runs: &AddrRuns, vals: &[T]) {
+        assert_eq!(runs.len(), vals.len());
+        let data = self.local_mut();
+        let mut off = 0;
+        for &(start, len) in runs.runs() {
+            data[start..start + len].copy_from_slice(&vals[off..off + len]);
+            off += len;
+        }
+        ep.charge_copy_bytes(runs.len() * std::mem::size_of::<T>());
+    }
+
+    fn pack_runs_wire(&self, ep: &mut Endpoint, runs: &AddrRuns, out: &mut Vec<u8>)
+    where
+        T: Wire,
+    {
+        let data = self.local();
+        for &(start, len) in runs.runs() {
+            T::write_slice(&data[start..start + len], out);
+        }
+        ep.charge_copy_bytes(runs.len() * std::mem::size_of::<T>());
+    }
+
+    fn unpack_runs_wire(
+        &mut self,
+        ep: &mut Endpoint,
+        runs: &AddrRuns,
+        r: &mut WireReader<'_>,
+    ) -> Result<(), SimError>
+    where
+        T: Wire,
+    {
+        let data = self.local_mut();
+        for &(start, len) in runs.runs() {
+            T::read_slice(r, &mut data[start..start + len])?;
+        }
+        ep.charge_copy_bytes(runs.len() * std::mem::size_of::<T>());
+        Ok(())
     }
 }
 

@@ -55,8 +55,8 @@ fn main() {
 
             let mut maxima = Vec::new();
             for _ in 0..STEPS {
-                ports.put(ep, "temperature", &field);
-                ports.get_reverse(ep, "temperature", &mut field);
+                ports.put(ep, "temperature", &field).unwrap();
+                ports.get_reverse(ep, "temperature", &mut field).unwrap();
                 let local_max = field
                     .local()
                     .iter()
@@ -86,7 +86,7 @@ fn main() {
             ports.bind("temperature", sched);
 
             for _ in 0..STEPS {
-                ports.get(ep, "temperature", &mut mirror);
+                ports.get(ep, "temperature", &mut mirror).unwrap();
                 // B's physics: relax toward the mean.
                 let mean = {
                     let local: f64 = mirror.local().iter().sum();
@@ -96,7 +96,7 @@ fn main() {
                 for v in mirror.local_mut() {
                     *v += 0.25 * (mean - *v);
                 }
-                ports.put_reverse(ep, "temperature", &mirror);
+                ports.put_reverse(ep, "temperature", &mirror).unwrap();
             }
             Vec::new()
         }

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Full offline verification: build, test, lint.  No network access needed —
+# the workspace has zero crates.io dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test --workspace -q
+cargo clippy --all-targets -- -D warnings
+
+echo "verify: all checks passed"

@@ -170,8 +170,8 @@ fn two_programs(preg: usize, pirreg: usize) -> Vec<f64> {
             .unwrap();
             for _ in 0..STEPS {
                 reg.step(ep, &mut a);
-                data_move_send(ep, &sched, &a);
-                data_move_recv(ep, &sched.reversed(), &mut a);
+                data_move_send(ep, &sched, &a).unwrap();
+                data_move_recv(ep, &sched.reversed(), &mut a).unwrap();
             }
             let boxx = a.my_box();
             let mut out = Vec::new();
@@ -205,10 +205,10 @@ fn two_programs(preg: usize, pirreg: usize) -> Vec<f64> {
             )
             .unwrap();
             for _ in 0..STEPS {
-                data_move_recv(ep, &sched, &mut x);
+                data_move_recv(ep, &sched, &mut x).unwrap();
                 let mut comm = Comm::new(ep, pb.clone());
                 irr.step(&mut comm, &x, &mut y);
-                data_move_send(ep, &sched.reversed(), &y);
+                data_move_send(ep, &sched.reversed(), &y).unwrap();
             }
             Vec::new()
         }

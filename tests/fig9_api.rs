@@ -73,7 +73,7 @@ fn corrected_figure9_transfer_runs() {
                 ep, &un, &src_prog, &b, &set, &dst_prog,
             )
             .unwrap();
-            mc_data_move_send(ep, &sched, &b);
+            mc_data_move_send(ep, &sched, &b).unwrap();
             Vec::new()
         } else {
             let mut a =
@@ -85,7 +85,7 @@ fn corrected_figure9_transfer_runs() {
                 ep, &un, &src_prog, &dst_prog, &a, &set,
             )
             .unwrap();
-            mc_data_move_recv(ep, &sched, &mut a);
+            mc_data_move_recv(ep, &sched, &mut a).unwrap();
             let mut got = Vec::new();
             for i in 0..50 {
                 for j in 0..60 {

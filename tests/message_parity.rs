@@ -155,3 +155,150 @@ fn local_only_transfer_sends_nothing() {
     });
     assert!(out.results.iter().all(|&m| m == 0));
 }
+
+/// The run-compressed executor must be indistinguishable on the wire from
+/// the element-list executor it replaced: same per-pair message counts,
+/// same per-pair byte totals, and byte-identical destination contents.
+#[test]
+fn run_compressed_executor_matches_elementwise() {
+    use meta_chaos::datamove::data_move_elementwise;
+    let n = 48usize;
+    let p = 4usize;
+    let out = test_world(p).run(move |ep| {
+        let g = Group::world(p);
+        let mut b = MultiblockArray::<f64>::new(&g, ep.rank(), &[n]);
+        b.fill_with(|c| c[0] as f64 * 1.5);
+        // Regular -> regular: a shifted section copy that crosses ranks.
+        let sset = SetOfRegions::single(RegularSection::of_bounds(&[(0, n - 8)]));
+        let dset = SetOfRegions::single(RegularSection::of_bounds(&[(8, n)]));
+        let mut a_fast = MultiblockArray::<f64>::new(&g, ep.rank(), &[n]);
+        let sched = compute_schedule(
+            ep,
+            &g,
+            &g,
+            Some(Side::new(&b, &sset)),
+            &g,
+            Some(Side::new(&a_fast, &dset)),
+            BuildMethod::Cooperation,
+        )
+        .unwrap();
+
+        let before = ep.stats_snapshot();
+        data_move(ep, &sched, &b, &mut a_fast);
+        let fast = ep.stats_snapshot().since(&before);
+
+        let mut a_slow = MultiblockArray::<f64>::new(&g, ep.rank(), &[n]);
+        let before = ep.stats_snapshot();
+        data_move_elementwise(ep, &sched, &b, &mut a_slow);
+        let slow = ep.stats_snapshot().since(&before);
+
+        assert_eq!(fast.msgs_to, slow.msgs_to, "per-pair message counts");
+        assert_eq!(fast.bytes_to, slow.bytes_to, "per-pair message bytes");
+        assert_eq!(a_fast.local(), a_slow.local(), "destination contents");
+        (fast.msgs_to.clone(), fast.bytes_to.clone())
+    });
+    // And both match the hand-coded minimum: block owners, shift by 8.
+    let block = n / p;
+    let src_idx: Vec<usize> = (0..n - 8).collect();
+    let dst_idx: Vec<usize> = (8..n).collect();
+    let expect = hand_pairs(|s| s / block, |d| d / block, &src_idx, &dst_idx);
+    for (src_rank, (msgs, bytes)) in out.results.iter().enumerate() {
+        for dst_rank in 0..p {
+            let elems = expect.get(&(src_rank, dst_rank)).copied().unwrap_or(0);
+            assert_eq!(msgs[dst_rank], u64::from(elems > 0));
+            let want = if elems > 0 { 8 + 8 * elems } else { 0 };
+            assert_eq!(bytes[dst_rank], want);
+        }
+    }
+}
+
+/// Same parity check for a regular -> irregular transfer, which exercises
+/// the per-element fallback on the chaos side and the run fast path on the
+/// multiblock side within one move.
+#[test]
+fn mixed_library_parity_with_elementwise() {
+    use meta_chaos::datamove::data_move_elementwise;
+    let n = 36usize;
+    test_world(3).run(move |ep| {
+        let g = Group::world(3);
+        let mut a = MultiblockArray::<f64>::new(&g, ep.rank(), &[n]);
+        a.fill_with(|c| c[0] as f64 + 0.25);
+        let mut x_fast = {
+            let mut comm = Comm::new(ep, g.clone());
+            IrregArray::create(&mut comm, n, Partition::Random(29), |_| 0.0)
+        };
+        let mut x_slow = x_fast.clone();
+        let sset = SetOfRegions::single(RegularSection::whole(&[n]));
+        let dset = SetOfRegions::single(IndexSet::new((0..n).rev().collect()));
+        let sched = compute_schedule(
+            ep,
+            &g,
+            &g,
+            Some(Side::new(&a, &sset)),
+            &g,
+            Some(Side::new(&x_fast, &dset)),
+            BuildMethod::Cooperation,
+        )
+        .unwrap();
+        let before = ep.stats_snapshot();
+        data_move(ep, &sched, &a, &mut x_fast);
+        let fast = ep.stats_snapshot().since(&before);
+        let before = ep.stats_snapshot();
+        data_move_elementwise(ep, &sched, &a, &mut x_slow);
+        let slow = ep.stats_snapshot().since(&before);
+        assert_eq!(fast.msgs_to, slow.msgs_to);
+        assert_eq!(fast.bytes_to, slow.bytes_to);
+        assert_eq!(x_fast.local(), x_slow.local());
+    });
+}
+
+/// The `MC_ComputeSched` memo: a repeat call with identical inputs is a
+/// cache hit (no rebuild), a mutated region set is a miss, and the cached
+/// schedule moves data correctly.
+#[test]
+fn schedule_cache_hits_and_misses() {
+    use meta_chaos::api::{mc_compute_sched, mc_sched_cache_len};
+    let n = 30usize;
+    test_world(3).run(move |ep| {
+        let g = Group::world(3);
+        let mut b = MultiblockArray::<f64>::new(&g, ep.rank(), &[n]);
+        b.fill_with(|c| c[0] as f64);
+        let mut a = MultiblockArray::<f64>::new(&g, ep.rank(), &[n]);
+        let sset = SetOfRegions::single(RegularSection::of_bounds(&[(0, n / 2)]));
+        let dset = SetOfRegions::single(RegularSection::of_bounds(&[(n / 2, n)]));
+
+        let before = ep.stats_snapshot();
+        let s1 = mc_compute_sched(ep, &g, &b, &sset, &a, &dset).unwrap();
+        let d1 = ep.stats_snapshot().since(&before);
+        assert_eq!((d1.sched_cache_hits, d1.sched_cache_misses), (0, 1));
+        assert_eq!(mc_sched_cache_len(), 1);
+
+        // Identical inputs: a hit, and the same schedule comes back.
+        let before = ep.stats_snapshot();
+        let s2 = mc_compute_sched(ep, &g, &b, &sset, &a, &dset).unwrap();
+        let d2 = ep.stats_snapshot().since(&before);
+        assert_eq!((d2.sched_cache_hits, d2.sched_cache_misses), (1, 0));
+        assert_eq!(s1.sends, s2.sends);
+        assert_eq!(s1.recvs, s2.recvs);
+        assert_eq!(s1.local_pairs, s2.local_pairs);
+        assert_eq!(mc_sched_cache_len(), 1);
+
+        // A different destination set: a miss and a second memo entry.
+        let dset2 = SetOfRegions::single(RegularSection::of_bounds(&[(0, n / 2)]));
+        let before = ep.stats_snapshot();
+        let s3 = mc_compute_sched(ep, &g, &b, &sset, &a, &dset2).unwrap();
+        let d3 = ep.stats_snapshot().since(&before);
+        assert_eq!((d3.sched_cache_hits, d3.sched_cache_misses), (0, 1));
+        assert_eq!(mc_sched_cache_len(), 2);
+
+        // The cached schedule is live: execute it and check the motion.
+        data_move(ep, &s2, &b, &mut a);
+        let _ = s3;
+        let my_lo = ep.rank() * (n / 3);
+        for (off, &v) in a.local().iter().enumerate() {
+            let gidx = my_lo + off;
+            let want = if gidx >= n / 2 { (gidx - n / 2) as f64 } else { 0.0 };
+            assert_eq!(v, want, "A[{gidx}]");
+        }
+    });
+}

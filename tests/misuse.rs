@@ -5,6 +5,7 @@
 use mcsim::group::{Comm, Group};
 use meta_chaos::build::{compute_schedule, BuildMethod};
 use meta_chaos::datamove::{data_move, data_move_recv, data_move_send};
+use meta_chaos::error::McError;
 use meta_chaos::region::{IndexSet, RegularSection};
 use meta_chaos::setof::SetOfRegions;
 use meta_chaos::Side;
@@ -50,30 +51,63 @@ fn build_two_program_sched(
 }
 
 #[test]
-#[should_panic(expected = "has receives")]
-fn sending_from_the_receiving_side_panics() {
+fn wrong_side_half_moves_return_errors() {
     test_world(2).run(|ep| {
-        let (pa, _pb, sched, a) = build_two_program_sched(ep);
+        let (pa, _pb, sched, mut a) = build_two_program_sched(ep);
         if pa.contains(ep.rank()) {
-            data_move_send(ep, &sched, &a);
+            // This rank is the source: receiving here is the misuse.
+            let err = data_move_recv(ep, &sched, &mut a).unwrap_err();
+            assert!(
+                matches!(err, McError::RecvSideHasSends { peers } if peers == 1),
+                "unexpected error: {err}"
+            );
         } else {
-            // Wrong call on the destination side.
-            data_move_send(ep, &sched, &a);
+            // This rank is the destination: sending here is the misuse.
+            let err = data_move_send(ep, &sched, &a).unwrap_err();
+            assert!(
+                matches!(err, McError::SendSideHasReceives { peers } if peers == 1),
+                "unexpected error: {err}"
+            );
+        }
+        // Neither guard performed any communication, so the (still valid)
+        // schedule remains usable with the correct calls afterwards.
+        if pa.contains(ep.rank()) {
+            data_move_send(ep, &sched, &a).unwrap();
+        } else {
+            data_move_recv(ep, &sched, &mut a).unwrap();
         }
     });
 }
 
 #[test]
-#[should_panic(expected = "has sends")]
-fn receiving_on_the_sending_side_panics() {
-    test_world(2).run(|ep| {
-        let (pa, _pb, sched, mut a) = build_two_program_sched(ep);
-        if pa.contains(ep.rank()) {
-            // Wrong call on the source side.
-            data_move_recv(ep, &sched, &mut a);
-        } else {
-            data_move_recv(ep, &sched, &mut a);
-        }
+fn half_move_on_intra_program_schedule_is_rejected() {
+    // A same-program copy produces local pairs; the half-move entry
+    // points are for cross-program coupling only and must refuse it.
+    test_world(1).run(|ep| {
+        let g = Group::world(1);
+        let mut a = MultiblockArray::<f64>::new(&g, ep.rank(), &[8]);
+        let b = MultiblockArray::<f64>::new(&g, ep.rank(), &[8]);
+        let set = SetOfRegions::single(RegularSection::whole(&[8]));
+        let sched = compute_schedule(
+            ep,
+            &g,
+            &g,
+            Some(Side::new(&b, &set)),
+            &g,
+            Some(Side::new(&a, &set)),
+            BuildMethod::Cooperation,
+        )
+        .unwrap();
+        let err = data_move_send(ep, &sched, &b).unwrap_err();
+        assert!(
+            matches!(err, McError::LocalPairsInCrossProgramMove { pairs: 8 }),
+            "unexpected error: {err}"
+        );
+        let err = data_move_recv(ep, &sched, &mut a).unwrap_err();
+        assert!(
+            matches!(err, McError::LocalPairsInCrossProgramMove { pairs: 8 }),
+            "unexpected error: {err}"
+        );
     });
 }
 

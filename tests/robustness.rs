@@ -1,11 +1,10 @@
-//! Robustness properties: hostile wire input never panics, distribution
-//! arithmetic round-trips under random parameters, HPF shifts agree with
-//! their sequential semantics, and communication traces account for every
-//! message.
-
-use proptest::prelude::*;
+//! Robustness properties, run as seeded deterministic loops: hostile wire
+//! input never panics, distribution arithmetic round-trips under random
+//! parameters, HPF shifts agree with their sequential semantics, and
+//! communication traces account for every message.
 
 use mcsim::group::Group;
+use mcsim::rng::Rng;
 use mcsim::trace::summarize;
 use mcsim::wire::Wire;
 use meta_chaos_repro::test_world;
@@ -13,13 +12,14 @@ use meta_chaos_repro::test_world;
 use hpf::{cshift, HpfArray, HpfDist};
 use multiblock::{BlockDist, ProcGrid};
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
-
-    /// Decoding arbitrary bytes must fail cleanly, never panic or
-    /// over-allocate.
-    #[test]
-    fn wire_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+/// Decoding arbitrary bytes must fail cleanly, never panic or
+/// over-allocate.
+#[test]
+fn wire_decode_never_panics() {
+    let mut rng = Rng::seed_from_u64(0xbad_b17e5);
+    for _case in 0..64 {
+        let len = rng.gen_range(64);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
         let _ = Vec::<f64>::from_bytes(&bytes);
         let _ = Vec::<u32>::from_bytes(&bytes);
         let _ = String::from_bytes(&bytes);
@@ -27,63 +27,89 @@ proptest! {
         let _ = Option::<Vec<u64>>::from_bytes(&bytes);
         let _ = meta_chaos::region::RegularSection::from_bytes(&bytes);
         let _ = meta_chaos::region::IndexSet::from_bytes(&bytes);
+        let _ = meta_chaos::schedule::AddrRuns::from_bytes(&bytes);
         let _ = multiblock::BlockDesc::from_bytes(&bytes);
         let _ = chaos::IrregDesc::from_bytes(&bytes);
         let _ = hpf::HpfDesc::from_bytes(&bytes);
         let _ = tulip::TulipDesc::from_bytes(&bytes);
     }
+}
 
-    /// Every wire value must survive an encode/decode round trip.
-    #[test]
-    fn wire_roundtrip_structured(
-        v in proptest::collection::vec((any::<u32>(), any::<f64>()), 0..20),
-        s in "[a-zA-Z0-9 ]{0,24}",
-    ) {
+/// Every wire value must survive an encode/decode round trip.
+#[test]
+fn wire_roundtrip_structured() {
+    let mut rng = Rng::seed_from_u64(0x0471);
+    for _case in 0..64 {
+        let len = rng.gen_range(20);
+        let v: Vec<(u32, f64)> = (0..len)
+            .map(|_| {
+                let bits = rng.next_u64();
+                (rng.next_u64() as u32, f64::from_bits(bits))
+            })
+            .collect();
         let b = v.to_bytes();
         let back = Vec::<(u32, f64)>::from_bytes(&b).unwrap();
-        prop_assert_eq!(back.len(), v.len());
+        assert_eq!(back.len(), v.len());
         for ((a1, b1), (a2, b2)) in v.iter().zip(&back) {
-            prop_assert_eq!(a1, a2);
-            prop_assert!((b1 == b2) || (b1.is_nan() && b2.is_nan()));
+            assert_eq!(a1, a2);
+            assert!((b1 == b2) || (b1.is_nan() && b2.is_nan()));
         }
-        let owned = s.to_string();
-        prop_assert_eq!(String::from_bytes(&owned.to_bytes()).unwrap(), owned);
+        let slen = rng.gen_range(25);
+        let owned: String = (0..slen)
+            .map(|_| {
+                let alphabet = b"abcdefghijklmnopqrstuvwxyzABC 0123456789";
+                alphabet[rng.gen_range(alphabet.len())] as char
+            })
+            .collect();
+        assert_eq!(String::from_bytes(&owned.to_bytes()).unwrap(), owned);
     }
+}
 
-    /// Block distribution owner/local-address arithmetic must be a
-    /// bijection between owned coordinates and dense local addresses.
-    #[test]
-    fn block_dist_addressing_bijective(
-        n0 in 1usize..12, n1 in 1usize..12,
-        g0 in 1usize..4, g1 in 1usize..4,
-        halo in 0usize..3,
-    ) {
-        prop_assume!(n0 >= g0 && n1 >= g1);
+/// Block distribution owner/local-address arithmetic must be a bijection
+/// between owned coordinates and dense local addresses.
+#[test]
+fn block_dist_addressing_bijective() {
+    let mut rng = Rng::seed_from_u64(0xb10c);
+    let mut cases = 0;
+    while cases < 32 {
+        let (n0, n1) = (1 + rng.gen_range(11), 1 + rng.gen_range(11));
+        let (g0, g1) = (1 + rng.gen_range(3), 1 + rng.gen_range(3));
+        let halo = rng.gen_range(3);
+        if n0 < g0 || n1 < g1 {
+            continue;
+        }
+        cases += 1;
         let d = BlockDist::new(vec![n0, n1], ProcGrid::new(vec![g0, g1]), halo);
         for rank in 0..g0 * g1 {
             let mut seen = std::collections::HashSet::new();
             let boxx = d.owned_box(rank);
             for i in boxx[0].0..boxx[0].1 {
                 for j in boxx[1].0..boxx[1].1 {
-                    prop_assert_eq!(d.owner(&[i, j]), rank);
+                    assert_eq!(d.owner(&[i, j]), rank);
                     let a = d.local_addr(rank, &[i, j]);
-                    prop_assert!(a < d.local_alloc_len(rank));
-                    prop_assert!(seen.insert(a), "addr {} reused", a);
-                    prop_assert_eq!(d.global_coords(rank, a), Some(vec![i, j]));
+                    assert!(a < d.local_alloc_len(rank));
+                    assert!(seen.insert(a), "addr {a} reused");
+                    assert_eq!(d.global_coords(rank, a), Some(vec![i, j]));
                 }
             }
         }
     }
+}
 
-    /// Parallel CSHIFT equals the sequential definition for random sizes,
-    /// shifts and process counts.
-    #[test]
-    fn cshift_matches_sequential(
-        n in 2usize..20,
-        p in 1usize..4,
-        shift in -25isize..25,
-    ) {
-        prop_assume!(n >= p);
+/// Parallel CSHIFT equals the sequential definition for random sizes,
+/// shifts and process counts.
+#[test]
+fn cshift_matches_sequential() {
+    let mut rng = Rng::seed_from_u64(0x5317);
+    let mut cases = 0;
+    while cases < 24 {
+        let n = 2 + rng.gen_range(18);
+        let p = 1 + rng.gen_range(3);
+        let shift = rng.gen_range(51) as isize - 25;
+        if n < p {
+            continue;
+        }
+        cases += 1;
         let out = test_world(p).run(move |ep| {
             let g = Group::world(p);
             let mut a = HpfArray::<f64>::new(&g, ep.rank(), HpfDist::block_1d(n, p));
@@ -97,7 +123,7 @@ proptest! {
         for vals in out.results {
             for (i, v) in vals {
                 let want = ((i as isize + shift).rem_euclid(n as isize) * 3) as f64;
-                prop_assert_eq!(v, want, "n={} p={} shift={} r[{}]", n, p, shift, i);
+                assert_eq!(v, want, "n={n} p={p} shift={shift} r[{i}]");
             }
         }
     }

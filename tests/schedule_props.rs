@@ -1,18 +1,21 @@
-//! Property-based tests of the Meta-Chaos core invariants:
+//! Property-style tests of the Meta-Chaos core invariants, run as seeded
+//! deterministic loops (no external property-testing framework):
 //!
 //! * a copy always equals the sequential reference `dst[perm_d[k]] =
 //!   src[perm_s[k]]`, for random region structures and distributions;
 //! * cooperation and duplication build identical data motion;
 //! * every destination element is delivered exactly once;
 //! * reversing a schedule and copying back restores the source;
-//! * block/cyclic owner arithmetic is self-consistent.
-
-use proptest::prelude::*;
+//! * block/cyclic owner arithmetic is self-consistent;
+//! * run-compressed address lists enumerate exactly the element lists the
+//!   builders were given.
 
 use mcsim::group::{Comm, Group};
+use mcsim::rng::Rng;
 use meta_chaos::build::{compute_schedule, BuildMethod};
 use meta_chaos::datamove::data_move;
 use meta_chaos::region::{IndexSet, Region, RegularSection};
+use meta_chaos::schedule::AddrRuns;
 use meta_chaos::setof::SetOfRegions;
 use meta_chaos::Side;
 use meta_chaos_repro::test_world;
@@ -22,11 +25,9 @@ use hpf::{DistKind, HpfArray, HpfDist};
 
 /// A random ordered selection of `k` distinct indices from `0..n`.
 fn selection(n: usize, k: usize, seed: u64) -> Vec<usize> {
-    use rand::seq::SliceRandom;
-    use rand::SeedableRng;
     let mut all: Vec<usize> = (0..n).collect();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    all.shuffle(&mut rng);
+    let mut rng = Rng::seed_from_u64(seed);
+    rng.shuffle(&mut all);
     all.truncate(k);
     all
 }
@@ -48,29 +49,24 @@ fn random_regions(indices: &[usize], cuts_seed: u64) -> SetOfRegions<IndexSet> {
     SetOfRegions::from_regions(regions)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24, .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn random_chaos_copy_matches_reference(
-        n in 8usize..48,
-        k_frac in 1usize..=4,
-        p in 1usize..=4,
-        src_seed in 0u64..1000,
-        dst_seed in 0u64..1000,
-        part_seed in 0u64..1000,
-        method_pick in 0u8..2,
-    ) {
-        let k = (n * k_frac / 4).max(1);
-        let src_idx = selection(n, k, src_seed);
-        let dst_idx = selection(n, k, dst_seed);
-        let method = if method_pick == 0 {
+#[test]
+fn random_chaos_copy_matches_reference() {
+    let mut rng = Rng::seed_from_u64(0xc0ffee);
+    for _case in 0..24 {
+        let n = 8 + rng.gen_range(40);
+        let k_frac = 1 + rng.gen_range(4);
+        let p = 1 + rng.gen_range(4);
+        let src_seed = rng.next_u64() % 1000;
+        let dst_seed = rng.next_u64() % 1000;
+        let part_seed = rng.next_u64() % 1000;
+        let method = if rng.gen_range(2) == 0 {
             BuildMethod::Cooperation
         } else {
             BuildMethod::Duplication
         };
+        let k = (n * k_frac / 4).max(1);
+        let src_idx = selection(n, k, src_seed);
+        let dst_idx = selection(n, k, dst_seed);
         let (si, di) = (src_idx.clone(), dst_idx.clone());
         let out = test_world(p).run(move |ep| {
             let g = Group::world(p);
@@ -89,7 +85,7 @@ proptest! {
             let sset = random_regions(&si, src_seed ^ 1);
             let dset = random_regions(&di, dst_seed ^ 2);
             // Region splits may disagree between sides; only totals matter.
-            prop_assert_eq!(sset.total_len(), dset.total_len());
+            assert_eq!(sset.total_len(), dset.total_len());
             let sched = compute_schedule(
                 ep,
                 &g,
@@ -111,38 +107,39 @@ proptest! {
                 .zip(dst.local())
                 .map(|(&g, &v)| (g, v))
                 .collect();
-            Ok((delivered, snap))
+            (delivered, snap)
         });
-        let results: Vec<_> = out.results.into_iter().collect::<Result<Vec<_>, _>>()?;
-        let total_delivered: usize = results.iter().map(|(d, _)| d).sum();
-        prop_assert_eq!(total_delivered, k);
+        let total_delivered: usize = out.results.iter().map(|(d, _)| d).sum();
+        assert_eq!(total_delivered, k);
 
         // Reference semantics.
         let mut expect = vec![f64::NAN; n];
         for (s, d) in src_idx.iter().zip(&dst_idx) {
             expect[*d] = *s as f64 * 2.0;
         }
-        for (_, snap) in results {
+        for (_, snap) in out.results {
             for (gi, v) in snap {
                 if expect[gi].is_nan() {
-                    prop_assert!(v.is_nan(), "dst[{}] written unexpectedly", gi);
+                    assert!(v.is_nan(), "dst[{gi}] written unexpectedly");
                 } else {
-                    prop_assert_eq!(v, expect[gi], "dst[{}]", gi);
+                    assert_eq!(v, expect[gi], "dst[{gi}]");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn coop_equals_dup_motion(
-        n in 8usize..40,
-        p in 2usize..=4,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn coop_equals_dup_motion() {
+    let mut rng = Rng::seed_from_u64(0xdeed);
+    for _case in 0..12 {
+        let n = 8 + rng.gen_range(32);
+        let p = 2 + rng.gen_range(3);
+        let seed = rng.next_u64() % 500;
         let k = n / 2;
         let src_idx = selection(n, k, seed);
         let dst_idx = selection(n, k, seed ^ 999);
-        let (si, di) = (src_idx.clone(), dst_idx.clone());
+        let (si, di) = (src_idx, dst_idx);
         let out = test_world(p).run(move |ep| {
             let g = Group::world(p);
             let src = {
@@ -172,19 +169,25 @@ proptest! {
             }
             let a = &scheds[0];
             let b = &scheds[1];
-            (a.sends == b.sends, a.recvs == b.recvs, a.local_pairs == b.local_pairs)
+            (
+                a.sends == b.sends,
+                a.recvs == b.recvs,
+                a.local_pairs == b.local_pairs,
+            )
         });
         for (s, r, l) in out.results {
-            prop_assert!(s && r && l);
+            assert!(s && r && l);
         }
     }
+}
 
-    #[test]
-    fn reverse_round_trip_restores_source(
-        n in 8usize..32,
-        p in 1usize..=3,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn reverse_round_trip_restores_source() {
+    let mut rng = Rng::seed_from_u64(0xfade);
+    for _case in 0..12 {
+        let n = 8 + rng.gen_range(24);
+        let p = 1 + rng.gen_range(3);
+        let seed = rng.next_u64() % 500;
         let k = (n / 2).max(1);
         let src_idx = selection(n, k, seed);
         let dst_idx = selection(n, k, seed ^ 77);
@@ -226,54 +229,60 @@ proptest! {
                 .filter(|&i| h.owns(&[i]))
                 .map(|i| (i, h.get(&[i])))
                 .collect();
-            let si = si.clone();
             let touched: Vec<usize> = si.clone();
             (before, after, touched)
         });
         for (before, after, touched) in out.results {
             for ((i, b), (j, a)) in before.into_iter().zip(after) {
-                prop_assert_eq!(i, j);
+                assert_eq!(i, j);
                 if touched.contains(&i) {
-                    prop_assert_eq!(a, b, "restored h[{}]", i);
+                    assert_eq!(a, b, "restored h[{i}]");
                 } else {
-                    prop_assert_eq!(a, -1.0, "untouched h[{}]", i);
+                    assert_eq!(a, -1.0, "untouched h[{i}]");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn hpf_owner_arithmetic_consistent(
-        n in 1usize..200,
-        g in 1usize..8,
-        kind_pick in 0u8..3,
-        chunk in 1usize..5,
-    ) {
-        let kind = match kind_pick {
+#[test]
+fn hpf_owner_arithmetic_consistent() {
+    let mut rng = Rng::seed_from_u64(0xabcd);
+    let mut cases = 0;
+    while cases < 24 {
+        let n = 1 + rng.gen_range(199);
+        let g = 1 + rng.gen_range(7);
+        let chunk = 1 + rng.gen_range(4);
+        let kind = match rng.gen_range(3) {
             0 => DistKind::Block,
             1 => DistKind::Cyclic(chunk),
             _ => DistKind::Collapsed,
         };
         let g = if matches!(kind, DistKind::Collapsed) { 1 } else { g };
-        prop_assume!(!matches!(kind, DistKind::Block) || n >= g);
+        if matches!(kind, DistKind::Block) && n < g {
+            continue;
+        }
+        cases += 1;
         let mut counts = vec![0usize; g];
         for x in 0..n {
             let o = kind.owner(n, g, x);
-            prop_assert!(o < g);
+            assert!(o < g);
             let l = kind.local(n, g, x);
-            prop_assert!(l < kind.local_count(n, g, o), "x={} owner={} local={}", x, o, l);
+            assert!(l < kind.local_count(n, g, o), "x={x} owner={o} local={l}");
             counts[o] += 1;
         }
         for (c, &count) in counts.iter().enumerate() {
-            prop_assert_eq!(count, kind.local_count(n, g, c));
+            assert_eq!(count, kind.local_count(n, g, c));
         }
     }
+}
 
-    #[test]
-    fn regular_section_linearization_bijective(
-        lo0 in 0usize..5, cnt0 in 1usize..6, st0 in 1usize..4,
-        lo1 in 0usize..5, cnt1 in 1usize..6, st1 in 1usize..4,
-    ) {
+#[test]
+fn regular_section_linearization_bijective() {
+    let mut rng = Rng::seed_from_u64(0x600d);
+    for _case in 0..24 {
+        let (lo0, cnt0, st0) = (rng.gen_range(5), 1 + rng.gen_range(5), 1 + rng.gen_range(3));
+        let (lo1, cnt1, st1) = (rng.gen_range(5), 1 + rng.gen_range(5), 1 + rng.gen_range(3));
         let sec = RegularSection::new(vec![
             meta_chaos::DimSlice::strided(lo0, lo0 + cnt0 * st0, st0),
             meta_chaos::DimSlice::strided(lo1, lo1 + cnt1 * st1, st1),
@@ -281,9 +290,41 @@ proptest! {
         let mut seen = std::collections::HashSet::new();
         for k in 0..sec.len() {
             let c = sec.coords_of(k);
-            prop_assert_eq!(sec.position_of(&c), Some(k));
-            prop_assert!(seen.insert(c));
+            assert_eq!(sec.position_of(&c), Some(k));
+            assert!(seen.insert(c));
         }
-        prop_assert_eq!(seen.len(), sec.len());
+        assert_eq!(seen.len(), sec.len());
     }
+}
+
+/// Run compression is lossless: an [`AddrRuns`] built from any address
+/// list enumerates exactly that list, reports the same length, and
+/// compresses a strided-but-regular list into few runs.
+#[test]
+fn addr_runs_roundtrip_random_lists() {
+    let mut rng = Rng::seed_from_u64(0x1234);
+    for _case in 0..50 {
+        let len = rng.gen_range(200);
+        let mut addrs = Vec::with_capacity(len);
+        let mut cur = rng.gen_range(50);
+        for _ in 0..len {
+            // Mix of contiguous advances and jumps, both directions.
+            cur = match rng.gen_range(4) {
+                0 | 1 => cur + 1,
+                2 => cur + 2 + rng.gen_range(10),
+                _ => cur.saturating_sub(1 + rng.gen_range(7)),
+            };
+            addrs.push(cur);
+        }
+        let runs: AddrRuns = addrs.iter().copied().collect();
+        assert_eq!(runs.len(), addrs.len());
+        assert_eq!(runs.is_empty(), addrs.is_empty());
+        let back: Vec<usize> = runs.iter().collect();
+        assert_eq!(back, addrs);
+    }
+    // Fully contiguous list -> exactly one run.
+    let runs: AddrRuns = (100..1100).collect();
+    assert_eq!(runs.runs().len(), 1);
+    assert_eq!(runs.runs()[0], (100, 1000));
+    assert_eq!(runs.len(), 1000);
 }

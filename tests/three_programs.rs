@@ -74,7 +74,7 @@ fn pipeline_of_three_programs() {
                 for v in f.local_mut() {
                     *v *= 2.0;
                 }
-                data_move_send(ep, &to_b, &f);
+                data_move_send(ep, &to_b, &f).unwrap();
             }
             Vec::new()
         } else if gb.contains(me) {
@@ -104,12 +104,12 @@ fn pipeline_of_three_programs() {
             )
             .unwrap();
             for _ in 0..STEPS {
-                data_move_recv(ep, &from_a, &mut mirror);
+                data_move_recv(ep, &from_a, &mut mirror).unwrap();
                 let globals = mirror.my_globals().to_vec();
                 for (a, v) in mirror.local_mut().iter_mut().enumerate() {
                     *v += globals[a] as f64;
                 }
-                data_move_send(ep, &to_c, &mirror);
+                data_move_send(ep, &to_c, &mirror).unwrap();
             }
             Vec::new()
         } else {
@@ -126,7 +126,7 @@ fn pipeline_of_three_programs() {
             )
             .unwrap();
             for _ in 0..STEPS {
-                data_move_recv(ep, &from_b, &mut sink);
+                data_move_recv(ep, &from_b, &mut sink).unwrap();
             }
             (0..N)
                 .filter(|&x| sink.owns(&[x]))

@@ -37,7 +37,7 @@ fn fig9_hpf_to_hpf_across_programs() {
                 BuildMethod::Cooperation,
             )
             .unwrap();
-            data_move_send(ep, &sched, &b);
+            data_move_send(ep, &sched, &b).unwrap();
             Vec::new()
         } else {
             let mut a =
@@ -52,7 +52,7 @@ fn fig9_hpf_to_hpf_across_programs() {
                 BuildMethod::Cooperation,
             )
             .unwrap();
-            data_move_recv(ep, &sched, &mut a);
+            data_move_recv(ep, &sched, &mut a).unwrap();
             let mut got = Vec::new();
             for i in 0..50 {
                 for j in 0..60 {
@@ -105,8 +105,8 @@ fn coupler_ports_and_reverse_flow() {
             ports.bind("field", sched);
             for _ in 0..steps {
                 // Send the field over, receive the updated field back.
-                ports.put(ep, "field", &v);
-                ports.get_reverse(ep, "field", &mut v);
+                ports.put(ep, "field", &v).unwrap();
+                ports.get_reverse(ep, "field", &mut v).unwrap();
             }
             let boxx = v.my_box();
             (boxx[0].0..boxx[0].1).map(|x| (x, v.get(&[x]))).collect()
@@ -129,12 +129,12 @@ fn coupler_ports_and_reverse_flow() {
             let mut ports = Coupler::new();
             ports.bind("field", sched);
             for _ in 0..steps {
-                ports.get(ep, "field", &mut w);
+                ports.get(ep, "field", &mut w).unwrap();
                 // "Physics": increment every point, then return it.
                 for v in w.local_mut() {
                     *v += 1.0;
                 }
-                ports.put_reverse(ep, "field", &w);
+                ports.put_reverse(ep, "field", &w).unwrap();
             }
             Vec::new()
         }
@@ -170,7 +170,7 @@ fn cross_program_duplication_matches_cooperation() {
                     method,
                 )
                 .unwrap();
-                data_move_send(ep, &sched, &v);
+                data_move_send(ep, &sched, &v).unwrap();
                 Vec::new()
             } else {
                 let mut h = HpfArray::<f64>::new(
@@ -188,7 +188,7 @@ fn cross_program_duplication_matches_cooperation() {
                     method,
                 )
                 .unwrap();
-                data_move_recv(ep, &sched, &mut h);
+                data_move_recv(ep, &sched, &mut h).unwrap();
                 (0..n)
                     .filter(|&x| h.owns(&[x]))
                     .map(|x| (x, h.get(&[x])))
