@@ -15,7 +15,7 @@ use mcsim::model::MachineModel;
 use mcsim::world::World;
 
 use meta_chaos::build::{compute_schedule, BuildMethod};
-use meta_chaos::datamove::{data_move, data_move_elementwise};
+use meta_chaos::datamove::{data_move, data_move_elementwise, data_move_recv, data_move_send};
 use meta_chaos::region::RegularSection;
 use meta_chaos::setof::SetOfRegions;
 use meta_chaos::Side;
@@ -34,6 +34,11 @@ pub struct ExecutorMicro {
     pub fast_ns: f64,
     /// Wall nanoseconds per `data_move_elementwise`, rank 0.
     pub elementwise_ns: f64,
+    /// Wall nanoseconds per reliable cross-program move (fault-free
+    /// `data_move_send`/`data_move_recv` of the same payload); measured
+    /// only at `procs == 2`, where the shift makes rank 0 pure-send and
+    /// rank 1 pure-recv.
+    pub reliable_ns: Option<f64>,
     /// Total `(start, len)` runs in rank 0's schedule (compression check).
     pub sched_runs: usize,
 }
@@ -57,6 +62,18 @@ impl ExecutorMicro {
     /// Element-list baseline throughput, MB/s of moved payload.
     pub fn elementwise_mbps(&self) -> f64 {
         self.mbps(self.elementwise_ns)
+    }
+
+    /// Reliable-path throughput, MB/s of moved payload.
+    pub fn reliable_mbps(&self) -> Option<f64> {
+        self.reliable_ns.map(|ns| self.mbps(ns))
+    }
+
+    /// Fault-free overhead of the reliable layer over the raw fast path,
+    /// in percent (trailer + checksum bookkeeping + ack round trip).
+    pub fn reliable_overhead_pct(&self) -> Option<f64> {
+        self.reliable_ns
+            .map(|ns| (ns / self.fast_ns - 1.0) * 100.0)
     }
 }
 
@@ -106,15 +123,41 @@ pub fn executor_micro(elements: usize, procs: usize, reps: usize) -> ExecutorMic
         Comm::borrowed(ep, &g).sync_clocks();
         let elementwise_ns = t.elapsed().as_nanos() as f64 / reps as f64;
 
-        (fast_ns, elementwise_ns, sched.num_runs())
+        // Reliable leg: at two ranks the shift is a pure producer/consumer
+        // pair, which is exactly the cross-program shape, so the same
+        // schedule can be driven through the reliable halves to price the
+        // transport (trailer, checksum bookkeeping, ack round trip).
+        let reliable_ns = if procs == 2 {
+            if ep.rank() == 0 {
+                data_move_send(ep, &sched, &src).expect("warm reliable send");
+            } else {
+                data_move_recv(ep, &sched, &mut dst).expect("warm reliable recv");
+            }
+            Comm::borrowed(ep, &g).sync_clocks();
+            let t = Instant::now();
+            for _ in 0..reps {
+                if ep.rank() == 0 {
+                    data_move_send(ep, &sched, &src).expect("reliable send");
+                } else {
+                    data_move_recv(ep, &sched, &mut dst).expect("reliable recv");
+                }
+            }
+            Comm::borrowed(ep, &g).sync_clocks();
+            Some(t.elapsed().as_nanos() as f64 / reps as f64)
+        } else {
+            None
+        };
+
+        (fast_ns, elementwise_ns, reliable_ns, sched.num_runs())
     });
-    let (fast_ns, elementwise_ns, sched_runs) = out.results[0];
+    let (fast_ns, elementwise_ns, reliable_ns, sched_runs) = out.results[0];
     ExecutorMicro {
         elements,
         procs,
         reps,
         fast_ns,
         elementwise_ns,
+        reliable_ns,
         sched_runs,
     }
 }
@@ -131,5 +174,18 @@ mod tests {
         // The shifted halves of a 2-rank block array are contiguous on
         // both sides: the schedule must compress to a handful of runs.
         assert!(r.sched_runs <= 4, "expected few runs, got {}", r.sched_runs);
+        // The reliable leg runs at two procs and reports real numbers (no
+        // wall-clock threshold here — that belongs to the bench gate).
+        let rel = r.reliable_ns.expect("reliable leg at procs == 2");
+        assert!(rel > 0.0);
+        assert!(r.reliable_mbps().unwrap() > 0.0);
+        assert!(r.reliable_overhead_pct().is_some());
+    }
+
+    #[test]
+    fn micro_skips_reliable_leg_off_pairs() {
+        let r = executor_micro(512, 3, 1);
+        assert!(r.reliable_ns.is_none());
+        assert!(r.reliable_overhead_pct().is_none());
     }
 }

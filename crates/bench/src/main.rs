@@ -147,23 +147,36 @@ fn main() {
                 r.elementwise_mbps(),
                 r.speedup()
             );
+            if let (Some(rel_ns), Some(rel_mbps), Some(pct)) =
+                (r.reliable_ns, r.reliable_mbps(), r.reliable_overhead_pct())
+            {
+                println!(
+                    "reliable        {rel_ns:>10.0} ns/move  {rel_mbps:>8.0} MB/s  \
+                     ({pct:+.1}% vs fast path, fault-free)"
+                );
+            }
             let path = "BENCH_executor.json";
-            write_json_report(
-                path,
-                &[
-                    ("bench", JsonValue::Str("executor".into())),
-                    ("elements", JsonValue::Int(r.elements as u64)),
-                    ("procs", JsonValue::Int(r.procs as u64)),
-                    ("reps", JsonValue::Int(r.reps as u64)),
-                    ("sched_runs", JsonValue::Int(r.sched_runs as u64)),
-                    ("fast_ns_per_move", JsonValue::Num(r.fast_ns)),
-                    ("elementwise_ns_per_move", JsonValue::Num(r.elementwise_ns)),
-                    ("fast_mb_per_s", JsonValue::Num(r.fast_mbps())),
-                    ("elementwise_mb_per_s", JsonValue::Num(r.elementwise_mbps())),
-                    ("speedup", JsonValue::Num(r.speedup())),
-                ],
-            )
-            .expect("write BENCH_executor.json");
+            let mut fields = vec![
+                ("bench", JsonValue::Str("executor".into())),
+                ("elements", JsonValue::Int(r.elements as u64)),
+                ("procs", JsonValue::Int(r.procs as u64)),
+                ("reps", JsonValue::Int(r.reps as u64)),
+                ("sched_runs", JsonValue::Int(r.sched_runs as u64)),
+                ("fast_ns_per_move", JsonValue::Num(r.fast_ns)),
+                ("elementwise_ns_per_move", JsonValue::Num(r.elementwise_ns)),
+                ("fast_mb_per_s", JsonValue::Num(r.fast_mbps())),
+                ("elementwise_mb_per_s", JsonValue::Num(r.elementwise_mbps())),
+                ("speedup", JsonValue::Num(r.speedup())),
+            ];
+            if let Some(rel_ns) = r.reliable_ns {
+                fields.push(("reliable_ns_per_move", JsonValue::Num(rel_ns)));
+                fields.push(("reliable_mb_per_s", JsonValue::Num(r.reliable_mbps().unwrap())));
+                fields.push((
+                    "reliable_overhead_pct",
+                    JsonValue::Num(r.reliable_overhead_pct().unwrap()),
+                ));
+            }
+            write_json_report(path, &fields).expect("write BENCH_executor.json");
             println!("wrote {path}");
         }
         "all" => {

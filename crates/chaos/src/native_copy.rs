@@ -129,7 +129,9 @@ pub fn chaos_copy<T>(
     T: Copy + Wire,
 {
     let elem = std::mem::size_of::<T>();
-    let t = 0x5800_0000 | sched.seq();
+    // Class 0x3 keeps this raw stream clear of the tag classes mcsim's
+    // reliable transport reserves (0x5/0x6) and of the gather tags.
+    let t = 0x3800_0000 | sched.seq();
     for (peer, addrs) in &sched.sends {
         let buf: Vec<T> = addrs.iter().map(|a| src.local()[a]).collect();
         // Pack + the extra internal copy, plus the extra indirection.

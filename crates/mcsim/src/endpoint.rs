@@ -6,25 +6,40 @@
 //! * point-to-point `send`/`recv` by global rank and [`Tag`] (receives always
 //!   name their source, which keeps virtual time deterministic),
 //! * typed variants via the [`Wire`] codec,
+//! * recoverable receive variants (`recv_result`, `recv_t_result`,
+//!   `recv_timeout`) that surface peer failure and teardown as
+//!   [`SimError`] instead of panicking,
 //! * the **virtual clock**: every send/receive advances it per the
 //!   [`MachineModel`], and runtime libraries charge modeled computation with
 //!   the `charge_*` helpers,
-//! * per-destination traffic counters.
+//! * per-destination traffic counters,
+//! * when the world carries a [`crate::fault::FaultPlan`], deterministic
+//!   fault injection on sends and scripted crashes on communication ops.
 
 use std::collections::VecDeque;
-use std::sync::mpsc::{Receiver, Sender};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::time::Duration;
 
 use crate::error::SimError;
-use crate::message::{Body, Message, Rank};
+use crate::fault::{FaultPlan, FaultState};
+use crate::message::{Body, Message, Rank, DROP_PREFIX};
 use crate::model::MachineModel;
+use crate::reliable::{self, ReliableState};
 use crate::stats::StatsSnapshot;
 use crate::tag::Tag;
-use crate::trace::TraceEvent;
+use crate::trace::{FaultKind, TraceEvent};
 use crate::wire::Wire;
 
 /// Most buffers kept in an endpoint's reuse pool; beyond this they are
 /// dropped so a burst of large transfers cannot pin memory forever.
 const BUF_POOL_CAP: usize = 32;
+
+/// Real-time liveness cap used by [`Endpoint::recv_timeout`]: if no message
+/// arrives *physically* for this long, the virtual deadline is declared
+/// expired.  Virtual deadlines cannot fire on their own — the clock only
+/// moves when messages do — so this bounds the wait when the peer never
+/// sends at all (e.g. it already returned, or is itself blocked).
+const RECV_TIMEOUT_REAL_CAP: Duration = Duration::from_millis(250);
 
 /// One rank's handle on the simulated machine.
 pub struct Endpoint {
@@ -33,15 +48,22 @@ pub struct Endpoint {
     senders: Vec<Sender<Message>>,
     rx: Receiver<Message>,
     /// Messages received from the channel but not yet matched by a `recv`.
-    stash: VecDeque<Message>,
-    clock: f64,
-    model: MachineModel,
-    stats: StatsSnapshot,
+    pub(crate) stash: VecDeque<Message>,
+    pub(crate) clock: f64,
+    pub(crate) model: MachineModel,
+    pub(crate) stats: StatsSnapshot,
     trace: Option<Vec<TraceEvent>>,
     /// Reusable byte buffers.  Sends take from here; receives recycle
     /// decoded payloads back, so a steady-state exchange loop (the
     /// executor's `data_move`) allocates no fresh wire buffers.
     buf_pool: Vec<Vec<u8>>,
+    /// Fault-injection state, present when the world has a `FaultPlan`.
+    faults: Option<FaultState>,
+    /// Latched peer failure: once a poison message is seen, every
+    /// subsequent receive fails with the same `PeerFailed`.
+    pub(crate) poisoned: Option<(Rank, String)>,
+    /// Reliable-transport stream state (see [`crate::reliable`]).
+    pub(crate) rel: ReliableState,
 }
 
 impl Endpoint {
@@ -51,6 +73,7 @@ impl Endpoint {
         senders: Vec<Sender<Message>>,
         rx: Receiver<Message>,
         model: MachineModel,
+        faults: Option<&FaultPlan>,
     ) -> Self {
         Endpoint {
             rank,
@@ -63,6 +86,9 @@ impl Endpoint {
             stats: StatsSnapshot::new(world),
             trace: None,
             buf_pool: Vec::new(),
+            faults: faults.map(|p| FaultState::new(p.clone(), rank)),
+            poisoned: None,
+            rel: ReliableState::default(),
         }
     }
 
@@ -101,6 +127,12 @@ impl Endpoint {
     #[inline]
     pub fn clock(&self) -> f64 {
         self.clock
+    }
+
+    /// True when a fault plan is active on this world.
+    #[inline]
+    pub fn faults_enabled(&self) -> bool {
+        self.faults.is_some()
     }
 
     /// Charge `seconds` of modeled computation to this rank.
@@ -182,6 +214,22 @@ impl Endpoint {
         }
     }
 
+    /// Fire a scripted crash if the fault plan says this rank's time has
+    /// come.  Called on entry to every communication operation.
+    pub(crate) fn check_crash(&mut self) {
+        if let Some(f) = &mut self.faults {
+            if let Some(t) = f.crash_due(self.clock) {
+                panic!("rank {} crashed by fault plan at t={t:.6}", self.rank);
+            }
+        }
+    }
+
+    pub(crate) fn trace_push(&mut self, ev: TraceEvent) {
+        if let Some(tr) = &mut self.trace {
+            tr.push(ev);
+        }
+    }
+
     /// Send `payload` to global rank `to` with `tag`.
     ///
     /// Charges the sender's clock and stamps the message with its arrival
@@ -189,28 +237,123 @@ impl Endpoint {
     /// through this rank's own mailbox).
     pub fn send(&mut self, to: Rank, tag: Tag, payload: Vec<u8>) {
         assert!(to < self.world, "send to rank {to} of {}", self.world);
+        self.check_crash();
         let bytes = payload.len();
         self.clock += self.model.send_cost(bytes);
         let arrival = self.clock + self.model.transit(bytes);
-        self.stats.record(to, bytes);
-        if let Some(tr) = &mut self.trace {
-            tr.push(TraceEvent::Send {
-                at: self.clock,
+        let at = self.clock;
+        self.send_at(to, tag, payload, at, arrival);
+    }
+
+    /// NIC-plane send used by the reliable protocol: timestamps are derived
+    /// from the triggering message's arrival, and nothing is charged to
+    /// this rank's program-order clock — acks and retransmits happen "in
+    /// the network", so virtual time stays deterministic no matter when the
+    /// protocol pump actually drains the triggering event.
+    pub(crate) fn nic_send(&mut self, to: Rank, tag: Tag, payload: Vec<u8>, at: f64) {
+        let arrival = at + self.model.transit(payload.len());
+        self.send_at(to, tag, payload, at, arrival);
+    }
+
+    /// The physical sender: applies fault injection, records stats/trace,
+    /// and posts one or two message copies with the given timestamps.
+    fn send_at(&mut self, to: Rank, tag: Tag, mut payload: Vec<u8>, at: f64, arrival: f64) {
+        let bytes = payload.len();
+        let draw = self
+            .faults
+            .as_mut()
+            .and_then(|f| f.draw(self.rank, to, tag, bytes));
+        let Some(draw) = draw else {
+            // Clean fast path — identical to the unfaulted sender.
+            self.stats.record(to, bytes);
+            self.trace_push(TraceEvent::Send {
+                at,
                 to,
                 tag,
                 bytes,
                 arrival,
             });
-        }
-        let msg = Message {
-            src: self.rank,
-            tag,
-            body: Body::Data(payload),
-            arrival,
+            // Unbounded channel: never blocks; a closed peer means it
+            // panicked and will (or did) poison us, so drop silently.
+            let _ = self.senders[to].send(Message {
+                src: self.rank,
+                tag,
+                body: Body::Data(payload),
+                arrival,
+            });
+            return;
         };
-        // Unbounded channel: never blocks; a closed peer means it panicked
-        // and will (or did) poison us, so drop the message silently.
-        let _ = self.senders[to].send(msg);
+        let n = draw.copies.len();
+        for (i, fate) in draw.copies.iter().enumerate() {
+            let mut copy = if i + 1 == n {
+                std::mem::take(&mut payload)
+            } else {
+                payload.clone()
+            };
+            if i > 0 {
+                self.stats.faults.dups_injected += 1;
+                self.trace_push(TraceEvent::Fault {
+                    at,
+                    kind: FaultKind::Duplicate,
+                    to,
+                    tag,
+                    bytes,
+                });
+            }
+            let mut copy_arrival = arrival;
+            if fate.extra_delay > 0.0 {
+                copy_arrival += fate.extra_delay;
+                self.stats.faults.delays_injected += 1;
+                self.trace_push(TraceEvent::Fault {
+                    at,
+                    kind: FaultKind::Delay,
+                    to,
+                    tag,
+                    bytes,
+                });
+            }
+            let body = if fate.drop {
+                self.stats.faults.drops_injected += 1;
+                self.trace_push(TraceEvent::Fault {
+                    at,
+                    kind: FaultKind::Drop,
+                    to,
+                    tag,
+                    bytes,
+                });
+                Body::Dropped {
+                    orig_len: bytes,
+                    prefix: copy[..bytes.min(DROP_PREFIX)].to_vec(),
+                }
+            } else {
+                if let Some(bit) = fate.corrupt_bit {
+                    copy[bit / 8] ^= 1 << (bit % 8);
+                    self.stats.faults.corrupts_injected += 1;
+                    self.trace_push(TraceEvent::Fault {
+                        at,
+                        kind: FaultKind::Corrupt,
+                        to,
+                        tag,
+                        bytes,
+                    });
+                }
+                Body::Data(copy)
+            };
+            self.stats.record(to, bytes);
+            self.trace_push(TraceEvent::Send {
+                at,
+                to,
+                tag,
+                bytes,
+                arrival: copy_arrival,
+            });
+            let _ = self.senders[to].send(Message {
+                src: self.rank,
+                tag,
+                body,
+                arrival: copy_arrival,
+            });
+        }
     }
 
     /// Typed send: encodes `value` with the [`Wire`] codec into a pooled
@@ -221,39 +364,153 @@ impl Endpoint {
         self.send(to, tag, buf);
     }
 
+    /// Route one message that just came off the wire: latch poison, feed
+    /// reliable-protocol frames to the transport (which acks/nacks them
+    /// eagerly), stash everything else.
+    fn route_msg(&mut self, msg: Message) -> Result<(), SimError> {
+        if let Body::Poison(reason) = &msg.body {
+            let p = (msg.src, reason.clone());
+            self.poisoned = Some(p.clone());
+            return Err(SimError::PeerFailed {
+                rank: p.0,
+                reason: p.1,
+            });
+        }
+        if let Some(m) = reliable::intake(self, msg) {
+            self.stash.push_back(m);
+        }
+        Ok(())
+    }
+
+    /// Block for one message from the wire and route it.
+    pub(crate) fn pump_one(&mut self) -> Result<(), SimError> {
+        if let Some((rank, reason)) = &self.poisoned {
+            return Err(SimError::PeerFailed {
+                rank: *rank,
+                reason: reason.clone(),
+            });
+        }
+        let msg = self.rx.recv().map_err(|_| SimError::Shutdown)?;
+        self.route_msg(msg)
+    }
+
+    /// Route everything already waiting in the channel without blocking.
+    fn pump_ready(&mut self) -> Result<(), SimError> {
+        if let Some((rank, reason)) = &self.poisoned {
+            return Err(SimError::PeerFailed {
+                rank: *rank,
+                reason: reason.clone(),
+            });
+        }
+        loop {
+            match self.rx.try_recv() {
+                Ok(msg) => self.route_msg(msg)?,
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => return Ok(()),
+            }
+        }
+    }
+
+    fn stash_match(&self, from: Rank, tag: Tag) -> Option<usize> {
+        // Raw receives only ever match real data; drop tombstones and
+        // reliable frames are the transport's business.
+        self.stash
+            .iter()
+            .position(|m| m.src == from && m.tag == tag && matches!(m.body, Body::Data(_)))
+    }
+
+    /// Receive the next message from `from` with `tag`, surfacing peer
+    /// failure and world teardown as [`SimError`] instead of panicking.
+    ///
+    /// Advances the virtual clock to `max(now, arrival) + recv cost` on
+    /// success.
+    pub fn recv_result(&mut self, from: Rank, tag: Tag) -> Result<Vec<u8>, SimError> {
+        assert!(from < self.world, "recv from rank {from} of {}", self.world);
+        self.check_crash();
+        loop {
+            if let Some(idx) = self.stash_match(from, tag) {
+                let msg = self.stash.remove(idx).expect("index valid");
+                return Ok(self.accept(msg));
+            }
+            self.pump_one()?;
+        }
+    }
+
+    /// Typed variant of [`Endpoint::recv_result`]; decode failures surface
+    /// as [`SimError::Decode`].
+    pub fn recv_t_result<T: Wire>(&mut self, from: Rank, tag: Tag) -> Result<T, SimError> {
+        let bytes = self.recv_result(from, tag)?;
+        let decoded = T::from_bytes(&bytes);
+        self.recycle_buf(bytes);
+        decoded
+    }
+
+    /// Receive with a deadline of `timeout` seconds of *virtual* time from
+    /// now.  A message whose modeled arrival is past the deadline is left
+    /// stashed (a later plain `recv` can still take it) and
+    /// [`SimError::PeerTimeout`] is returned with the clock advanced to the
+    /// deadline.  Because virtual time only moves when messages do, a peer
+    /// that never sends at all is detected by a real-time liveness cap
+    /// (≈250 ms of wall-clock silence) rather than by the virtual deadline.
+    pub fn recv_timeout(&mut self, from: Rank, tag: Tag, timeout: f64) -> Result<Vec<u8>, SimError> {
+        assert!(from < self.world, "recv from rank {from} of {}", self.world);
+        self.check_crash();
+        let deadline = self.clock + timeout;
+        loop {
+            self.pump_ready()?;
+            if let Some(idx) = self.stash_match(from, tag) {
+                if self.stash[idx].arrival <= deadline {
+                    let msg = self.stash.remove(idx).expect("index valid");
+                    return Ok(self.accept(msg));
+                }
+                self.stats.faults.timeouts += 1;
+                self.advance_to(deadline);
+                return Err(SimError::PeerTimeout { rank: from });
+            }
+            match self.rx.recv_timeout(RECV_TIMEOUT_REAL_CAP) {
+                Ok(msg) => self.route_msg(msg)?,
+                Err(RecvTimeoutError::Timeout) => {
+                    self.stats.faults.timeouts += 1;
+                    self.advance_to(deadline);
+                    return Err(SimError::PeerTimeout { rank: from });
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(SimError::Shutdown),
+            }
+        }
+    }
+
+    /// Turn a [`SimError`] into the legacy panic for SPMD-internal paths,
+    /// preserving the exact messages the cascade detector keys on.
+    fn panic_sim(&self, e: SimError, from: Rank, tag: Tag) -> ! {
+        match e {
+            SimError::PeerFailed { rank, reason } => {
+                panic!("rank {}: peer rank {} failed: {reason}", self.rank, rank)
+            }
+            SimError::Shutdown => panic!(
+                "rank {}: world tore down while waiting for message from {from} tag {tag:?}",
+                self.rank
+            ),
+            SimError::Decode(e) => panic!(
+                "rank {}: decode of message from {from} tag {tag:?} failed: {e}",
+                self.rank
+            ),
+            SimError::PeerTimeout { rank } => {
+                panic!("rank {}: timed out waiting for rank {rank}", self.rank)
+            }
+        }
+    }
+
     /// Receive the next message from `from` with `tag` (blocking).
     ///
     /// Advances the virtual clock to `max(now, arrival) + recv cost`.
     ///
     /// # Panics
     /// Panics if a peer rank failed (poison received) — the simulation
-    /// cannot meaningfully continue, mirroring an MPI job abort.
+    /// cannot meaningfully continue, mirroring an MPI job abort.  Use
+    /// [`Endpoint::recv_result`] to observe the failure instead.
     pub fn recv(&mut self, from: Rank, tag: Tag) -> Vec<u8> {
-        assert!(from < self.world, "recv from rank {from} of {}", self.world);
-        // First look in the stash for an already-delivered match.
-        if let Some(idx) = self
-            .stash
-            .iter()
-            .position(|m| m.src == from && m.tag == tag)
-        {
-            let msg = self.stash.remove(idx).expect("index valid");
-            return self.accept(msg);
-        }
-        loop {
-            let msg = match self.rx.recv() {
-                Ok(m) => m,
-                Err(_) => panic!(
-                    "rank {}: world tore down while waiting for message from {from} tag {tag:?}",
-                    self.rank
-                ),
-            };
-            if let Body::Poison(reason) = &msg.body {
-                panic!("rank {}: peer rank {} failed: {reason}", self.rank, msg.src);
-            }
-            if msg.src == from && msg.tag == tag {
-                return self.accept(msg);
-            }
-            self.stash.push_back(msg);
+        match self.recv_result(from, tag) {
+            Ok(v) => v,
+            Err(e) => self.panic_sim(e, from, tag),
         }
     }
 
@@ -261,49 +518,42 @@ impl Endpoint {
     /// already arrived, without waiting.  Virtual time advances only on a
     /// successful match (a failed probe is free, as with `MPI_Iprobe`).
     pub fn try_recv(&mut self, from: Rank, tag: Tag) -> Option<Vec<u8>> {
-        self.drain_channel();
-        let idx = self
-            .stash
-            .iter()
-            .position(|m| m.src == from && m.tag == tag)?;
+        self.check_crash();
+        self.drain_channel(from, tag);
+        let idx = self.stash_match(from, tag)?;
         let msg = self.stash.remove(idx).expect("index valid");
         Some(self.accept(msg))
     }
 
     /// True if a matching message has already arrived (non-blocking).
     pub fn probe(&mut self, from: Rank, tag: Tag) -> bool {
-        self.drain_channel();
-        self.stash.iter().any(|m| m.src == from && m.tag == tag)
+        self.drain_channel(from, tag);
+        self.stash_match(from, tag).is_some()
     }
 
     /// Move everything waiting in the channel into the stash, surfacing
-    /// poison immediately.
-    fn drain_channel(&mut self) {
-        while let Ok(msg) = self.rx.try_recv() {
-            if let Body::Poison(reason) = &msg.body {
-                panic!("rank {}: peer rank {} failed: {reason}", self.rank, msg.src);
-            }
-            self.stash.push_back(msg);
+    /// poison immediately (panicking path).
+    fn drain_channel(&mut self, from: Rank, tag: Tag) {
+        if let Err(e) = self.pump_ready() {
+            self.panic_sim(e, from, tag);
         }
     }
 
     /// Typed receive.  The decoded payload's byte buffer is recycled into
     /// this endpoint's pool, which is what feeds [`Endpoint::take_buf`] in
     /// steady state.
+    ///
+    /// # Panics
+    /// Panics on peer failure or decode errors (see [`Endpoint::recv`] and
+    /// [`Endpoint::recv_t_result`]).
     pub fn recv_t<T: Wire>(&mut self, from: Rank, tag: Tag) -> T {
-        let bytes = self.recv(from, tag);
-        let decoded = T::from_bytes(&bytes);
-        self.recycle_buf(bytes);
-        match decoded {
+        match self.recv_t_result(from, tag) {
             Ok(v) => v,
-            Err(e) => panic!(
-                "rank {}: decode of message from {from} tag {tag:?} failed: {e}",
-                self.rank
-            ),
+            Err(e) => self.panic_sim(e, from, tag),
         }
     }
 
-    fn accept(&mut self, msg: Message) -> Vec<u8> {
+    pub(crate) fn accept(&mut self, msg: Message) -> Vec<u8> {
         let bytes = msg.len();
         let waited = (msg.arrival - self.clock).max(0.0);
         if msg.arrival > self.clock {
@@ -321,7 +571,29 @@ impl Endpoint {
         }
         match msg.body {
             Body::Data(d) => d,
-            Body::Poison(_) => unreachable!("poison filtered in recv loop"),
+            Body::Dropped { .. } => unreachable!("tombstones never match a receive"),
+            Body::Poison(_) => unreachable!("poison filtered in pump loop"),
+        }
+    }
+
+    /// Keep answering protocol traffic (acks for late frames, retransmit
+    /// requests) after this rank's program has finished, so peers still
+    /// flushing reliable streams are not orphaned.  Waits up to `wait` for
+    /// one message, then drains whatever else is ready.
+    pub(crate) fn service_protocol(&mut self, wait: Duration) {
+        match self.rx.recv_timeout(wait) {
+            Ok(msg) => {
+                let _ = self.route_msg(msg);
+            }
+            Err(_) => return,
+        }
+        loop {
+            match self.rx.try_recv() {
+                Ok(msg) => {
+                    let _ = self.route_msg(msg);
+                }
+                Err(_) => return,
+            }
         }
     }
 
@@ -479,6 +751,22 @@ mod tests {
                 .results
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn recv_timeout_accepts_in_time_message() {
+        let world = World::with_model(2, MachineModel::sp2());
+        world.run(|ep| {
+            let t = Tag::user(8);
+            if ep.rank() == 0 {
+                ep.send_t(1, t, &5u32);
+            } else {
+                // Generous virtual deadline: the message arrives well
+                // within one second of virtual time.
+                let bytes = ep.recv_timeout(0, t, 1.0).expect("in time");
+                assert_eq!(bytes.len(), 4);
+            }
+        });
     }
 }
 

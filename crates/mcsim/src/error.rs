@@ -19,6 +19,16 @@ pub enum SimError {
     },
     /// A typed receive could not decode the payload.
     Decode(String),
+    /// A virtual-clock deadline elapsed before the peer delivered: either a
+    /// [`crate::endpoint::Endpoint::recv_timeout`] deadline passed, or the
+    /// reliable layer exhausted its retry budget against this peer.
+    PeerTimeout {
+        /// The peer rank that never delivered (or never acknowledged).
+        rank: usize,
+    },
+    /// The world's channels closed while waiting — every other rank has
+    /// already torn down.
+    Shutdown,
 }
 
 impl fmt::Display for SimError {
@@ -28,6 +38,10 @@ impl fmt::Display for SimError {
                 write!(f, "rank {rank} failed: {reason}")
             }
             SimError::Decode(msg) => write!(f, "wire decode error: {msg}"),
+            SimError::PeerTimeout { rank } => {
+                write!(f, "timed out waiting for rank {rank}")
+            }
+            SimError::Shutdown => write!(f, "world tore down"),
         }
     }
 }

@@ -52,9 +52,11 @@
 pub mod collectives;
 pub mod endpoint;
 pub mod error;
+pub mod fault;
 pub mod group;
 pub mod message;
 pub mod model;
+pub mod reliable;
 pub mod rng;
 pub mod stats;
 pub mod tag;
@@ -64,23 +66,27 @@ pub mod world;
 
 pub use endpoint::Endpoint;
 pub use error::SimError;
+pub use fault::{FaultPlan, FaultRates};
 pub use group::{Comm, Group};
 pub use message::Rank;
 pub use model::MachineModel;
+pub use reliable::{ReliableConfig, StreamTag};
 pub use rng::Rng;
-pub use stats::{NetStats, StatsSnapshot};
+pub use stats::{FaultStats, NetStats, StatsSnapshot};
 pub use tag::Tag;
-pub use trace::{summarize, TraceEvent, TraceSummary};
+pub use trace::{summarize, FaultKind, TraceEvent, TraceSummary};
 pub use wire::{Wire, WireReader};
-pub use world::{RunOutput, World};
+pub use world::{RunOutput, RunReport, World};
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {
     pub use crate::endpoint::Endpoint;
+    pub use crate::fault::{FaultPlan, FaultRates};
     pub use crate::group::{Comm, Group};
     pub use crate::message::Rank;
     pub use crate::model::MachineModel;
+    pub use crate::reliable::{ReliableConfig, StreamTag};
     pub use crate::tag::Tag;
     pub use crate::wire::{Wire, WireReader};
-    pub use crate::world::{RunOutput, World};
+    pub use crate::world::{RunOutput, RunReport, World};
 }

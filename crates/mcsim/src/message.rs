@@ -5,11 +5,26 @@ use crate::tag::Tag;
 /// A processor index in the world (0-based, dense).
 pub type Rank = usize;
 
+/// How many leading payload bytes a drop tombstone preserves — enough for
+/// the reliable layer to recognize which control frame was lost.
+pub(crate) const DROP_PREFIX: usize = 16;
+
 /// What a message carries.
 #[derive(Debug)]
 pub enum Body {
     /// Ordinary data payload.
     Data(Vec<u8>),
+    /// Tombstone left where a [`crate::fault::FaultPlan`] destroyed a
+    /// message in flight.  The payload is gone; the envelope (and a short
+    /// prefix of the original bytes) still arrives so loss detection can be
+    /// modeled deterministically without wall-clock timers.  Raw receives
+    /// never match tombstones — only the reliable layer consumes them.
+    Dropped {
+        /// Length of the destroyed payload.
+        orig_len: usize,
+        /// First few bytes of the destroyed payload (header recovery).
+        prefix: Vec<u8>,
+    },
     /// A rank panicked; receivers must propagate the failure instead of
     /// hanging forever on a receive that will never be matched.
     Poison(String),
@@ -30,11 +45,11 @@ pub struct Message {
 }
 
 impl Message {
-    /// Payload length in bytes (0 for poison).
+    /// Payload length in bytes (0 for poison and drop tombstones).
     pub fn len(&self) -> usize {
         match &self.body {
             Body::Data(d) => d.len(),
-            Body::Poison(_) => 0,
+            Body::Dropped { .. } | Body::Poison(_) => 0,
         }
     }
 

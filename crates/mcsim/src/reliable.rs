@@ -1,0 +1,566 @@
+//! A reliable delivery layer over the (possibly faulted) simulated network.
+//!
+//! The raw [`Endpoint`](crate::endpoint::Endpoint) channel is physically
+//! FIFO and lossless, but a [`crate::fault::FaultPlan`] makes it lossy:
+//! frames are dropped (delivered as tombstones), duplicated, bit-flipped,
+//! or delayed.  This module implements a stop-and-wait protocol per
+//! `(peer, stream)` that survives all of that:
+//!
+//! * **DATA frames** are the payload plus a 24-byte trailer
+//!   `[seq u64][attempt u32][magic u32][checksum u64]` — trailer at the
+//!   end so the payload is recovered by a zero-copy truncate.
+//! * **Control frames** are 9 bytes, `[kind u8][seq u64]`, with kinds
+//!   ACK / NACK / GIVEUP, and are never bit-flipped by the injector (a
+//!   few bytes against multi-megabyte payloads).
+//! * The receiver acks in-order frames, NACKs tombstones and checksum
+//!   failures, and drops duplicates (`seq` below the expected counter).
+//! * The sender retransmits only on NACK-class events, with an
+//!   exponential-backoff virtual-clock deadline used for timeout
+//!   accounting; after [`ReliableConfig::max_retries`] attempts it sends
+//!   GIVEUP and the stream turns into [`SimError::PeerTimeout`] on both
+//!   sides — a permanent partition degrades into an error, not a hang.
+//!
+//! Two modeling choices keep virtual time deterministic regardless of how
+//! rank threads interleave:
+//!
+//! * All protocol sends happen on the **NIC plane**: their timestamps
+//!   derive from the *arrival* of the frame that triggered them, not from
+//!   whenever the receiving thread got around to draining its channel,
+//!   and they charge nothing to the app-level clock.
+//! * Loss is **observable**: a dropped frame still delivers a tombstone
+//!   carrying a prefix of the original bytes, so a lost ACK is decoded
+//!   from its tombstone and still confirms delivery (the simulator grants
+//!   the timer knowledge a real NIC gets from its retransmission clock),
+//!   while a lost DATA frame triggers an immediate NACK.
+//!
+//! Checksums are computed and verified only when a fault plan is active;
+//! the fault-free fast path pays just the trailer bytes and the ack
+//! round-trip in virtual time.
+
+use std::collections::HashMap;
+
+use crate::endpoint::Endpoint;
+use crate::error::SimError;
+use crate::message::{Body, Message, Rank};
+use crate::model::MachineModel;
+use crate::tag::Tag;
+use crate::trace::TraceEvent;
+
+/// Trailer appended to every DATA frame.
+pub const TRAILER_LEN: usize = 24;
+/// Length of a control frame.
+pub const CTRL_LEN: usize = 9;
+/// Frame-format magic ("MCR1").
+const MAGIC: u32 = 0x4D43_5231;
+
+const K_ACK: u8 = 1;
+const K_NACK: u8 = 2;
+const K_GIVEUP: u8 = 3;
+/// NACK sequence meaning "retransmit whatever is pending".
+const SEQ_ANY: u64 = u64::MAX;
+
+/// The tag pair a reliable stream runs on: DATA frames on the
+/// [`Tag::CLASS_RELIABLE_DATA`] class, control frames on
+/// [`Tag::CLASS_RELIABLE_CTRL`], same context and stream id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamTag {
+    data: Tag,
+    ctrl: Tag,
+}
+
+impl StreamTag {
+    /// A stream identified by `(ctx, stream)`; only the low 28 bits of
+    /// `stream` are used (the high nibble is the class).
+    pub fn new(ctx: u32, stream: u32) -> Self {
+        let s = stream & 0x0FFF_FFFF;
+        StreamTag {
+            data: Tag::new(ctx, (Tag::CLASS_RELIABLE_DATA << 28) | s),
+            ctrl: Tag::new(ctx, (Tag::CLASS_RELIABLE_CTRL << 28) | s),
+        }
+    }
+
+    /// The DATA-frame tag.
+    pub fn data(&self) -> Tag {
+        self.data
+    }
+
+    /// The control-frame tag.
+    pub fn ctrl(&self) -> Tag {
+        self.ctrl
+    }
+}
+
+fn data_tag_of_ctrl(ctrl: Tag) -> Tag {
+    Tag::new(
+        ctrl.ctx(),
+        (Tag::CLASS_RELIABLE_DATA << 28) | (ctrl.value() & 0x0FFF_FFFF),
+    )
+}
+
+fn ctrl_tag_of_data(data: Tag) -> Tag {
+    Tag::new(
+        data.ctx(),
+        (Tag::CLASS_RELIABLE_CTRL << 28) | (data.value() & 0x0FFF_FFFF),
+    )
+}
+
+/// Retry/backoff policy for reliable streams.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliableConfig {
+    /// Slack added to the modeled round trip before an ack counts as late.
+    pub base_timeout: f64,
+    /// Deadline multiplier per retransmission attempt.
+    pub backoff: f64,
+    /// Retransmissions before the sender gives up on the peer.
+    pub max_retries: u32,
+}
+
+impl Default for ReliableConfig {
+    fn default() -> Self {
+        ReliableConfig {
+            base_timeout: 200e-6,
+            backoff: 2.0,
+            max_retries: 24,
+        }
+    }
+}
+
+impl ReliableConfig {
+    /// Ack deadline for a frame of `bytes` on its `attempt`-th try.
+    pub fn timeout_for(&self, model: &MachineModel, bytes: usize, attempt: u32) -> f64 {
+        let rtt = model.transit(bytes)
+            + model.transit(CTRL_LEN)
+            + model.send_overhead
+            + model.recv_overhead
+            + self.base_timeout;
+        rtt * self.backoff.powi(attempt as i32)
+    }
+}
+
+#[derive(Debug)]
+struct PendingSend {
+    seq: u64,
+    attempt: u32,
+    /// Retransmission copy — kept only when faults are enabled, so the
+    /// fault-free fast path never clones the payload.
+    frame: Option<Vec<u8>>,
+    bytes: usize,
+    deadline: f64,
+}
+
+#[derive(Debug, Default)]
+struct SendStream {
+    next_seq: u64,
+    pending: Option<PendingSend>,
+    dead: bool,
+    dead_at: f64,
+    complete_at: f64,
+}
+
+#[derive(Debug, Default)]
+struct RecvStream {
+    expected: u64,
+    dead: bool,
+    dead_at: f64,
+}
+
+/// Per-endpoint reliable-transport state: one stream table per direction,
+/// keyed by `(peer global rank, data-tag bits)`.
+#[derive(Debug, Default)]
+pub(crate) struct ReliableState {
+    cfg: ReliableConfig,
+    send: HashMap<(Rank, u64), SendStream>,
+    recv: HashMap<(Rank, u64), RecvStream>,
+}
+
+/// Lane-summed checksum over `region`; detects any single bit flip.
+fn checksum64(region: &[u8]) -> u64 {
+    let mut sum = region.len() as u64;
+    let mut chunks = region.chunks_exact(8);
+    for c in &mut chunks {
+        sum = sum.wrapping_add(u64::from_le_bytes(c.try_into().unwrap()));
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        sum = sum.wrapping_add(u64::from_le_bytes(tail));
+    }
+    sum
+}
+
+fn append_trailer(frame: &mut Vec<u8>, seq: u64, attempt: u32, with_checksum: bool) {
+    // A packed payload usually arrives with exact capacity; without this,
+    // the 24-byte extend would trip Vec's doubling policy and copy the
+    // whole multi-megabyte frame.
+    frame.reserve_exact(TRAILER_LEN);
+    frame.extend_from_slice(&seq.to_le_bytes());
+    frame.extend_from_slice(&attempt.to_le_bytes());
+    frame.extend_from_slice(&MAGIC.to_le_bytes());
+    let ck = if with_checksum {
+        checksum64(frame)
+    } else {
+        0
+    };
+    frame.extend_from_slice(&ck.to_le_bytes());
+}
+
+fn frame_seq(frame: &[u8]) -> u64 {
+    let n = frame.len();
+    u64::from_le_bytes(frame[n - 24..n - 16].try_into().unwrap())
+}
+
+fn frame_ok(frame: &[u8], verify_checksum: bool) -> bool {
+    let n = frame.len();
+    if n < TRAILER_LEN {
+        return false;
+    }
+    if u32::from_le_bytes(frame[n - 12..n - 8].try_into().unwrap()) != MAGIC {
+        return false;
+    }
+    if verify_checksum {
+        let stored = u64::from_le_bytes(frame[n - 8..].try_into().unwrap());
+        if checksum64(&frame[..n - 8]) != stored {
+            return false;
+        }
+    }
+    true
+}
+
+fn patch_attempt(frame: &mut [u8], attempt: u32) {
+    let n = frame.len();
+    frame[n - 16..n - 12].copy_from_slice(&attempt.to_le_bytes());
+    let ck = checksum64(&frame[..n - 8]);
+    frame[n - 8..].copy_from_slice(&ck.to_le_bytes());
+}
+
+fn ctrl_frame(kind: u8, seq: u64) -> Vec<u8> {
+    let mut v = Vec::with_capacity(CTRL_LEN);
+    v.push(kind);
+    v.extend_from_slice(&seq.to_le_bytes());
+    v
+}
+
+fn decode_ctrl(bytes: &[u8]) -> Option<(u8, u64)> {
+    if bytes.len() < CTRL_LEN {
+        return None;
+    }
+    let kind = bytes[0];
+    if !(K_ACK..=K_GIVEUP).contains(&kind) {
+        return None;
+    }
+    Some((kind, u64::from_le_bytes(bytes[1..9].try_into().unwrap())))
+}
+
+/// Post one payload on the stream toward `to`.  Any previous frame on the
+/// stream is flushed first (stop-and-wait); call [`flush_send`] afterwards
+/// to wait for this frame's acknowledgement.  Posting to all peers before
+/// flushing any of them avoids cross-pair ordering stalls.
+pub fn reliable_send(
+    ep: &mut Endpoint,
+    to: Rank,
+    st: StreamTag,
+    payload: Vec<u8>,
+) -> Result<(), SimError> {
+    flush_send(ep, to, st)?;
+    let faulted = ep.faults_enabled();
+    let mut frame = payload;
+    let seq = ep
+        .rel
+        .send
+        .entry((to, st.data.0))
+        .or_default()
+        .next_seq;
+    append_trailer(&mut frame, seq, 0, faulted);
+    let bytes = frame.len();
+    let retx = faulted.then(|| frame.clone());
+    ep.send(to, st.data, frame);
+    let deadline = ep.clock + ep.rel.cfg.timeout_for(&ep.model, bytes, 0);
+    let stream = ep.rel.send.get_mut(&(to, st.data.0)).expect("just created");
+    stream.next_seq += 1;
+    stream.pending = Some(PendingSend {
+        seq,
+        attempt: 0,
+        frame: retx,
+        bytes,
+        deadline,
+    });
+    Ok(())
+}
+
+/// Wait (pumping the protocol) until the stream toward `to` has no
+/// unacknowledged frame.  Returns [`SimError::PeerTimeout`] once the retry
+/// budget has been exhausted and the stream declared dead.
+pub fn flush_send(ep: &mut Endpoint, to: Rank, st: StreamTag) -> Result<(), SimError> {
+    let key = (to, st.data.0);
+    loop {
+        match ep.rel.send.get(&key) {
+            None => return Ok(()),
+            Some(s) if s.dead => {
+                let t = s.dead_at;
+                ep.advance_to(t);
+                return Err(SimError::PeerTimeout { rank: to });
+            }
+            Some(s) if s.pending.is_none() => {
+                let t = s.complete_at;
+                ep.advance_to(t);
+                return Ok(());
+            }
+            Some(_) => ep.pump_one()?,
+        }
+    }
+}
+
+/// Receive the next in-order payload on the stream from `from`.  The
+/// transport trailer is already verified and stripped; duplicates never
+/// surface.  Returns [`SimError::PeerTimeout`] if the sender gave the
+/// stream up (or a partition exhausted its budget), and
+/// [`SimError::PeerFailed`] if the peer crashed.
+pub fn reliable_recv(ep: &mut Endpoint, from: Rank, st: StreamTag) -> Result<Vec<u8>, SimError> {
+    ep.check_crash();
+    let key = (from, st.data.0);
+    loop {
+        if let Some(s) = ep.rel.recv.get(&key) {
+            if s.dead {
+                let t = s.dead_at;
+                ep.advance_to(t);
+                return Err(SimError::PeerTimeout { rank: from });
+            }
+        }
+        if let Some(idx) = ep
+            .stash
+            .iter()
+            .position(|m| m.src == from && m.tag == st.data && matches!(m.body, Body::Data(_)))
+        {
+            let msg = ep.stash.remove(idx).expect("index valid");
+            let mut frame = ep.accept(msg);
+            frame.truncate(frame.len() - TRAILER_LEN);
+            return Ok(frame);
+        }
+        ep.pump_one()?;
+    }
+}
+
+/// Protocol intake, called by the endpoint on every message drained from
+/// the wire.  Reliable DATA frames are verified, deduped, and acked *at
+/// drain time* — even while the draining rank is blocked on an unrelated
+/// receive — which is what lets symmetric exchanges make progress.
+/// Returns the message if it should be stashed for a later receive.
+pub(crate) fn intake(ep: &mut Endpoint, msg: Message) -> Option<Message> {
+    if msg.tag.ctx() < Tag::FIRST_USER_CTX {
+        return Some(msg);
+    }
+    match msg.tag.class() {
+        Tag::CLASS_RELIABLE_DATA => intake_data(ep, msg),
+        Tag::CLASS_RELIABLE_CTRL => {
+            intake_ctrl(ep, msg);
+            None
+        }
+        _ => Some(msg),
+    }
+}
+
+/// NIC-plane turnaround: a protocol response to a frame that arrived at
+/// `arrival` leaves the NIC one send overhead later.
+fn turnaround(ep: &Endpoint, arrival: f64) -> f64 {
+    arrival + ep.model.send_overhead
+}
+
+fn intake_data(ep: &mut Endpoint, msg: Message) -> Option<Message> {
+    let ctrl = ctrl_tag_of_data(msg.tag);
+    let at = turnaround(ep, msg.arrival);
+    let src = msg.src;
+    match &msg.body {
+        Body::Dropped { .. } => {
+            // The frame was destroyed in flight: ask for it again.
+            ep.stats.faults.nacks_sent += 1;
+            ep.nic_send(src, ctrl, ctrl_frame(K_NACK, SEQ_ANY), at);
+            None
+        }
+        Body::Data(frame) => {
+            if !frame_ok(frame, ep.faults_enabled()) {
+                ep.stats.faults.nacks_sent += 1;
+                ep.nic_send(src, ctrl, ctrl_frame(K_NACK, SEQ_ANY), at);
+                return None;
+            }
+            let seq = frame_seq(frame);
+            let stream = ep.rel.recv.entry((src, msg.tag.0)).or_default();
+            if seq < stream.expected {
+                ep.stats.faults.dup_frames_dropped += 1;
+                return None;
+            }
+            if seq > stream.expected {
+                // Impossible under stop-and-wait; treat like loss.
+                ep.stats.faults.nacks_sent += 1;
+                ep.nic_send(src, ctrl, ctrl_frame(K_NACK, SEQ_ANY), at);
+                return None;
+            }
+            stream.expected += 1;
+            ep.stats.faults.acks_sent += 1;
+            ep.nic_send(src, ctrl, ctrl_frame(K_ACK, seq), at);
+            Some(msg)
+        }
+        Body::Poison(_) => unreachable!("poison filtered before intake"),
+    }
+}
+
+fn intake_ctrl(ep: &mut Endpoint, msg: Message) {
+    // A dropped control frame still tells us what it was: the tombstone
+    // prefix covers the whole 9-byte frame.  A lost ACK therefore still
+    // confirms delivery, and a lost NACK/GIVEUP still drives the protocol.
+    let decoded = match &msg.body {
+        Body::Data(b) => decode_ctrl(b),
+        Body::Dropped { prefix, .. } => decode_ctrl(prefix),
+        Body::Poison(_) => unreachable!("poison filtered before intake"),
+    };
+    let Some((kind, seq)) = decoded else { return };
+    let data_tag = data_tag_of_ctrl(msg.tag);
+    let src = msg.src;
+    match kind {
+        K_GIVEUP => {
+            // The data sender abandoned the stream we receive on.
+            let stream = ep.rel.recv.entry((src, data_tag.0)).or_default();
+            if !stream.dead {
+                stream.dead = true;
+                stream.dead_at = msg.arrival;
+            }
+        }
+        K_ACK => {
+            let Some(stream) = ep.rel.send.get_mut(&(src, data_tag.0)) else {
+                ep.stats.faults.stale_acks_dropped += 1;
+                return;
+            };
+            match stream.pending.take() {
+                Some(p) if p.seq == seq => {
+                    stream.complete_at = msg.arrival;
+                    if msg.arrival > p.deadline {
+                        // The ack beat no deadline, but it did arrive:
+                        // count the timeout, accept the ack.  (Never
+                        // retransmit here — the receiver may already have
+                        // moved on and would not ack again.)
+                        ep.stats.faults.timeouts += 1;
+                    }
+                }
+                other => {
+                    stream.pending = other;
+                    ep.stats.faults.stale_acks_dropped += 1;
+                }
+            }
+        }
+        K_NACK => {
+            let send_ov = ep.model.send_overhead;
+            let key = (src, data_tag.0);
+            let Some(stream) = ep.rel.send.get_mut(&key) else {
+                ep.stats.faults.stale_acks_dropped += 1;
+                return;
+            };
+            let Some(p) = &mut stream.pending else {
+                ep.stats.faults.stale_acks_dropped += 1;
+                return;
+            };
+            if seq != SEQ_ANY && seq != p.seq {
+                ep.stats.faults.stale_acks_dropped += 1;
+                return;
+            }
+            p.attempt += 1;
+            if p.attempt > ep.rel.cfg.max_retries {
+                // Budget exhausted: declare the peer unreachable, tell it
+                // so (best effort), and surface PeerTimeout at the flush.
+                stream.pending = None;
+                stream.dead = true;
+                stream.dead_at = msg.arrival;
+                ep.nic_send(src, msg.tag, ctrl_frame(K_GIVEUP, seq), msg.arrival + send_ov);
+                return;
+            }
+            let attempt = p.attempt;
+            let pseq = p.seq;
+            let bytes = p.bytes;
+            let mut frame = p
+                .frame
+                .clone()
+                .expect("retransmission copy kept while faults are enabled");
+            patch_attempt(&mut frame, attempt);
+            // The retransmit timer fires at the later of the loss report
+            // and the previous attempt's deadline.
+            let t_retx = msg.arrival.max(p.deadline) + send_ov;
+            let deadline = t_retx + ep.rel.cfg.timeout_for(&ep.model, bytes, attempt);
+            p.deadline = deadline;
+            ep.stats.faults.timeouts += 1;
+            ep.stats.faults.retransmits += 1;
+            ep.trace_push(TraceEvent::Retransmit {
+                at: t_retx,
+                to: src,
+                tag: data_tag,
+                seq: pseq,
+                attempt,
+            });
+            ep.nic_send(src, data_tag, frame, t_retx);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_tag_classes() {
+        let st = StreamTag::new(20, 7);
+        assert_eq!(st.data().class(), Tag::CLASS_RELIABLE_DATA);
+        assert_eq!(st.ctrl().class(), Tag::CLASS_RELIABLE_CTRL);
+        assert_eq!(st.data().ctx(), 20);
+        assert_eq!(data_tag_of_ctrl(st.ctrl()), st.data());
+        assert_eq!(ctrl_tag_of_data(st.data()), st.ctrl());
+    }
+
+    #[test]
+    fn trailer_roundtrip_and_checksum() {
+        let mut frame = vec![7u8; 100];
+        append_trailer(&mut frame, 42, 0, true);
+        assert_eq!(frame.len(), 100 + TRAILER_LEN);
+        assert!(frame_ok(&frame, true));
+        assert_eq!(frame_seq(&frame), 42);
+        // Any single bit flip is detected — try a few positions.
+        for bit in [0usize, 7, 399, 800, 991] {
+            let mut bad = frame.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            assert!(!frame_ok(&bad, true), "flip at bit {bit} undetected");
+        }
+        // Patching the attempt keeps the frame valid.
+        let mut f2 = frame.clone();
+        patch_attempt(&mut f2, 3);
+        assert!(frame_ok(&f2, true));
+        assert_eq!(frame_seq(&f2), 42);
+    }
+
+    #[test]
+    fn unchecksummed_frames_still_validate_shape() {
+        let mut frame = vec![1u8; 10];
+        append_trailer(&mut frame, 0, 0, false);
+        assert!(frame_ok(&frame, false));
+        assert!(!frame_ok(&frame[..10], false));
+    }
+
+    #[test]
+    fn ctrl_frames_roundtrip_and_fit_tombstone_prefix() {
+        let f = ctrl_frame(K_NACK, SEQ_ANY);
+        assert_eq!(f.len(), CTRL_LEN);
+        assert!(CTRL_LEN <= crate::message::DROP_PREFIX);
+        assert_eq!(decode_ctrl(&f), Some((K_NACK, SEQ_ANY)));
+        assert_eq!(decode_ctrl(&f[..5]), None);
+        assert_eq!(decode_ctrl(&[9u8; 9]), None);
+    }
+
+    #[test]
+    fn backoff_grows_deadlines() {
+        let cfg = ReliableConfig::default();
+        let m = crate::model::MachineModel::sp2();
+        let t0 = cfg.timeout_for(&m, 1024, 0);
+        let t1 = cfg.timeout_for(&m, 1024, 1);
+        let t3 = cfg.timeout_for(&m, 1024, 3);
+        assert!(t0 > 0.0);
+        assert!((t1 / t0 - cfg.backoff).abs() < 1e-9);
+        assert!(t3 > t1);
+    }
+}

@@ -7,6 +7,68 @@
 
 use crate::message::Rank;
 
+/// Fault-injection and reliable-transport counters for one rank.
+///
+/// The injection counters (`*_injected`) are charged on the *sender* and
+/// are deterministic per [`crate::fault::FaultPlan`] seed, as are
+/// `retransmits` and `timeouts`.  The receiver-side hygiene counters
+/// (`dup_frames_dropped`, `stale_acks_dropped`) depend on how late traffic
+/// drains during teardown and are best-effort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Message copies destroyed in flight by the fault plan.
+    pub drops_injected: u64,
+    /// Extra message copies created by the duplication fault.
+    pub dups_injected: u64,
+    /// Data frames bit-flipped in flight.
+    pub corrupts_injected: u64,
+    /// Message copies given extra virtual latency.
+    pub delays_injected: u64,
+    /// Reliable-layer data-frame retransmissions performed by this rank.
+    pub retransmits: u64,
+    /// Virtual-clock timeouts observed while waiting for acks (each
+    /// precedes a retransmit or a give-up) plus `recv_timeout` expiries.
+    pub timeouts: u64,
+    /// ACK control frames this rank sent.
+    pub acks_sent: u64,
+    /// NACK control frames this rank sent (tombstone or checksum failure).
+    pub nacks_sent: u64,
+    /// Duplicate data frames discarded by receiver-side dedup.
+    pub dup_frames_dropped: u64,
+    /// Control frames that matched no pending send (late/duplicate acks).
+    pub stale_acks_dropped: u64,
+}
+
+impl FaultStats {
+    fn since(&self, earlier: &FaultStats) -> FaultStats {
+        FaultStats {
+            drops_injected: self.drops_injected - earlier.drops_injected,
+            dups_injected: self.dups_injected - earlier.dups_injected,
+            corrupts_injected: self.corrupts_injected - earlier.corrupts_injected,
+            delays_injected: self.delays_injected - earlier.delays_injected,
+            retransmits: self.retransmits - earlier.retransmits,
+            timeouts: self.timeouts - earlier.timeouts,
+            acks_sent: self.acks_sent - earlier.acks_sent,
+            nacks_sent: self.nacks_sent - earlier.nacks_sent,
+            dup_frames_dropped: self.dup_frames_dropped - earlier.dup_frames_dropped,
+            stale_acks_dropped: self.stale_acks_dropped - earlier.stale_acks_dropped,
+        }
+    }
+
+    fn add(&mut self, other: &FaultStats) {
+        self.drops_injected += other.drops_injected;
+        self.dups_injected += other.dups_injected;
+        self.corrupts_injected += other.corrupts_injected;
+        self.delays_injected += other.delays_injected;
+        self.retransmits += other.retransmits;
+        self.timeouts += other.timeouts;
+        self.acks_sent += other.acks_sent;
+        self.nacks_sent += other.nacks_sent;
+        self.dup_frames_dropped += other.dup_frames_dropped;
+        self.stale_acks_dropped += other.stale_acks_dropped;
+    }
+}
+
 /// Counters local to one rank, snapshot-able at any point.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsSnapshot {
@@ -18,6 +80,8 @@ pub struct StatsSnapshot {
     pub sched_cache_hits: u64,
     /// Schedule-cache misses (full inspector runs) recorded on this rank.
     pub sched_cache_misses: u64,
+    /// Fault-injection and reliable-transport counters.
+    pub faults: FaultStats,
 }
 
 impl StatsSnapshot {
@@ -27,6 +91,7 @@ impl StatsSnapshot {
             bytes_to: vec![0; world],
             sched_cache_hits: 0,
             sched_cache_misses: 0,
+            faults: FaultStats::default(),
         }
     }
 
@@ -58,6 +123,7 @@ impl StatsSnapshot {
                 .collect(),
             sched_cache_hits: self.sched_cache_hits - earlier.sched_cache_hits,
             sched_cache_misses: self.sched_cache_misses - earlier.sched_cache_misses,
+            faults: self.faults.since(&earlier.faults),
         }
     }
 
@@ -82,13 +148,20 @@ pub struct NetStats {
     pub msgs: Vec<Vec<u64>>,
     /// Per source rank: bytes sent to each destination.
     pub bytes: Vec<Vec<u64>>,
+    /// Fault/reliability counters summed over all ranks.
+    pub faults: FaultStats,
 }
 
 impl NetStats {
     pub(crate) fn from_locals(locals: Vec<StatsSnapshot>) -> Self {
+        let mut faults = FaultStats::default();
+        for s in &locals {
+            faults.add(&s.faults);
+        }
         NetStats {
             msgs: locals.iter().map(|s| s.msgs_to.clone()).collect(),
             bytes: locals.into_iter().map(|s| s.bytes_to).collect(),
+            faults,
         }
     }
 

@@ -21,6 +21,20 @@ impl Tag {
     /// First context available to user communicators.
     pub const FIRST_USER_CTX: u32 = 16;
 
+    /// Tag class (high nibble of the user half) used by raw data-move
+    /// traffic (`meta_chaos::datamove`).
+    pub const CLASS_MOVE_RAW: u32 = 0x4;
+    /// Tag class carrying reliable-transport DATA frames
+    /// (see [`crate::reliable`]).
+    ///
+    /// **Reserved:** in user contexts, traffic in classes `0x5`/`0x6` is
+    /// intercepted by the reliable-protocol intake; raw sends must use
+    /// other classes.
+    pub const CLASS_RELIABLE_DATA: u32 = 0x5;
+    /// Tag class carrying reliable-transport control frames
+    /// (ACK / NACK / GIVEUP).  Reserved like [`Tag::CLASS_RELIABLE_DATA`].
+    pub const CLASS_RELIABLE_CTRL: u32 = 0x6;
+
     /// Build a tag from a context and a user tag value.
     #[inline]
     pub fn new(ctx: u32, user: u32) -> Self {
@@ -43,6 +57,17 @@ impl Tag {
     #[inline]
     pub fn value(self) -> u32 {
         self.0 as u32
+    }
+
+    /// The class of this tag: the high nibble of the user half.
+    ///
+    /// Classes partition user-context traffic into kinds a
+    /// [`crate::fault::FaultPlan`] can target independently — raw
+    /// data-move payloads, reliable DATA frames, reliable control frames,
+    /// and everything else (class 0).
+    #[inline]
+    pub fn class(self) -> u32 {
+        self.value() >> 28
     }
 }
 
@@ -74,5 +99,13 @@ mod tests {
     #[test]
     fn distinct_contexts_never_collide() {
         assert_ne!(Tag::new(Tag::COLL_CTX, 5), Tag::new(Tag::WORLD_CTX, 5));
+    }
+
+    #[test]
+    fn class_is_high_nibble() {
+        assert_eq!(Tag::new(17, 0x4000_0001).class(), Tag::CLASS_MOVE_RAW);
+        assert_eq!(Tag::new(17, 0x5fff_ffff).class(), Tag::CLASS_RELIABLE_DATA);
+        assert_eq!(Tag::new(17, 0x6000_0000).class(), Tag::CLASS_RELIABLE_CTRL);
+        assert_eq!(Tag::user(7).class(), 0);
     }
 }

@@ -9,6 +9,19 @@
 use crate::message::Rank;
 use crate::tag::Tag;
 
+/// The kind of fault a [`crate::fault::FaultPlan`] injected into a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The copy was destroyed (delivered as a tombstone).
+    Drop,
+    /// An extra copy of the message was sent.
+    Duplicate,
+    /// One bit of the payload was flipped.
+    Corrupt,
+    /// The copy's arrival was pushed back by the plan's `delay_secs`.
+    Delay,
+}
+
 /// One recorded communication event.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
@@ -39,13 +52,42 @@ pub enum TraceEvent {
         /// message was already there in virtual time).
         waited: f64,
     },
+    /// The fault plan touched an outgoing message on this rank.
+    Fault {
+        /// Virtual send time of the affected message.
+        at: f64,
+        /// What the plan did to it.
+        kind: FaultKind,
+        /// Destination global rank.
+        to: Rank,
+        /// Message tag.
+        tag: Tag,
+        /// Original payload bytes.
+        bytes: usize,
+    },
+    /// The reliable layer resent a data frame after loss or corruption.
+    Retransmit {
+        /// Virtual time of the retransmission.
+        at: f64,
+        /// Destination global rank.
+        to: Rank,
+        /// Data tag of the stream.
+        tag: Tag,
+        /// Sequence number of the resent frame.
+        seq: u64,
+        /// Attempt number (1 = first retransmission).
+        attempt: u32,
+    },
 }
 
 impl TraceEvent {
     /// The event's virtual timestamp.
     pub fn at(&self) -> f64 {
         match self {
-            TraceEvent::Send { at, .. } | TraceEvent::Recv { at, .. } => *at,
+            TraceEvent::Send { at, .. }
+            | TraceEvent::Recv { at, .. }
+            | TraceEvent::Fault { at, .. }
+            | TraceEvent::Retransmit { at, .. } => *at,
         }
     }
 
@@ -68,6 +110,10 @@ pub struct TraceSummary {
     pub bytes_in: usize,
     /// Total virtual time spent waiting for arrivals.
     pub wait_time: f64,
+    /// Number of injected-fault events recorded.
+    pub faults: usize,
+    /// Number of reliable-layer retransmissions recorded.
+    pub retransmits: usize,
 }
 
 /// Summarize a trace.
@@ -78,6 +124,8 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
         bytes_out: 0,
         bytes_in: 0,
         wait_time: 0.0,
+        faults: 0,
+        retransmits: 0,
     };
     for e in events {
         match e {
@@ -90,6 +138,8 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
                 s.bytes_in += bytes;
                 s.wait_time += waited;
             }
+            TraceEvent::Fault { .. } => s.faults += 1,
+            TraceEvent::Retransmit { .. } => s.retransmits += 1,
         }
     }
     s

@@ -1,18 +1,23 @@
 //! World construction: spawn one thread per rank and run an SPMD closure.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::channel;
+use std::time::Duration;
 
 use crate::endpoint::Endpoint;
+use crate::error::SimError;
+use crate::fault::FaultPlan;
 use crate::message::Message;
 use crate::model::MachineModel;
-use crate::stats::NetStats;
+use crate::stats::{NetStats, StatsSnapshot};
 
 /// A simulated machine with a fixed number of ranks and a cost model.
 #[derive(Debug, Clone)]
 pub struct World {
     size: usize,
     model: MachineModel,
+    faults: Option<FaultPlan>,
 }
 
 /// Everything a run produces.
@@ -28,6 +33,26 @@ pub struct RunOutput<R> {
     pub stats: NetStats,
 }
 
+/// What [`World::run_result`] produces: per-rank outcomes where a rank
+/// that panicked yields `Err` instead of taking the whole run down.
+#[derive(Debug)]
+pub struct RunReport<R> {
+    /// Per-rank closure results; a panicked rank becomes
+    /// [`SimError::PeerFailed`] carrying its own rank and panic message.
+    pub outcomes: Vec<Result<R, SimError>>,
+    /// Final virtual clock of each rank, in seconds.
+    pub clocks: Vec<f64>,
+    /// Simulated elapsed time of the whole run: `max(clocks)`.
+    pub elapsed: f64,
+    /// Aggregate message traffic.
+    pub stats: NetStats,
+}
+
+enum RankOutcome<R> {
+    Done(R, f64, StatsSnapshot),
+    Panicked(Box<dyn std::any::Any + Send>, String, f64, StatsSnapshot),
+}
+
 impl World {
     /// A world of `size` ranks with the default (SP2) cost model.
     pub fn new(size: usize) -> Self {
@@ -37,7 +62,19 @@ impl World {
     /// A world of `size` ranks with an explicit cost model.
     pub fn with_model(size: usize, model: MachineModel) -> Self {
         assert!(size > 0, "world must have at least one rank");
-        World { size, model }
+        World {
+            size,
+            model,
+            faults: None,
+        }
+    }
+
+    /// Attach a deterministic [`FaultPlan`]: every rank's endpoint injects
+    /// the scripted drops/dups/corruptions/delays on its sends, and
+    /// scripted crashes fire at their virtual times.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// Number of ranks.
@@ -50,12 +87,16 @@ impl World {
         &self.model
     }
 
-    /// Run `f` on every rank (as real threads) and collect the results.
-    ///
-    /// If any rank panics, the panic is re-raised on the caller's thread
-    /// after all ranks have been joined; peers blocked in `recv` are woken
-    /// by a poison message so the run always terminates.
-    pub fn run<F, R>(&self, f: F) -> RunOutput<R>
+    /// The attached fault plan, if any.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Spawn one thread per rank, run the closure everywhere, and keep
+    /// every rank answering reliable-protocol traffic until the last rank
+    /// is done — a rank still flushing a reliable stream must never be
+    /// orphaned by a peer that already returned.
+    fn execute<F, R>(&self, f: F) -> Vec<RankOutcome<R>>
     where
         F: Fn(&mut Endpoint) -> R + Send + Sync,
         R: Send,
@@ -65,14 +106,23 @@ impl World {
         let mut endpoints: Vec<Endpoint> = rxs
             .into_iter()
             .enumerate()
-            .map(|(rank, rx)| Endpoint::new(rank, self.size, txs.clone(), rx, self.model))
+            .map(|(rank, rx)| {
+                Endpoint::new(
+                    rank,
+                    self.size,
+                    txs.clone(),
+                    rx,
+                    self.model,
+                    self.faults.as_ref(),
+                )
+            })
             .collect();
         drop(txs);
 
         let f = &f;
-        let mut outcomes: Vec<Option<(R, f64, crate::stats::StatsSnapshot)>> =
-            (0..self.size).map(|_| None).collect();
-        let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
+        let active = AtomicUsize::new(self.size);
+        let active = &active;
+        let mut outcomes: Vec<Option<RankOutcome<R>>> = (0..self.size).map(|_| None).collect();
 
         std::thread::scope(|s| {
             let handles: Vec<_> = endpoints
@@ -80,54 +130,128 @@ impl World {
                 .map(|ep| {
                     s.spawn(move || {
                         let result = catch_unwind(AssertUnwindSafe(|| f(ep)));
-                        match result {
-                            Ok(r) => Ok((r, ep.clock(), ep.stats_snapshot())),
+                        let reason = match &result {
+                            Ok(_) => None,
                             Err(e) => {
                                 let reason = panic_message(e.as_ref());
                                 ep.poison_all(&reason);
-                                Err(e)
+                                Some(reason)
+                            }
+                        };
+                        // Snapshot before the teardown service: the service
+                        // loop may still count late protocol traffic, which
+                        // would make receiver-side tail counters depend on
+                        // thread timing.
+                        let clock = ep.clock();
+                        let stats = ep.stats_snapshot();
+                        active.fetch_sub(1, Ordering::SeqCst);
+                        while active.load(Ordering::SeqCst) > 0 {
+                            ep.service_protocol(Duration::from_millis(1));
+                        }
+                        match result {
+                            Ok(r) => RankOutcome::Done(r, clock, stats),
+                            Err(e) => {
+                                RankOutcome::Panicked(e, reason.unwrap_or_default(), clock, stats)
                             }
                         }
                     })
                 })
                 .collect();
             for (rank, h) in handles.into_iter().enumerate() {
-                match h.join().expect("rank thread itself must not die") {
-                    Ok(tuple) => outcomes[rank] = Some(tuple),
-                    Err(e) => {
-                        // Prefer the original failure over cascade panics
-                        // that ranks raise when they see a peer's poison.
-                        let is_cascade = panic_message(e.as_ref()).contains(CASCADE_MARKER);
-                        match (&panic_payload, is_cascade) {
-                            (None, _) => panic_payload = Some(e),
-                            (Some(prev), false)
-                                if panic_message(prev.as_ref()).contains(CASCADE_MARKER) =>
-                            {
-                                panic_payload = Some(e)
-                            }
-                            _ => {}
+                outcomes[rank] = Some(h.join().expect("rank thread itself must not die"));
+            }
+        });
+
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every rank joined"))
+            .collect()
+    }
+
+    /// Run `f` on every rank (as real threads) and collect the results.
+    ///
+    /// If any rank panics, the panic is re-raised on the caller's thread
+    /// after all ranks have been joined; peers blocked in `recv` are woken
+    /// by a poison message so the run always terminates.  Use
+    /// [`World::run_result`] to observe panics as values instead.
+    pub fn run<F, R>(&self, f: F) -> RunOutput<R>
+    where
+        F: Fn(&mut Endpoint) -> R + Send + Sync,
+        R: Send,
+    {
+        let outcomes = self.execute(f);
+
+        let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
+        let mut results = Vec::with_capacity(self.size);
+        let mut clocks = Vec::with_capacity(self.size);
+        let mut locals = Vec::with_capacity(self.size);
+        for o in outcomes {
+            match o {
+                RankOutcome::Done(r, c, st) => {
+                    results.push(r);
+                    clocks.push(c);
+                    locals.push(st);
+                }
+                RankOutcome::Panicked(e, reason, _, _) => {
+                    // Prefer the original failure over cascade panics that
+                    // ranks raise when they see a peer's poison.
+                    let is_cascade = reason.contains(CASCADE_MARKER);
+                    match (&panic_payload, is_cascade) {
+                        (None, _) => panic_payload = Some(e),
+                        (Some(prev), false)
+                            if panic_message(prev.as_ref()).contains(CASCADE_MARKER) =>
+                        {
+                            panic_payload = Some(e)
                         }
+                        _ => {}
                     }
                 }
             }
-        });
+        }
 
         if let Some(p) = panic_payload {
             resume_unwind(p);
         }
 
-        let mut results = Vec::with_capacity(self.size);
-        let mut clocks = Vec::with_capacity(self.size);
-        let mut locals = Vec::with_capacity(self.size);
-        for o in outcomes {
-            let (r, c, st) = o.expect("no panic implies every rank completed");
-            results.push(r);
-            clocks.push(c);
-            locals.push(st);
-        }
         let elapsed = clocks.iter().copied().fold(0.0f64, f64::max);
         RunOutput {
             results,
+            clocks,
+            elapsed,
+            stats: NetStats::from_locals(locals),
+        }
+    }
+
+    /// Run `f` on every rank, turning rank panics into per-rank `Err`
+    /// outcomes instead of re-panicking — the recoverable counterpart of
+    /// [`World::run`] for tests and callers that must observe failures.
+    pub fn run_result<F, R>(&self, f: F) -> RunReport<R>
+    where
+        F: Fn(&mut Endpoint) -> R + Send + Sync,
+        R: Send,
+    {
+        let outcomes = self.execute(f);
+
+        let mut report = Vec::with_capacity(self.size);
+        let mut clocks = Vec::with_capacity(self.size);
+        let mut locals = Vec::with_capacity(self.size);
+        for (rank, o) in outcomes.into_iter().enumerate() {
+            match o {
+                RankOutcome::Done(r, c, st) => {
+                    report.push(Ok(r));
+                    clocks.push(c);
+                    locals.push(st);
+                }
+                RankOutcome::Panicked(_, reason, c, st) => {
+                    report.push(Err(SimError::PeerFailed { rank, reason }));
+                    clocks.push(c);
+                    locals.push(st);
+                }
+            }
+        }
+        let elapsed = clocks.iter().copied().fold(0.0f64, f64::max);
+        RunReport {
+            outcomes: report,
             clocks,
             elapsed,
             stats: NetStats::from_locals(locals),
@@ -186,6 +310,30 @@ mod tests {
             // from rank 1 must wake it rather than deadlock the test.
             let _ = ep.recv(1, Tag::user(0));
         });
+    }
+
+    #[test]
+    fn run_result_reports_panics_without_propagating() {
+        let world = World::with_model(2, MachineModel::zero());
+        let report = world.run_result(|ep| {
+            if ep.rank() == 1 {
+                panic!("deliberate failure");
+            }
+            ep.recv_result(1, Tag::user(0)).map(|_| ())
+        });
+        // Rank 1's panic is an Err outcome, not a re-panic.
+        match &report.outcomes[1] {
+            Err(SimError::PeerFailed { rank, reason }) => {
+                assert_eq!(*rank, 1);
+                assert!(reason.contains("deliberate failure"));
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+        // Rank 0 observed the poison as a recoverable error.
+        match &report.outcomes[0] {
+            Ok(Err(SimError::PeerFailed { rank, .. })) => assert_eq!(*rank, 1),
+            other => panic!("unexpected outcome: {other:?}"),
+        }
     }
 
     #[test]

@@ -268,6 +268,12 @@ where
 }
 
 /// `MC_DataMoveSend(schedId, B)`.
+///
+/// Runs over the reliable transport: frames are checksummed, sequence
+/// numbered and retransmitted as needed, so the transfer survives any
+/// [`mcsim::FaultPlan`] short of a permanent partition.  Recoverable
+/// failures come back as [`McError::PeerTimeout`] (retry budget exhausted)
+/// or [`McError::PeerFailed`] (peer crashed) instead of hanging the rank.
 pub fn mc_data_move_send<T, S>(ep: &mut Endpoint, sched: &Schedule, src: &S) -> Result<(), McError>
 where
     T: Copy + Wire,
@@ -277,6 +283,10 @@ where
 }
 
 /// `MC_DataMoveRecv(schedId, A)`.
+///
+/// Reliable, like [`mc_data_move_send`]: delivered frames are verified
+/// and deduplicated, and peer crash / partition surface as recoverable
+/// [`McError`] variants.
 pub fn mc_data_move_recv<T, D>(
     ep: &mut Endpoint,
     sched: &Schedule,

@@ -49,63 +49,60 @@ impl Coupler {
 
     /// Send this program's half of port `name` from `src`.
     ///
-    /// # Panics
-    /// Panics if the port is unbound.
+    /// Returns [`McError::UnboundPort`] (without communicating) if the
+    /// port was never bound, and the transport outcomes of
+    /// [`data_move_send`] otherwise.
     pub fn put<T, S>(&self, ep: &mut Endpoint, name: &str, src: &S) -> Result<(), McError>
     where
         T: Copy + Wire,
         S: McObject<T>,
     {
-        let sched = self
-            .ports
-            .get(name)
-            .unwrap_or_else(|| panic!("port '{name}' is not bound"));
+        let Some(sched) = self.ports.get(name) else {
+            return Err(McError::UnboundPort { port: name.to_string() });
+        };
         data_move_send(ep, sched, src)
     }
 
     /// Receive this program's half of port `name` into `dst`.
     ///
-    /// # Panics
-    /// Panics if the port is unbound.
+    /// Returns [`McError::UnboundPort`] (without communicating) if the
+    /// port was never bound, and the transport outcomes of
+    /// [`data_move_recv`] otherwise.
     pub fn get<T, D>(&self, ep: &mut Endpoint, name: &str, dst: &mut D) -> Result<(), McError>
     where
         T: Copy + Wire,
         D: McObject<T>,
     {
-        let sched = self
-            .ports
-            .get(name)
-            .unwrap_or_else(|| panic!("port '{name}' is not bound"));
+        let Some(sched) = self.ports.get(name) else {
+            return Err(McError::UnboundPort { port: name.to_string() });
+        };
         data_move_recv(ep, sched, dst)
     }
 
     /// Send in the *reverse* direction of port `name` (uses the schedule's
-    /// symmetry, §4.3).
+    /// symmetry, §4.3).  Unbound ports report [`McError::UnboundPort`].
     pub fn put_reverse<T, S>(&self, ep: &mut Endpoint, name: &str, src: &S) -> Result<(), McError>
     where
         T: Copy + Wire,
         S: McObject<T>,
     {
-        let sched = self
-            .ports
-            .get(name)
-            .unwrap_or_else(|| panic!("port '{name}' is not bound"))
-            .reversed();
-        data_move_send(ep, &sched, src)
+        let Some(sched) = self.ports.get(name) else {
+            return Err(McError::UnboundPort { port: name.to_string() });
+        };
+        data_move_send(ep, &sched.reversed(), src)
     }
 
-    /// Receive in the *reverse* direction of port `name`.
+    /// Receive in the *reverse* direction of port `name`.  Unbound ports
+    /// report [`McError::UnboundPort`].
     pub fn get_reverse<T, D>(&self, ep: &mut Endpoint, name: &str, dst: &mut D) -> Result<(), McError>
     where
         T: Copy + Wire,
         D: McObject<T>,
     {
-        let sched = self
-            .ports
-            .get(name)
-            .unwrap_or_else(|| panic!("port '{name}' is not bound"))
-            .reversed();
-        data_move_recv(ep, &sched, dst)
+        let Some(sched) = self.ports.get(name) else {
+            return Err(McError::UnboundPort { port: name.to_string() });
+        };
+        data_move_recv(ep, &sched.reversed(), dst)
     }
 }
 

@@ -22,9 +22,20 @@
 //! [`data_move_recv`] (the paper's `MC_DataMoveSend` / `MC_DataMoveRecv`).
 //! Copying in the opposite direction needs no new schedule: pass
 //! [`Schedule::reversed`] and swap the roles.
+//!
+//! ## Raw vs. reliable
+//!
+//! Same-program [`data_move`] runs **raw**: the schedule-parity guarantee
+//! (§4.1.4 — exactly the hand-coded number and sizes of messages) holds
+//! bit-for-bit.  The cross-program halves run over the **reliable**
+//! transport (`mcsim::reliable`): checksummed, sequence-numbered frames
+//! with ack/retransmit, so a coupled transfer survives a lossy
+//! [`mcsim::FaultPlan`] and surfaces peer crash or permanent partition as
+//! [`McError::PeerFailed`] / [`McError::PeerTimeout`] instead of hanging.
 
 use mcsim::group::Comm;
 use mcsim::prelude::Endpoint;
+use mcsim::reliable::{self, StreamTag};
 use mcsim::wire::{Wire, WireReader};
 
 use crate::adapter::McObject;
@@ -52,12 +63,16 @@ where
     recv_half(ep, sched, dst);
 }
 
-/// Source-program half of a two-program transfer.
+/// Source-program half of a two-program transfer, over the reliable
+/// transport.
 ///
 /// Fails (without communicating) when the schedule evidently belongs to a
 /// different call: cross-program schedules never contain local pairs, and
 /// a rank that also receives must use [`data_move`] or be on the
-/// [`data_move_recv`] side.
+/// [`data_move_recv`] side.  Under an active fault plan the frames are
+/// retransmitted as needed; [`McError::PeerTimeout`] means the retry
+/// budget ran out (permanent partition) and [`McError::PeerFailed`] means
+/// the peer crashed.
 pub fn data_move_send<T, S>(ep: &mut Endpoint, sched: &Schedule, src: &S) -> Result<(), McError>
 where
     T: Copy + Wire,
@@ -73,12 +88,12 @@ where
             peers: sched.msgs_in(),
         });
     }
-    send_half(ep, sched, src);
-    Ok(())
+    send_half_reliable(ep, sched, src)
 }
 
-/// Destination-program half of a two-program transfer.  Misuse reporting
-/// mirrors [`data_move_send`].
+/// Destination-program half of a two-program transfer, over the reliable
+/// transport.  Misuse reporting mirrors [`data_move_send`]; transport
+/// outcomes do too.
 pub fn data_move_recv<T, D>(ep: &mut Endpoint, sched: &Schedule, dst: &mut D) -> Result<(), McError>
 where
     T: Copy + Wire,
@@ -94,8 +109,7 @@ where
             peers: sched.msgs_out(),
         });
     }
-    recv_half(ep, sched, dst);
-    Ok(())
+    recv_half_reliable(ep, sched, dst)
 }
 
 fn send_half<T, S>(ep: &mut Endpoint, sched: &Schedule, src: &S)
@@ -117,6 +131,70 @@ where
         src.pack_runs_wire(comm.ep(), runs, &mut buf);
         comm.send(*peer, t, buf);
     }
+}
+
+/// The reliable stream a schedule's cross-program traffic runs on: same
+/// context as the raw path, stream id = schedule seq (the tag class moves
+/// from `0x4` to the reliable pair `0x5`/`0x6`).
+fn move_stream(sched: &Schedule) -> StreamTag {
+    StreamTag::new(sched.group().context(), sched.seq())
+}
+
+/// Reliable counterpart of [`send_half`]: pack and post one frame per
+/// destination peer first, then wait for every peer's acknowledgement —
+/// posting everything before flushing anything avoids cross-pair ordering
+/// stalls when several pairs exchange simultaneously.
+fn send_half_reliable<T, S>(ep: &mut Endpoint, sched: &Schedule, src: &S) -> Result<(), McError>
+where
+    T: Copy + Wire,
+    S: McObject<T>,
+{
+    if sched.sends.is_empty() {
+        return Ok(());
+    }
+    let st = move_stream(sched);
+    let group = sched.group();
+    for (peer, runs) in &sched.sends {
+        let mut buf = ep.take_buf();
+        runs.len().write(&mut buf);
+        src.pack_runs_wire(ep, runs, &mut buf);
+        reliable::reliable_send(ep, group.global(*peer), st, buf)?;
+    }
+    for (peer, _) in &sched.sends {
+        reliable::flush_send(ep, group.global(*peer), st)?;
+    }
+    Ok(())
+}
+
+/// Reliable counterpart of [`recv_half`]: frames arrive verified, deduped
+/// and in order; decode failures still surface as [`McError::Transport`]
+/// rather than panicking.
+fn recv_half_reliable<T, D>(ep: &mut Endpoint, sched: &Schedule, dst: &mut D) -> Result<(), McError>
+where
+    T: Copy + Wire,
+    D: McObject<T>,
+{
+    if sched.recvs.is_empty() {
+        return Ok(());
+    }
+    let st = move_stream(sched);
+    let group = sched.group();
+    for (peer, runs) in &sched.recvs {
+        let bytes = reliable::reliable_recv(ep, group.global(*peer), st)?;
+        let mut r = WireReader::new(&bytes);
+        let count = usize::read(&mut r)
+            .map_err(|e| McError::Transport(format!("frame from peer {peer} has no element count: {e}")))?;
+        if count != runs.len() {
+            return Err(McError::Transport(format!(
+                "frame from peer {peer} carries {count} elements, schedule expects {}",
+                runs.len()
+            )));
+        }
+        dst.unpack_runs_wire(ep, runs, &mut r)
+            .map_err(|e| McError::Transport(format!("frame from peer {peer} failed to decode: {e}")))?;
+        ep.recycle_buf(bytes);
+    }
+    Ok(())
 }
 
 fn recv_half<T, D>(ep: &mut Endpoint, sched: &Schedule, dst: &mut D)

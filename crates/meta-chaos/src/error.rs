@@ -1,12 +1,16 @@
-//! Error types for schedule construction.
+//! Error types for schedule construction and data movement.
 
 use std::fmt;
 
-/// Errors a schedule build can report to the caller.
+use mcsim::SimError;
+
+/// Errors a schedule build or a coupled data move can report to the caller.
 ///
 /// SPMD protocol violations (a rank of the owning program passing `None`
 /// for its side, mismatched collective sequences, …) are programming errors
-/// and panic instead, mirroring an MPI abort.
+/// and panic instead, mirroring an MPI abort.  Peer failure, transport
+/// give-up, and unbound ports are *recoverable*: they come back as values
+/// so a coupled program can degrade gracefully.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum McError {
     /// Source and destination SetOfRegions describe different element
@@ -45,6 +49,28 @@ pub enum McError {
         /// Number of peers this rank would send to.
         peers: usize,
     },
+    /// The reliable transport exhausted its retry budget against a peer
+    /// (permanent partition), or a virtual-clock receive deadline passed.
+    PeerTimeout {
+        /// Global rank of the unresponsive peer.
+        rank: usize,
+    },
+    /// A peer rank crashed; the transfer cannot complete.
+    PeerFailed {
+        /// Global rank of the failed peer.
+        rank: usize,
+        /// The peer's panic message.
+        reason: String,
+    },
+    /// [`crate::coupling::Coupler::put`]/[`crate::coupling::Coupler::get`]
+    /// named a port that was never bound.
+    UnboundPort {
+        /// The port name as given.
+        port: String,
+    },
+    /// The transport delivered something undecodable, or the world tore
+    /// down mid-transfer.
+    Transport(String),
 }
 
 impl fmt::Display for McError {
@@ -69,11 +95,32 @@ impl fmt::Display for McError {
                 f,
                 "this rank's schedule has sends to {peers} peer(s); use data_move or data_move_send"
             ),
+            McError::PeerTimeout { rank } => {
+                write!(f, "gave up waiting for rank {rank} (retry budget exhausted)")
+            }
+            McError::PeerFailed { rank, reason } => {
+                write!(f, "peer rank {rank} failed: {reason}")
+            }
+            McError::UnboundPort { port } => {
+                write!(f, "port '{port}' is not bound")
+            }
+            McError::Transport(msg) => write!(f, "transport error: {msg}"),
         }
     }
 }
 
 impl std::error::Error for McError {}
+
+impl From<SimError> for McError {
+    fn from(e: SimError) -> Self {
+        match e {
+            SimError::PeerFailed { rank, reason } => McError::PeerFailed { rank, reason },
+            SimError::PeerTimeout { rank } => McError::PeerTimeout { rank },
+            SimError::Decode(msg) => McError::Transport(msg),
+            SimError::Shutdown => McError::Transport("world tore down".to_string()),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

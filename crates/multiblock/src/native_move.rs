@@ -109,7 +109,9 @@ pub fn parti_copy<T>(
     T: Copy + Default + Wire,
 {
     let elem = std::mem::size_of::<T>();
-    let t = 0x5000_0000 | sched.seq();
+    // Class 0x2 keeps this raw stream clear of the tag classes mcsim's
+    // reliable transport reserves (0x5/0x6).
+    let t = 0x2000_0000 | sched.seq();
     for (peer, addrs) in &sched.sends {
         let buf: Vec<T> = addrs.iter().map(|a| src.local()[a]).collect();
         ep.charge_copy_bytes(buf.len() * elem);

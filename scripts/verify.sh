@@ -8,4 +8,10 @@ cargo build --release
 cargo test --workspace -q
 cargo clippy --all-targets -- -D warnings
 
+# Fault-injection gate: the fault matrix drives every injector kind through
+# the coupled transfer under 3 fixed seeds (11, 42, 20260805) and demands
+# byte-identical results with bounded, deterministic retries.
+cargo test --test fault_matrix -q
+cargo test --test robustness -q
+
 echo "verify: all checks passed"

@@ -1,0 +1,352 @@
+//! Fault-injection matrix for the reliable coupling path: every fault kind
+//! (drop, duplicate, corrupt, delay), under both schedule builders and
+//! several seeds, must leave a coupled transfer byte-identical to the
+//! fault-free baseline with bounded, deterministic retries — and a
+//! permanent partition must degrade into [`McError::PeerTimeout`] on both
+//! sides instead of a hang.
+
+use mcsim::stats::FaultStats;
+use mcsim::{FaultPlan, FaultRates, MachineModel, World};
+use meta_chaos::build::{compute_schedule, BuildMethod};
+use meta_chaos::coupling::Coupler;
+use meta_chaos::datamove::{data_move_recv, data_move_send};
+use meta_chaos::region::RegularSection;
+use meta_chaos::setof::SetOfRegions;
+use meta_chaos::{McError, Side};
+
+use hpf::{HpfArray, HpfDist};
+use multiblock::MultiblockArray;
+
+const N: usize = 4096;
+const REPS: usize = 3;
+/// The acceptance-mix rates are low (10%/5%/2%), so that test repeats the
+/// transfer more times to make "at least one drop" a statistical certainty
+/// (~48 faultable copies at 10% each).
+const REPS_MIX: usize = 12;
+const SEEDS: [u64; 3] = [11, 42, 20260805];
+
+/// The deterministic (sender-side) slice of the fault counters: what the
+/// injector did and how the senders reacted.  Receiver-side tail counters
+/// (late duplicate frames, stale acks) depend on drain timing and are
+/// deliberately excluded.
+fn deterministic_counters(f: &FaultStats) -> (u64, u64, u64, u64, u64, u64) {
+    (
+        f.drops_injected,
+        f.dups_injected,
+        f.corrupts_injected,
+        f.delays_injected,
+        f.retransmits,
+        f.timeouts,
+    )
+}
+
+/// Two programs of 2 ranks each, coupled over the whole index space:
+/// senders {0,1} hold a Multiblock vector, receivers {2,3} an HPF vector,
+/// both block-distributed, so rank 0 feeds rank 2 and rank 1 feeds rank 3.
+/// Runs `REPS` transfers and returns each receiver's `(index, value)`
+/// pairs plus the aggregate fault counters.
+fn coupled_transfer(
+    plan: Option<FaultPlan>,
+    method: BuildMethod,
+) -> (Vec<Vec<(usize, f64)>>, FaultStats) {
+    let mut world = World::with_model(4, MachineModel::sp2());
+    if let Some(p) = plan {
+        world = world.with_faults(p);
+    }
+    let out = world.run(move |ep| {
+        let (pa, pb, un) = mcsim::group::Group::split_two(2, 2, 32);
+        let set: SetOfRegions<RegularSection> = SetOfRegions::single(RegularSection::whole(&[N]));
+        if pa.contains(ep.rank()) {
+            let mut v = MultiblockArray::<f64>::new(&pa, ep.rank(), &[N]);
+            v.fill_with(|c| (c[0] * 3 + 1) as f64);
+            let sched = compute_schedule::<f64, MultiblockArray<f64>, HpfArray<f64>>(
+                ep,
+                &un,
+                &pa,
+                Some(Side::new(&v, &set)),
+                &pb,
+                None,
+                method,
+            )
+            .unwrap();
+            for _ in 0..REPS {
+                data_move_send(ep, &sched, &v).unwrap();
+            }
+            Vec::new()
+        } else {
+            let mut h = HpfArray::<f64>::new(&pb, ep.rank(), HpfDist::block_1d(N, 2));
+            let sched = compute_schedule::<f64, MultiblockArray<f64>, HpfArray<f64>>(
+                ep,
+                &un,
+                &pa,
+                None,
+                &pb,
+                Some(Side::new(&h, &set)),
+                method,
+            )
+            .unwrap();
+            for _ in 0..REPS {
+                data_move_recv(ep, &sched, &mut h).unwrap();
+            }
+            (0..N)
+                .filter(|&x| h.owns(&[x]))
+                .map(|x| (x, h.get(&[x])))
+                .collect::<Vec<_>>()
+        }
+    });
+    (out.results, out.stats.faults)
+}
+
+fn assert_byte_identical(got: &[Vec<(usize, f64)>], baseline: &[Vec<(usize, f64)>], label: &str) {
+    for (rank, (g, b)) in got.iter().zip(baseline).enumerate() {
+        assert_eq!(g.len(), b.len(), "{label}: rank {rank} element count");
+        for ((xi, vi), (xj, vj)) in g.iter().zip(b) {
+            assert_eq!(xi, xj, "{label}: rank {rank} index set");
+            assert_eq!(
+                vi.to_bits(),
+                vj.to_bits(),
+                "{label}: rank {rank} value at {xi}"
+            );
+        }
+    }
+}
+
+/// {drop, dup, corrupt, delay} × {cooperation, duplication} × seeds: the
+/// destination is byte-identical to the fault-free baseline and the
+/// counters show the injector and the recovery machinery actually ran.
+#[test]
+fn fault_matrix_every_kind_is_survived() {
+    let kinds: [(&str, FaultRates); 4] = [
+        (
+            "drop",
+            FaultRates {
+                drop: 0.30,
+                ..FaultRates::default()
+            },
+        ),
+        (
+            "dup",
+            FaultRates {
+                dup: 0.35,
+                ..FaultRates::default()
+            },
+        ),
+        (
+            "corrupt",
+            FaultRates {
+                corrupt: 0.30,
+                ..FaultRates::default()
+            },
+        ),
+        (
+            "delay",
+            FaultRates {
+                delay: 0.35,
+                delay_secs: 0.05,
+                ..FaultRates::default()
+            },
+        ),
+    ];
+    for method in [BuildMethod::Cooperation, BuildMethod::Duplication] {
+        let (baseline, clean) = coupled_transfer(None, method);
+        assert_eq!(
+            deterministic_counters(&clean),
+            (0, 0, 0, 0, 0, 0),
+            "fault-free run must not count faults"
+        );
+        for (name, rates) in kinds {
+            for seed in SEEDS {
+                let label = format!("{name}/{method:?}/seed {seed}");
+                let plan = FaultPlan::new(seed).rates(rates);
+                let (got, faults) = coupled_transfer(Some(plan), method);
+                assert_byte_identical(&got, &baseline, &label);
+                match name {
+                    "drop" => {
+                        assert!(faults.drops_injected > 0, "{label}: no drops injected");
+                        assert!(faults.retransmits > 0, "{label}: drops need retransmits");
+                    }
+                    "dup" => {
+                        assert!(faults.dups_injected > 0, "{label}: no dups injected");
+                    }
+                    "corrupt" => {
+                        assert!(faults.corrupts_injected > 0, "{label}: no corruption");
+                        assert!(faults.retransmits > 0, "{label}: corruption needs retransmits");
+                    }
+                    "delay" => {
+                        assert!(faults.delays_injected > 0, "{label}: no delays injected");
+                        assert!(faults.timeouts > 0, "{label}: late acks must count timeouts");
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+}
+
+/// The acceptance mix from the issue — 10% drop + 5% corrupt + 2% dup —
+/// through the named-port coupler: byte-identical result, retransmits
+/// happened, and the deterministic counters repeat exactly per seed.
+#[test]
+fn acceptance_mix_through_coupler_is_deterministic() {
+    let rates = FaultRates {
+        drop: 0.10,
+        corrupt: 0.05,
+        dup: 0.02,
+        ..FaultRates::default()
+    };
+    let run = |plan: Option<FaultPlan>| {
+        let mut world = World::with_model(4, MachineModel::sp2());
+        if let Some(p) = plan {
+            world = world.with_faults(p);
+        }
+        let out = world.run(move |ep| {
+            let (pa, pb, un) = mcsim::group::Group::split_two(2, 2, 32);
+            let set: SetOfRegions<RegularSection> =
+                SetOfRegions::single(RegularSection::whole(&[N]));
+            if pa.contains(ep.rank()) {
+                let mut v = MultiblockArray::<f64>::new(&pa, ep.rank(), &[N]);
+                v.fill_with(|c| (c[0] * 7 + 2) as f64);
+                let sched = compute_schedule::<f64, MultiblockArray<f64>, HpfArray<f64>>(
+                    ep,
+                    &un,
+                    &pa,
+                    Some(Side::new(&v, &set)),
+                    &pb,
+                    None,
+                    BuildMethod::Cooperation,
+                )
+                .unwrap();
+                let mut ports = Coupler::new();
+                ports.bind("field", sched);
+                for _ in 0..REPS_MIX {
+                    ports.put(ep, "field", &v).unwrap();
+                }
+                Vec::new()
+            } else {
+                let mut h = HpfArray::<f64>::new(&pb, ep.rank(), HpfDist::block_1d(N, 2));
+                let sched = compute_schedule::<f64, MultiblockArray<f64>, HpfArray<f64>>(
+                    ep,
+                    &un,
+                    &pa,
+                    None,
+                    &pb,
+                    Some(Side::new(&h, &set)),
+                    BuildMethod::Cooperation,
+                )
+                .unwrap();
+                let mut ports = Coupler::new();
+                ports.bind("field", sched);
+                for _ in 0..REPS_MIX {
+                    ports.get(ep, "field", &mut h).unwrap();
+                }
+                (0..N)
+                    .filter(|&x| h.owns(&[x]))
+                    .map(|x| (x, h.get(&[x])))
+                    .collect::<Vec<_>>()
+            }
+        });
+        (out.results, out.stats.faults)
+    };
+
+    let (baseline, _) = run(None);
+    for seed in SEEDS {
+        let (r1, f1) = run(Some(FaultPlan::new(seed).rates(rates)));
+        let (r2, f2) = run(Some(FaultPlan::new(seed).rates(rates)));
+        let label = format!("acceptance mix seed {seed}");
+        assert_byte_identical(&r1, &baseline, &label);
+        assert_byte_identical(&r2, &r1, &format!("{label} (rerun)"));
+        assert_eq!(
+            deterministic_counters(&f1),
+            deterministic_counters(&f2),
+            "{label}: counters must repeat exactly"
+        );
+        assert!(f1.drops_injected > 0, "{label}: mix must drop something");
+        assert!(f1.retransmits > 0, "{label}: recovery must retransmit");
+    }
+}
+
+/// A permanent partition (100% loss on the faulted classes) exhausts the
+/// retry budget: the sender gets [`McError::PeerTimeout`], the receiver is
+/// told via GIVEUP and gets [`McError::PeerTimeout`] too — nobody hangs.
+#[test]
+fn permanent_partition_times_out_both_sides() {
+    let plan = FaultPlan::new(3).rates(FaultRates {
+        drop: 1.0,
+        ..FaultRates::default()
+    });
+    let out = World::with_model(4, MachineModel::sp2())
+        .with_faults(plan)
+        .run(move |ep| {
+            let (pa, pb, un) = mcsim::group::Group::split_two(2, 2, 32);
+            let set: SetOfRegions<RegularSection> =
+                SetOfRegions::single(RegularSection::whole(&[N]));
+            if pa.contains(ep.rank()) {
+                let mut v = MultiblockArray::<f64>::new(&pa, ep.rank(), &[N]);
+                v.fill_with(|c| c[0] as f64);
+                let sched = compute_schedule::<f64, MultiblockArray<f64>, HpfArray<f64>>(
+                    ep,
+                    &un,
+                    &pa,
+                    Some(Side::new(&v, &set)),
+                    &pb,
+                    None,
+                    BuildMethod::Cooperation,
+                )
+                .unwrap();
+                data_move_send(ep, &sched, &v)
+            } else {
+                let mut h = HpfArray::<f64>::new(&pb, ep.rank(), HpfDist::block_1d(N, 2));
+                let sched = compute_schedule::<f64, MultiblockArray<f64>, HpfArray<f64>>(
+                    ep,
+                    &un,
+                    &pa,
+                    None,
+                    &pb,
+                    Some(Side::new(&h, &set)),
+                    BuildMethod::Cooperation,
+                )
+                .unwrap();
+                data_move_recv(ep, &sched, &mut h)
+            }
+        });
+    // Schedule construction runs on unfaulted library traffic, so every
+    // rank reaches the transfer and then times out against its peer.
+    for (rank, r) in out.results.iter().enumerate() {
+        match r {
+            Err(McError::PeerTimeout { rank: peer }) => {
+                let expect = (rank + 2) % 4;
+                assert_eq!(*peer, expect, "rank {rank} should time out on its pair");
+            }
+            other => panic!("rank {rank}: expected PeerTimeout, got {other:?}"),
+        }
+    }
+    assert!(
+        out.stats.faults.retransmits > 0,
+        "the sender must have tried before giving up"
+    );
+}
+
+/// Unbound coupler ports are reported as values on every method — no
+/// panic, and no communication that could strand the peer.
+#[test]
+fn unbound_ports_are_reported_not_panicked() {
+    let out = meta_chaos_repro::test_world(2).run(|ep| {
+        let ports = Coupler::new();
+        let mut v = MultiblockArray::<f64>::new(&mcsim::group::Group::world(2), ep.rank(), &[8]);
+        let a = ports.put(ep, "nope", &v).unwrap_err();
+        let b = ports.get(ep, "nope", &mut v).unwrap_err();
+        let c = ports.put_reverse(ep, "nope", &v).unwrap_err();
+        let d = ports.get_reverse(ep, "nope", &mut v).unwrap_err();
+        (a, b, c, d)
+    });
+    for (a, b, c, d) in out.results {
+        for e in [a, b, c, d] {
+            assert_eq!(
+                e,
+                McError::UnboundPort {
+                    port: "nope".into()
+                }
+            );
+        }
+    }
+}

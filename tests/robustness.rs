@@ -129,6 +129,167 @@ fn cshift_matches_sequential() {
     }
 }
 
+/// A peer that dies mid-transfer must poison its partners: every rank
+/// either finishes its part or observes [`McError::PeerFailed`] — nobody
+/// hangs, and the failing rank's own panic is reported, not propagated.
+#[test]
+fn peer_crash_mid_data_move_propagates_as_error() {
+    use mcsim::group::Group;
+    use meta_chaos::build::{compute_schedule, BuildMethod};
+    use meta_chaos::datamove::{data_move_recv, data_move_send};
+    use meta_chaos::region::RegularSection;
+    use meta_chaos::setof::SetOfRegions;
+    use meta_chaos::{McError, Side};
+    use multiblock::MultiblockArray;
+
+    let n = 256usize;
+    let report = test_world(4).run_result(move |ep| {
+        let (pa, pb, un) = Group::split_two(2, 2, 32);
+        let set: SetOfRegions<RegularSection> = SetOfRegions::single(RegularSection::whole(&[n]));
+        if pa.contains(ep.rank()) {
+            let mut v = MultiblockArray::<f64>::new(&pa, ep.rank(), &[n]);
+            v.fill_with(|c| c[0] as f64);
+            let sched = compute_schedule::<f64, MultiblockArray<f64>, hpf::HpfArray<f64>>(
+                ep,
+                &un,
+                &pa,
+                Some(Side::new(&v, &set)),
+                &pb,
+                None,
+                BuildMethod::Cooperation,
+            )
+            .unwrap();
+            if ep.rank() == 1 {
+                // Wait until the healthy pair 0 -> 2 has finished (so its
+                // outcome cannot race this poison), then die before sending
+                // this half — the paired receiver (rank 3) is left waiting.
+                let _ = ep.recv(2, mcsim::Tag::user(77));
+                panic!("boom: rank 1 gives up");
+            }
+            data_move_send(ep, &sched, &v)
+        } else {
+            let mut h =
+                hpf::HpfArray::<f64>::new(&pb, ep.rank(), hpf::HpfDist::block_1d(n, 2));
+            let sched = compute_schedule::<f64, MultiblockArray<f64>, hpf::HpfArray<f64>>(
+                ep,
+                &un,
+                &pa,
+                None,
+                &pb,
+                Some(Side::new(&h, &set)),
+                BuildMethod::Cooperation,
+            )
+            .unwrap();
+            let r = data_move_recv(ep, &sched, &mut h);
+            if ep.rank() == 2 {
+                // Tell rank 1 the healthy transfer is complete.
+                ep.send(1, mcsim::Tag::user(77), Vec::new());
+            }
+            r
+        }
+    });
+    // The faulty rank's own panic is captured, verbatim.
+    match &report.outcomes[1] {
+        Err(mcsim::SimError::PeerFailed { rank: 1, reason }) => {
+            assert!(reason.contains("boom"), "got reason {reason:?}");
+        }
+        other => panic!("rank 1: expected its own panic, got {other:?}"),
+    }
+    // Its partner observed the failure as a value, not a hang or panic.
+    match &report.outcomes[3] {
+        Ok(Err(McError::PeerFailed { rank: 1, reason })) => {
+            assert!(reason.contains("boom"), "got reason {reason:?}");
+        }
+        other => panic!("rank 3: expected PeerFailed {{rank: 1}}, got {other:?}"),
+    }
+    // The untouched pair 0 -> 2 completed its transfer.
+    assert!(matches!(&report.outcomes[0], Ok(Ok(()))), "rank 0 failed");
+    assert!(matches!(&report.outcomes[2], Ok(Ok(()))), "rank 2 failed");
+}
+
+/// A scripted crash from a [`FaultPlan`] fires at its virtual time and is
+/// observed by the peer as a recoverable error.
+#[test]
+fn scripted_crash_fires_and_peer_recovers() {
+    use mcsim::{FaultPlan, MachineModel, SimError, Tag, World};
+
+    let t_crash = 1e-3;
+    let report = World::with_model(2, MachineModel::sp2())
+        .with_faults(FaultPlan::new(7).crash(1, t_crash))
+        .run_result(move |ep| {
+            let t = Tag::user(4);
+            let me = ep.rank();
+            let peer = 1 - me;
+            // Ping-pong until the scripted crash kills rank 1; rank 0 then
+            // sees the poison as a value on its result-returning receive.
+            for i in 0..100_000 {
+                if me == 0 || i > 0 {
+                    ep.send(peer, t, vec![0u8; 64]);
+                }
+                match ep.recv_result(peer, t) {
+                    Ok(_) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok(())
+        });
+    match &report.outcomes[1] {
+        Err(SimError::PeerFailed { rank: 1, reason }) => {
+            assert!(
+                reason.contains("crashed by fault plan"),
+                "got reason {reason:?}"
+            );
+        }
+        other => panic!("rank 1: expected scripted crash, got {other:?}"),
+    }
+    match &report.outcomes[0] {
+        Ok(Err(SimError::PeerFailed { rank: 1, .. })) => {}
+        other => panic!("rank 0: expected PeerFailed {{rank: 1}}, got {other:?}"),
+    }
+    // The crash fired no earlier than scripted.
+    assert!(report.clocks[1] >= t_crash);
+}
+
+/// `recv_timeout` semantics: a virtually-late message is left stashed and
+/// reported as [`SimError::PeerTimeout`], after which a plain receive still
+/// takes it; a peer that never sends at all trips the wall-clock liveness
+/// cap instead of hanging.
+#[test]
+fn recv_timeout_virtual_deadline_and_liveness_cap() {
+    use mcsim::{MachineModel, SimError, Tag, World};
+
+    // Late message: rank 1 burns virtual time before sending, so the
+    // arrival lands past rank 0's deadline.
+    let out = World::with_model(2, MachineModel::sp2()).run(|ep| {
+        let t = Tag::user(9);
+        if ep.rank() == 1 {
+            ep.charge(5e-3);
+            ep.send(0, t, vec![1, 2, 3]);
+            return (true, Vec::new());
+        }
+        let r = ep.recv_timeout(1, t, 1e-3);
+        assert!(
+            matches!(r, Err(SimError::PeerTimeout { rank: 1 })),
+            "expected timeout, got {r:?}"
+        );
+        // The late message is still there for an undeadlined receive.
+        let bytes = ep.recv(1, t);
+        (false, bytes)
+    });
+    assert_eq!(out.results[0].1, vec![1, 2, 3]);
+
+    // Never-sent: the virtual clock cannot advance on silence, so the
+    // real-time liveness cap converts it into the same PeerTimeout.
+    let out = World::with_model(2, MachineModel::sp2()).run(|ep| {
+        if ep.rank() == 0 {
+            let r = ep.recv_timeout(1, Tag::user(10), 1e-6);
+            return matches!(r, Err(SimError::PeerTimeout { rank: 1 }));
+        }
+        true
+    });
+    assert!(out.results.iter().all(|&ok| ok));
+}
+
 /// Trace accounting: sends on one side equal receives on the other, with
 /// matching byte totals, through a full Meta-Chaos transfer.
 #[test]
