@@ -66,18 +66,18 @@ fn aggregation(model: MachineModel, label: &str) {
             let tag = 9000;
             let mut comm = Comm::new(ep, g.clone());
             for (peer, addrs) in &sched.sends {
-                for &addr in addrs {
+                for addr in addrs.iter() {
                     let v = a.local()[addr];
                     comm.send_t(*peer, tag, &v);
                 }
             }
             for (peer, addrs) in &sched.recvs {
-                for addr in addrs.clone() {
+                for addr in addrs.iter() {
                     let v: f64 = comm.recv_t(*peer, tag);
                     x.local_mut()[addr] = v;
                 }
             }
-            for &(s, d) in &sched.local_pairs {
+            for (s, d) in sched.local_pairs.iter() {
                 let v = a.local()[s];
                 x.local_mut()[d] = v;
             }

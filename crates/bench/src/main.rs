@@ -155,6 +155,12 @@ fn main() {
                      ({pct:+.1}% vs fast path, fault-free)"
                 );
             }
+            if let (Some(raw_ns), Some(pct)) = (r.reliable_raw_ns, r.txn_overhead_pct()) {
+                println!(
+                    "reliable (raw)  {raw_ns:>10.0} ns/move  — transactional session layer \
+                     costs {pct:+.1}% fault-free (manifests + verdicts + staging)"
+                );
+            }
             let path = "BENCH_executor.json";
             let mut fields = vec![
                 ("bench", JsonValue::Str("executor".into())),
@@ -174,6 +180,13 @@ fn main() {
                 fields.push((
                     "reliable_overhead_pct",
                     JsonValue::Num(r.reliable_overhead_pct().unwrap()),
+                ));
+            }
+            if let Some(raw_ns) = r.reliable_raw_ns {
+                fields.push(("reliable_raw_ns_per_move", JsonValue::Num(raw_ns)));
+                fields.push((
+                    "txn_overhead_pct",
+                    JsonValue::Num(r.txn_overhead_pct().unwrap()),
                 ));
             }
             write_json_report(path, &fields).expect("write BENCH_executor.json");

@@ -177,6 +177,10 @@ impl<T: Copy> McObject<T> for IrregArray<T> {
         }
     }
 
+    fn epoch(&self) -> u64 {
+        IrregArray::epoch(self)
+    }
+
     fn pack(&self, ep: &mut Endpoint, addrs: &[LocalAddr], out: &mut Vec<T>) {
         let data = self.local();
         out.extend(addrs.iter().map(|&a| data[a]));

@@ -18,6 +18,9 @@ pub struct IrregArray<T> {
     table: Arc<TranslationTable>,
     my_globals: Vec<usize>,
     data: Vec<T>,
+    /// Distribution epoch: bumped by [`crate::remap::remap`] so schedules
+    /// built against the pre-remap distribution are detectably stale.
+    epoch: u64,
 }
 
 impl<T: Copy> IrregArray<T> {
@@ -36,6 +39,7 @@ impl<T: Copy> IrregArray<T> {
             table,
             my_globals,
             data,
+            epoch: 0,
         }
     }
 
@@ -60,7 +64,19 @@ impl<T: Copy> IrregArray<T> {
             table,
             my_globals,
             data,
+            epoch: 0,
         }
+    }
+
+    /// Distribution epoch (see [`meta_chaos::McObject::epoch`]): 0 at
+    /// creation, +1 per [`crate::remap::remap`].
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Set the distribution epoch (remap installs `source epoch + 1`).
+    pub(crate) fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
     }
 
     /// The shared translation table.

@@ -74,7 +74,12 @@ pub fn remap<T: Copy + Wire + Default>(
     comm.ep()
         .charge_copy_bytes(my_new_globals.len() * std::mem::size_of::<T>());
 
-    IrregArray::from_parts(Arc::new(new_table), my_new_globals, new_data)
+    let mut out = IrregArray::from_parts(Arc::new(new_table), my_new_globals, new_data);
+    // The remapped array is a *new distribution* of the same logical array:
+    // advance the epoch so schedules built against `arr` are rejected (or
+    // rebuilt, on the cached path) instead of silently moving wrong data.
+    out.set_epoch(arr.epoch() + 1);
+    out
 }
 
 #[cfg(test)]
@@ -132,6 +137,10 @@ mod tests {
             let back = remap(&mut comm, &there, a.my_globals().to_vec());
             assert_eq!(back.my_globals(), a.my_globals());
             assert_eq!(back.local(), a.local());
+            // Each remap advances the distribution epoch.
+            assert_eq!(a.epoch(), 0);
+            assert_eq!(there.epoch(), 1);
+            assert_eq!(back.epoch(), 2);
         });
     }
 }

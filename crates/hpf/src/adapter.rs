@@ -157,6 +157,10 @@ impl<T: Copy + Default> McObject<T> for HpfArray<T> {
         }
     }
 
+    fn epoch(&self) -> u64 {
+        HpfArray::epoch(self)
+    }
+
     fn pack(&self, ep: &mut Endpoint, addrs: &[LocalAddr], out: &mut Vec<T>) {
         let data = self.local();
         out.extend(addrs.iter().map(|&a| data[a]));

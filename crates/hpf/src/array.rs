@@ -11,6 +11,10 @@ pub struct HpfArray<T> {
     members: Vec<usize>,
     my_local: usize,
     data: Vec<T>,
+    /// Distribution epoch: bumped by [`crate::redistribute::redistribute`]
+    /// so schedules built against the old distribution are detectably
+    /// stale.
+    epoch: u64,
 }
 
 impl<T: Copy + Default> HpfArray<T> {
@@ -28,7 +32,19 @@ impl<T: Copy + Default> HpfArray<T> {
             members: prog.members().to_vec(),
             my_local,
             data,
+            epoch: 0,
         }
+    }
+
+    /// Distribution epoch (see `meta_chaos::McObject::epoch`): 0 at
+    /// creation, +1 per `REDISTRIBUTE`.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Set the distribution epoch (redistribute installs `source + 1`).
+    pub(crate) fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
     }
 
     /// The distribution.

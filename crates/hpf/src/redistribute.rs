@@ -50,6 +50,10 @@ pub fn redistribute<T: Copy + Default + mcsim::wire::Wire>(
     )
     .expect("same shape implies equal linearization lengths");
     data_move(ep, &sched, src, &mut dst);
+    // Bump *after* the move: the schedule above was built against the
+    // fresh destination (epoch 0); the bump marks the redistribution so
+    // schedules built against `src`'s distribution become stale.
+    dst.set_epoch(src.epoch() + 1);
     dst
 }
 
@@ -101,6 +105,10 @@ mod tests {
             // And back to BLOCK: identical to the original.
             let c2 = redistribute(ep, &g, &b, HpfDist::block_1d(n, 3));
             assert_eq!(c2.local(), a.local());
+            // Each redistribution advances the epoch.
+            assert_eq!(a.epoch(), 0);
+            assert_eq!(b.epoch(), 1);
+            assert_eq!(c2.epoch(), 2);
         });
     }
 

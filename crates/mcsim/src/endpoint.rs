@@ -201,6 +201,27 @@ impl Endpoint {
         self.stats.record_sched_cache(hit);
     }
 
+    /// Count a data half staged on the receive side of a transactional
+    /// transfer (see [`crate::stats::SessionStats`]).
+    pub fn record_staged_frame(&mut self) {
+        self.stats.session.frames_staged += 1;
+    }
+
+    /// Count a coupled transfer aborted before touching the destination.
+    pub fn record_transfer_aborted(&mut self) {
+        self.stats.session.transfers_aborted += 1;
+    }
+
+    /// Count a replayed data half discarded by transfer-epoch dedup.
+    pub fn record_stale_half(&mut self) {
+        self.stats.session.stale_halves_dropped += 1;
+    }
+
+    /// Count a stale-schedule rejection reported by an executor.
+    pub fn record_stale_schedule(&mut self) {
+        self.stats.session.stale_schedules += 1;
+    }
+
     /// Take an empty byte buffer, reusing pooled capacity when available.
     pub fn take_buf(&mut self) -> Vec<u8> {
         self.buf_pool.pop().unwrap_or_default()

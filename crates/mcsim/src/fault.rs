@@ -311,7 +311,8 @@ mod tests {
         // Same per-link sequences regardless of interleaving across links.
         let a = draw_seq(&[(1, 0), (1, 1), (2, 0), (2, 1)]);
         let b = draw_seq(&[(1, 0), (2, 0), (1, 1), (2, 1)]);
-        let per_link = |v: &[(Rank, Option<Vec<(bool, Option<usize>, bool)>>)], d: Rank| {
+        type Fates = Option<Vec<(bool, Option<usize>, bool)>>;
+        let per_link = |v: &[(Rank, Fates)], d: Rank| {
             v.iter()
                 .filter(|(dst, _)| *dst == d)
                 .map(|(_, f)| f.clone())

@@ -72,7 +72,7 @@ pub use message::Rank;
 pub use model::MachineModel;
 pub use reliable::{ReliableConfig, StreamTag};
 pub use rng::Rng;
-pub use stats::{FaultStats, NetStats, StatsSnapshot};
+pub use stats::{FaultStats, NetStats, SessionStats, StatsSnapshot};
 pub use tag::Tag;
 pub use trace::{summarize, FaultKind, TraceEvent, TraceSummary};
 pub use wire::{Wire, WireReader};

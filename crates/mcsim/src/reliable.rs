@@ -546,7 +546,7 @@ mod tests {
     fn ctrl_frames_roundtrip_and_fit_tombstone_prefix() {
         let f = ctrl_frame(K_NACK, SEQ_ANY);
         assert_eq!(f.len(), CTRL_LEN);
-        assert!(CTRL_LEN <= crate::message::DROP_PREFIX);
+        const { assert!(CTRL_LEN <= crate::message::DROP_PREFIX) };
         assert_eq!(decode_ctrl(&f), Some((K_NACK, SEQ_ANY)));
         assert_eq!(decode_ctrl(&f[..5]), None);
         assert_eq!(decode_ctrl(&[9u8; 9]), None);

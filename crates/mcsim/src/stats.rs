@@ -69,6 +69,42 @@ impl FaultStats {
     }
 }
 
+/// Session-layer (transactional transfer) counters for one rank: the
+/// staging / manifest machinery `meta_chaos::datamove` builds on top of the
+/// reliable link layer records its decisions here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Data halves staged on the receive side before commit.
+    pub frames_staged: u64,
+    /// Coupled transfers aborted before touching the destination
+    /// (manifest mismatch, stale schedule, or peer failure mid-transfer).
+    pub transfers_aborted: u64,
+    /// Replayed data halves from an earlier transfer attempt discarded by
+    /// transfer-epoch dedup (idempotent retry).
+    pub stale_halves_dropped: u64,
+    /// Stale-schedule rejections (`McError::StaleSchedule`) reported by
+    /// executors on this rank.
+    pub stale_schedules: u64,
+}
+
+impl SessionStats {
+    fn since(&self, earlier: &SessionStats) -> SessionStats {
+        SessionStats {
+            frames_staged: self.frames_staged - earlier.frames_staged,
+            transfers_aborted: self.transfers_aborted - earlier.transfers_aborted,
+            stale_halves_dropped: self.stale_halves_dropped - earlier.stale_halves_dropped,
+            stale_schedules: self.stale_schedules - earlier.stale_schedules,
+        }
+    }
+
+    fn add(&mut self, other: &SessionStats) {
+        self.frames_staged += other.frames_staged;
+        self.transfers_aborted += other.transfers_aborted;
+        self.stale_halves_dropped += other.stale_halves_dropped;
+        self.stale_schedules += other.stale_schedules;
+    }
+}
+
 /// Counters local to one rank, snapshot-able at any point.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsSnapshot {
@@ -82,6 +118,8 @@ pub struct StatsSnapshot {
     pub sched_cache_misses: u64,
     /// Fault-injection and reliable-transport counters.
     pub faults: FaultStats,
+    /// Transactional-transfer (session layer) counters.
+    pub session: SessionStats,
 }
 
 impl StatsSnapshot {
@@ -92,6 +130,7 @@ impl StatsSnapshot {
             sched_cache_hits: 0,
             sched_cache_misses: 0,
             faults: FaultStats::default(),
+            session: SessionStats::default(),
         }
     }
 
@@ -124,6 +163,7 @@ impl StatsSnapshot {
             sched_cache_hits: self.sched_cache_hits - earlier.sched_cache_hits,
             sched_cache_misses: self.sched_cache_misses - earlier.sched_cache_misses,
             faults: self.faults.since(&earlier.faults),
+            session: self.session.since(&earlier.session),
         }
     }
 
@@ -150,18 +190,24 @@ pub struct NetStats {
     pub bytes: Vec<Vec<u64>>,
     /// Fault/reliability counters summed over all ranks.
     pub faults: FaultStats,
+    /// Session-layer (transactional transfer) counters summed over all
+    /// ranks.
+    pub session: SessionStats,
 }
 
 impl NetStats {
     pub(crate) fn from_locals(locals: Vec<StatsSnapshot>) -> Self {
         let mut faults = FaultStats::default();
+        let mut session = SessionStats::default();
         for s in &locals {
             faults.add(&s.faults);
+            session.add(&s.session);
         }
         NetStats {
             msgs: locals.iter().map(|s| s.msgs_to.clone()).collect(),
             bytes: locals.into_iter().map(|s| s.bytes_to).collect(),
             faults,
+            session,
         }
     }
 
@@ -214,5 +260,24 @@ mod tests {
         assert_eq!(n.total_bytes(), 10);
         assert_eq!(n.msgs[0][1], 1);
         assert_eq!(n.msgs[1][0], 1);
+    }
+
+    #[test]
+    fn session_counters_delta_and_aggregate() {
+        let mut a = StatsSnapshot::new(2);
+        a.session.frames_staged = 4;
+        a.session.transfers_aborted = 1;
+        let before = a.clone();
+        a.session.frames_staged = 7;
+        a.session.stale_halves_dropped = 2;
+        let d = a.since(&before);
+        assert_eq!(d.session.frames_staged, 3);
+        assert_eq!(d.session.transfers_aborted, 0);
+        assert_eq!(d.session.stale_halves_dropped, 2);
+        let mut b = StatsSnapshot::new(2);
+        b.session.stale_schedules = 5;
+        let n = NetStats::from_locals(vec![a, b]);
+        assert_eq!(n.session.frames_staged, 7);
+        assert_eq!(n.session.stale_schedules, 5);
     }
 }

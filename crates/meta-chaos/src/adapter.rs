@@ -111,6 +111,19 @@ pub trait McObject<T: Copy> {
     /// table pieces here, and charges the clock accordingly).
     fn descriptor(&self, comm: &mut Comm<'_>) -> Self::Descriptor;
 
+    /// Distribution epoch: a counter the library bumps every time this
+    /// object is *redistributed* (Chaos `remap`, HPF `REDISTRIBUTE`,
+    /// Multiblock `regrid`).  Schedules record the epochs they were built
+    /// against; executors reject stale schedules with
+    /// [`McError`](crate::McError)`::StaleSchedule` and the cached `mc_*`
+    /// API folds epochs into its keys so a bump forces a rebuild.
+    ///
+    /// The default (constant 0) is correct for libraries whose objects are
+    /// never redistributed in place.
+    fn epoch(&self) -> u64 {
+        0
+    }
+
     /// Copy the elements at `addrs` (in order) into `out`.
     fn pack(&self, ep: &mut Endpoint, addrs: &[LocalAddr], out: &mut Vec<T>);
 

@@ -150,6 +150,11 @@ where
     }
     fnv1a(&mut fp, &src_set.to_bytes());
     fnv1a(&mut fp, &dst_set.to_bytes());
+    // Distribution epochs participate in the key, so redistributing either
+    // object transparently invalidates the cached schedule and forces a
+    // rebuild instead of handing back a stale one.
+    fnv1a(&mut fp, &src_obj.epoch().to_le_bytes());
+    fnv1a(&mut fp, &dst_obj.epoch().to_le_bytes());
     fnv_group(&mut fp, prog);
     let (key, hit) = sched_cache_probe(ep, prog, fp);
     if let Some(sched) = hit {
@@ -202,6 +207,7 @@ where
         fnv1a(&mut fp, &src_obj.descriptor(&mut pcomm).to_bytes());
     }
     fnv1a(&mut fp, &src_set.to_bytes());
+    fnv1a(&mut fp, &src_obj.epoch().to_le_bytes());
     let (key, hit) = sched_cache_probe(ep, union, fp);
     if let Some(sched) = hit {
         return Ok(sched);
@@ -240,6 +246,7 @@ where
         fnv1a(&mut fp, &dst_obj.descriptor(&mut pcomm).to_bytes());
     }
     fnv1a(&mut fp, &dst_set.to_bytes());
+    fnv1a(&mut fp, &dst_obj.epoch().to_le_bytes());
     let (key, hit) = sched_cache_probe(ep, union, fp);
     if let Some(sched) = hit {
         return Ok(sched);
@@ -258,13 +265,22 @@ where
 }
 
 /// `MC_Copy(B1, A1)`: same-program data copy with a prebuilt schedule.
-pub fn mc_copy<T, S, D>(ep: &mut Endpoint, sched: &Schedule, src: &S, dst: &mut D)
+///
+/// Rejects a schedule built before either object was redistributed with
+/// [`McError::StaleSchedule`] — rebuild via `mc_compute_sched`, whose
+/// epoch-keyed cache misses exactly when this error would fire.
+pub fn mc_copy<T, S, D>(
+    ep: &mut Endpoint,
+    sched: &Schedule,
+    src: &S,
+    dst: &mut D,
+) -> Result<(), McError>
 where
     T: Copy + Wire,
     S: McObject<T>,
     D: McObject<T>,
 {
-    datamove::data_move(ep, sched, src, dst);
+    datamove::try_data_move(ep, sched, src, dst)
 }
 
 /// `MC_DataMoveSend(schedId, B)`.
@@ -342,7 +358,7 @@ mod tests {
             mc_add_region_2_set(region_dst, &mut dst_set);
 
             let sched = mc_compute_sched(ep, &g, &b, &src_set, &a, &dst_set).unwrap();
-            mc_copy(ep, &sched, &b, &mut a);
+            mc_copy(ep, &sched, &b, &mut a).unwrap();
 
             for (addr, &v) in a.data.iter().enumerate() {
                 let g0 = a.desc.members.len(); // block size = 10 per rank

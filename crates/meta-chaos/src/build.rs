@@ -113,26 +113,30 @@ where
         .local_of(dst_prog.global(0))
         .expect("dst root in union");
 
-    // Agree on the transfer length.
-    let (n_src, n_dst) = {
+    // Agree on the transfer length — and, piggybacked on the same two
+    // broadcasts, the distribution epoch of each side's object, so the
+    // schedule can record which distributions it was built against.
+    let ((n_src, src_epoch), (n_dst, dst_epoch)) = {
         let mut ucomm = Comm::borrowed(ep, union);
-        let n_src = ucomm.bcast_t(
+        let src_info: (usize, u64) = ucomm.bcast_t(
             src_root_ul,
             if me_ul == src_root_ul {
-                Some(src.as_ref().expect("root has src").set.total_len())
+                let s = src.as_ref().expect("root has src");
+                Some((s.set.total_len(), s.obj.epoch()))
             } else {
                 None
             },
         );
-        let n_dst = ucomm.bcast_t(
+        let dst_info: (usize, u64) = ucomm.bcast_t(
             dst_root_ul,
             if me_ul == dst_root_ul {
-                Some(dst.as_ref().expect("root has dst").set.total_len())
+                let d = dst.as_ref().expect("root has dst");
+                Some((d.set.total_len(), d.obj.epoch()))
             } else {
                 None
             },
         );
-        (n_src, n_dst)
+        (src_info, dst_info)
     };
     if n_src != n_dst {
         return Err(McError::LengthMismatch {
@@ -185,14 +189,9 @@ where
         ucomm.bcast_t(0, mine)
     };
 
-    Ok(Schedule::new(
-        union.clone(),
-        seq,
-        sends,
-        recvs,
-        local_pairs,
-        n,
-    ))
+    let (elem_tag, elem_size) = crate::schedule::elem_type::<T>();
+    Ok(Schedule::new(union.clone(), seq, sends, recvs, local_pairs, n)
+        .with_integrity(src_epoch, dst_epoch, elem_tag, elem_size))
 }
 
 type BuiltParts = (

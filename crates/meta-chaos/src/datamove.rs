@@ -23,15 +23,40 @@
 //! Copying in the opposite direction needs no new schedule: pass
 //! [`Schedule::reversed`] and swap the roles.
 //!
-//! ## Raw vs. reliable
+//! ## Raw vs. reliable vs. transactional
 //!
 //! Same-program [`data_move`] runs **raw**: the schedule-parity guarantee
 //! (§4.1.4 — exactly the hand-coded number and sizes of messages) holds
-//! bit-for-bit.  The cross-program halves run over the **reliable**
-//! transport (`mcsim::reliable`): checksummed, sequence-numbered frames
-//! with ack/retransmit, so a coupled transfer survives a lossy
-//! [`mcsim::FaultPlan`] and surfaces peer crash or permanent partition as
-//! [`McError::PeerFailed`] / [`McError::PeerTimeout`] instead of hanging.
+//! bit-for-bit.  Its fallible twin [`try_data_move`] additionally rejects
+//! schedules whose objects have been redistributed since the build
+//! ([`McError::StaleSchedule`]); since every rank of a single program sees
+//! the same epochs, the rejection is symmetric by construction.
+//!
+//! The cross-program halves run over the **reliable** transport
+//! (`mcsim::reliable`) and add a **session layer** on top, making every
+//! coupled transfer a transaction:
+//!
+//! 1. **Manifest exchange** — each pair swaps a compact description of the
+//!    transfer it is about to perform (schedule seq, total and per-pair
+//!    element counts, element type tag and size).  Disagreement aborts both
+//!    sides with [`McError::ScheduleMismatch`] before any data moves.
+//! 2. **Verdict round** — each side tells every peer whether it is
+//!    proceeding; an abort anywhere (mismatch, stale schedule, failed
+//!    third peer) fans out, so no rank is left waiting for data that will
+//!    never come.
+//! 3. **Staged delivery** — the receive side collects *every* peer's data
+//!    half and verifies headers and payload sizes before unpacking
+//!    anything.  A peer crash or timeout mid-transfer leaves the
+//!    destination bit-identical; a retried transfer is idempotent because
+//!    replayed halves from an earlier attempt carry an older transfer
+//!    epoch and are discarded.
+//!
+//! [`data_move_send_unverified`] / [`data_move_recv_unverified`] keep the
+//! bare reliable halves (no manifests, streaming unpack) alive as the
+//! ablation baseline the session-layer overhead is measured against.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
 
 use mcsim::group::Comm;
 use mcsim::prelude::Endpoint;
@@ -40,7 +65,7 @@ use mcsim::wire::{Wire, WireReader};
 
 use crate::adapter::McObject;
 use crate::error::McError;
-use crate::schedule::Schedule;
+use crate::schedule::{AddrRuns, Schedule};
 
 /// User-tag bit layout for data-move traffic: schedule seq in the high
 /// bits, leaving the low bits to keep streams of distinct schedules apart.
@@ -48,23 +73,97 @@ fn move_tag(seq: u32) -> u32 {
     0x4000_0000 | seq
 }
 
+/// The manifest/verdict control stream: one per context, *shared by every
+/// schedule* in that context so that two sides which disagree about the
+/// schedule (different seq → different data streams) still pair up for the
+/// exchange that detects the disagreement.
+const MANIFEST_STREAM: u32 = 0x0FFF_FFFF;
+
+/// Frame discriminators on the control stream.
+const K_MANIFEST: u8 = 1;
+const K_VERDICT: u8 = 2;
+
+/// Verdict codes.
+const V_OK: u8 = 0;
+const V_ABORT_MISMATCH: u8 = 1;
+const V_ABORT_STALE: u8 = 2;
+const V_ABORT_PEER: u8 = 3;
+
+thread_local! {
+    /// Per-rank transfer-epoch counters, keyed by `(context << 32) | seq`.
+    /// The sender bumps the counter once per transfer attempt and announces
+    /// it in the manifest; the receiver discards data halves carrying an
+    /// older epoch (replays of an aborted attempt), which is what makes a
+    /// retried transfer idempotent.
+    static XFER_EPOCH: RefCell<HashMap<u64, u64>> = RefCell::new(HashMap::new());
+}
+
+/// Next transfer epoch for this schedule's data stream (starts at 1; 0 is
+/// the receiver-side placeholder meaning "not a data sender").
+fn next_xfer_epoch(sched: &Schedule) -> u64 {
+    let key = ((sched.group().context() as u64) << 32) | sched.seq() as u64;
+    XFER_EPOCH.with(|m| {
+        let mut m = m.borrow_mut();
+        let e = m.entry(key).or_insert(0);
+        *e += 1;
+        *e
+    })
+}
+
 /// Move data for a schedule where this rank participates on both sides
 /// (single-program transfer).  Reusable any number of times.
+///
+/// Panics if the schedule is stale (an object was redistributed after the
+/// build); use [`try_data_move`] to observe that as a value.
 pub fn data_move<T, S, D>(ep: &mut Endpoint, sched: &Schedule, src: &S, dst: &mut D)
 where
     T: Copy + Wire,
     S: McObject<T>,
     D: McObject<T>,
 {
+    try_data_move(ep, sched, src, dst).unwrap_or_else(|e| panic!("data_move failed: {e}"));
+}
+
+/// Fallible single-program transfer: rejects a schedule built against an
+/// older distribution of either object with [`McError::StaleSchedule`]
+/// (before any communication — every rank of the program sees the same
+/// epochs, so the rejection is symmetric), then runs the raw executor.
+pub fn try_data_move<T, S, D>(
+    ep: &mut Endpoint,
+    sched: &Schedule,
+    src: &S,
+    dst: &mut D,
+) -> Result<(), McError>
+where
+    T: Copy + Wire,
+    S: McObject<T>,
+    D: McObject<T>,
+{
+    if let Some((object_epoch, schedule_epoch)) = stale_pair(src.epoch(), sched.src_epoch())
+        .or_else(|| stale_pair(dst.epoch(), sched.dst_epoch()))
+    {
+        ep.record_stale_schedule();
+        return Err(McError::StaleSchedule {
+            object_epoch,
+            schedule_epoch,
+        });
+    }
     // Post all sends first (buffered channels make this deadlock-free),
     // then do local copies, then drain receives.
     send_half(ep, sched, src);
     local_copies(ep, sched, src, dst);
     recv_half(ep, sched, dst);
+    Ok(())
 }
 
-/// Source-program half of a two-program transfer, over the reliable
-/// transport.
+/// `Some((object, schedule))` when the epochs disagree.
+fn stale_pair(object: u64, schedule: u64) -> Option<(u64, u64)> {
+    (object != schedule).then_some((object, schedule))
+}
+
+/// Source-program half of a two-program transfer: manifest exchange and
+/// verdict round first (the transaction's prepare phase), then the data
+/// frames over the reliable transport.
 ///
 /// Fails (without communicating) when the schedule evidently belongs to a
 /// different call: cross-program schedules never contain local pairs, and
@@ -72,12 +171,132 @@ where
 /// [`data_move_recv`] side.  Under an active fault plan the frames are
 /// retransmitted as needed; [`McError::PeerTimeout`] means the retry
 /// budget ran out (permanent partition) and [`McError::PeerFailed`] means
-/// the peer crashed.
+/// a peer crashed.  [`McError::ScheduleMismatch`] and
+/// [`McError::StaleSchedule`] are raised symmetrically on both sides of
+/// the affected pair before any data has moved.
 pub fn data_move_send<T, S>(ep: &mut Endpoint, sched: &Schedule, src: &S) -> Result<(), McError>
 where
     T: Copy + Wire,
     S: McObject<T>,
 {
+    send_side_guards(sched)?;
+    if sched.sends.is_empty() {
+        return Ok(());
+    }
+    let te = next_xfer_epoch(sched);
+    settle(ep, sched, &sched.sends, te, stale_pair(src.epoch(), sched.src_epoch()))?;
+    send_data_frames(ep, sched, src, te)
+}
+
+/// Destination-program half of a two-program transfer.  Misuse reporting
+/// mirrors [`data_move_send`]; transport outcomes do too.  Delivery is
+/// all-or-nothing: every peer's half is staged and verified before the
+/// first element is unpacked, so any error leaves `dst` untouched.
+pub fn data_move_recv<T, D>(ep: &mut Endpoint, sched: &Schedule, dst: &mut D) -> Result<(), McError>
+where
+    T: Copy + Wire,
+    D: McObject<T>,
+{
+    recv_side_guards(sched)?;
+    if sched.recvs.is_empty() {
+        return Ok(());
+    }
+    let expected = settle(
+        ep,
+        sched,
+        &sched.recvs,
+        0,
+        stale_pair(dst.epoch(), sched.dst_epoch()),
+    )?;
+    recv_data_frames(ep, sched, dst, &expected)
+}
+
+/// Prepare phase only: runs the manifest exchange and verdict round of
+/// [`data_move_send`] and returns *without sending any data*.  A test
+/// failpoint for crashing a sender between "transaction agreed" and "data
+/// delivered" — the window all-or-nothing delivery exists for.  Not part
+/// of the Meta-Chaos API surface.
+#[doc(hidden)]
+pub fn data_move_send_verify_only<T, S>(
+    ep: &mut Endpoint,
+    sched: &Schedule,
+    src: &S,
+) -> Result<(), McError>
+where
+    T: Copy + Wire,
+    S: McObject<T>,
+{
+    send_side_guards(sched)?;
+    if sched.sends.is_empty() {
+        return Ok(());
+    }
+    let te = next_xfer_epoch(sched);
+    settle(ep, sched, &sched.sends, te, stale_pair(src.epoch(), sched.src_epoch()))?;
+    Ok(())
+}
+
+/// Ablation baseline for the session layer: the bare reliable send half of
+/// PR 2 — no manifest exchange, no verdict round, no epoch guard.  Frames
+/// are wire-compatible with [`data_move_recv`] (they carry the transfer
+/// epoch header), so a half posted here and never consumed models a
+/// replayed half from an aborted attempt.  Benchmarks and tests only.
+pub fn data_move_send_unverified<T, S>(
+    ep: &mut Endpoint,
+    sched: &Schedule,
+    src: &S,
+) -> Result<(), McError>
+where
+    T: Copy + Wire,
+    S: McObject<T>,
+{
+    send_side_guards(sched)?;
+    if sched.sends.is_empty() {
+        return Ok(());
+    }
+    let te = next_xfer_epoch(sched);
+    send_data_frames(ep, sched, src, te)
+}
+
+/// Ablation baseline for the session layer: the bare reliable receive half
+/// of PR 2 — streaming unpack with no staging, accepting whatever transfer
+/// epoch arrives.  Benchmarks and tests only.
+pub fn data_move_recv_unverified<T, D>(
+    ep: &mut Endpoint,
+    sched: &Schedule,
+    dst: &mut D,
+) -> Result<(), McError>
+where
+    T: Copy + Wire,
+    D: McObject<T>,
+{
+    recv_side_guards(sched)?;
+    if sched.recvs.is_empty() {
+        return Ok(());
+    }
+    let st = move_stream(sched);
+    let group = sched.group();
+    for (peer, runs) in &sched.recvs {
+        let bytes = reliable::reliable_recv(ep, group.global(*peer), st)?;
+        let mut r = WireReader::new(&bytes);
+        let _te = u64::read(&mut r)
+            .map_err(|e| McError::Transport(format!("frame from peer {peer} has no header: {e}")))?;
+        let count = usize::read(&mut r).map_err(|e| {
+            McError::Transport(format!("frame from peer {peer} has no element count: {e}"))
+        })?;
+        if count != runs.len() {
+            return Err(McError::Transport(format!(
+                "frame from peer {peer} carries {count} elements, schedule expects {}",
+                runs.len()
+            )));
+        }
+        dst.unpack_runs_wire(ep, runs, &mut r)
+            .map_err(|e| McError::Transport(format!("frame from peer {peer} failed to decode: {e}")))?;
+        ep.recycle_buf(bytes);
+    }
+    Ok(())
+}
+
+fn send_side_guards(sched: &Schedule) -> Result<(), McError> {
     if !sched.local_pairs.is_empty() {
         return Err(McError::LocalPairsInCrossProgramMove {
             pairs: sched.local_pairs.len(),
@@ -88,17 +307,10 @@ where
             peers: sched.msgs_in(),
         });
     }
-    send_half_reliable(ep, sched, src)
+    Ok(())
 }
 
-/// Destination-program half of a two-program transfer, over the reliable
-/// transport.  Misuse reporting mirrors [`data_move_send`]; transport
-/// outcomes do too.
-pub fn data_move_recv<T, D>(ep: &mut Endpoint, sched: &Schedule, dst: &mut D) -> Result<(), McError>
-where
-    T: Copy + Wire,
-    D: McObject<T>,
-{
+fn recv_side_guards(sched: &Schedule) -> Result<(), McError> {
     if !sched.local_pairs.is_empty() {
         return Err(McError::LocalPairsInCrossProgramMove {
             pairs: sched.local_pairs.len(),
@@ -109,7 +321,387 @@ where
             peers: sched.msgs_out(),
         });
     }
-    recv_half_reliable(ep, sched, dst)
+    Ok(())
+}
+
+/// What one side announces to a pair peer before data moves.  Both sides
+/// send one; everything except `transfer_epoch` (sender-only) must agree.
+struct Manifest {
+    seq: u32,
+    total_elems: u64,
+    elem_tag: u64,
+    elem_size: u32,
+    pair_elems: u64,
+    transfer_epoch: u64,
+}
+
+fn write_manifest(buf: &mut Vec<u8>, m: &Manifest) {
+    K_MANIFEST.write(buf);
+    m.seq.write(buf);
+    m.total_elems.write(buf);
+    m.elem_tag.write(buf);
+    m.elem_size.write(buf);
+    m.pair_elems.write(buf);
+    m.transfer_epoch.write(buf);
+}
+
+fn parse_manifest(bytes: &[u8], peer: usize) -> Result<Manifest, McError> {
+    let mut r = WireReader::new(bytes);
+    let bad = |e| McError::Transport(format!("malformed manifest from rank {peer}: {e}"));
+    let kind = u8::read(&mut r).map_err(bad)?;
+    if kind != K_MANIFEST {
+        return Err(McError::Transport(format!(
+            "expected a manifest from rank {peer}, got control frame kind {kind}"
+        )));
+    }
+    Ok(Manifest {
+        seq: u32::read(&mut r).map_err(bad)?,
+        total_elems: u64::read(&mut r).map_err(bad)?,
+        elem_tag: u64::read(&mut r).map_err(bad)?,
+        elem_size: u32::read(&mut r).map_err(bad)?,
+        pair_elems: u64::read(&mut r).map_err(bad)?,
+        transfer_epoch: u64::read(&mut r).map_err(bad)?,
+    })
+}
+
+/// First disagreement between my schedule's view of a pair and the peer's
+/// manifest, as a human-readable detail string.
+fn manifest_disagreement(sched: &Schedule, my_pair_elems: u64, m: &Manifest) -> Option<String> {
+    if m.seq != sched.seq() {
+        return Some(format!(
+            "schedule seq {} here vs {} at the peer",
+            sched.seq(),
+            m.seq
+        ));
+    }
+    if m.total_elems != sched.total_elems as u64 {
+        return Some(format!(
+            "transfer totals {} elements here vs {} at the peer",
+            sched.total_elems, m.total_elems
+        ));
+    }
+    if m.elem_tag != sched.elem_tag() || m.elem_size != sched.elem_size() {
+        return Some(format!(
+            "element type differs ({}-byte elements here vs {}-byte at the peer)",
+            sched.elem_size(),
+            m.elem_size
+        ));
+    }
+    if m.pair_elems != my_pair_elems {
+        return Some(format!(
+            "this pair carries {my_pair_elems} elements here vs {} at the peer",
+            m.pair_elems
+        ));
+    }
+    None
+}
+
+fn write_verdict(buf: &mut Vec<u8>, code: u8, a: u64, b: u64) {
+    K_VERDICT.write(buf);
+    code.write(buf);
+    a.write(buf);
+    b.write(buf);
+}
+
+fn parse_verdict(bytes: &[u8], peer: usize) -> Result<(u8, u64, u64), McError> {
+    let mut r = WireReader::new(bytes);
+    let bad = |e| McError::Transport(format!("malformed verdict from rank {peer}: {e}"));
+    let kind = u8::read(&mut r).map_err(bad)?;
+    if kind != K_VERDICT {
+        return Err(McError::Transport(format!(
+            "expected a verdict from rank {peer}, got control frame kind {kind}"
+        )));
+    }
+    Ok((
+        u8::read(&mut r).map_err(bad)?,
+        u64::read(&mut r).map_err(bad)?,
+        u64::read(&mut r).map_err(bad)?,
+    ))
+}
+
+/// The transaction's prepare phase, identical on both sides: exchange
+/// manifests with every pair peer, then exchange verdicts, and only return
+/// `Ok` when *everyone* agreed to proceed.  Each phase posts to every peer
+/// before reading from any, so the exchange cannot deadlock; a transport
+/// error against one peer still drains the remaining live peers.
+///
+/// Returns the per-pair transfer epochs the peers announced (meaningful on
+/// the receive side; senders announce `my_te` and ignore the result).
+fn settle(
+    ep: &mut Endpoint,
+    sched: &Schedule,
+    pairs: &[(usize, AddrRuns)],
+    my_te: u64,
+    my_stale: Option<(u64, u64)>,
+) -> Result<Vec<u64>, McError> {
+    let st = StreamTag::new(sched.group().context(), MANIFEST_STREAM);
+    let group = sched.group();
+    let n = pairs.len();
+    let mut dead = vec![false; n];
+    // The first transport failure, kept with the peer it happened against:
+    // transport errors outrank mismatch/stale in what we report, because
+    // they are the only causes the other live peers will see too.
+    let mut failed: Option<McError> = None;
+    fn note_failure(dead: &mut [bool], failed: &mut Option<McError>, i: usize, e: McError) {
+        dead[i] = true;
+        if failed.is_none() {
+            *failed = Some(e);
+        }
+    }
+
+    // Phase 1: announce my manifest to every pair peer.
+    for (i, (peer, runs)) in pairs.iter().enumerate() {
+        let m = Manifest {
+            seq: sched.seq(),
+            total_elems: sched.total_elems as u64,
+            elem_tag: sched.elem_tag(),
+            elem_size: sched.elem_size(),
+            pair_elems: runs.len() as u64,
+            transfer_epoch: my_te,
+        };
+        let mut buf = ep.take_buf();
+        write_manifest(&mut buf, &m);
+        if let Err(e) = reliable::reliable_send(ep, group.global(*peer), st, buf) {
+            note_failure(&mut dead, &mut failed, i, e.into());
+        }
+    }
+
+    // Phase 2: read every live peer's manifest; collect the first
+    // disagreement but keep draining so no peer is left unpaired.
+    let mut peer_te = vec![0u64; n];
+    let mut mismatch: Option<(usize, String)> = None;
+    for (i, (peer, runs)) in pairs.iter().enumerate() {
+        if dead[i] {
+            continue;
+        }
+        let pg = group.global(*peer);
+        match reliable::reliable_recv(ep, pg, st) {
+            Ok(bytes) => match parse_manifest(&bytes, pg) {
+                Ok(m) => {
+                    peer_te[i] = m.transfer_epoch;
+                    if mismatch.is_none() {
+                        if let Some(detail) = manifest_disagreement(sched, runs.len() as u64, &m) {
+                            mismatch = Some((pg, detail));
+                        }
+                    }
+                    ep.recycle_buf(bytes);
+                }
+                Err(e) => note_failure(&mut dead, &mut failed, i, e),
+            },
+            Err(e) => note_failure(&mut dead, &mut failed, i, e.into()),
+        }
+    }
+
+    // My verdict, in decreasing severity: a dead peer dooms the transfer
+    // for everyone; a stale schedule or manifest mismatch aborts it cleanly.
+    let my_verdict: (u8, u64, u64) = if let Some(e) = &failed {
+        let r = match e {
+            McError::PeerFailed { rank, .. } | McError::PeerTimeout { rank, .. } => *rank as u64,
+            _ => u64::MAX,
+        };
+        (V_ABORT_PEER, r, 0)
+    } else if let Some((oe, se)) = my_stale {
+        (V_ABORT_STALE, oe, se)
+    } else if mismatch.is_some() {
+        (V_ABORT_MISMATCH, 0, 0)
+    } else {
+        (V_OK, 0, 0)
+    };
+
+    // Phase 3: post my verdict to every live peer.
+    for (i, (peer, _)) in pairs.iter().enumerate() {
+        if dead[i] {
+            continue;
+        }
+        let mut buf = ep.take_buf();
+        write_verdict(&mut buf, my_verdict.0, my_verdict.1, my_verdict.2);
+        if let Err(e) = reliable::reliable_send(ep, group.global(*peer), st, buf) {
+            note_failure(&mut dead, &mut failed, i, e.into());
+        }
+    }
+
+    // Phase 4: read every live peer's verdict.
+    let mut peer_abort: Option<McError> = None;
+    for (i, (peer, _)) in pairs.iter().enumerate() {
+        if dead[i] {
+            continue;
+        }
+        let pg = group.global(*peer);
+        match reliable::reliable_recv(ep, pg, st) {
+            Ok(bytes) => {
+                match parse_verdict(&bytes, pg) {
+                    Ok((code, a, b)) => {
+                        if code != V_OK && peer_abort.is_none() {
+                            peer_abort = Some(match code {
+                                V_ABORT_STALE => McError::StaleSchedule {
+                                    object_epoch: a,
+                                    schedule_epoch: b,
+                                },
+                                V_ABORT_PEER => McError::PeerFailed {
+                                    rank: a as usize,
+                                    reason: format!(
+                                        "rank {a} failed mid-transfer; peer rank {pg} aborted"
+                                    ),
+                                },
+                                _ => McError::ScheduleMismatch {
+                                    peer: pg,
+                                    detail: "peer aborted: transfer manifests disagree".into(),
+                                },
+                            });
+                        }
+                        ep.recycle_buf(bytes);
+                    }
+                    Err(e) => note_failure(&mut dead, &mut failed, i, e),
+                }
+            }
+            Err(e) => note_failure(&mut dead, &mut failed, i, e.into()),
+        }
+    }
+
+    if failed.is_none() && my_verdict.0 == V_OK && peer_abort.is_none() {
+        return Ok(peer_te);
+    }
+    // Abort: nothing has been sent on the data stream, the destination is
+    // untouched, and every live peer received an abort verdict.
+    ep.record_transfer_aborted();
+    if my_stale.is_some() {
+        ep.record_stale_schedule();
+    }
+    if let Some(e) = failed {
+        return Err(e);
+    }
+    if let Some((object_epoch, schedule_epoch)) = my_stale {
+        return Err(McError::StaleSchedule {
+            object_epoch,
+            schedule_epoch,
+        });
+    }
+    if let Some((peer, detail)) = mismatch {
+        return Err(McError::ScheduleMismatch { peer, detail });
+    }
+    Err(peer_abort.expect("abort must have a cause"))
+}
+
+/// Post one data frame per pair, then wait for every acknowledgement.
+/// Frame layout: transfer epoch, element count, packed payload.
+fn send_data_frames<T, S>(
+    ep: &mut Endpoint,
+    sched: &Schedule,
+    src: &S,
+    te: u64,
+) -> Result<(), McError>
+where
+    T: Copy + Wire,
+    S: McObject<T>,
+{
+    let st = move_stream(sched);
+    let group = sched.group();
+    for (peer, runs) in &sched.sends {
+        let mut buf = ep.take_buf();
+        te.write(&mut buf);
+        runs.len().write(&mut buf);
+        src.pack_runs_wire(ep, runs, &mut buf);
+        reliable::reliable_send(ep, group.global(*peer), st, buf)?;
+    }
+    for (peer, _) in &sched.sends {
+        reliable::flush_send(ep, group.global(*peer), st)?;
+    }
+    Ok(())
+}
+
+/// Collect every peer's data half, verify all of them, and only then
+/// unpack — so a failure anywhere leaves `dst` bit-identical.  Halves
+/// carrying a transfer epoch older than the one the peer's manifest
+/// announced are replays of an aborted attempt and are discarded.
+fn recv_data_frames<T, D>(
+    ep: &mut Endpoint,
+    sched: &Schedule,
+    dst: &mut D,
+    expected: &[u64],
+) -> Result<(), McError>
+where
+    T: Copy + Wire,
+    D: McObject<T>,
+{
+    let st = move_stream(sched);
+    let group = sched.group();
+    let mut staged: Vec<Vec<u8>> = Vec::with_capacity(sched.recvs.len());
+    let mut fail: Option<McError> = None;
+    'pairs: for (i, (peer, runs)) in sched.recvs.iter().enumerate() {
+        let pg = group.global(*peer);
+        loop {
+            let bytes = match reliable::reliable_recv(ep, pg, st) {
+                Ok(b) => b,
+                Err(e) => {
+                    fail = Some(e.into());
+                    break 'pairs;
+                }
+            };
+            let mut r = WireReader::new(&bytes);
+            let header = u64::read(&mut r).and_then(|te| usize::read(&mut r).map(|c| (te, c)));
+            let (te, count) = match header {
+                Ok(h) => h,
+                Err(e) => {
+                    fail = Some(McError::Transport(format!(
+                        "data frame from rank {pg} has no transfer header: {e}"
+                    )));
+                    break 'pairs;
+                }
+            };
+            if te < expected[i] {
+                // A replay from an earlier, aborted attempt: the retried
+                // transfer must not consume it.
+                ep.record_stale_half();
+                ep.recycle_buf(bytes);
+                continue;
+            }
+            if te > expected[i] {
+                fail = Some(McError::Transport(format!(
+                    "data frame from rank {pg} is from transfer epoch {te}, manifest announced {}",
+                    expected[i]
+                )));
+                break 'pairs;
+            }
+            if count != runs.len() {
+                fail = Some(McError::Transport(format!(
+                    "frame from rank {pg} carries {count} elements, schedule expects {}",
+                    runs.len()
+                )));
+                break 'pairs;
+            }
+            let esz = sched.elem_size() as usize;
+            if esz != 0 && r.remaining() != count * esz {
+                fail = Some(McError::Transport(format!(
+                    "frame from rank {pg} has {} payload bytes, expected {}",
+                    r.remaining(),
+                    count * esz
+                )));
+                break 'pairs;
+            }
+            ep.record_staged_frame();
+            staged.push(bytes);
+            break;
+        }
+    }
+    if let Some(e) = fail {
+        for b in staged {
+            ep.recycle_buf(b);
+        }
+        ep.record_transfer_aborted();
+        return Err(e);
+    }
+    // Commit: every half arrived and verified.  Staging holds the received
+    // wire buffers themselves, so this is the same single unpack as the
+    // streaming path — deferred, not duplicated.
+    for ((peer, runs), bytes) in sched.recvs.iter().zip(staged) {
+        let mut r = WireReader::new(&bytes);
+        let _ = u64::read(&mut r);
+        let _ = usize::read(&mut r);
+        dst.unpack_runs_wire(ep, runs, &mut r)
+            .map_err(|e| McError::Transport(format!("frame from peer {peer} failed to decode: {e}")))?;
+        ep.recycle_buf(bytes);
+    }
+    Ok(())
 }
 
 fn send_half<T, S>(ep: &mut Endpoint, sched: &Schedule, src: &S)
@@ -138,63 +730,6 @@ where
 /// from `0x4` to the reliable pair `0x5`/`0x6`).
 fn move_stream(sched: &Schedule) -> StreamTag {
     StreamTag::new(sched.group().context(), sched.seq())
-}
-
-/// Reliable counterpart of [`send_half`]: pack and post one frame per
-/// destination peer first, then wait for every peer's acknowledgement —
-/// posting everything before flushing anything avoids cross-pair ordering
-/// stalls when several pairs exchange simultaneously.
-fn send_half_reliable<T, S>(ep: &mut Endpoint, sched: &Schedule, src: &S) -> Result<(), McError>
-where
-    T: Copy + Wire,
-    S: McObject<T>,
-{
-    if sched.sends.is_empty() {
-        return Ok(());
-    }
-    let st = move_stream(sched);
-    let group = sched.group();
-    for (peer, runs) in &sched.sends {
-        let mut buf = ep.take_buf();
-        runs.len().write(&mut buf);
-        src.pack_runs_wire(ep, runs, &mut buf);
-        reliable::reliable_send(ep, group.global(*peer), st, buf)?;
-    }
-    for (peer, _) in &sched.sends {
-        reliable::flush_send(ep, group.global(*peer), st)?;
-    }
-    Ok(())
-}
-
-/// Reliable counterpart of [`recv_half`]: frames arrive verified, deduped
-/// and in order; decode failures still surface as [`McError::Transport`]
-/// rather than panicking.
-fn recv_half_reliable<T, D>(ep: &mut Endpoint, sched: &Schedule, dst: &mut D) -> Result<(), McError>
-where
-    T: Copy + Wire,
-    D: McObject<T>,
-{
-    if sched.recvs.is_empty() {
-        return Ok(());
-    }
-    let st = move_stream(sched);
-    let group = sched.group();
-    for (peer, runs) in &sched.recvs {
-        let bytes = reliable::reliable_recv(ep, group.global(*peer), st)?;
-        let mut r = WireReader::new(&bytes);
-        let count = usize::read(&mut r)
-            .map_err(|e| McError::Transport(format!("frame from peer {peer} has no element count: {e}")))?;
-        if count != runs.len() {
-            return Err(McError::Transport(format!(
-                "frame from peer {peer} carries {count} elements, schedule expects {}",
-                runs.len()
-            )));
-        }
-        dst.unpack_runs_wire(ep, runs, &mut r)
-            .map_err(|e| McError::Transport(format!("frame from peer {peer} failed to decode: {e}")))?;
-        ep.recycle_buf(bytes);
-    }
-    Ok(())
 }
 
 fn recv_half<T, D>(ep: &mut Endpoint, sched: &Schedule, dst: &mut D)

@@ -68,6 +68,31 @@ pub enum McError {
         /// The port name as given.
         port: String,
     },
+    /// [`crate::coupling::Coupler::try_bind`] named a port that already
+    /// holds a schedule (use `bind` to replace, or `unbind` first).
+    PortAlreadyBound {
+        /// The port name as given.
+        port: String,
+    },
+    /// The schedule was built against an older distribution: the object
+    /// has been redistributed (remap / REDISTRIBUTE / regrid) since, so the
+    /// schedule's local addresses are meaningless.  Rebuild the schedule
+    /// (the `mc_*` cached API does this transparently).
+    StaleSchedule {
+        /// The object's current distribution epoch.
+        object_epoch: u64,
+        /// The epoch the schedule was built against.
+        schedule_epoch: u64,
+    },
+    /// The two sides of a coupled transfer exchanged manifests that
+    /// disagree (different schedule, element type/size, or per-pair
+    /// counts); both sides abort symmetrically before any data moves.
+    ScheduleMismatch {
+        /// Global rank of the disagreeing peer.
+        peer: usize,
+        /// Human-readable description of the first disagreement found.
+        detail: String,
+    },
     /// The transport delivered something undecodable, or the world tore
     /// down mid-transfer.
     Transport(String),
@@ -103,6 +128,20 @@ impl fmt::Display for McError {
             }
             McError::UnboundPort { port } => {
                 write!(f, "port '{port}' is not bound")
+            }
+            McError::PortAlreadyBound { port } => {
+                write!(f, "port '{port}' is already bound")
+            }
+            McError::StaleSchedule {
+                object_epoch,
+                schedule_epoch,
+            } => write!(
+                f,
+                "schedule built against distribution epoch {schedule_epoch}, \
+                 but the object is now at epoch {object_epoch}; rebuild the schedule"
+            ),
+            McError::ScheduleMismatch { peer, detail } => {
+                write!(f, "transfer manifest disagrees with peer rank {peer}: {detail}")
             }
             McError::Transport(msg) => write!(f, "transport error: {msg}"),
         }

@@ -95,10 +95,10 @@ pub(crate) mod testlib;
 pub use adapter::{Location, McDescriptor, McObject, Side};
 pub use build::{compute_schedule, BuildMethod};
 pub use coupling::Coupler;
-pub use datamove::{data_move, data_move_recv, data_move_send};
+pub use datamove::{data_move, data_move_recv, data_move_send, try_data_move};
 pub use error::McError;
 pub use region::{DimSlice, IndexSet, Region, RegularSection};
-pub use schedule::Schedule;
+pub use schedule::{elem_type, Schedule};
 pub use seqvec::SeqVec;
 pub use setof::SetOfRegions;
 pub use validate::{validate_schedule, ScheduleIssue};

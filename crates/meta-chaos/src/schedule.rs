@@ -289,6 +289,30 @@ pub struct Schedule {
     pub local_pairs: PairRuns,
     /// Total elements of the whole transfer (global, same on every rank).
     pub total_elems: usize,
+    /// Distribution epoch of the source object at build time (0 for
+    /// hand-built schedules; see [`crate::adapter::McObject::epoch`]).
+    src_epoch: u64,
+    /// Distribution epoch of the destination object at build time.
+    dst_epoch: u64,
+    /// Fingerprint of the element type the schedule was built for
+    /// (0 = untyped/hand-built; see [`elem_type`]).
+    elem_tag: u64,
+    /// `size_of` the element type (0 = untyped/hand-built).
+    elem_size: u32,
+}
+
+/// Fingerprint an element type for schedule integrity checks: an FNV-1a
+/// hash of the type name plus the element size in bytes.  [`Schedule`]s
+/// built by [`crate::build::compute_schedule`] carry this pair so
+/// [`crate::validate_schedule`] and the transfer-manifest exchange can
+/// detect two sides disagreeing about what a port carries.
+pub fn elem_type<T>() -> (u64, u32) {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in std::any::type_name::<T>().as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h, std::mem::size_of::<T>() as u32)
 }
 
 impl Schedule {
@@ -318,7 +342,50 @@ impl Schedule {
             recvs: compress(recvs),
             local_pairs: local_pairs.into_iter().collect(),
             total_elems,
+            src_epoch: 0,
+            dst_epoch: 0,
+            elem_tag: 0,
+            elem_size: 0,
         }
+    }
+
+    /// Attach build-time integrity metadata: the distribution epochs of the
+    /// source and destination objects and the element type fingerprint
+    /// (see [`elem_type`]).  [`crate::build::compute_schedule`] calls this;
+    /// hand-built schedules keep the zero defaults, which executors treat
+    /// as "no integrity information" (legacy behavior).
+    pub fn with_integrity(
+        mut self,
+        src_epoch: u64,
+        dst_epoch: u64,
+        elem_tag: u64,
+        elem_size: u32,
+    ) -> Self {
+        self.src_epoch = src_epoch;
+        self.dst_epoch = dst_epoch;
+        self.elem_tag = elem_tag;
+        self.elem_size = elem_size;
+        self
+    }
+
+    /// Distribution epoch of the source object at build time.
+    pub fn src_epoch(&self) -> u64 {
+        self.src_epoch
+    }
+
+    /// Distribution epoch of the destination object at build time.
+    pub fn dst_epoch(&self) -> u64 {
+        self.dst_epoch
+    }
+
+    /// Element-type fingerprint the schedule was built for (0 = untyped).
+    pub fn elem_tag(&self) -> u64 {
+        self.elem_tag
+    }
+
+    /// Element size in bytes the schedule was built for (0 = untyped).
+    pub fn elem_size(&self) -> u32 {
+        self.elem_size
     }
 
     /// The union group the schedule communicates over.
@@ -344,6 +411,10 @@ impl Schedule {
             recvs: self.sends.clone(),
             local_pairs: self.local_pairs.swapped(),
             total_elems: self.total_elems,
+            src_epoch: self.dst_epoch,
+            dst_epoch: self.src_epoch,
+            elem_tag: self.elem_tag,
+            elem_size: self.elem_size,
         }
     }
 
@@ -392,6 +463,10 @@ impl Wire for Schedule {
         self.recvs.write(out);
         self.local_pairs.write(out);
         self.total_elems.write(out);
+        self.src_epoch.write(out);
+        self.dst_epoch.write(out);
+        self.elem_tag.write(out);
+        self.elem_size.write(out);
     }
     fn read(r: &mut WireReader<'_>) -> Result<Self, SimError> {
         let members = Vec::<usize>::read(r)?;
@@ -401,6 +476,10 @@ impl Wire for Schedule {
         let recvs = Vec::<(usize, AddrRuns)>::read(r)?;
         let local_pairs = PairRuns::read(r)?;
         let total_elems = usize::read(r)?;
+        let src_epoch = u64::read(r)?;
+        let dst_epoch = u64::read(r)?;
+        let elem_tag = u64::read(r)?;
+        let elem_size = u32::read(r)?;
         if members.is_empty() {
             return Err(SimError::Decode("schedule with empty group".into()));
         }
@@ -420,6 +499,10 @@ impl Wire for Schedule {
             recvs,
             local_pairs,
             total_elems,
+            src_epoch,
+            dst_epoch,
+            elem_tag,
+            elem_size,
         })
     }
 }
@@ -527,6 +610,30 @@ mod tests {
         // Valid roundtrip.
         let good: AddrRuns = vec![3, 4, 5, 9].into_iter().collect();
         assert_eq!(AddrRuns::from_bytes(&good.to_bytes()).unwrap(), good);
+    }
+
+    #[test]
+    fn integrity_metadata_survives_wire_and_reversal() {
+        let (tag, size) = elem_type::<f64>();
+        assert_eq!(size, 8);
+        assert_ne!(tag, 0);
+        assert_ne!(elem_type::<f32>().0, tag);
+        let s = sample().with_integrity(3, 9, tag, size);
+        assert_eq!(s.src_epoch(), 3);
+        assert_eq!(s.dst_epoch(), 9);
+        assert_eq!(s.elem_tag(), tag);
+        assert_eq!(s.elem_size(), size);
+        // Reversal swaps the epochs, keeps the type.
+        let r = s.reversed();
+        assert_eq!(r.src_epoch(), 9);
+        assert_eq!(r.dst_epoch(), 3);
+        assert_eq!(r.elem_tag(), tag);
+        // Wire roundtrip preserves everything.
+        use mcsim::wire::Wire;
+        assert_eq!(Schedule::from_bytes(&s.to_bytes()).unwrap(), s);
+        // Hand-built schedules stay untyped.
+        assert_eq!(sample().elem_tag(), 0);
+        assert_eq!(sample().elem_size(), 0);
     }
 
     #[test]

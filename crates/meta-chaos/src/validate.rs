@@ -36,6 +36,9 @@ pub enum ScheduleIssue {
     },
     /// Ranks disagree about the schedule's sequence number.
     SeqMismatch,
+    /// Ranks disagree about the element type the schedule carries (tag or
+    /// size — e.g. one program built it for `f64`, the other for `f32`).
+    TypeMismatch,
 }
 
 /// Collectively validate `sched` over its union group.  Every rank
@@ -59,6 +62,7 @@ pub fn validate_schedule(ep: &mut Endpoint, sched: &Schedule) -> Vec<ScheduleIss
     let all_recvs: Vec<Vec<usize>> = comm.allgather_t(recv_counts);
     let all_locals: Vec<usize> = comm.allgather_t(sched.elems_local());
     let all_seqs: Vec<u32> = comm.allgather_t(sched.seq());
+    let all_types: Vec<(u64, u32)> = comm.allgather_t((sched.elem_tag(), sched.elem_size()));
 
     let mut issues = Vec::new();
     for a in 0..p {
@@ -84,6 +88,9 @@ pub fn validate_schedule(ep: &mut Endpoint, sched: &Schedule) -> Vec<ScheduleIss
     }
     if all_seqs.iter().any(|&s| s != all_seqs[0]) {
         issues.push(ScheduleIssue::SeqMismatch);
+    }
+    if all_types.iter().any(|&t| t != all_types[0]) {
+        issues.push(ScheduleIssue::TypeMismatch);
     }
     issues
 }
@@ -164,6 +171,39 @@ mod tests {
                     .any(|i| matches!(i, ScheduleIssue::CoverageMismatch { .. })),
                 "{issues:?}"
             );
+        });
+    }
+
+    #[test]
+    fn element_type_disagreement_is_detected() {
+        let world = World::with_model(2, MachineModel::zero());
+        world.run(|ep| {
+            let g = Group::world(2);
+            let a = BlockVec::create(&g, ep.rank(), 8, |i| i as f64);
+            let b = BlockVec::create(&g, ep.rank(), 8, |_| 0.0);
+            let sset = SetOfRegions::single(IndexSet::new((0..4).collect()));
+            let dset = SetOfRegions::single(IndexSet::new((4..8).collect()));
+            let mut sched = compute_schedule(
+                ep,
+                &g,
+                &g,
+                Some(Side::new(&a, &sset)),
+                &g,
+                Some(Side::new(&b, &dset)),
+                BuildMethod::Cooperation,
+            )
+            .unwrap();
+            assert!(validate_schedule(ep, &sched).is_empty());
+            // Rank 1 thinks the port carries a different element type — as
+            // if its program instantiated the build for f32.
+            if ep.rank() == 1 {
+                let (tag, size) = crate::schedule::elem_type::<f32>();
+                sched = sched
+                    .clone()
+                    .with_integrity(sched.src_epoch(), sched.dst_epoch(), tag, size);
+            }
+            let issues = validate_schedule(ep, &sched);
+            assert_eq!(issues, vec![ScheduleIssue::TypeMismatch]);
         });
     }
 }

@@ -150,6 +150,10 @@ impl<T: Copy + Default> McObject<T> for MultiblockArray<T> {
         }
     }
 
+    fn epoch(&self) -> u64 {
+        MultiblockArray::epoch(self)
+    }
+
     fn pack(&self, ep: &mut Endpoint, addrs: &[LocalAddr], out: &mut Vec<T>) {
         let data = self.local();
         out.extend(addrs.iter().map(|&a| data[a]));

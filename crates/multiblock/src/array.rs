@@ -13,6 +13,9 @@ pub struct MultiblockArray<T> {
     members: Vec<usize>,
     my_local: usize,
     data: Vec<T>,
+    /// Distribution epoch: bumped by [`crate::regrid::regrid`] so
+    /// schedules built against the old block layout are detectably stale.
+    epoch: u64,
 }
 
 impl<T: Copy + Default> MultiblockArray<T> {
@@ -45,7 +48,19 @@ impl<T: Copy + Default> MultiblockArray<T> {
             members: prog.members().to_vec(),
             my_local,
             data,
+            epoch: 0,
         }
+    }
+
+    /// Distribution epoch (see `meta_chaos::McObject::epoch`): 0 at
+    /// creation, +1 per [`crate::regrid::regrid`].
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Set the distribution epoch (regrid installs `source + 1`).
+    pub(crate) fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
     }
 
     /// The distribution.

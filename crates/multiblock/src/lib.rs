@@ -16,6 +16,9 @@
 //!   communication of the paper's Table 1 loops);
 //! * [`sweep`] — the regular-mesh stencil sweep of the paper's Figure 1
 //!   (Loop 1);
+//! * [`regrid`] — dynamic re-blocking of an array onto a new processor
+//!   grid, implemented on top of Meta-Chaos (the structured counterpart of
+//!   HPF `REDISTRIBUTE` and Chaos `remap`);
 //! * [`native_move`] — Parti's own regular-section copy between two
 //!   block-distributed arrays: the specialized baseline Meta-Chaos is
 //!   compared against in Table 5 (note its intermediate staging buffer for
@@ -38,6 +41,7 @@ pub mod ghost;
 pub mod grid;
 pub mod multigrid;
 pub mod native_move;
+pub mod regrid;
 pub mod stencil;
 pub mod sweep;
 
@@ -48,4 +52,5 @@ pub use dist::BlockDist;
 pub use ghost::GhostSchedule;
 pub use grid::ProcGrid;
 pub use multigrid::Multigrid;
+pub use regrid::regrid;
 pub use stencil::{Stencil, StencilOp, Tap};

@@ -1,0 +1,113 @@
+//! Regridding — dynamic re-blocking of a multiblock array, implemented
+//! *on top of Meta-Chaos*.
+//!
+//! Adaptive structured codes periodically re-block their arrays (a new
+//! processor grid after load rebalancing, or a different aspect ratio for
+//! a new sweep direction).  Because a [`MultiblockArray`] exports the
+//! Meta-Chaos interface functions, regridding is just a whole-array
+//! transfer between two differently blocked instances — the structured
+//! counterpart of HPF `REDISTRIBUTE` and Chaos `remap`, and like them it
+//! advances the array's distribution epoch so schedules built against the
+//! old layout are detectably stale.
+
+use mcsim::group::Group;
+use mcsim::prelude::Endpoint;
+
+use meta_chaos::build::{compute_schedule, BuildMethod};
+use meta_chaos::datamove::data_move;
+use meta_chaos::region::RegularSection;
+use meta_chaos::setof::SetOfRegions;
+use meta_chaos::Side;
+
+use crate::array::MultiblockArray;
+use crate::dist::BlockDist;
+
+/// Produce a copy of `src` blocked by `new_dist` (same shape, same
+/// program).  Collective over `prog`.  Halo contents are not migrated —
+/// refill them with a ghost exchange after regridding.
+///
+/// # Panics
+/// Panics if the shapes differ or `new_dist`'s grid does not cover the
+/// program.
+pub fn regrid<T: Copy + Default + mcsim::wire::Wire>(
+    ep: &mut Endpoint,
+    prog: &Group,
+    src: &MultiblockArray<T>,
+    new_dist: BlockDist,
+) -> MultiblockArray<T> {
+    assert_eq!(
+        src.dist().shape(),
+        new_dist.shape(),
+        "regridding cannot change the array shape"
+    );
+    let mut dst = MultiblockArray::<T>::from_dist(prog, ep.rank(), new_dist);
+    let whole = SetOfRegions::single(RegularSection::whole(src.dist().shape()));
+    let sched = compute_schedule(
+        ep,
+        prog,
+        prog,
+        Some(Side::new(src, &whole)),
+        prog,
+        Some(Side::new(&dst, &whole)),
+        // Both descriptors are a few integers: the communication-free
+        // duplication build is the natural choice here.
+        BuildMethod::Duplication,
+    )
+    .expect("same shape implies equal linearization lengths");
+    data_move(ep, &sched, src, &mut dst);
+    // Bump *after* the move: the schedule above was built against the
+    // fresh destination (epoch 0); the bump marks the regridding so
+    // schedules built against `src`'s layout become stale.
+    dst.set_epoch(src.epoch() + 1);
+    dst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::ProcGrid;
+    use mcsim::model::MachineModel;
+    use mcsim::world::World;
+
+    #[test]
+    fn reblock_preserves_values() {
+        let world = World::with_model(4, MachineModel::zero());
+        world.run(|ep| {
+            let g = Group::world(4);
+            let mut a = MultiblockArray::<f64>::new(&g, ep.rank(), &[8, 8]);
+            a.fill_with(|c| (c[0] * 8 + c[1]) as f64);
+            // 2x2 grid -> 4x1 (row blocks) -> 1x4 (column blocks).
+            let rows = BlockDist::new(vec![8, 8], ProcGrid::new(vec![4, 1]), 0);
+            let b = regrid(ep, &g, &a, rows);
+            let boxx = b.my_box();
+            for i in boxx[0].0..boxx[0].1 {
+                for j in boxx[1].0..boxx[1].1 {
+                    assert_eq!(b.get(&[i, j]), (i * 8 + j) as f64);
+                }
+            }
+            let cols = BlockDist::new(vec![8, 8], ProcGrid::new(vec![1, 4]), 0);
+            let c = regrid(ep, &g, &b, cols);
+            let boxx = c.my_box();
+            for i in boxx[0].0..boxx[0].1 {
+                for j in boxx[1].0..boxx[1].1 {
+                    assert_eq!(c.get(&[i, j]), (i * 8 + j) as f64);
+                }
+            }
+            // Each regrid advances the distribution epoch.
+            assert_eq!(a.epoch(), 0);
+            assert_eq!(b.epoch(), 1);
+            assert_eq!(c.epoch(), 2);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot change the array shape")]
+    fn shape_change_rejected() {
+        let world = World::with_model(1, MachineModel::zero());
+        world.run(|ep| {
+            let g = Group::world(1);
+            let a = MultiblockArray::<f64>::new(&g, ep.rank(), &[4, 4]);
+            let _ = regrid(ep, &g, &a, BlockDist::new(vec![4, 5], ProcGrid::new(vec![1, 1]), 0));
+        });
+    }
+}

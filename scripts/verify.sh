@@ -6,12 +6,17 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test --workspace -q
-cargo clippy --all-targets -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
 
 # Fault-injection gate: the fault matrix drives every injector kind through
-# the coupled transfer under 3 fixed seeds (11, 42, 20260805) and demands
-# byte-identical results with bounded, deterministic retries.
-cargo test --test fault_matrix -q
-cargo test --test robustness -q
+# the coupled transfer, plus the transactional-transfer suite (stale
+# schedules, manifest mismatches, mid-transfer crashes, idempotent retries).
+# Each seed runs in its own process via MC_FAULT_SEED so one seed's failure
+# pinpoints the seed.
+for seed in 11 42 20260805; do
+  echo "== fault matrix / robustness, seed $seed =="
+  MC_FAULT_SEED=$seed cargo test --test fault_matrix -q
+  MC_FAULT_SEED=$seed cargo test --test robustness -q
+done
 
 echo "verify: all checks passed"

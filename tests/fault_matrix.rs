@@ -23,7 +23,15 @@ const REPS: usize = 3;
 /// transfer more times to make "at least one drop" a statistical certainty
 /// (~48 faultable copies at 10% each).
 const REPS_MIX: usize = 12;
-const SEEDS: [u64; 3] = [11, 42, 20260805];
+
+/// Seeds for the fault-injection sweeps.  `MC_FAULT_SEED` narrows the run
+/// to a single seed so `scripts/verify.sh` can loop seeds from outside.
+fn seeds() -> Vec<u64> {
+    match std::env::var("MC_FAULT_SEED") {
+        Ok(s) => vec![s.parse().expect("MC_FAULT_SEED must be a u64")],
+        Err(_) => vec![11, 42, 20260805],
+    }
+}
 
 /// The deterministic (sender-side) slice of the fault counters: what the
 /// injector did and how the senders reacted.  Receiver-side tail counters
@@ -155,7 +163,7 @@ fn fault_matrix_every_kind_is_survived() {
             "fault-free run must not count faults"
         );
         for (name, rates) in kinds {
-            for seed in SEEDS {
+            for seed in seeds() {
                 let label = format!("{name}/{method:?}/seed {seed}");
                 let plan = FaultPlan::new(seed).rates(rates);
                 let (got, faults) = coupled_transfer(Some(plan), method);
@@ -249,7 +257,7 @@ fn acceptance_mix_through_coupler_is_deterministic() {
     };
 
     let (baseline, _) = run(None);
-    for seed in SEEDS {
+    for seed in seeds() {
         let (r1, f1) = run(Some(FaultPlan::new(seed).rates(rates)));
         let (r2, f2) = run(Some(FaultPlan::new(seed).rates(rates)));
         let label = format!("acceptance mix seed {seed}");
@@ -349,4 +357,320 @@ fn unbound_ports_are_reported_not_panicked() {
             );
         }
     }
+}
+
+/// Epoch guards, direct path: a schedule built before a redistribution is
+/// refused with [`McError::StaleSchedule`] before any element moves, and
+/// the epoch-keyed `mc_*` cache rebuilds (miss) after every remap while
+/// repeat calls with unchanged epochs still hit.
+#[test]
+fn stale_schedules_rejected_direct_and_rebuilt_cached() {
+    use chaos::{remap, IrregArray, Partition};
+    use mcsim::group::{Comm, Group};
+    use meta_chaos::api::{mc_compute_sched, mc_copy, mc_sched_cache_len};
+    use meta_chaos::region::IndexSet;
+
+    let n = 96usize;
+    let out = World::with_model(2, MachineModel::sp2()).run(move |ep| {
+        let g = Group::world(2);
+        let mut a = MultiblockArray::<f64>::new(&g, ep.rank(), &[n]);
+        a.fill_with(|c| (c[0] * 3 + 1) as f64);
+        let mut x = {
+            let mut comm = Comm::new(ep, g.clone());
+            IrregArray::create(&mut comm, n, Partition::Random(5), |_| 0.0)
+        };
+        let sset = SetOfRegions::single(RegularSection::whole(&[n]));
+        let dset = SetOfRegions::single(IndexSet::new((0..n).collect()));
+
+        let sched = mc_compute_sched(ep, &g, &a, &sset, &x, &dset).unwrap();
+        mc_copy(ep, &sched, &a, &mut x).unwrap();
+        assert_eq!(mc_sched_cache_len(), 1);
+
+        let mut cache_len = 1;
+        for round in 0..3u64 {
+            // Redistribute the destination: its epoch advances...
+            x = {
+                let mut comm = Comm::new(ep, g.clone());
+                let mine = Partition::Random(40 + round).indices_of(n, 2, comm.rank());
+                remap(&mut comm, &x, mine)
+            };
+            assert_eq!(x.epoch(), round + 1);
+            // ...so the pre-remap schedule is refused, untouched data intact.
+            match mc_copy(ep, &sched, &a, &mut x) {
+                Err(McError::StaleSchedule {
+                    object_epoch,
+                    schedule_epoch: 0,
+                }) => assert_eq!(object_epoch, round + 1),
+                other => panic!("round {round}: expected StaleSchedule, got {other:?}"),
+            }
+            // The cached path rebuilds instead: every remap is a miss...
+            let fresh = mc_compute_sched(ep, &g, &a, &sset, &x, &dset).unwrap();
+            cache_len += 1;
+            assert_eq!(fresh.dst_epoch(), x.epoch());
+            assert_eq!(
+                mc_sched_cache_len(),
+                cache_len,
+                "round {round}: remap must force a cache rebuild"
+            );
+            // ...and a repeat call with unchanged epochs is a hit.
+            let again = mc_compute_sched(ep, &g, &a, &sset, &x, &dset).unwrap();
+            assert_eq!(again.seq(), fresh.seq());
+            assert_eq!(
+                mc_sched_cache_len(),
+                cache_len,
+                "round {round}: unchanged epochs must hit the cache"
+            );
+            mc_copy(ep, &fresh, &a, &mut x).unwrap();
+        }
+        // The last rebuilt schedule moved real data.
+        for (&gidx, &v) in x.my_globals().iter().zip(x.local()) {
+            assert_eq!(v, (gidx * 3 + 1) as f64, "x[{gidx}]");
+        }
+    });
+    // Each rank refused the stale schedule once per round.
+    assert_eq!(out.stats.session.stale_schedules, 6);
+}
+
+/// Coupled programs whose port bindings disagree (the two sides bound
+/// different builds of the same coupling) abort symmetrically with
+/// [`McError::ScheduleMismatch`] — no deadlock, no data moved — and the
+/// transfer succeeds once the stale side rebinds the agreed schedule.
+#[test]
+fn mismatched_ports_abort_both_sides_then_rebind_retries() {
+    use mcsim::group::Group;
+
+    let out = World::with_model(4, MachineModel::sp2()).run(move |ep| {
+        let (pa, pb, un) = Group::split_two(2, 2, 32);
+        let set: SetOfRegions<RegularSection> = SetOfRegions::single(RegularSection::whole(&[N]));
+        if pa.contains(ep.rank()) {
+            let mut v = MultiblockArray::<f64>::new(&pa, ep.rank(), &[N]);
+            v.fill_with(|c| (c[0] * 5 + 3) as f64);
+            let build = |ep: &mut _| {
+                compute_schedule::<f64, MultiblockArray<f64>, HpfArray<f64>>(
+                    ep,
+                    &un,
+                    &pa,
+                    Some(Side::new(&v, &set)),
+                    &pb,
+                    None,
+                    BuildMethod::Cooperation,
+                )
+                .unwrap()
+            };
+            // Two builds of the same coupling: same pairs, distinct
+            // transactions (sequence numbers).
+            let s1 = build(ep);
+            let s2 = build(ep);
+            assert_ne!(s1.seq(), s2.seq());
+            let mut ports = Coupler::new();
+            // This program bound the stale build; the peer bound the fresh
+            // one.  Both sides must observe the disagreement as a value.
+            ports.try_bind("field", s1).unwrap();
+            let e = ports.put(ep, "field", &v).unwrap_err();
+            assert!(
+                matches!(e, McError::ScheduleMismatch { .. }),
+                "sender must see the mismatch, got {e:?}"
+            );
+            // Recover: displace the stale binding and retry.
+            let displaced = ports.bind("field", s2);
+            assert!(displaced.is_some(), "rebinding must hand back the stale schedule");
+            ports.put(ep, "field", &v).unwrap();
+            Vec::new()
+        } else {
+            let mut h = HpfArray::<f64>::new(&pb, ep.rank(), HpfDist::block_1d(N, 2));
+            let build = |ep: &mut _| {
+                compute_schedule::<f64, MultiblockArray<f64>, HpfArray<f64>>(
+                    ep,
+                    &un,
+                    &pa,
+                    None,
+                    &pb,
+                    Some(Side::new(&h, &set)),
+                    BuildMethod::Cooperation,
+                )
+                .unwrap()
+            };
+            let s1 = build(ep);
+            let s2 = build(ep);
+            drop(s1);
+            let mut ports = Coupler::new();
+            ports.try_bind("field", s2).unwrap();
+            let e = ports.get(ep, "field", &mut h).unwrap_err();
+            assert!(
+                matches!(e, McError::ScheduleMismatch { .. }),
+                "receiver must see the mismatch, got {e:?}"
+            );
+            // The aborted attempt staged nothing into the destination.
+            assert!((0..N).filter(|&x| h.owns(&[x])).all(|x| h.get(&[x]) == 0.0));
+            // This side already holds the agreed build; cycle the port
+            // through unbind/try_bind and retry.
+            let kept = ports.unbind("field").expect("port was bound");
+            ports.try_bind("field", kept).unwrap();
+            ports.get(ep, "field", &mut h).unwrap();
+            (0..N)
+                .filter(|&x| h.owns(&[x]))
+                .map(|x| (x, h.get(&[x])))
+                .collect::<Vec<_>>()
+        }
+    });
+    for vals in &out.results[2..] {
+        assert!(!vals.is_empty());
+        for &(x, v) in vals {
+            assert_eq!(v, (x * 5 + 3) as f64, "after retry, h[{x}]");
+        }
+    }
+}
+
+/// All-or-nothing delivery: a sender that crashes after the transaction
+/// settled but before its data frames leaves every destination
+/// bit-identical to its pre-transfer state — including receivers that had
+/// already staged the healthy sender's halves — and the abort is visible
+/// as [`McError::PeerFailed`], not a hang.
+#[test]
+fn mid_transfer_crash_leaves_destinations_untouched() {
+    use chaos::{IrregArray, Partition};
+    use mcsim::group::{Comm, Group};
+    use meta_chaos::datamove::data_move_send_verify_only;
+    use meta_chaos::region::IndexSet;
+
+    const SENTINEL: f64 = -7.5;
+    let report = World::with_model(4, MachineModel::sp2()).run_result(move |ep| {
+        let (pa, pb, un) = Group::split_two(2, 2, 32);
+        let sset: SetOfRegions<RegularSection> = SetOfRegions::single(RegularSection::whole(&[N]));
+        // Random partition on the receive side: every receiver pairs with
+        // BOTH senders, so a receiver that staged rank 0's half still has
+        // to roll it back when rank 1 dies.
+        let dset = SetOfRegions::single(IndexSet::new((0..N).collect()));
+        if pa.contains(ep.rank()) {
+            let mut v = MultiblockArray::<f64>::new(&pa, ep.rank(), &[N]);
+            v.fill_with(|c| (c[0] * 3 + 1) as f64);
+            let sched = compute_schedule::<f64, MultiblockArray<f64>, IrregArray<f64>>(
+                ep,
+                &un,
+                &pa,
+                Some(Side::new(&v, &sset)),
+                &pb,
+                None,
+                BuildMethod::Cooperation,
+            )
+            .unwrap();
+            if ep.rank() == 1 {
+                // Settle the transaction (manifests + verdicts), then die
+                // in the window all-or-nothing delivery exists for: after
+                // "agreed", before any data.  The handshake pins the order:
+                // rank 0's full send already completed, so its halves are
+                // staged (or in flight and acked) at the receivers.
+                data_move_send_verify_only(ep, &sched, &v).unwrap();
+                let _ = ep.recv(0, mcsim::Tag::user(91));
+                panic!("boom: sender dies mid-transfer");
+            }
+            let r = data_move_send(ep, &sched, &v);
+            ep.send(1, mcsim::Tag::user(91), Vec::new());
+            r.map(|()| Vec::new())
+        } else {
+            let mut x = {
+                let mut comm = Comm::new(ep, pb.clone());
+                IrregArray::create(&mut comm, N, Partition::Random(11), |_| SENTINEL)
+            };
+            let sched = compute_schedule::<f64, MultiblockArray<f64>, IrregArray<f64>>(
+                ep,
+                &un,
+                &pa,
+                None,
+                &pb,
+                Some(Side::new(&x, &dset)),
+                BuildMethod::Cooperation,
+            )
+            .unwrap();
+            let r = data_move_recv(ep, &sched, &mut x);
+            let vals: Vec<f64> = x.local().to_vec();
+            r.map(|()| vals)
+        }
+    });
+    // The healthy sender finished; the crasher's own panic is captured.
+    assert!(matches!(&report.outcomes[0], Ok(Ok(_))), "rank 0 failed");
+    assert!(matches!(
+        &report.outcomes[1],
+        Err(mcsim::SimError::PeerFailed { rank: 1, .. })
+    ));
+    // Both receivers observed the failure as a value, with the destination
+    // bit-identical to its pre-transfer state.
+    for rank in [2, 3] {
+        match &report.outcomes[rank] {
+            Ok(Err(McError::PeerFailed { rank: 1, .. })) => {}
+            other => panic!("rank {rank}: expected PeerFailed {{rank: 1}}, got {other:?}"),
+        }
+    }
+    // The staged-then-rolled-back halves are visible in the counters.
+    assert!(
+        report.stats.session.frames_staged >= 2,
+        "both receivers staged rank 0's half: {:?}",
+        report.stats.session
+    );
+    assert!(
+        report.stats.session.transfers_aborted >= 2,
+        "both receivers aborted: {:?}",
+        report.stats.session
+    );
+}
+
+/// Idempotent retry: a data half replayed from an attempt that died before
+/// commit is discarded by transfer-epoch dedup, and the retried transfer
+/// delivers exactly the fresh attempt's data.
+#[test]
+fn retried_transfer_dedups_replayed_halves() {
+    use mcsim::group::Group;
+    use meta_chaos::datamove::data_move_send_unverified;
+
+    let out = World::with_model(2, MachineModel::sp2()).run(move |ep| {
+        let (pa, pb, un) = Group::split_two(1, 1, 32);
+        let set: SetOfRegions<RegularSection> = SetOfRegions::single(RegularSection::whole(&[N]));
+        if pa.contains(ep.rank()) {
+            let mut v = MultiblockArray::<f64>::new(&pa, ep.rank(), &[N]);
+            v.fill_with(|c| (c[0] * 3 + 1) as f64);
+            let sched = compute_schedule::<f64, MultiblockArray<f64>, HpfArray<f64>>(
+                ep,
+                &un,
+                &pa,
+                Some(Side::new(&v, &set)),
+                &pb,
+                None,
+                BuildMethod::Cooperation,
+            )
+            .unwrap();
+            // A half from an attempt that died before commit (no manifest,
+            // no verdict — just the orphaned data frame on the wire)...
+            data_move_send_unverified(ep, &sched, &v).unwrap();
+            // ...then the retry, exactly as the application would issue it.
+            data_move_send(ep, &sched, &v).unwrap();
+            Vec::new()
+        } else {
+            let mut h = HpfArray::<f64>::new(&pb, ep.rank(), HpfDist::block_1d(N, 1));
+            let sched = compute_schedule::<f64, MultiblockArray<f64>, HpfArray<f64>>(
+                ep,
+                &un,
+                &pa,
+                None,
+                &pb,
+                Some(Side::new(&h, &set)),
+                BuildMethod::Cooperation,
+            )
+            .unwrap();
+            data_move_recv(ep, &sched, &mut h).unwrap();
+            (0..N)
+                .filter(|&x| h.owns(&[x]))
+                .map(|x| (x, h.get(&[x])))
+                .collect::<Vec<_>>()
+        }
+    });
+    for &(x, v) in &out.results[1] {
+        assert_eq!(v, (x * 3 + 1) as f64, "after retry, h[{x}]");
+    }
+    // The orphaned half was dropped by dedup, the fresh one staged.
+    assert_eq!(
+        out.stats.session.stale_halves_dropped, 1,
+        "replayed half must be discarded: {:?}",
+        out.stats.session
+    );
+    assert!(out.stats.session.frames_staged >= 1);
 }
