@@ -12,6 +12,7 @@ use std::time::Instant;
 
 use mcsim::group::{Comm, Group};
 use mcsim::model::MachineModel;
+use mcsim::wire::WireReader;
 use mcsim::world::World;
 
 use meta_chaos::build::{compute_schedule, BuildMethod};
@@ -21,8 +22,32 @@ use meta_chaos::datamove::{
 };
 use meta_chaos::region::RegularSection;
 use meta_chaos::setof::SetOfRegions;
-use meta_chaos::Side;
+use meta_chaos::{McObject, Side};
 use multiblock::MultiblockArray;
+
+/// Wall-clock breakdown of where a `data_move` spends its time, measured
+/// by driving each stage of the pipeline in isolation on the ranks that
+/// actually perform it (pack on the first sender, unpack on the last
+/// receiver).
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseNanos {
+    /// Wall ns for one cold `compute_schedule` (the inspector).
+    pub inspector_build_ns: f64,
+    /// Wall ns to pack one move's send runs into wire buffers (rank 0).
+    pub pack_ns: f64,
+    /// Wall ns to unpack one move's receive runs from wire bytes (last
+    /// rank).
+    pub unpack_ns: f64,
+    /// Residual of the fast-path move after pack and unpack: wire
+    /// encode/decode, channel transfer and synchronization.  Derived
+    /// (`fast_ns - pack_ns - unpack_ns`, floored at zero), not measured.
+    pub wire_ns: f64,
+    /// Extra wall ns per move for the transactional session layer
+    /// (manifests, verdicts, staged delivery): `reliable_ns -
+    /// reliable_raw_ns`.  Only measured where the reliable legs run
+    /// (`procs == 2`).
+    pub session_overhead_ns: Option<f64>,
+}
 
 /// Result of one executor micro-benchmark run.
 #[derive(Debug, Clone, Copy)]
@@ -49,6 +74,9 @@ pub struct ExecutorMicro {
     pub reliable_raw_ns: Option<f64>,
     /// Total `(start, len)` runs in rank 0's schedule (compression check).
     pub sched_runs: usize,
+    /// Per-phase wall-clock breakdown (inspector build, pack, wire,
+    /// unpack, session overhead).
+    pub phases: PhaseNanos,
 }
 
 impl ExecutorMicro {
@@ -80,8 +108,7 @@ impl ExecutorMicro {
     /// Fault-free overhead of the reliable layer over the raw fast path,
     /// in percent (trailer + checksum bookkeeping + ack round trip).
     pub fn reliable_overhead_pct(&self) -> Option<f64> {
-        self.reliable_ns
-            .map(|ns| (ns / self.fast_ns - 1.0) * 100.0)
+        self.reliable_ns.map(|ns| (ns / self.fast_ns - 1.0) * 100.0)
     }
 
     /// Fault-free overhead of the transactional session layer (manifest
@@ -193,9 +220,81 @@ pub fn executor_micro(elements: usize, procs: usize, reps: usize) -> ExecutorMic
             None
         };
 
-        (fast_ns, elementwise_ns, reliable_ns, reliable_raw_ns, sched.num_runs())
+        // Per-phase isolation.  Every rank takes every `timed!` call (the
+        // batches barrier on `sync_clocks`), measuring only its own share
+        // of the stage; the merge below reads pack from the first sender
+        // (rank 0) and unpack from the last receiver (rank p-1).
+        let inspector_build_ns = timed!({
+            compute_schedule(
+                ep,
+                &g,
+                &g,
+                Some(Side::new(&src, &sset)),
+                &g,
+                Some(Side::new(&dst, &dset)),
+                BuildMethod::Cooperation,
+            )
+            .expect("schedule rebuild");
+        });
+
+        let mut scratch: Vec<u8> = Vec::new();
+        let pack_ns = timed!({
+            for (_, runs) in &sched.sends {
+                scratch.clear();
+                src.pack_runs_wire(ep, runs, &mut scratch);
+            }
+        });
+
+        // Valid wire payloads for the unpack leg come from packing the
+        // destination's own storage at the receive addresses.
+        let payloads: Vec<Vec<u8>> = sched
+            .recvs
+            .iter()
+            .map(|(_, runs)| {
+                let mut b = Vec::new();
+                dst.pack_runs_wire(ep, runs, &mut b);
+                b
+            })
+            .collect();
+        let unpack_ns = timed!({
+            for ((_, runs), b) in sched.recvs.iter().zip(&payloads) {
+                let mut r = WireReader::new(b);
+                dst.unpack_runs_wire(ep, runs, &mut r).expect("unpack");
+            }
+        });
+
+        (
+            fast_ns,
+            elementwise_ns,
+            reliable_ns,
+            reliable_raw_ns,
+            sched.num_runs(),
+            inspector_build_ns,
+            pack_ns,
+            unpack_ns,
+        )
     });
-    let (fast_ns, elementwise_ns, reliable_ns, reliable_raw_ns, sched_runs) = out.results[0];
+    let (
+        fast_ns,
+        elementwise_ns,
+        reliable_ns,
+        reliable_raw_ns,
+        sched_runs,
+        inspector_build_ns,
+        pack_ns,
+        _,
+    ) = out.results[0];
+    let unpack_ns = out.results[procs - 1].7;
+    let phases = PhaseNanos {
+        inspector_build_ns,
+        pack_ns,
+        unpack_ns,
+        wire_ns: (fast_ns - pack_ns - unpack_ns).max(0.0),
+        session_overhead_ns: match (reliable_ns, reliable_raw_ns) {
+            (Some(txn), Some(raw)) => Some((txn - raw).max(0.0)),
+            _ => None,
+        },
+    };
     ExecutorMicro {
         elements,
         procs,
@@ -205,6 +304,7 @@ pub fn executor_micro(elements: usize, procs: usize, reps: usize) -> ExecutorMic
         reliable_ns,
         reliable_raw_ns,
         sched_runs,
+        phases,
     }
 }
 
@@ -231,6 +331,17 @@ mod tests {
         let raw = r.reliable_raw_ns.expect("raw leg at procs == 2");
         assert!(raw > 0.0);
         assert!(r.txn_overhead_pct().is_some());
+        // Phase breakdown: every measured stage is positive and the wire
+        // residual stays within the whole move.
+        let ph = r.phases;
+        assert!(ph.inspector_build_ns > 0.0);
+        assert!(ph.pack_ns > 0.0, "rank 0 sends, so pack must cost");
+        assert!(
+            ph.unpack_ns > 0.0,
+            "last rank receives, so unpack must cost"
+        );
+        assert!(ph.wire_ns >= 0.0 && ph.wire_ns <= r.fast_ns);
+        assert!(ph.session_overhead_ns.is_some());
     }
 
     #[test]
@@ -240,5 +351,6 @@ mod tests {
         assert!(r.reliable_raw_ns.is_none());
         assert!(r.reliable_overhead_pct().is_none());
         assert!(r.txn_overhead_pct().is_none());
+        assert!(r.phases.session_overhead_ns.is_none());
     }
 }

@@ -22,6 +22,7 @@ pub mod executor;
 pub mod meshes;
 pub mod regular;
 pub mod report;
+pub mod traced;
 
 /// Convert simulated seconds to the milliseconds the paper reports.
 pub fn ms(seconds: f64) -> f64 {

@@ -17,6 +17,7 @@ use bench::executor::executor_micro;
 use bench::meshes::{table1, table2, table34};
 use bench::regular::table5;
 use bench::report::{fmt_ms, write_json_report, JsonValue};
+use bench::traced::traced_coupled_run;
 
 fn arg(args: &[String], name: &str, default: usize) -> usize {
     args.iter()
@@ -24,6 +25,14 @@ fn arg(args: &[String], name: &str, default: usize) -> usize {
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().unwrap_or_else(|_| panic!("bad value for {name}")))
         .unwrap_or(default)
+}
+
+fn arg_str(args: &[String], name: &str, default: &str) -> String {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
 }
 
 fn usage() -> ! {
@@ -38,6 +47,10 @@ fn usage() -> ! {
            fig15    [--client C] [--servers S] [--n N]\n\
            micro    [--elements N] [--procs P] [--reps R] executor fast path vs\n\
                     element-list baseline; writes BENCH_executor.json\n\
+           trace    [--n N] [--reps R] [--trace-out FILE] traced coupled run;\n\
+                    FILE ending .jsonl gets JSONL, anything else Chrome JSON\n\
+                    (load in chrome://tracing or https://ui.perfetto.dev)\n\
+           trace-check FILE                            validate a JSONL trace\n\
            all                                         every table at paper size\n\
            list                                        this message"
     );
@@ -161,6 +174,18 @@ fn main() {
                      costs {pct:+.1}% fault-free (manifests + verdicts + staging)"
                 );
             }
+            let ph = r.phases;
+            println!(
+                "phases: inspector build {:.0} ns, pack {:.0} ns, wire {:.0} ns, unpack {:.0} ns{}",
+                ph.inspector_build_ns,
+                ph.pack_ns,
+                ph.wire_ns,
+                ph.unpack_ns,
+                match ph.session_overhead_ns {
+                    Some(s) => format!(", session overhead {s:.0} ns"),
+                    None => String::new(),
+                }
+            );
             let path = "BENCH_executor.json";
             let mut fields = vec![
                 ("bench", JsonValue::Str("executor".into())),
@@ -176,7 +201,10 @@ fn main() {
             ];
             if let Some(rel_ns) = r.reliable_ns {
                 fields.push(("reliable_ns_per_move", JsonValue::Num(rel_ns)));
-                fields.push(("reliable_mb_per_s", JsonValue::Num(r.reliable_mbps().unwrap())));
+                fields.push((
+                    "reliable_mb_per_s",
+                    JsonValue::Num(r.reliable_mbps().unwrap()),
+                ));
                 fields.push((
                     "reliable_overhead_pct",
                     JsonValue::Num(r.reliable_overhead_pct().unwrap()),
@@ -189,8 +217,63 @@ fn main() {
                     JsonValue::Num(r.txn_overhead_pct().unwrap()),
                 ));
             }
+            let mut phase_fields = vec![
+                (
+                    "inspector_build_ns".to_string(),
+                    JsonValue::Num(ph.inspector_build_ns),
+                ),
+                ("pack_ns".to_string(), JsonValue::Num(ph.pack_ns)),
+                ("wire_ns".to_string(), JsonValue::Num(ph.wire_ns)),
+                ("unpack_ns".to_string(), JsonValue::Num(ph.unpack_ns)),
+            ];
+            if let Some(s) = ph.session_overhead_ns {
+                phase_fields.push(("session_overhead_ns".to_string(), JsonValue::Num(s)));
+            }
+            fields.push(("phases", JsonValue::Obj(phase_fields)));
             write_json_report(path, &fields).expect("write BENCH_executor.json");
             println!("wrote {path}");
+        }
+        "trace" => {
+            let n = arg(&args, "--n", 4096);
+            let reps = arg(&args, "--reps", 2);
+            let path = arg_str(&args, "--trace-out", "trace.json");
+            let run = traced_coupled_run(n, reps);
+            let text = if path.ends_with(".jsonl") {
+                mcsim::jsonl_events(&run.traces)
+            } else {
+                mcsim::chrome_trace_json(&run.traces)
+            };
+            std::fs::write(&path, text).unwrap_or_else(|e| panic!("write {path}: {e}"));
+            let metrics = mcsim::MetricsRegistry::from_run(&run.stats, &run.traces);
+            for line in metrics.lines() {
+                println!("{line}");
+            }
+            if let Some((insp, exec)) = metrics.inspector_executor_share() {
+                println!(
+                    "virtual-time share: inspector {:.1}%, executor {:.1}%",
+                    insp * 100.0,
+                    exec * 100.0
+                );
+            }
+            println!("wrote {path}");
+        }
+        "trace-check" => {
+            let path = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+            match mcsim::validate_jsonl(&text) {
+                Ok(c) => println!(
+                    "{path}: {} lines, {} ranks, {} spans ({} unclosed), phases: {}",
+                    c.lines,
+                    c.ranks,
+                    c.span_begins,
+                    c.span_begins.saturating_sub(c.span_ends),
+                    c.phases.join(",")
+                ),
+                Err(e) => {
+                    eprintln!("{path}: INVALID: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
         "all" => {
             for p in [2, 4, 8, 16] {

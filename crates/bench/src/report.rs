@@ -25,7 +25,7 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     }
 }
 
-/// One field of a flat JSON report object.
+/// One field of a JSON report object.
 pub enum JsonValue {
     /// A finite number (rendered with enough precision to round-trip).
     Num(f64),
@@ -33,6 +33,9 @@ pub enum JsonValue {
     Int(u64),
     /// A string (escaped on render).
     Str(String),
+    /// A nested object, fields in the given order (e.g. the per-phase
+    /// timing breakdown inside `BENCH_executor.json`).
+    Obj(Vec<(String, JsonValue)>),
 }
 
 fn json_escape(s: &str) -> String {
@@ -50,7 +53,29 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Render a flat JSON object, fields in the given order.
+fn render_value(out: &mut String, key: &str, v: &JsonValue) {
+    match v {
+        JsonValue::Num(n) => {
+            assert!(n.is_finite(), "JSON has no NaN/inf (field {key})");
+            out.push_str(&format!("{n:.3}"));
+        }
+        JsonValue::Int(n) => out.push_str(&n.to_string()),
+        JsonValue::Str(s) => out.push_str(&format!("\"{}\"", json_escape(s))),
+        JsonValue::Obj(fields) => {
+            out.push('{');
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{}\": ", json_escape(k)));
+                render_value(out, k, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Render a JSON object, fields in the given order.
 pub fn json_object(fields: &[(&str, JsonValue)]) -> String {
     let mut out = String::from("{");
     for (i, (k, v)) in fields.iter().enumerate() {
@@ -58,14 +83,7 @@ pub fn json_object(fields: &[(&str, JsonValue)]) -> String {
             out.push_str(", ");
         }
         out.push_str(&format!("\"{}\": ", json_escape(k)));
-        match v {
-            JsonValue::Num(n) => {
-                assert!(n.is_finite(), "JSON has no NaN/inf (field {k})");
-                out.push_str(&format!("{n:.3}"));
-            }
-            JsonValue::Int(n) => out.push_str(&n.to_string()),
-            JsonValue::Str(s) => out.push_str(&format!("\"{}\"", json_escape(s))),
-        }
+        render_value(&mut out, k, v);
     }
     out.push('}');
     out
@@ -101,6 +119,24 @@ mod tests {
         assert_eq!(
             s,
             "{\"bench\": \"exec\\\"utor\", \"speedup\": 2.500, \"elements\": 1048576}"
+        );
+    }
+
+    #[test]
+    fn json_object_renders_nested_objects() {
+        let s = json_object(&[
+            ("bench", JsonValue::Str("executor".into())),
+            (
+                "phases",
+                JsonValue::Obj(vec![
+                    ("pack_ns".to_string(), JsonValue::Num(1.5)),
+                    ("wire_ns".to_string(), JsonValue::Int(7)),
+                ]),
+            ),
+        ]);
+        assert_eq!(
+            s,
+            "{\"bench\": \"executor\", \"phases\": {\"pack_ns\": 1.500, \"wire_ns\": 7}}"
         );
     }
 

@@ -25,6 +25,7 @@ use crate::fault::{FaultPlan, FaultState};
 use crate::message::{Body, Message, Rank, DROP_PREFIX};
 use crate::model::MachineModel;
 use crate::reliable::{self, ReliableState};
+use crate::span::{ObsState, Phase, SpanId};
 use crate::stats::StatsSnapshot;
 use crate::tag::Tag;
 use crate::trace::{FaultKind, TraceEvent};
@@ -52,7 +53,9 @@ pub struct Endpoint {
     pub(crate) clock: f64,
     pub(crate) model: MachineModel,
     pub(crate) stats: StatsSnapshot,
-    trace: Option<Vec<TraceEvent>>,
+    /// Observability state: the always-on bounded flight recorder, span
+    /// bookkeeping, and (when tracing is enabled) the full timeline.
+    obs: ObsState,
     /// Reusable byte buffers.  Sends take from here; receives recycle
     /// decoded payloads back, so a steady-state exchange loop (the
     /// executor's `data_move`) allocates no fresh wire buffers.
@@ -84,7 +87,7 @@ impl Endpoint {
             clock: 0.0,
             model,
             stats: StatsSnapshot::new(world),
-            trace: None,
+            obs: ObsState::default(),
             buf_pool: Vec::new(),
             faults: faults.map(|p| FaultState::new(p.clone(), rank)),
             poisoned: None,
@@ -92,17 +95,70 @@ impl Endpoint {
         }
     }
 
-    /// Start recording a communication timeline (see [`crate::trace`]).
+    /// Start recording the full communication timeline (see
+    /// [`crate::trace`]).  The bounded flight recorder runs regardless;
+    /// this turns on the unbounded event vector the exporters consume.
     pub fn enable_trace(&mut self) {
-        if self.trace.is_none() {
-            self.trace = Some(Vec::new());
+        if self.obs.events.is_none() {
+            self.obs.events = Some(Vec::new());
         }
     }
 
     /// Stop recording and return the events captured so far (empty if
     /// tracing was never enabled).
     pub fn take_trace(&mut self) -> Vec<TraceEvent> {
-        self.trace.take().unwrap_or_default()
+        self.obs.events.take().unwrap_or_default()
+    }
+
+    /// True while the full timeline is being recorded.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.obs.events.is_some()
+    }
+
+    /// Open a phase span at the current virtual time (see [`crate::span`]).
+    /// `detail` supplies free-form provenance (`seq=… strategy=…`).
+    /// Close it with [`Endpoint::span_end`] — including on error paths,
+    /// or the span is left with zero duration in exports.
+    pub fn span_begin<F: FnOnce() -> String>(&mut self, phase: Phase, detail: F) -> SpanId {
+        let id = self.obs.alloc_id();
+        let parent = self.obs.parent();
+        let ev = TraceEvent::SpanBegin {
+            at: self.clock,
+            id,
+            parent,
+            phase,
+            detail: detail(),
+        };
+        self.obs.push(ev);
+        self.obs.stack.push(id);
+        id
+    }
+
+    /// Close a span opened by [`Endpoint::span_begin`].  Inner spans still
+    /// open (an error path skipped their end) are force-popped so the
+    /// parent chain stays consistent.
+    pub fn span_end(&mut self, id: SpanId) {
+        if let Some(pos) = self.obs.stack.iter().rposition(|&s| s == id) {
+            self.obs.stack.truncate(pos);
+        }
+        self.obs.push(TraceEvent::SpanEnd { at: self.clock, id });
+    }
+
+    /// Record a point annotation at the current virtual time (cache
+    /// hit/miss, verdicts, timeouts, port bindings).
+    pub fn mark<F: FnOnce() -> String>(&mut self, label: F) {
+        let ev = TraceEvent::Mark {
+            at: self.clock,
+            label: label(),
+        };
+        self.obs.push(ev);
+    }
+
+    /// Snapshot of the flight recorder: the last
+    /// [`crate::span::FLIGHT_RING_CAP`] events, oldest first.
+    pub fn flight_dump(&self) -> Vec<TraceEvent> {
+        self.obs.flight.snapshot()
     }
 
     /// This rank's global index.
@@ -246,9 +302,7 @@ impl Endpoint {
     }
 
     pub(crate) fn trace_push(&mut self, ev: TraceEvent) {
-        if let Some(tr) = &mut self.trace {
-            tr.push(ev);
-        }
+        self.obs.push(ev);
     }
 
     /// Send `payload` to global rank `to` with `tag`.
@@ -472,7 +526,12 @@ impl Endpoint {
     /// deadline.  Because virtual time only moves when messages do, a peer
     /// that never sends at all is detected by a real-time liveness cap
     /// (≈250 ms of wall-clock silence) rather than by the virtual deadline.
-    pub fn recv_timeout(&mut self, from: Rank, tag: Tag, timeout: f64) -> Result<Vec<u8>, SimError> {
+    pub fn recv_timeout(
+        &mut self,
+        from: Rank,
+        tag: Tag,
+        timeout: f64,
+    ) -> Result<Vec<u8>, SimError> {
         assert!(from < self.world, "recv from rank {from} of {}", self.world);
         self.check_crash();
         let deadline = self.clock + timeout;
@@ -485,6 +544,7 @@ impl Endpoint {
                 }
                 self.stats.faults.timeouts += 1;
                 self.advance_to(deadline);
+                self.mark(|| format!("timeout peer={from} tag={tag:?} kind=late-arrival"));
                 return Err(SimError::PeerTimeout { rank: from });
             }
             match self.rx.recv_timeout(RECV_TIMEOUT_REAL_CAP) {
@@ -492,6 +552,7 @@ impl Endpoint {
                 Err(RecvTimeoutError::Timeout) => {
                     self.stats.faults.timeouts += 1;
                     self.advance_to(deadline);
+                    self.mark(|| format!("timeout peer={from} tag={tag:?} kind=silence"));
                     return Err(SimError::PeerTimeout { rank: from });
                 }
                 Err(RecvTimeoutError::Disconnected) => return Err(SimError::Shutdown),
@@ -581,15 +642,13 @@ impl Endpoint {
             self.clock = msg.arrival;
         }
         self.clock += self.model.recv_cost(bytes);
-        if let Some(tr) = &mut self.trace {
-            tr.push(TraceEvent::Recv {
-                at: self.clock,
-                from: msg.src,
-                tag: msg.tag,
-                bytes,
-                waited,
-            });
-        }
+        self.trace_push(TraceEvent::Recv {
+            at: self.clock,
+            from: msg.src,
+            tag: msg.tag,
+            bytes,
+            waited,
+        });
         match msg.body {
             Body::Data(d) => d,
             Body::Dropped { .. } => unreachable!("tombstones never match a receive"),

@@ -1,0 +1,441 @@
+//! Trace exporters: Chrome `about://tracing` JSON and JSONL event
+//! streams, plus the schema checker `scripts/verify.sh` runs against the
+//! JSONL output.
+//!
+//! Both formats are produced from the per-rank timelines a traced run
+//! collects (see [`crate::world::World::with_trace`]).  Timestamps are
+//! the *virtual* clock, so exported timelines are deterministic.
+//!
+//! * **Chrome trace**: load the file at `chrome://tracing` or
+//!   <https://ui.perfetto.dev>.  Spans become complete (`"ph":"X"`)
+//!   events with microsecond durations; sends, receives, faults,
+//!   retransmits and marks become instant (`"ph":"i"`) events.  Each
+//!   rank is one thread row.
+//! * **JSONL**: one JSON object per line, one line per event, with a
+//!   stable `rank`/`type`/`at` core every consumer can rely on —
+//!   validated by [`validate_jsonl`].
+
+use std::fmt::Write as _;
+
+use crate::span::pair_spans;
+use crate::trace::TraceEvent;
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Seconds of virtual time → Chrome-trace microseconds.
+fn us(at: f64) -> f64 {
+    at * 1e6
+}
+
+/// Render per-rank timelines as a Chrome trace (JSON object format).
+///
+/// `traces[r]` is rank `r`'s timeline.  Spans are paired into `"X"`
+/// complete events (a span never closed gets zero duration); everything
+/// else becomes a thread-scoped instant.
+pub fn chrome_trace_json(traces: &[Vec<TraceEvent>]) -> String {
+    let mut ev = Vec::new();
+    for (rank, tl) in traces.iter().enumerate() {
+        ev.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{rank},\
+             \"args\":{{\"name\":\"rank {rank}\"}}}}"
+        ));
+        for s in pair_spans(tl) {
+            let parent = s.parent.map(|p| p.0.to_string()).unwrap_or_default();
+            ev.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+                 \"pid\":0,\"tid\":{rank},\"args\":{{\"id\":{},\"parent\":\"{}\",\"detail\":\"{}\"}}}}",
+                s.phase.as_str(),
+                us(s.begin),
+                us(s.duration()),
+                s.id.0,
+                parent,
+                esc(&s.detail),
+            ));
+        }
+        for e in tl {
+            let (name, args) = match e {
+                TraceEvent::Send {
+                    to,
+                    tag,
+                    bytes,
+                    arrival,
+                    ..
+                } => (
+                    "send".to_string(),
+                    format!(
+                        "\"to\":{to},\"tag\":{},\"bytes\":{bytes},\"arrival_us\":{:.3}",
+                        tag.0,
+                        us(*arrival)
+                    ),
+                ),
+                TraceEvent::Recv {
+                    from,
+                    tag,
+                    bytes,
+                    waited,
+                    ..
+                } => (
+                    "recv".to_string(),
+                    format!(
+                        "\"from\":{from},\"tag\":{},\"bytes\":{bytes},\"waited_us\":{:.3}",
+                        tag.0,
+                        us(*waited)
+                    ),
+                ),
+                TraceEvent::Fault {
+                    kind,
+                    to,
+                    tag,
+                    bytes,
+                    ..
+                } => (
+                    format!("fault:{}", fault_kind_str(*kind)),
+                    format!("\"to\":{to},\"tag\":{},\"bytes\":{bytes}", tag.0),
+                ),
+                TraceEvent::Retransmit {
+                    to,
+                    tag,
+                    seq,
+                    attempt,
+                    ..
+                } => (
+                    "retransmit".to_string(),
+                    format!(
+                        "\"to\":{to},\"tag\":{},\"seq\":{seq},\"attempt\":{attempt}",
+                        tag.0
+                    ),
+                ),
+                TraceEvent::Mark { label, .. } => {
+                    ("mark".to_string(), format!("\"label\":\"{}\"", esc(label)))
+                }
+                TraceEvent::SpanBegin { .. } | TraceEvent::SpanEnd { .. } => continue,
+            };
+            ev.push(format!(
+                "{{\"name\":\"{name}\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{:.3},\"pid\":0,\"tid\":{rank},\"args\":{{{args}}}}}",
+                us(e.at())
+            ));
+        }
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{}\n]}}\n",
+        ev.join(",\n")
+    )
+}
+
+fn fault_kind_str(k: crate::trace::FaultKind) -> &'static str {
+    match k {
+        crate::trace::FaultKind::Drop => "drop",
+        crate::trace::FaultKind::Duplicate => "duplicate",
+        crate::trace::FaultKind::Corrupt => "corrupt",
+        crate::trace::FaultKind::Delay => "delay",
+    }
+}
+
+/// Render one event as its JSONL line (no trailing newline).
+pub fn jsonl_line(rank: usize, e: &TraceEvent) -> String {
+    let head = format!("{{\"rank\":{rank},\"at\":{:.9}", e.at());
+    match e {
+        TraceEvent::Send {
+            to,
+            tag,
+            bytes,
+            arrival,
+            ..
+        } => format!(
+            "{head},\"type\":\"send\",\"to\":{to},\"tag\":{},\"bytes\":{bytes},\
+             \"arrival\":{arrival:.9}}}",
+            tag.0
+        ),
+        TraceEvent::Recv {
+            from,
+            tag,
+            bytes,
+            waited,
+            ..
+        } => format!(
+            "{head},\"type\":\"recv\",\"from\":{from},\"tag\":{},\"bytes\":{bytes},\
+             \"waited\":{waited:.9}}}",
+            tag.0
+        ),
+        TraceEvent::Fault {
+            kind,
+            to,
+            tag,
+            bytes,
+            ..
+        } => format!(
+            "{head},\"type\":\"fault\",\"kind\":\"{}\",\"to\":{to},\"tag\":{},\"bytes\":{bytes}}}",
+            fault_kind_str(*kind),
+            tag.0
+        ),
+        TraceEvent::Retransmit {
+            to,
+            tag,
+            seq,
+            attempt,
+            ..
+        } => format!(
+            "{head},\"type\":\"retransmit\",\"to\":{to},\"tag\":{},\"seq\":{seq},\
+             \"attempt\":{attempt}}}",
+            tag.0
+        ),
+        TraceEvent::SpanBegin {
+            id,
+            parent,
+            phase,
+            detail,
+            ..
+        } => format!(
+            "{head},\"type\":\"span_begin\",\"id\":{},\"parent\":{},\"phase\":\"{}\",\
+             \"detail\":\"{}\"}}",
+            id.0,
+            parent
+                .map(|p| p.0.to_string())
+                .unwrap_or_else(|| "null".into()),
+            phase.as_str(),
+            esc(detail)
+        ),
+        TraceEvent::SpanEnd { id, .. } => {
+            format!("{head},\"type\":\"span_end\",\"id\":{}}}", id.0)
+        }
+        TraceEvent::Mark { label, .. } => {
+            format!("{head},\"type\":\"mark\",\"label\":\"{}\"}}", esc(label))
+        }
+    }
+}
+
+/// Render per-rank timelines as a JSONL stream (one event per line).
+pub fn jsonl_events(traces: &[Vec<TraceEvent>]) -> String {
+    let mut out = String::new();
+    for (rank, tl) in traces.iter().enumerate() {
+        for e in tl {
+            out.push_str(&jsonl_line(rank, e));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// What [`validate_jsonl`] learned about a stream.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct TraceCheck {
+    /// Total event lines.
+    pub lines: usize,
+    /// Distinct ranks seen.
+    pub ranks: usize,
+    /// `span_begin` lines.
+    pub span_begins: usize,
+    /// `span_end` lines.
+    pub span_ends: usize,
+    /// Distinct phase names seen on `span_begin` lines.
+    pub phases: Vec<String>,
+}
+
+/// Extract the raw text of `"key":<value>` from a single JSON line
+/// produced by [`jsonl_line`] (flat objects, string values contain no
+/// unescaped quotes).
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = if let Some(stripped) = rest.strip_prefix('"') {
+        // String value: scan to the closing unescaped quote.
+        let mut prev_backslash = false;
+        let mut close = None;
+        for (i, c) in stripped.char_indices() {
+            if c == '"' && !prev_backslash {
+                close = Some(i);
+                break;
+            }
+            prev_backslash = c == '\\' && !prev_backslash;
+        }
+        return Some(&stripped[..close?]);
+    } else {
+        rest.find([',', '}'])?
+    };
+    Some(&rest[..end])
+}
+
+const KNOWN_TYPES: [&str; 7] = [
+    "send",
+    "recv",
+    "fault",
+    "retransmit",
+    "span_begin",
+    "span_end",
+    "mark",
+];
+
+/// Validate a JSONL trace stream: every line must carry the
+/// `rank`/`type`/`at` core with sane values, known types, the
+/// type-specific required fields, and span begin/end counts must
+/// balance per rank.  Returns a summary on success, the first offending
+/// line on failure.
+pub fn validate_jsonl(text: &str) -> Result<TraceCheck, String> {
+    let mut check = TraceCheck::default();
+    let mut ranks = std::collections::BTreeSet::new();
+    let mut opens: std::collections::HashMap<(u64, u64), ()> = std::collections::HashMap::new();
+    for (no, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let err = |what: &str| Err(format!("line {}: {what}: {line}", no + 1));
+        if !line.starts_with('{') || !line.ends_with('}') {
+            return err("not a JSON object");
+        }
+        let Some(rank) = field(line, "rank").and_then(|v| v.parse::<u64>().ok()) else {
+            return err("missing/invalid rank");
+        };
+        let Some(at) = field(line, "at").and_then(|v| v.parse::<f64>().ok()) else {
+            return err("missing/invalid at");
+        };
+        if !at.is_finite() || at < 0.0 {
+            return err("non-finite or negative at");
+        }
+        let Some(ty) = field(line, "type") else {
+            return err("missing type");
+        };
+        if !KNOWN_TYPES.contains(&ty) {
+            return err("unknown type");
+        }
+        let required: &[&str] = match ty {
+            "send" => &["to", "tag", "bytes", "arrival"],
+            "recv" => &["from", "tag", "bytes", "waited"],
+            "fault" => &["kind", "to", "tag", "bytes"],
+            "retransmit" => &["to", "tag", "seq", "attempt"],
+            "span_begin" => &["id", "parent", "phase", "detail"],
+            "span_end" => &["id"],
+            "mark" => &["label"],
+            _ => unreachable!(),
+        };
+        for key in required {
+            if field(line, key).is_none() {
+                return err(&format!("missing field `{key}`"));
+            }
+        }
+        match ty {
+            "span_begin" => {
+                check.span_begins += 1;
+                let phase = field(line, "phase").unwrap_or_default().to_string();
+                if !check.phases.contains(&phase) {
+                    check.phases.push(phase);
+                }
+                let id = field(line, "id").and_then(|v| v.parse::<u64>().ok());
+                let Some(id) = id else {
+                    return err("invalid span id");
+                };
+                opens.insert((rank, id), ());
+            }
+            "span_end" => {
+                check.span_ends += 1;
+                let id = field(line, "id").and_then(|v| v.parse::<u64>().ok());
+                let Some(id) = id else {
+                    return err("invalid span id");
+                };
+                if opens.remove(&(rank, id)).is_none() {
+                    return err("span_end without matching span_begin");
+                }
+            }
+            _ => {}
+        }
+        ranks.insert(rank);
+        check.lines += 1;
+    }
+    if !opens.is_empty() {
+        // Unclosed spans are legal only for crashed ranks; the checker
+        // tolerates them but a fully balanced stream is the common case.
+        check.span_ends = check.span_begins - opens.len();
+    }
+    check.ranks = ranks.len();
+    if check.lines == 0 {
+        return Err("empty trace: no event lines".to_string());
+    }
+    Ok(check)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Phase, SpanId};
+    use crate::tag::Tag;
+
+    fn sample() -> Vec<Vec<TraceEvent>> {
+        vec![vec![
+            TraceEvent::SpanBegin {
+                at: 0.0,
+                id: SpanId(1),
+                parent: None,
+                phase: Phase::Transfer,
+                detail: "seq=1".into(),
+            },
+            TraceEvent::Send {
+                at: 0.1,
+                to: 1,
+                tag: Tag::user(3),
+                bytes: 64,
+                arrival: 0.2,
+            },
+            TraceEvent::SpanEnd {
+                at: 0.3,
+                id: SpanId(1),
+            },
+            TraceEvent::Mark {
+                at: 0.4,
+                label: "cache=hit \"quoted\"".into(),
+            },
+        ]]
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_validator() {
+        let text = jsonl_events(&sample());
+        let check = validate_jsonl(&text).expect("valid");
+        assert_eq!(check.lines, 4);
+        assert_eq!(check.ranks, 1);
+        assert_eq!(check.span_begins, 1);
+        assert_eq!(check.span_ends, 1);
+        assert_eq!(check.phases, vec!["transfer".to_string()]);
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_jsonl("").is_err());
+        assert!(validate_jsonl("not json\n").is_err());
+        assert!(validate_jsonl("{\"rank\":0,\"at\":1.0,\"type\":\"nonsense\"}\n").is_err());
+        // Missing a type-specific required field.
+        assert!(validate_jsonl("{\"rank\":0,\"at\":1.0,\"type\":\"send\",\"to\":1}\n").is_err());
+        // span_end with no begin.
+        assert!(
+            validate_jsonl("{\"rank\":0,\"at\":1.0,\"type\":\"span_end\",\"id\":9}\n").is_err()
+        );
+    }
+
+    #[test]
+    fn chrome_trace_contains_span_and_instants() {
+        let json = chrome_trace_json(&sample());
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"name\":\"transfer\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"send\""));
+        // Duration of the transfer span: 0.3 s = 300000 µs.
+        assert!(json.contains("\"dur\":300000.000"));
+        // Escaped quote in the mark label survived.
+        assert!(json.contains("cache=hit \\\"quoted\\\""));
+    }
+}

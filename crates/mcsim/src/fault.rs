@@ -190,13 +190,7 @@ impl FaultState {
 
     /// Decide the fate of a message about to be sent.  `None` means the
     /// message is untouched (unfaulted class, quiet link, or clean draw).
-    pub(crate) fn draw(
-        &mut self,
-        src: Rank,
-        dst: Rank,
-        tag: Tag,
-        len: usize,
-    ) -> Option<FaultDraw> {
+    pub(crate) fn draw(&mut self, src: Rank, dst: Rank, tag: Tag, len: usize) -> Option<FaultDraw> {
         if !self.plan.applies_to(tag) {
             return None;
         }
@@ -273,10 +267,7 @@ mod tests {
     #[test]
     fn link_overrides_beat_defaults() {
         let quiet = FaultRates::default();
-        let noisy = FaultRates {
-            drop: 0.5,
-            ..quiet
-        };
+        let noisy = FaultRates { drop: 0.5, ..quiet };
         let p = FaultPlan::new(1).rates(noisy).link(Some(0), Some(1), quiet);
         assert!(p.rates_for(0, 1).is_quiet());
         assert_eq!(p.rates_for(1, 0).drop, 0.5);

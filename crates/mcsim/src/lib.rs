@@ -52,12 +52,15 @@
 pub mod collectives;
 pub mod endpoint;
 pub mod error;
+pub mod export;
 pub mod fault;
 pub mod group;
 pub mod message;
+pub mod metrics;
 pub mod model;
 pub mod reliable;
 pub mod rng;
+pub mod span;
 pub mod stats;
 pub mod tag;
 pub mod trace;
@@ -66,12 +69,15 @@ pub mod world;
 
 pub use endpoint::Endpoint;
 pub use error::SimError;
+pub use export::{chrome_trace_json, jsonl_events, validate_jsonl, TraceCheck};
 pub use fault::{FaultPlan, FaultRates};
 pub use group::{Comm, Group};
 pub use message::Rank;
+pub use metrics::{Histogram, MetricsRegistry};
 pub use model::MachineModel;
 pub use reliable::{ReliableConfig, StreamTag};
 pub use rng::Rng;
+pub use span::{pair_spans, FlightRing, PairedSpan, Phase, SpanId, FLIGHT_RING_CAP};
 pub use stats::{FaultStats, NetStats, SessionStats, StatsSnapshot};
 pub use tag::Tag;
 pub use trace::{summarize, FaultKind, TraceEvent, TraceSummary};
@@ -84,8 +90,10 @@ pub mod prelude {
     pub use crate::fault::{FaultPlan, FaultRates};
     pub use crate::group::{Comm, Group};
     pub use crate::message::Rank;
+    pub use crate::metrics::MetricsRegistry;
     pub use crate::model::MachineModel;
     pub use crate::reliable::{ReliableConfig, StreamTag};
+    pub use crate::span::{Phase, SpanId};
     pub use crate::tag::Tag;
     pub use crate::wire::{Wire, WireReader};
     pub use crate::world::{RunOutput, RunReport, World};

@@ -1,0 +1,268 @@
+//! Named, typed metrics derived from a run.
+//!
+//! The registry folds the ad-hoc counters ([`NetStats`]:
+//! `sched_cache_*`, [`crate::stats::FaultStats`],
+//! [`crate::stats::SessionStats`]) into one flat namespace of named
+//! counters, and — when the run was traced — adds per-phase
+//! *virtual-time* histograms: message flight time, receive wait,
+//! retransmit latency, and one `phase.<name>` histogram per span phase.
+//! Everything is deterministic because it is computed from virtual
+//! clocks.
+//!
+//! Naming convention: `<subsystem>.<what>` — `net.msgs`,
+//! `sched_cache.hits`, `fault.retransmits`, `session.frames_staged`,
+//! `msg.flight_time`, `phase.inspect`, …
+
+use std::collections::BTreeMap;
+
+use crate::span::pair_spans;
+use crate::stats::NetStats;
+use crate::trace::TraceEvent;
+
+/// A simple summary histogram over virtual-time samples (seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Histogram {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample (0 when empty).
+    pub min: f64,
+    /// Largest sample (0 when empty).
+    pub max: f64,
+}
+
+impl Histogram {
+    /// Add one sample.
+    pub fn record(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Flat registry of named counters and histograms for one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Build the registry from a run's aggregate stats and (possibly
+    /// empty) per-rank timelines.
+    pub fn from_run(stats: &NetStats, traces: &[Vec<TraceEvent>]) -> Self {
+        let mut m = MetricsRegistry::default();
+        m.set("net.msgs", stats.total_msgs());
+        m.set("net.bytes", stats.total_bytes());
+        m.set("sched_cache.hits", stats.sched_cache_hits);
+        m.set("sched_cache.misses", stats.sched_cache_misses);
+        let f = &stats.faults;
+        m.set("fault.drops_injected", f.drops_injected);
+        m.set("fault.dups_injected", f.dups_injected);
+        m.set("fault.corrupts_injected", f.corrupts_injected);
+        m.set("fault.delays_injected", f.delays_injected);
+        m.set("fault.retransmits", f.retransmits);
+        m.set("fault.timeouts", f.timeouts);
+        m.set("fault.acks_sent", f.acks_sent);
+        m.set("fault.nacks_sent", f.nacks_sent);
+        m.set("fault.dup_frames_dropped", f.dup_frames_dropped);
+        m.set("fault.stale_acks_dropped", f.stale_acks_dropped);
+        let s = &stats.session;
+        m.set("session.frames_staged", s.frames_staged);
+        m.set("session.transfers_aborted", s.transfers_aborted);
+        m.set("session.stale_halves_dropped", s.stale_halves_dropped);
+        m.set("session.stale_schedules", s.stale_schedules);
+        m.fold_traces(traces);
+        m
+    }
+
+    fn set(&mut self, name: &str, v: u64) {
+        self.counters.insert(name.to_string(), v);
+    }
+
+    fn fold_traces(&mut self, traces: &[Vec<TraceEvent>]) {
+        for tl in traces {
+            // Histogram sources with duration semantics.
+            let mut last_send: BTreeMap<(usize, u64), f64> = BTreeMap::new();
+            for e in tl {
+                match e {
+                    TraceEvent::Send {
+                        at,
+                        to,
+                        tag,
+                        arrival,
+                        ..
+                    } => {
+                        self.histo_mut("msg.flight_time").record(arrival - at);
+                        last_send.insert((*to, tag.0), *at);
+                    }
+                    TraceEvent::Recv { waited, .. } => {
+                        self.histo_mut("recv.wait").record(*waited);
+                    }
+                    TraceEvent::Retransmit { at, to, tag, .. } => {
+                        // Latency from the most recent original
+                        // transmission on the same stream to the resend.
+                        if let Some(t0) = last_send.get(&(*to, tag.0)) {
+                            self.histo_mut("retransmit.latency").record(at - t0);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            for span in pair_spans(tl) {
+                self.histo_mut(&format!("phase.{}", span.phase.as_str()))
+                    .record(span.duration());
+            }
+        }
+    }
+
+    fn histo_mut(&mut self, name: &str) -> &mut Histogram {
+        self.histograms.entry(name.to_string()).or_default()
+    }
+
+    /// Value of a named counter (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, name-ordered.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All histograms, name-ordered.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Inspector vs executor share of modeled wall time, as fractions of
+    /// their combined span time: `(inspect, transfer)`.  `None` when the
+    /// run recorded neither phase (e.g. tracing off).
+    pub fn inspector_executor_share(&self) -> Option<(f64, f64)> {
+        let i = self.histogram("phase.inspect").map_or(0.0, |h| h.sum);
+        let x = self.histogram("phase.transfer").map_or(0.0, |h| h.sum);
+        let total = i + x;
+        if total <= 0.0 {
+            return None;
+        }
+        Some((i / total, x / total))
+    }
+
+    /// Human-readable `name value` lines (counters, then histograms).
+    pub fn lines(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(k, v)| format!("{k} {v}"))
+            .collect();
+        for (k, h) in &self.histograms {
+            out.push(format!(
+                "{k} count={} sum={:.9} min={:.9} max={:.9} mean={:.9}",
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.mean()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Phase, SpanId};
+    use crate::stats::StatsSnapshot;
+    use crate::tag::Tag;
+
+    #[test]
+    fn histogram_summary() {
+        let mut h = Histogram::default();
+        h.record(2.0);
+        h.record(4.0);
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min, 2.0);
+        assert_eq!(h.max, 4.0);
+        assert_eq!(h.mean(), 3.0);
+    }
+
+    #[test]
+    fn registry_folds_stats_and_traces() {
+        let mut local = StatsSnapshot::new(2);
+        local.faults.retransmits = 3;
+        local.session.frames_staged = 2;
+        let stats = NetStats::from_locals(vec![local, StatsSnapshot::new(2)]);
+        let traces = vec![vec![
+            TraceEvent::SpanBegin {
+                at: 0.0,
+                id: SpanId(1),
+                parent: None,
+                phase: Phase::Inspect,
+                detail: String::new(),
+            },
+            TraceEvent::SpanEnd {
+                at: 1.0,
+                id: SpanId(1),
+            },
+            TraceEvent::Send {
+                at: 1.0,
+                to: 1,
+                tag: Tag::user(0),
+                bytes: 8,
+                arrival: 1.5,
+            },
+            TraceEvent::Retransmit {
+                at: 2.0,
+                to: 1,
+                tag: Tag::user(0),
+                seq: 0,
+                attempt: 1,
+            },
+            TraceEvent::SpanBegin {
+                at: 2.0,
+                id: SpanId(2),
+                parent: None,
+                phase: Phase::Transfer,
+                detail: String::new(),
+            },
+            TraceEvent::SpanEnd {
+                at: 5.0,
+                id: SpanId(2),
+            },
+        ]];
+        let m = MetricsRegistry::from_run(&stats, &traces);
+        assert_eq!(m.counter("fault.retransmits"), 3);
+        assert_eq!(m.counter("session.frames_staged"), 2);
+        let flight = m.histogram("msg.flight_time").unwrap();
+        assert_eq!(flight.count, 1);
+        assert!((flight.mean() - 0.5).abs() < 1e-12);
+        let rtx = m.histogram("retransmit.latency").unwrap();
+        assert!((rtx.max - 1.0).abs() < 1e-12);
+        let (i, x) = m.inspector_executor_share().unwrap();
+        assert!((i - 0.25).abs() < 1e-12);
+        assert!((x - 0.75).abs() < 1e-12);
+        assert!(!m.lines().is_empty());
+    }
+}

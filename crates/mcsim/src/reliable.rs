@@ -197,11 +197,7 @@ fn append_trailer(frame: &mut Vec<u8>, seq: u64, attempt: u32, with_checksum: bo
     frame.extend_from_slice(&seq.to_le_bytes());
     frame.extend_from_slice(&attempt.to_le_bytes());
     frame.extend_from_slice(&MAGIC.to_le_bytes());
-    let ck = if with_checksum {
-        checksum64(frame)
-    } else {
-        0
-    };
+    let ck = if with_checksum { checksum64(frame) } else { 0 };
     frame.extend_from_slice(&ck.to_le_bytes());
 }
 
@@ -265,12 +261,7 @@ pub fn reliable_send(
     flush_send(ep, to, st)?;
     let faulted = ep.faults_enabled();
     let mut frame = payload;
-    let seq = ep
-        .rel
-        .send
-        .entry((to, st.data.0))
-        .or_default()
-        .next_seq;
+    let seq = ep.rel.send.entry((to, st.data.0)).or_default().next_seq;
     append_trailer(&mut frame, seq, 0, faulted);
     let bytes = frame.len();
     let retx = faulted.then(|| frame.clone());
@@ -299,6 +290,7 @@ pub fn flush_send(ep: &mut Endpoint, to: Rank, st: StreamTag) -> Result<(), SimE
             Some(s) if s.dead => {
                 let t = s.dead_at;
                 ep.advance_to(t);
+                ep.mark(|| format!("reliable give-up peer={to} tag={:?} side=send", st.data));
                 return Err(SimError::PeerTimeout { rank: to });
             }
             Some(s) if s.pending.is_none() => {
@@ -324,6 +316,7 @@ pub fn reliable_recv(ep: &mut Endpoint, from: Rank, st: StreamTag) -> Result<Vec
             if s.dead {
                 let t = s.dead_at;
                 ep.advance_to(t);
+                ep.mark(|| format!("reliable give-up peer={from} tag={:?} side=recv", st.data));
                 return Err(SimError::PeerTimeout { rank: from });
             }
         }
@@ -469,7 +462,12 @@ fn intake_ctrl(ep: &mut Endpoint, msg: Message) {
                 stream.pending = None;
                 stream.dead = true;
                 stream.dead_at = msg.arrival;
-                ep.nic_send(src, msg.tag, ctrl_frame(K_GIVEUP, seq), msg.arrival + send_ov);
+                ep.nic_send(
+                    src,
+                    msg.tag,
+                    ctrl_frame(K_GIVEUP, seq),
+                    msg.arrival + send_ov,
+                );
                 return;
             }
             let attempt = p.attempt;

@@ -42,16 +42,22 @@ pub struct FaultStats {
 impl FaultStats {
     fn since(&self, earlier: &FaultStats) -> FaultStats {
         FaultStats {
-            drops_injected: self.drops_injected - earlier.drops_injected,
-            dups_injected: self.dups_injected - earlier.dups_injected,
-            corrupts_injected: self.corrupts_injected - earlier.corrupts_injected,
-            delays_injected: self.delays_injected - earlier.delays_injected,
-            retransmits: self.retransmits - earlier.retransmits,
-            timeouts: self.timeouts - earlier.timeouts,
-            acks_sent: self.acks_sent - earlier.acks_sent,
-            nacks_sent: self.nacks_sent - earlier.nacks_sent,
-            dup_frames_dropped: self.dup_frames_dropped - earlier.dup_frames_dropped,
-            stale_acks_dropped: self.stale_acks_dropped - earlier.stale_acks_dropped,
+            drops_injected: self.drops_injected.saturating_sub(earlier.drops_injected),
+            dups_injected: self.dups_injected.saturating_sub(earlier.dups_injected),
+            corrupts_injected: self
+                .corrupts_injected
+                .saturating_sub(earlier.corrupts_injected),
+            delays_injected: self.delays_injected.saturating_sub(earlier.delays_injected),
+            retransmits: self.retransmits.saturating_sub(earlier.retransmits),
+            timeouts: self.timeouts.saturating_sub(earlier.timeouts),
+            acks_sent: self.acks_sent.saturating_sub(earlier.acks_sent),
+            nacks_sent: self.nacks_sent.saturating_sub(earlier.nacks_sent),
+            dup_frames_dropped: self
+                .dup_frames_dropped
+                .saturating_sub(earlier.dup_frames_dropped),
+            stale_acks_dropped: self
+                .stale_acks_dropped
+                .saturating_sub(earlier.stale_acks_dropped),
         }
     }
 
@@ -90,10 +96,14 @@ pub struct SessionStats {
 impl SessionStats {
     fn since(&self, earlier: &SessionStats) -> SessionStats {
         SessionStats {
-            frames_staged: self.frames_staged - earlier.frames_staged,
-            transfers_aborted: self.transfers_aborted - earlier.transfers_aborted,
-            stale_halves_dropped: self.stale_halves_dropped - earlier.stale_halves_dropped,
-            stale_schedules: self.stale_schedules - earlier.stale_schedules,
+            frames_staged: self.frames_staged.saturating_sub(earlier.frames_staged),
+            transfers_aborted: self
+                .transfers_aborted
+                .saturating_sub(earlier.transfers_aborted),
+            stale_halves_dropped: self
+                .stale_halves_dropped
+                .saturating_sub(earlier.stale_halves_dropped),
+            stale_schedules: self.stale_schedules.saturating_sub(earlier.stale_schedules),
         }
     }
 
@@ -145,6 +155,10 @@ impl StatsSnapshot {
     }
 
     /// Counter delta `self - earlier` (for bracketing one operation).
+    ///
+    /// Saturating: a snapshot taken from a different (e.g. reused or
+    /// fresh) `World`, where some counter went backwards, clamps that
+    /// field to zero instead of panicking on u64 underflow.
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         assert_eq!(self.msgs_to.len(), earlier.msgs_to.len());
         StatsSnapshot {
@@ -152,16 +166,20 @@ impl StatsSnapshot {
                 .msgs_to
                 .iter()
                 .zip(&earlier.msgs_to)
-                .map(|(a, b)| a - b)
+                .map(|(a, b)| a.saturating_sub(*b))
                 .collect(),
             bytes_to: self
                 .bytes_to
                 .iter()
                 .zip(&earlier.bytes_to)
-                .map(|(a, b)| a - b)
+                .map(|(a, b)| a.saturating_sub(*b))
                 .collect(),
-            sched_cache_hits: self.sched_cache_hits - earlier.sched_cache_hits,
-            sched_cache_misses: self.sched_cache_misses - earlier.sched_cache_misses,
+            sched_cache_hits: self
+                .sched_cache_hits
+                .saturating_sub(earlier.sched_cache_hits),
+            sched_cache_misses: self
+                .sched_cache_misses
+                .saturating_sub(earlier.sched_cache_misses),
             faults: self.faults.since(&earlier.faults),
             session: self.session.since(&earlier.session),
         }
@@ -188,6 +206,10 @@ pub struct NetStats {
     pub msgs: Vec<Vec<u64>>,
     /// Per source rank: bytes sent to each destination.
     pub bytes: Vec<Vec<u64>>,
+    /// Schedule-cache hits summed over all ranks.
+    pub sched_cache_hits: u64,
+    /// Schedule-cache misses summed over all ranks.
+    pub sched_cache_misses: u64,
     /// Fault/reliability counters summed over all ranks.
     pub faults: FaultStats,
     /// Session-layer (transactional transfer) counters summed over all
@@ -199,13 +221,19 @@ impl NetStats {
     pub(crate) fn from_locals(locals: Vec<StatsSnapshot>) -> Self {
         let mut faults = FaultStats::default();
         let mut session = SessionStats::default();
+        let mut sched_cache_hits = 0;
+        let mut sched_cache_misses = 0;
         for s in &locals {
             faults.add(&s.faults);
             session.add(&s.session);
+            sched_cache_hits += s.sched_cache_hits;
+            sched_cache_misses += s.sched_cache_misses;
         }
         NetStats {
             msgs: locals.iter().map(|s| s.msgs_to.clone()).collect(),
             bytes: locals.into_iter().map(|s| s.bytes_to).collect(),
+            sched_cache_hits,
+            sched_cache_misses,
             faults,
             session,
         }
@@ -247,6 +275,26 @@ mod tests {
         let d = a.since(&before);
         assert_eq!(d.msgs_to, vec![0, 2]);
         assert_eq!(d.bytes_to, vec![0, 25]);
+    }
+
+    #[test]
+    fn since_saturates_instead_of_underflowing() {
+        // A snapshot from a fresh `World` compared against one from an
+        // earlier, busier run: every counter went "backwards".  `since`
+        // must clamp to zero, not panic on u64 underflow.
+        let mut busy = StatsSnapshot::new(2);
+        busy.record(1, 100);
+        busy.record(1, 50);
+        busy.sched_cache_hits = 3;
+        busy.faults.retransmits = 7;
+        busy.session.frames_staged = 4;
+        let fresh = StatsSnapshot::new(2);
+        let d = fresh.since(&busy);
+        assert_eq!(d.total_msgs(), 0);
+        assert_eq!(d.total_bytes(), 0);
+        assert_eq!(d.sched_cache_hits, 0);
+        assert_eq!(d.faults.retransmits, 0);
+        assert_eq!(d.session.frames_staged, 0);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! the simulation (recording costs no virtual time).
 
 use crate::message::Rank;
+use crate::span::{Phase, SpanId};
 use crate::tag::Tag;
 
 /// The kind of fault a [`crate::fault::FaultPlan`] injected into a message.
@@ -78,6 +79,34 @@ pub enum TraceEvent {
         /// Attempt number (1 = first retransmission).
         attempt: u32,
     },
+    /// A phase span opened on this rank (see [`crate::span`]).
+    SpanBegin {
+        /// Virtual time the phase started.
+        at: f64,
+        /// Span id, unique within this rank.
+        id: SpanId,
+        /// Enclosing span, if nested.
+        parent: Option<SpanId>,
+        /// The phase of work the span brackets.
+        phase: Phase,
+        /// Free-form provenance attributes (`seq=… strategy=… cache=…`).
+        detail: String,
+    },
+    /// The matching close of a [`TraceEvent::SpanBegin`].
+    SpanEnd {
+        /// Virtual time the phase finished.
+        at: f64,
+        /// Id of the span being closed.
+        id: SpanId,
+    },
+    /// A point annotation: provenance or protocol decisions that have no
+    /// duration (cache hit/miss, verdicts, timeouts, port bindings).
+    Mark {
+        /// Virtual time of the annotation.
+        at: f64,
+        /// What happened (`cache=hit seq=4`, `timeout peer=2`, …).
+        label: String,
+    },
 }
 
 impl TraceEvent {
@@ -87,7 +116,10 @@ impl TraceEvent {
             TraceEvent::Send { at, .. }
             | TraceEvent::Recv { at, .. }
             | TraceEvent::Fault { at, .. }
-            | TraceEvent::Retransmit { at, .. } => *at,
+            | TraceEvent::Retransmit { at, .. }
+            | TraceEvent::SpanBegin { at, .. }
+            | TraceEvent::SpanEnd { at, .. }
+            | TraceEvent::Mark { at, .. } => *at,
         }
     }
 
@@ -114,6 +146,10 @@ pub struct TraceSummary {
     pub faults: usize,
     /// Number of reliable-layer retransmissions recorded.
     pub retransmits: usize,
+    /// Number of spans opened.
+    pub spans: usize,
+    /// Number of point annotations recorded.
+    pub marks: usize,
 }
 
 /// Summarize a trace.
@@ -126,6 +162,8 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
         wait_time: 0.0,
         faults: 0,
         retransmits: 0,
+        spans: 0,
+        marks: 0,
     };
     for e in events {
         match e {
@@ -140,6 +178,9 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
             }
             TraceEvent::Fault { .. } => s.faults += 1,
             TraceEvent::Retransmit { .. } => s.retransmits += 1,
+            TraceEvent::SpanBegin { .. } => s.spans += 1,
+            TraceEvent::SpanEnd { .. } => {}
+            TraceEvent::Mark { .. } => s.marks += 1,
         }
     }
     s

@@ -9,8 +9,10 @@ use crate::endpoint::Endpoint;
 use crate::error::SimError;
 use crate::fault::FaultPlan;
 use crate::message::Message;
+use crate::metrics::MetricsRegistry;
 use crate::model::MachineModel;
 use crate::stats::{NetStats, StatsSnapshot};
+use crate::trace::TraceEvent;
 
 /// A simulated machine with a fixed number of ranks and a cost model.
 #[derive(Debug, Clone)]
@@ -18,6 +20,7 @@ pub struct World {
     size: usize,
     model: MachineModel,
     faults: Option<FaultPlan>,
+    trace: bool,
 }
 
 /// Everything a run produces.
@@ -31,6 +34,9 @@ pub struct RunOutput<R> {
     pub elapsed: f64,
     /// Aggregate message traffic.
     pub stats: NetStats,
+    /// Per-rank event timelines when the world was built with
+    /// [`World::with_trace`]; empty vectors otherwise.
+    pub traces: Vec<Vec<TraceEvent>>,
 }
 
 /// What [`World::run_result`] produces: per-rank outcomes where a rank
@@ -46,11 +52,35 @@ pub struct RunReport<R> {
     pub elapsed: f64,
     /// Aggregate message traffic.
     pub stats: NetStats,
+    /// Per-rank event timelines when the world was built with
+    /// [`World::with_trace`]; empty vectors otherwise.  Panicked ranks
+    /// contribute whatever they recorded before dying.
+    pub traces: Vec<Vec<TraceEvent>>,
+}
+
+impl<R> RunOutput<R> {
+    /// Named metrics (counters + virtual-time histograms) for this run.
+    pub fn metrics(&self) -> MetricsRegistry {
+        MetricsRegistry::from_run(&self.stats, &self.traces)
+    }
+}
+
+impl<R> RunReport<R> {
+    /// Named metrics (counters + virtual-time histograms) for this run.
+    pub fn metrics(&self) -> MetricsRegistry {
+        MetricsRegistry::from_run(&self.stats, &self.traces)
+    }
 }
 
 enum RankOutcome<R> {
-    Done(R, f64, StatsSnapshot),
-    Panicked(Box<dyn std::any::Any + Send>, String, f64, StatsSnapshot),
+    Done(R, f64, StatsSnapshot, Vec<TraceEvent>),
+    Panicked(
+        Box<dyn std::any::Any + Send>,
+        String,
+        f64,
+        StatsSnapshot,
+        Vec<TraceEvent>,
+    ),
 }
 
 impl World {
@@ -66,6 +96,7 @@ impl World {
             size,
             model,
             faults: None,
+            trace: false,
         }
     }
 
@@ -74,6 +105,17 @@ impl World {
     /// scripted crashes fire at their virtual times.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Record full per-rank event timelines for the run: every rank's
+    /// endpoint starts with tracing enabled, and whatever it recorded is
+    /// collected into [`RunOutput::traces`] / [`RunReport::traces`]
+    /// (snapshot taken when the rank's closure returns, alongside its
+    /// stats).  A closure that calls `take_trace` itself simply leaves
+    /// less for the sink.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
         self
     }
 
@@ -118,6 +160,11 @@ impl World {
             })
             .collect();
         drop(txs);
+        if self.trace {
+            for ep in &mut endpoints {
+                ep.enable_trace();
+            }
+        }
 
         let f = &f;
         let active = AtomicUsize::new(self.size);
@@ -144,15 +191,20 @@ impl World {
                         // thread timing.
                         let clock = ep.clock();
                         let stats = ep.stats_snapshot();
+                        let trace = ep.take_trace();
                         active.fetch_sub(1, Ordering::SeqCst);
                         while active.load(Ordering::SeqCst) > 0 {
                             ep.service_protocol(Duration::from_millis(1));
                         }
                         match result {
-                            Ok(r) => RankOutcome::Done(r, clock, stats),
-                            Err(e) => {
-                                RankOutcome::Panicked(e, reason.unwrap_or_default(), clock, stats)
-                            }
+                            Ok(r) => RankOutcome::Done(r, clock, stats, trace),
+                            Err(e) => RankOutcome::Panicked(
+                                e,
+                                reason.unwrap_or_default(),
+                                clock,
+                                stats,
+                                trace,
+                            ),
                         }
                     })
                 })
@@ -185,14 +237,16 @@ impl World {
         let mut results = Vec::with_capacity(self.size);
         let mut clocks = Vec::with_capacity(self.size);
         let mut locals = Vec::with_capacity(self.size);
+        let mut traces = Vec::with_capacity(self.size);
         for o in outcomes {
             match o {
-                RankOutcome::Done(r, c, st) => {
+                RankOutcome::Done(r, c, st, tr) => {
                     results.push(r);
                     clocks.push(c);
                     locals.push(st);
+                    traces.push(tr);
                 }
-                RankOutcome::Panicked(e, reason, _, _) => {
+                RankOutcome::Panicked(e, reason, _, _, _) => {
                     // Prefer the original failure over cascade panics that
                     // ranks raise when they see a peer's poison.
                     let is_cascade = reason.contains(CASCADE_MARKER);
@@ -219,6 +273,7 @@ impl World {
             clocks,
             elapsed,
             stats: NetStats::from_locals(locals),
+            traces,
         }
     }
 
@@ -235,17 +290,20 @@ impl World {
         let mut report = Vec::with_capacity(self.size);
         let mut clocks = Vec::with_capacity(self.size);
         let mut locals = Vec::with_capacity(self.size);
+        let mut traces = Vec::with_capacity(self.size);
         for (rank, o) in outcomes.into_iter().enumerate() {
             match o {
-                RankOutcome::Done(r, c, st) => {
+                RankOutcome::Done(r, c, st, tr) => {
                     report.push(Ok(r));
                     clocks.push(c);
                     locals.push(st);
+                    traces.push(tr);
                 }
-                RankOutcome::Panicked(_, reason, c, st) => {
+                RankOutcome::Panicked(_, reason, c, st, tr) => {
                     report.push(Err(SimError::PeerFailed { rank, reason }));
                     clocks.push(c);
                     locals.push(st);
+                    traces.push(tr);
                 }
             }
         }
@@ -255,6 +313,7 @@ impl World {
             clocks,
             elapsed,
             stats: NetStats::from_locals(locals),
+            traces,
         }
     }
 }

@@ -24,6 +24,7 @@ use std::cell::Cell;
 
 use mcsim::group::{Comm, Group};
 use mcsim::prelude::Endpoint;
+use mcsim::span::Phase;
 use mcsim::wire::Wire;
 
 use crate::adapter::{McDescriptor, McObject, Side};
@@ -67,6 +68,51 @@ mod tag {
 /// the two linearizations disagree in length — the paper's "only
 /// constraint" on a transfer.
 pub fn compute_schedule<T, S, D>(
+    ep: &mut Endpoint,
+    union: &Group,
+    src_prog: &Group,
+    src: Option<Side<'_, T, S>>,
+    dst_prog: &Group,
+    dst: Option<Side<'_, T, D>>,
+    method: BuildMethod,
+) -> Result<Schedule, McError>
+where
+    T: Copy,
+    S: McObject<T>,
+    D: McObject<T>,
+{
+    // The whole inspector pass is one `inspect` span: provenance (build
+    // strategy, group sizes) goes in the detail, and the resulting
+    // schedule's identity is recorded as a mark so a trace ties every
+    // later `transfer` span back to how its schedule was built.
+    let span = ep.span_begin(Phase::Inspect, || {
+        format!(
+            "method={method:?} union={} src_prog={} dst_prog={}",
+            union.size(),
+            src_prog.size(),
+            dst_prog.size()
+        )
+    });
+    let r = compute_schedule_inner(ep, union, src_prog, src, dst_prog, dst, method);
+    if let Ok(s) = &r {
+        ep.mark(|| {
+            format!(
+                "schedule built seq={} sends={} recvs={} local={} elems={} elem_tag={}",
+                s.seq(),
+                s.sends.len(),
+                s.recvs.len(),
+                s.local_pairs.len(),
+                s.total_elems,
+                s.elem_tag()
+            )
+        });
+    }
+    ep.span_end(span);
+    r
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compute_schedule_inner<T, S, D>(
     ep: &mut Endpoint,
     union: &Group,
     src_prog: &Group,
@@ -190,8 +236,10 @@ where
     };
 
     let (elem_tag, elem_size) = crate::schedule::elem_type::<T>();
-    Ok(Schedule::new(union.clone(), seq, sends, recvs, local_pairs, n)
-        .with_integrity(src_epoch, dst_epoch, elem_tag, elem_size))
+    Ok(
+        Schedule::new(union.clone(), seq, sends, recvs, local_pairs, n)
+            .with_integrity(src_epoch, dst_epoch, elem_tag, elem_size),
+    )
 }
 
 type BuiltParts = (

@@ -81,8 +81,11 @@ impl Coupler {
         S: McObject<T>,
     {
         let Some(sched) = self.ports.get(name) else {
-            return Err(McError::UnboundPort { port: name.to_string() });
+            return Err(McError::UnboundPort {
+                port: name.to_string(),
+            });
         };
+        ep.mark(|| format!("coupler op=put port={name} seq={}", sched.seq()));
         data_move_send(ep, sched, src)
     }
 
@@ -97,8 +100,11 @@ impl Coupler {
         D: McObject<T>,
     {
         let Some(sched) = self.ports.get(name) else {
-            return Err(McError::UnboundPort { port: name.to_string() });
+            return Err(McError::UnboundPort {
+                port: name.to_string(),
+            });
         };
+        ep.mark(|| format!("coupler op=get port={name} seq={}", sched.seq()));
         data_move_recv(ep, sched, dst)
     }
 
@@ -110,21 +116,32 @@ impl Coupler {
         S: McObject<T>,
     {
         let Some(sched) = self.ports.get(name) else {
-            return Err(McError::UnboundPort { port: name.to_string() });
+            return Err(McError::UnboundPort {
+                port: name.to_string(),
+            });
         };
+        ep.mark(|| format!("coupler op=put_reverse port={name} seq={}", sched.seq()));
         data_move_send(ep, &sched.reversed(), src)
     }
 
     /// Receive in the *reverse* direction of port `name`.  Unbound ports
     /// report [`McError::UnboundPort`].
-    pub fn get_reverse<T, D>(&self, ep: &mut Endpoint, name: &str, dst: &mut D) -> Result<(), McError>
+    pub fn get_reverse<T, D>(
+        &self,
+        ep: &mut Endpoint,
+        name: &str,
+        dst: &mut D,
+    ) -> Result<(), McError>
     where
         T: Copy + Wire,
         D: McObject<T>,
     {
         let Some(sched) = self.ports.get(name) else {
-            return Err(McError::UnboundPort { port: name.to_string() });
+            return Err(McError::UnboundPort {
+                port: name.to_string(),
+            });
         };
+        ep.mark(|| format!("coupler op=get_reverse port={name} seq={}", sched.seq()));
         data_move_recv(ep, &sched.reversed(), dst)
     }
 }

@@ -61,10 +61,12 @@ use std::collections::HashMap;
 use mcsim::group::Comm;
 use mcsim::prelude::Endpoint;
 use mcsim::reliable::{self, StreamTag};
+use mcsim::span::Phase;
 use mcsim::wire::{Wire, WireReader};
 
 use crate::adapter::McObject;
 use crate::error::McError;
+use crate::obs;
 use crate::schedule::{AddrRuns, Schedule};
 
 /// User-tag bit layout for data-move traffic: schedule seq in the high
@@ -139,6 +141,33 @@ where
     S: McObject<T>,
     D: McObject<T>,
 {
+    let span = ep.span_begin(Phase::Transfer, || {
+        format!(
+            "mode=raw seq={} elems={} elem_size={}",
+            sched.seq(),
+            sched.total_elems,
+            sched.elem_size()
+        )
+    });
+    let r = try_data_move_inner(ep, sched, src, dst);
+    if let Err(e) = &r {
+        obs::record_abort(ep, e);
+    }
+    ep.span_end(span);
+    r
+}
+
+fn try_data_move_inner<T, S, D>(
+    ep: &mut Endpoint,
+    sched: &Schedule,
+    src: &S,
+    dst: &mut D,
+) -> Result<(), McError>
+where
+    T: Copy + Wire,
+    S: McObject<T>,
+    D: McObject<T>,
+{
     if let Some((object_epoch, schedule_epoch)) = stale_pair(src.epoch(), sched.src_epoch())
         .or_else(|| stale_pair(dst.epoch(), sched.dst_epoch()))
     {
@@ -184,8 +213,29 @@ where
         return Ok(());
     }
     let te = next_xfer_epoch(sched);
-    settle(ep, sched, &sched.sends, te, stale_pair(src.epoch(), sched.src_epoch()))?;
-    send_data_frames(ep, sched, src, te)
+    let span = ep.span_begin(Phase::Transfer, || {
+        format!(
+            "mode=send seq={} te={} pairs={} elems={} src_epoch={}",
+            sched.seq(),
+            te,
+            sched.sends.len(),
+            sched.total_elems,
+            sched.src_epoch()
+        )
+    });
+    let r = settle(
+        ep,
+        sched,
+        &sched.sends,
+        te,
+        stale_pair(src.epoch(), sched.src_epoch()),
+    )
+    .and_then(|_| send_data_frames(ep, sched, src, te));
+    if let Err(e) = &r {
+        obs::record_abort(ep, e);
+    }
+    ep.span_end(span);
+    r
 }
 
 /// Destination-program half of a two-program transfer.  Misuse reporting
@@ -201,14 +251,28 @@ where
     if sched.recvs.is_empty() {
         return Ok(());
     }
-    let expected = settle(
+    let span = ep.span_begin(Phase::Transfer, || {
+        format!(
+            "mode=recv seq={} pairs={} elems={} dst_epoch={}",
+            sched.seq(),
+            sched.recvs.len(),
+            sched.total_elems,
+            sched.dst_epoch()
+        )
+    });
+    let r = settle(
         ep,
         sched,
         &sched.recvs,
         0,
         stale_pair(dst.epoch(), sched.dst_epoch()),
-    )?;
-    recv_data_frames(ep, sched, dst, &expected)
+    )
+    .and_then(|expected| recv_data_frames(ep, sched, dst, &expected));
+    if let Err(e) = &r {
+        obs::record_abort(ep, e);
+    }
+    ep.span_end(span);
+    r
 }
 
 /// Prepare phase only: runs the manifest exchange and verdict round of
@@ -231,8 +295,17 @@ where
         return Ok(());
     }
     let te = next_xfer_epoch(sched);
-    settle(ep, sched, &sched.sends, te, stale_pair(src.epoch(), sched.src_epoch()))?;
-    Ok(())
+    let r = settle(
+        ep,
+        sched,
+        &sched.sends,
+        te,
+        stale_pair(src.epoch(), sched.src_epoch()),
+    );
+    if let Err(e) = &r {
+        obs::record_abort(ep, e);
+    }
+    r.map(|_| ())
 }
 
 /// Ablation baseline for the session layer: the bare reliable send half of
@@ -278,8 +351,9 @@ where
     for (peer, runs) in &sched.recvs {
         let bytes = reliable::reliable_recv(ep, group.global(*peer), st)?;
         let mut r = WireReader::new(&bytes);
-        let _te = u64::read(&mut r)
-            .map_err(|e| McError::Transport(format!("frame from peer {peer} has no header: {e}")))?;
+        let _te = u64::read(&mut r).map_err(|e| {
+            McError::Transport(format!("frame from peer {peer} has no header: {e}"))
+        })?;
         let count = usize::read(&mut r).map_err(|e| {
             McError::Transport(format!("frame from peer {peer} has no element count: {e}"))
         })?;
@@ -289,8 +363,9 @@ where
                 runs.len()
             )));
         }
-        dst.unpack_runs_wire(ep, runs, &mut r)
-            .map_err(|e| McError::Transport(format!("frame from peer {peer} failed to decode: {e}")))?;
+        dst.unpack_runs_wire(ep, runs, &mut r).map_err(|e| {
+            McError::Transport(format!("frame from peer {peer} failed to decode: {e}"))
+        })?;
         ep.recycle_buf(bytes);
     }
     Ok(())
@@ -434,6 +509,21 @@ fn settle(
     my_te: u64,
     my_stale: Option<(u64, u64)>,
 ) -> Result<Vec<u64>, McError> {
+    let span = ep.span_begin(Phase::Manifest, || {
+        format!("seq={} pairs={} te={}", sched.seq(), pairs.len(), my_te)
+    });
+    let r = settle_inner(ep, sched, pairs, my_te, my_stale);
+    ep.span_end(span);
+    r
+}
+
+fn settle_inner(
+    ep: &mut Endpoint,
+    sched: &Schedule,
+    pairs: &[(usize, AddrRuns)],
+    my_te: u64,
+    my_stale: Option<(u64, u64)>,
+) -> Result<Vec<u64>, McError> {
     let st = StreamTag::new(sched.group().context(), MANIFEST_STREAM);
     let group = sched.group();
     let n = pairs.len();
@@ -507,6 +597,16 @@ fn settle(
     } else {
         (V_OK, 0, 0)
     };
+    if my_verdict.0 != V_OK {
+        ep.mark(|| {
+            let why = match my_verdict.0 {
+                V_ABORT_PEER => "peer-failed",
+                V_ABORT_STALE => "stale-schedule",
+                _ => "manifest-mismatch",
+            };
+            format!("verdict abort cause={why} seq={}", sched.seq())
+        });
+    }
 
     // Phase 3: post my verdict to every live peer.
     for (i, (peer, _)) in pairs.iter().enumerate() {
@@ -522,42 +622,50 @@ fn settle(
 
     // Phase 4: read every live peer's verdict.
     let mut peer_abort: Option<McError> = None;
+    let mut abort_peer: Option<usize> = None;
     for (i, (peer, _)) in pairs.iter().enumerate() {
         if dead[i] {
             continue;
         }
         let pg = group.global(*peer);
         match reliable::reliable_recv(ep, pg, st) {
-            Ok(bytes) => {
-                match parse_verdict(&bytes, pg) {
-                    Ok((code, a, b)) => {
-                        if code != V_OK && peer_abort.is_none() {
-                            peer_abort = Some(match code {
-                                V_ABORT_STALE => McError::StaleSchedule {
-                                    object_epoch: a,
-                                    schedule_epoch: b,
-                                },
-                                V_ABORT_PEER => McError::PeerFailed {
-                                    rank: a as usize,
-                                    reason: format!(
-                                        "rank {a} failed mid-transfer; peer rank {pg} aborted"
-                                    ),
-                                },
-                                _ => McError::ScheduleMismatch {
-                                    peer: pg,
-                                    detail: "peer aborted: transfer manifests disagree".into(),
-                                },
-                            });
-                        }
-                        ep.recycle_buf(bytes);
+            Ok(bytes) => match parse_verdict(&bytes, pg) {
+                Ok((code, a, b)) => {
+                    if code != V_OK && peer_abort.is_none() {
+                        abort_peer = Some(pg);
+                        peer_abort = Some(match code {
+                            V_ABORT_STALE => McError::StaleSchedule {
+                                object_epoch: a,
+                                schedule_epoch: b,
+                            },
+                            V_ABORT_PEER => McError::PeerFailed {
+                                rank: a as usize,
+                                reason: format!(
+                                    "rank {a} failed mid-transfer; peer rank {pg} aborted"
+                                ),
+                            },
+                            _ => McError::ScheduleMismatch {
+                                peer: pg,
+                                detail: "peer aborted: transfer manifests disagree".into(),
+                            },
+                        });
                     }
-                    Err(e) => note_failure(&mut dead, &mut failed, i, e),
+                    ep.recycle_buf(bytes);
                 }
-            }
+                Err(e) => note_failure(&mut dead, &mut failed, i, e),
+            },
             Err(e) => note_failure(&mut dead, &mut failed, i, e.into()),
         }
     }
 
+    if let Some(pg) = abort_peer {
+        ep.mark(|| {
+            format!(
+                "verdict abort cause=peer-verdict peer={pg} seq={}",
+                sched.seq()
+            )
+        });
+    }
     if failed.is_none() && my_verdict.0 == V_OK && peer_abort.is_none() {
         return Ok(peer_te);
     }
@@ -597,16 +705,28 @@ where
     let st = move_stream(sched);
     let group = sched.group();
     for (peer, runs) in &sched.sends {
+        let pack = ep.span_begin(Phase::Pack, || {
+            format!("peer={} runs={} te={te}", group.global(*peer), runs.len())
+        });
         let mut buf = ep.take_buf();
         te.write(&mut buf);
         runs.len().write(&mut buf);
         src.pack_runs_wire(ep, runs, &mut buf);
+        ep.span_end(pack);
         reliable::reliable_send(ep, group.global(*peer), st, buf)?;
     }
+    let wire = ep.span_begin(Phase::Wire, || {
+        format!("pairs={} te={te}", sched.sends.len())
+    });
+    let mut flushed = Ok(());
     for (peer, _) in &sched.sends {
-        reliable::flush_send(ep, group.global(*peer), st)?;
+        if let Err(e) = reliable::flush_send(ep, group.global(*peer), st) {
+            flushed = Err(e.into());
+            break;
+        }
     }
-    Ok(())
+    ep.span_end(wire);
+    flushed
 }
 
 /// Collect every peer's data half, verify all of them, and only then
@@ -627,6 +747,7 @@ where
     let group = sched.group();
     let mut staged: Vec<Vec<u8>> = Vec::with_capacity(sched.recvs.len());
     let mut fail: Option<McError> = None;
+    let stage = ep.span_begin(Phase::Stage, || format!("pairs={}", sched.recvs.len()));
     'pairs: for (i, (peer, runs)) in sched.recvs.iter().enumerate() {
         let pg = group.global(*peer);
         loop {
@@ -683,25 +804,35 @@ where
             break;
         }
     }
+    ep.span_end(stage);
     if let Some(e) = fail {
+        let abort = ep.span_begin(Phase::Abort, || format!("staged={}", staged.len()));
         for b in staged {
             ep.recycle_buf(b);
         }
         ep.record_transfer_aborted();
+        ep.span_end(abort);
         return Err(e);
     }
     // Commit: every half arrived and verified.  Staging holds the received
     // wire buffers themselves, so this is the same single unpack as the
     // streaming path — deferred, not duplicated.
+    let commit = ep.span_begin(Phase::Commit, || format!("pairs={}", sched.recvs.len()));
+    let mut committed = Ok(());
     for ((peer, runs), bytes) in sched.recvs.iter().zip(staged) {
         let mut r = WireReader::new(&bytes);
         let _ = u64::read(&mut r);
         let _ = usize::read(&mut r);
-        dst.unpack_runs_wire(ep, runs, &mut r)
-            .map_err(|e| McError::Transport(format!("frame from peer {peer} failed to decode: {e}")))?;
+        if let Err(e) = dst.unpack_runs_wire(ep, runs, &mut r) {
+            committed = Err(McError::Transport(format!(
+                "frame from peer {peer} failed to decode: {e}"
+            )));
+            break;
+        }
         ep.recycle_buf(bytes);
     }
-    Ok(())
+    ep.span_end(commit);
+    committed
 }
 
 fn send_half<T, S>(ep: &mut Endpoint, sched: &Schedule, src: &S)
@@ -718,10 +849,16 @@ where
         // Encode the `Vec<T>` wire layout directly: count header, then the
         // source elements packed straight into a pooled wire buffer — one
         // copy, no intermediate typed buffer.
+        let pack = comm
+            .ep()
+            .span_begin(Phase::Pack, || format!("peer={peer} runs={}", runs.len()));
         let mut buf = comm.ep().take_buf();
         runs.len().write(&mut buf);
         src.pack_runs_wire(comm.ep(), runs, &mut buf);
+        comm.ep().span_end(pack);
+        let wire = comm.ep().span_begin(Phase::Wire, || format!("peer={peer}"));
         comm.send(*peer, t, buf);
+        comm.ep().span_end(wire);
     }
 }
 
@@ -743,7 +880,11 @@ where
     let t = move_tag(sched.seq());
     let mut comm = Comm::borrowed(ep, sched.group());
     for (peer, runs) in &sched.recvs {
+        let stage = comm
+            .ep()
+            .span_begin(Phase::Stage, || format!("peer={peer} runs={}", runs.len()));
         let bytes = comm.recv(*peer, t);
+        comm.ep().span_end(stage);
         let mut r = WireReader::new(&bytes);
         let count = usize::read(&mut r)
             .unwrap_or_else(|e| panic!("message from peer {peer} has no element count: {e}"));
@@ -754,8 +895,12 @@ where
         );
         // Unpack wire bytes straight into library storage, then recycle
         // the buffer so steady-state loops allocate nothing.
+        let commit = comm
+            .ep()
+            .span_begin(Phase::Commit, || format!("peer={peer}"));
         dst.unpack_runs_wire(comm.ep(), runs, &mut r)
             .unwrap_or_else(|e| panic!("message from peer {peer} failed to decode: {e}"));
+        comm.ep().span_end(commit);
         comm.ep().recycle_buf(bytes);
     }
 }
@@ -769,6 +914,7 @@ where
     if sched.local_pairs.is_empty() {
         return;
     }
+    ep.mark(|| format!("local_copy pairs={}", sched.local_pairs.len()));
     let (saddrs, daddrs) = sched.local_pairs.split_sides();
     let mut buf: Vec<T> = Vec::with_capacity(saddrs.len());
     src.pack_runs(ep, &saddrs, &mut buf);

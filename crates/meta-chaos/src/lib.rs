@@ -82,6 +82,7 @@ pub mod coupling;
 pub mod datamove;
 pub mod error;
 pub mod linear;
+pub mod obs;
 pub mod posmap;
 pub mod region;
 pub mod schedule;
@@ -97,6 +98,7 @@ pub use build::{compute_schedule, BuildMethod};
 pub use coupling::Coupler;
 pub use datamove::{data_move, data_move_recv, data_move_send, try_data_move};
 pub use error::McError;
+pub use obs::{record_abort, take_last_abort, AbortReport};
 pub use region::{DimSlice, IndexSet, Region, RegularSection};
 pub use schedule::{elem_type, Schedule};
 pub use seqvec::SeqVec;

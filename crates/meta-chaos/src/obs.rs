@@ -1,0 +1,140 @@
+//! Observability for the Meta-Chaos layer: phase spans, provenance
+//! marks, and the abort post-mortem.
+//!
+//! The span instrumentation lives inline in [`crate::build`],
+//! [`crate::api`], [`crate::datamove`] and [`crate::coupling`], producing
+//! the hierarchy `transfer > {inspect, manifest, pack, wire, stage,
+//! commit, abort}` on each rank's timeline (see `mcsim::span`).  This
+//! module owns what happens when a transfer *fails*: every abort site
+//! calls [`record_abort`], which snapshots the endpoint's flight
+//! recorder — the last [`mcsim::span::FLIGHT_RING_CAP`] events, always
+//! recorded — into a thread-local (per-rank) [`AbortReport`].  The SPMD
+//! closure that observed the `McError` can then pick the report up with
+//! [`take_last_abort`] and attach it to whatever error surface it uses,
+//! turning a bare error code into a post-mortem: which pair, which
+//! epoch, which protocol events led up to the failure.
+//!
+//! `McError` itself stays a plain, `PartialEq`-comparable value — the
+//! dump rides next to it, not inside it.
+
+use std::cell::RefCell;
+
+use mcsim::export::jsonl_line;
+use mcsim::prelude::Endpoint;
+use mcsim::trace::TraceEvent;
+
+use crate::error::McError;
+
+/// Post-mortem for one aborted transfer on one rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbortReport {
+    /// The rank that aborted.
+    pub rank: usize,
+    /// Virtual time of the abort.
+    pub at: f64,
+    /// `Display` rendering of the `McError` that caused it.
+    pub error: String,
+    /// Flight-recorder contents at the moment of the abort, oldest
+    /// first: the last spans, sends/receives, faults, retransmits and
+    /// marks that led up to the failure.
+    pub events: Vec<TraceEvent>,
+}
+
+impl AbortReport {
+    /// Human-readable post-mortem: the error, then one line per
+    /// recorded event (JSONL, same schema as the exporters).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "rank {} aborted at t={:.9}: {}\nflight recorder ({} events):\n",
+            self.rank,
+            self.at,
+            self.error,
+            self.events.len()
+        );
+        for e in &self.events {
+            out.push_str("  ");
+            out.push_str(&jsonl_line(self.rank, e));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+thread_local! {
+    /// The most recent abort on this rank (rank threads are OS threads,
+    /// so thread-local is rank-local).
+    static LAST_ABORT: RefCell<Option<AbortReport>> = const { RefCell::new(None) };
+}
+
+/// Capture the flight recorder into this rank's [`AbortReport`].  Called
+/// by every abort site in the data-move path; also records an `abort`
+/// mark so the dump itself ends with the failure.
+pub fn record_abort(ep: &mut Endpoint, err: &McError) {
+    ep.mark(|| format!("abort error={err}"));
+    let report = AbortReport {
+        rank: ep.rank(),
+        at: ep.clock(),
+        error: err.to_string(),
+        events: ep.flight_dump(),
+    };
+    LAST_ABORT.with(|c| *c.borrow_mut() = Some(report));
+}
+
+/// Take (and clear) this rank's most recent abort report.
+pub fn take_last_abort() -> Option<AbortReport> {
+    LAST_ABORT.with(|c| c.borrow_mut().take())
+}
+
+/// Render `err` together with this rank's most recent abort report (if
+/// one was captured), consuming the report.  The one-stop "error report
+/// with the dump attached" for callers that just want text.
+pub fn report_with_post_mortem(err: &McError) -> String {
+    match take_last_abort() {
+        Some(r) => format!("{err}\n{}", r.render()),
+        None => err.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsim::span::SpanId;
+
+    #[test]
+    fn report_renders_error_and_events() {
+        let r = AbortReport {
+            rank: 3,
+            at: 1.5,
+            error: "boom".into(),
+            events: vec![
+                TraceEvent::SpanEnd {
+                    at: 1.0,
+                    id: SpanId(7),
+                },
+                TraceEvent::Mark {
+                    at: 1.5,
+                    label: "abort error=boom".into(),
+                },
+            ],
+        };
+        let text = r.render();
+        assert!(text.contains("rank 3 aborted"));
+        assert!(text.contains("boom"));
+        assert!(text.contains("span_end"));
+        assert!(text.contains("abort error=boom"));
+    }
+
+    #[test]
+    fn take_clears_the_slot() {
+        LAST_ABORT.with(|c| {
+            *c.borrow_mut() = Some(AbortReport {
+                rank: 0,
+                at: 0.0,
+                error: "x".into(),
+                events: vec![],
+            })
+        });
+        assert!(take_last_abort().is_some());
+        assert!(take_last_abort().is_none());
+    }
+}

@@ -447,8 +447,15 @@ impl Schedule {
     /// bookkeeping cost, which compression keeps far below element count
     /// for regular transfers.
     pub fn num_runs(&self) -> usize {
-        self.sends.iter().map(|(_, a)| a.runs().len()).sum::<usize>()
-            + self.recvs.iter().map(|(_, a)| a.runs().len()).sum::<usize>()
+        self.sends
+            .iter()
+            .map(|(_, a)| a.runs().len())
+            .sum::<usize>()
+            + self
+                .recvs
+                .iter()
+                .map(|(_, a)| a.runs().len())
+                .sum::<usize>()
             + self.local_pairs.runs().len()
     }
 }
@@ -638,10 +645,15 @@ mod tests {
 
     #[test]
     fn pair_runs_split_sides() {
-        let p: PairRuns = vec![(0, 10), (1, 11), (2, 12), (7, 3)].into_iter().collect();
+        let p: PairRuns = vec![(0, 10), (1, 11), (2, 12), (7, 3)]
+            .into_iter()
+            .collect();
         let (s, d) = p.split_sides();
         assert_eq!(s.to_vec(), vec![0, 1, 2, 7]);
         assert_eq!(d.to_vec(), vec![10, 11, 12, 3]);
-        assert_eq!(p.swapped().to_vec(), vec![(10, 0), (11, 1), (12, 2), (3, 7)]);
+        assert_eq!(
+            p.swapped().to_vec(),
+            vec![(10, 0), (11, 1), (12, 2), (3, 7)]
+        );
     }
 }

@@ -180,12 +180,8 @@ impl<T: Copy + Default> McObject<T> for SeqVec<T> {
         ep.charge_copy_bytes(runs.len() * std::mem::size_of::<T>());
     }
 
-    fn pack_runs_wire(
-        &self,
-        ep: &mut Endpoint,
-        runs: &crate::schedule::AddrRuns,
-        out: &mut Vec<u8>,
-    ) where
+    fn pack_runs_wire(&self, ep: &mut Endpoint, runs: &crate::schedule::AddrRuns, out: &mut Vec<u8>)
+    where
         T: Wire,
     {
         for &(start, len) in runs.runs() {

@@ -198,9 +198,10 @@ mod tests {
             // if its program instantiated the build for f32.
             if ep.rank() == 1 {
                 let (tag, size) = crate::schedule::elem_type::<f32>();
-                sched = sched
-                    .clone()
-                    .with_integrity(sched.src_epoch(), sched.dst_epoch(), tag, size);
+                sched =
+                    sched
+                        .clone()
+                        .with_integrity(sched.src_epoch(), sched.dst_epoch(), tag, size);
             }
             let issues = validate_schedule(ep, &sched);
             assert_eq!(issues, vec![ScheduleIssue::TypeMismatch]);

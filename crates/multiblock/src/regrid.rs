@@ -107,7 +107,12 @@ mod tests {
         world.run(|ep| {
             let g = Group::world(1);
             let a = MultiblockArray::<f64>::new(&g, ep.rank(), &[4, 4]);
-            let _ = regrid(ep, &g, &a, BlockDist::new(vec![4, 5], ProcGrid::new(vec![1, 1]), 0));
+            let _ = regrid(
+                ep,
+                &g,
+                &a,
+                BlockDist::new(vec![4, 5], ProcGrid::new(vec![1, 1]), 0),
+            );
         });
     }
 }

@@ -4,6 +4,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --check
 cargo build --release
 cargo test --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings
@@ -18,5 +19,13 @@ for seed in 11 42 20260805; do
   MC_FAULT_SEED=$seed cargo test --test fault_matrix -q
   MC_FAULT_SEED=$seed cargo test --test robustness -q
 done
+
+# Trace-schema gate: a small traced coupled run must export valid JSONL
+# (one self-describing object per event) that the checker accepts.
+trace_tmp="$(mktemp -t mc_trace.XXXXXX.jsonl)"
+trap 'rm -f "$trace_tmp"' EXIT
+echo "== trace schema =="
+cargo run --release -p bench --bin repro -- trace --n 256 --reps 1 --trace-out "$trace_tmp"
+cargo run --release -p bench --bin repro -- trace-check "$trace_tmp"
 
 echo "verify: all checks passed"

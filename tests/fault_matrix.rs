@@ -178,15 +178,136 @@ fn fault_matrix_every_kind_is_survived() {
                     }
                     "corrupt" => {
                         assert!(faults.corrupts_injected > 0, "{label}: no corruption");
-                        assert!(faults.retransmits > 0, "{label}: corruption needs retransmits");
+                        assert!(
+                            faults.retransmits > 0,
+                            "{label}: corruption needs retransmits"
+                        );
                     }
                     "delay" => {
                         assert!(faults.delays_injected > 0, "{label}: no delays injected");
-                        assert!(faults.timeouts > 0, "{label}: late acks must count timeouts");
+                        assert!(
+                            faults.timeouts > 0,
+                            "{label}: late acks must count timeouts"
+                        );
                     }
                     _ => unreachable!(),
                 }
             }
+        }
+    }
+}
+
+/// Every injected fault kind is visible on the event timeline: a traced
+/// faulted run records [`TraceEvent::Fault`] with the matching
+/// [`FaultKind`], and recovery shows up as retransmit events on the wire
+/// (drop/corrupt) without perturbing the delivered bytes.
+#[test]
+fn fault_kinds_appear_as_trace_events() {
+    use mcsim::trace::{FaultKind, TraceEvent};
+
+    let kinds: [(FaultKind, FaultRates); 4] = [
+        (
+            FaultKind::Drop,
+            FaultRates {
+                drop: 0.30,
+                ..FaultRates::default()
+            },
+        ),
+        (
+            FaultKind::Duplicate,
+            FaultRates {
+                dup: 0.35,
+                ..FaultRates::default()
+            },
+        ),
+        (
+            FaultKind::Corrupt,
+            FaultRates {
+                corrupt: 0.30,
+                ..FaultRates::default()
+            },
+        ),
+        (
+            FaultKind::Delay,
+            FaultRates {
+                delay: 0.35,
+                delay_secs: 0.05,
+                ..FaultRates::default()
+            },
+        ),
+    ];
+    for (kind, rates) in kinds {
+        let plan = FaultPlan::new(seeds()[0]).rates(rates);
+        let world = World::with_model(4, MachineModel::sp2())
+            .with_faults(plan)
+            .with_trace();
+        let out = world.run(move |ep| {
+            let (pa, pb, un) = mcsim::group::Group::split_two(2, 2, 32);
+            let set: SetOfRegions<RegularSection> =
+                SetOfRegions::single(RegularSection::whole(&[N]));
+            if pa.contains(ep.rank()) {
+                let mut v = MultiblockArray::<f64>::new(&pa, ep.rank(), &[N]);
+                v.fill_with(|c| (c[0] * 3 + 1) as f64);
+                let sched = compute_schedule::<f64, MultiblockArray<f64>, HpfArray<f64>>(
+                    ep,
+                    &un,
+                    &pa,
+                    Some(Side::new(&v, &set)),
+                    &pb,
+                    None,
+                    BuildMethod::Cooperation,
+                )
+                .unwrap();
+                for _ in 0..REPS {
+                    data_move_send(ep, &sched, &v).unwrap();
+                }
+            } else {
+                let mut h = HpfArray::<f64>::new(&pb, ep.rank(), HpfDist::block_1d(N, 2));
+                let sched = compute_schedule::<f64, MultiblockArray<f64>, HpfArray<f64>>(
+                    ep,
+                    &un,
+                    &pa,
+                    None,
+                    &pb,
+                    Some(Side::new(&h, &set)),
+                    BuildMethod::Cooperation,
+                )
+                .unwrap();
+                for _ in 0..REPS {
+                    data_move_recv(ep, &sched, &mut h).unwrap();
+                }
+            }
+        });
+        assert_eq!(out.traces.len(), 4, "{kind:?}: tracing was enabled");
+        let injected = out
+            .traces
+            .iter()
+            .flatten()
+            .filter(|e| matches!(e, TraceEvent::Fault { kind: k, .. } if *k == kind))
+            .count() as u64;
+        assert!(injected > 0, "{kind:?}: no fault events on any timeline");
+        let counted = match kind {
+            FaultKind::Drop => out.stats.faults.drops_injected,
+            FaultKind::Duplicate => out.stats.faults.dups_injected,
+            FaultKind::Corrupt => out.stats.faults.corrupts_injected,
+            FaultKind::Delay => out.stats.faults.delays_injected,
+        };
+        assert_eq!(
+            injected, counted,
+            "{kind:?}: every counted injection must appear as a trace event"
+        );
+        if matches!(kind, FaultKind::Drop | FaultKind::Corrupt) {
+            let resent = out
+                .traces
+                .iter()
+                .flatten()
+                .filter(|e| matches!(e, TraceEvent::Retransmit { .. }))
+                .count() as u64;
+            assert_eq!(
+                resent, out.stats.faults.retransmits,
+                "{kind:?}: recovery retransmits must appear as trace events"
+            );
+            assert!(resent > 0, "{kind:?}: loss must force retransmission");
         }
     }
 }
@@ -276,6 +397,8 @@ fn acceptance_mix_through_coupler_is_deterministic() {
 /// A permanent partition (100% loss on the faulted classes) exhausts the
 /// retry budget: the sender gets [`McError::PeerTimeout`], the receiver is
 /// told via GIVEUP and gets [`McError::PeerTimeout`] too — nobody hangs.
+/// Every aborting rank also leaves a non-empty flight-recorder dump
+/// behind, naming the failing pair in its final `abort` mark.
 #[test]
 fn permanent_partition_times_out_both_sides() {
     let plan = FaultPlan::new(3).rates(FaultRates {
@@ -301,7 +424,8 @@ fn permanent_partition_times_out_both_sides() {
                     BuildMethod::Cooperation,
                 )
                 .unwrap();
-                data_move_send(ep, &sched, &v)
+                let r = data_move_send(ep, &sched, &v);
+                (r, meta_chaos::obs::take_last_abort())
             } else {
                 let mut h = HpfArray::<f64>::new(&pb, ep.rank(), HpfDist::block_1d(N, 2));
                 let sched = compute_schedule::<f64, MultiblockArray<f64>, HpfArray<f64>>(
@@ -314,19 +438,45 @@ fn permanent_partition_times_out_both_sides() {
                     BuildMethod::Cooperation,
                 )
                 .unwrap();
-                data_move_recv(ep, &sched, &mut h)
+                let r = data_move_recv(ep, &sched, &mut h);
+                (r, meta_chaos::obs::take_last_abort())
             }
         });
     // Schedule construction runs on unfaulted library traffic, so every
     // rank reaches the transfer and then times out against its peer.
-    for (rank, r) in out.results.iter().enumerate() {
+    for (rank, (r, dump)) in out.results.iter().enumerate() {
+        let expect = (rank + 2) % 4;
         match r {
             Err(McError::PeerTimeout { rank: peer }) => {
-                let expect = (rank + 2) % 4;
                 assert_eq!(*peer, expect, "rank {rank} should time out on its pair");
             }
             other => panic!("rank {rank}: expected PeerTimeout, got {other:?}"),
         }
+        // Every abort snapshots the flight recorder — even with tracing
+        // off, the bounded ring is always on.
+        let report = dump
+            .as_ref()
+            .unwrap_or_else(|| panic!("rank {rank}: abort left no flight-recorder dump"));
+        assert_eq!(report.rank, rank);
+        assert!(
+            !report.events.is_empty(),
+            "rank {rank}: flight dump must not be empty"
+        );
+        let rendered = report.render();
+        assert!(
+            rendered.contains(&format!("peer rank {expect}"))
+                || rendered.contains(&format!("peer={expect}"))
+                || report.error.contains(&expect.to_string()),
+            "rank {rank}: dump should name the failing pair:\n{rendered}"
+        );
+        // The dump ends on the abort itself.
+        assert!(
+            matches!(
+                report.events.last(),
+                Some(mcsim::trace::TraceEvent::Mark { label, .. }) if label.starts_with("abort error=")
+            ),
+            "rank {rank}: last flight event must be the abort mark"
+        );
     }
     assert!(
         out.stats.faults.retransmits > 0,
@@ -473,7 +623,10 @@ fn mismatched_ports_abort_both_sides_then_rebind_retries() {
             );
             // Recover: displace the stale binding and retry.
             let displaced = ports.bind("field", s2);
-            assert!(displaced.is_some(), "rebinding must hand back the stale schedule");
+            assert!(
+                displaced.is_some(),
+                "rebinding must hand back the stale schedule"
+            );
             ports.put(ep, "field", &v).unwrap();
             Vec::new()
         } else {

@@ -252,6 +252,56 @@ fn mixed_library_parity_with_elementwise() {
     });
 }
 
+/// Observability cross-check: the per-pair message counts and byte totals
+/// derived purely from the trace (its `Send` events) must equal the
+/// `NetStats` counters exactly — one event model, one truth.
+#[test]
+fn trace_send_events_match_per_pair_netstats() {
+    use mcsim::trace::TraceEvent;
+    let n = 64usize;
+    let p = 4usize;
+    let dst_idx: Vec<usize> = (0..n).map(|k| (k * 13 + 5) % n).collect();
+    let out = test_world(p).with_trace().run(move |ep| {
+        let g = Group::world(p);
+        let mut a = MultiblockArray::<f64>::new(&g, ep.rank(), &[n]);
+        a.fill_with(|c| c[0] as f64);
+        let mut x = {
+            let mut comm = Comm::new(ep, g.clone());
+            IrregArray::create(&mut comm, n, Partition::Cyclic, |_| 0.0)
+        };
+        let sset = SetOfRegions::single(RegularSection::whole(&[n]));
+        let dset = SetOfRegions::single(IndexSet::new(dst_idx.clone()));
+        let sched = compute_schedule(
+            ep,
+            &g,
+            &g,
+            Some(Side::new(&a, &sset)),
+            &g,
+            Some(Side::new(&x, &dset)),
+            BuildMethod::Cooperation,
+        )
+        .unwrap();
+        data_move(ep, &sched, &a, &mut x);
+        // The whole-run snapshot, so it covers the same window the trace
+        // does (schedule build included).
+        ep.stats_snapshot()
+    });
+    assert_eq!(out.traces.len(), p, "tracing was enabled");
+    for (rank, timeline) in out.traces.iter().enumerate() {
+        let mut msgs = vec![0u64; p];
+        let mut bytes = vec![0u64; p];
+        for ev in timeline {
+            if let TraceEvent::Send { to, bytes: b, .. } = ev {
+                msgs[*to] += 1;
+                bytes[*to] += *b as u64;
+            }
+        }
+        let snap = &out.results[rank];
+        assert_eq!(msgs, snap.msgs_to, "rank {rank} per-pair message counts");
+        assert_eq!(bytes, snap.bytes_to, "rank {rank} per-pair byte totals");
+    }
+}
+
 /// The `MC_ComputeSched` memo: a repeat call with identical inputs is a
 /// cache hit (no rebuild), a mutated region set is a miss, and the cached
 /// schedule moves data correctly.
@@ -297,7 +347,11 @@ fn schedule_cache_hits_and_misses() {
         let my_lo = ep.rank() * (n / 3);
         for (off, &v) in a.local().iter().enumerate() {
             let gidx = my_lo + off;
-            let want = if gidx >= n / 2 { (gidx - n / 2) as f64 } else { 0.0 };
+            let want = if gidx >= n / 2 {
+                (gidx - n / 2) as f64
+            } else {
+                0.0
+            };
             assert_eq!(v, want, "A[{gidx}]");
         }
     });

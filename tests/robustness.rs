@@ -168,8 +168,7 @@ fn peer_crash_mid_data_move_propagates_as_error() {
             }
             data_move_send(ep, &sched, &v)
         } else {
-            let mut h =
-                hpf::HpfArray::<f64>::new(&pb, ep.rank(), hpf::HpfDist::block_1d(n, 2));
+            let mut h = hpf::HpfArray::<f64>::new(&pb, ep.rank(), hpf::HpfDist::block_1d(n, 2));
             let sched = compute_schedule::<f64, MultiblockArray<f64>, hpf::HpfArray<f64>>(
                 ep,
                 &un,

@@ -258,7 +258,11 @@ fn hpf_owner_arithmetic_consistent() {
             1 => DistKind::Cyclic(chunk),
             _ => DistKind::Collapsed,
         };
-        let g = if matches!(kind, DistKind::Collapsed) { 1 } else { g };
+        let g = if matches!(kind, DistKind::Collapsed) {
+            1
+        } else {
+            g
+        };
         if matches!(kind, DistKind::Block) && n < g {
             continue;
         }
