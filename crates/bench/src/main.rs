@@ -160,15 +160,10 @@ fn main() {
                 r.elementwise_mbps(),
                 r.speedup()
             );
-            if let (Some(rel_ns), Some(rel_mbps), Some(pct)) =
-                (r.reliable_ns, r.reliable_mbps(), r.reliable_overhead_pct())
-            {
-                println!(
-                    "reliable        {rel_ns:>10.0} ns/move  {rel_mbps:>8.0} MB/s  \
-                     ({pct:+.1}% vs fast path, fault-free)"
-                );
+            if let (Some(rel_ns), Some(rel_mbps)) = (r.reliable_ns, r.reliable_mbps()) {
+                println!("reliable        {rel_ns:>10.0} ns/move  {rel_mbps:>8.0} MB/s");
             }
-            if let (Some(raw_ns), Some(pct)) = (r.reliable_raw_ns, r.txn_overhead_pct()) {
+            if let (Some(raw_ns), Some(pct)) = (r.reliable_raw_ns, r.reliable_overhead_pct()) {
                 println!(
                     "reliable (raw)  {raw_ns:>10.0} ns/move  — transactional session layer \
                      costs {pct:+.1}% fault-free (manifests + verdicts + staging)"
@@ -176,8 +171,12 @@ fn main() {
             }
             let ph = r.phases;
             println!(
-                "phases: inspector build {:.0} ns, pack {:.0} ns, wire {:.0} ns, unpack {:.0} ns{}",
+                "phases: inspector build {:.0} ns (dup {:.0} ns, element-wise {:.0} ns = \
+                 {:.1}x slower), pack {:.0} ns, wire {:.0} ns, unpack {:.0} ns{}",
                 ph.inspector_build_ns,
+                ph.inspector_build_dup_ns,
+                ph.inspector_build_elementwise_ns,
+                r.inspector_speedup(),
                 ph.pack_ns,
                 ph.wire_ns,
                 ph.unpack_ns,
@@ -185,6 +184,23 @@ fn main() {
                     Some(s) => format!(", session overhead {s:.0} ns"),
                     None => String::new(),
                 }
+            );
+            println!("inspector per library pair (coop / dup build ns):");
+            for p in &r.pairs {
+                println!(
+                    "  {:<24} {:>10.0} / {:>10.0}",
+                    p.pair, p.coop_build_ns, p.dup_build_ns
+                );
+            }
+            let a = r.amortization;
+            println!(
+                "amortization: {} elements in {} runs — build {:.0} ns, move {:.0} ns, \
+                 break-even after {:.1} moves",
+                a.elements,
+                a.sched_runs,
+                a.build_ns,
+                a.move_ns,
+                a.breakeven_moves()
             );
             let path = "BENCH_executor.json";
             let mut fields = vec![
@@ -205,22 +221,29 @@ fn main() {
                     "reliable_mb_per_s",
                     JsonValue::Num(r.reliable_mbps().unwrap()),
                 ));
-                fields.push((
-                    "reliable_overhead_pct",
-                    JsonValue::Num(r.reliable_overhead_pct().unwrap()),
-                ));
             }
             if let Some(raw_ns) = r.reliable_raw_ns {
                 fields.push(("reliable_raw_ns_per_move", JsonValue::Num(raw_ns)));
-                fields.push((
-                    "txn_overhead_pct",
-                    JsonValue::Num(r.txn_overhead_pct().unwrap()),
-                ));
+            }
+            if let Some(pct) = r.reliable_overhead_pct() {
+                fields.push(("reliable_overhead_pct", JsonValue::Num(pct)));
             }
             let mut phase_fields = vec![
                 (
                     "inspector_build_ns".to_string(),
                     JsonValue::Num(ph.inspector_build_ns),
+                ),
+                (
+                    "inspector_build_dup_ns".to_string(),
+                    JsonValue::Num(ph.inspector_build_dup_ns),
+                ),
+                (
+                    "inspector_build_elementwise_ns".to_string(),
+                    JsonValue::Num(ph.inspector_build_elementwise_ns),
+                ),
+                (
+                    "inspector_speedup".to_string(),
+                    JsonValue::Num(r.inspector_speedup()),
                 ),
                 ("pack_ns".to_string(), JsonValue::Num(ph.pack_ns)),
                 ("wire_ns".to_string(), JsonValue::Num(ph.wire_ns)),
@@ -230,6 +253,40 @@ fn main() {
                 phase_fields.push(("session_overhead_ns".to_string(), JsonValue::Num(s)));
             }
             fields.push(("phases", JsonValue::Obj(phase_fields)));
+            fields.push((
+                "inspector_pairs",
+                JsonValue::Obj(
+                    r.pairs
+                        .iter()
+                        .map(|p| {
+                            (
+                                p.pair.to_string(),
+                                JsonValue::Obj(vec![
+                                    ("coop_build_ns".to_string(), JsonValue::Num(p.coop_build_ns)),
+                                    ("dup_build_ns".to_string(), JsonValue::Num(p.dup_build_ns)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ));
+            let a = r.amortization;
+            fields.push((
+                "amortization",
+                JsonValue::Obj(vec![
+                    ("elements".to_string(), JsonValue::Int(a.elements as u64)),
+                    (
+                        "sched_runs".to_string(),
+                        JsonValue::Int(a.sched_runs as u64),
+                    ),
+                    ("build_ns".to_string(), JsonValue::Num(a.build_ns)),
+                    ("move_ns".to_string(), JsonValue::Num(a.move_ns)),
+                    (
+                        "breakeven_moves".to_string(),
+                        JsonValue::Num(a.breakeven_moves()),
+                    ),
+                ]),
+            ));
             write_json_report(path, &fields).expect("write BENCH_executor.json");
             println!("wrote {path}");
         }

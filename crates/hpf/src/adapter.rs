@@ -14,12 +14,13 @@ use mcsim::wire::{Wire, WireReader};
 
 use meta_chaos::adapter::{Location, McDescriptor, McObject};
 use meta_chaos::region::{Region, RegularSection};
+use meta_chaos::runs::{LocatedRun, OwnedRun, RunBuilder};
 use meta_chaos::schedule::AddrRuns;
 use meta_chaos::setof::SetOfRegions;
 use meta_chaos::LocalAddr;
 
 use crate::array::HpfArray;
-use crate::dist::HpfDist;
+use crate::dist::{DistKind, HpfDist};
 
 /// Compact descriptor of an HPF distribution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,6 +56,62 @@ impl McDescriptor for HpfDesc {
         Location {
             rank: self.members[local],
             addr: self.dist.local_addr(local, &coords),
+        }
+    }
+
+    fn locate_run(
+        &self,
+        set: &SetOfRegions<RegularSection>,
+        pos: usize,
+        max_len: usize,
+    ) -> LocatedRun {
+        debug_assert!(max_len >= 1);
+        let (ri, off) = set.locate_position(pos);
+        let region = &set.regions()[ri];
+        let nd = region.ndim();
+        let coords = region.coords_of(off);
+        let local = self.dist.owner(&coords);
+        let rank = self.members[local];
+        let addr = self.dist.local_addr(local, &coords);
+        if nd == 0 {
+            return LocatedRun {
+                pos,
+                len: 1,
+                rank,
+                addr,
+                stride: 1,
+            };
+        }
+        // Consecutive positions step the last (fastest) dimension; the run
+        // ends at the section row, the owner boundary (block edge or cyclic
+        // chunk edge), or max_len — whichever comes first.  Within that
+        // span the HPF local-addressing formula advances by the section
+        // stride for every directive kind.
+        let ls = &region.dims()[nd - 1];
+        let c = coords[nd - 1];
+        let k = ls.position_of(c).expect("coords came from coords_of");
+        let row_left = ls.count() - k;
+        let d = nd - 1;
+        let steps = match self.dist.kinds()[d] {
+            DistKind::Collapsed => row_left,
+            DistKind::Block => {
+                let n = self.dist.shape()[d];
+                let g = self.dist.proc_dims()[d];
+                let o = DistKind::Block.owner(n, g, c);
+                let (_, bhi) = self.dist.block_bounds(d, o);
+                (bhi - c).div_ceil(ls.stride)
+            }
+            DistKind::Cyclic(kk) => {
+                let chunk_end = (c / kk + 1) * kk;
+                (chunk_end - c).div_ceil(ls.stride)
+            }
+        };
+        LocatedRun {
+            pos,
+            len: row_left.min(steps).min(max_len),
+            rank,
+            addr,
+            stride: ls.stride as isize,
         }
     }
 
@@ -125,6 +182,54 @@ impl<T: Copy + Default> McObject<T> for HpfArray<T> {
         }
         comm.ep().charge_owner_calc(inspected + set.num_regions());
         out
+    }
+
+    fn deref_owned_runs(
+        &self,
+        comm: &mut Comm<'_>,
+        set: &SetOfRegions<RegularSection>,
+    ) -> Vec<OwnedRun> {
+        let dist = self.dist();
+        if !dist.is_all_contiguous() {
+            // Cyclic dims break ownership into chunk-sized pieces; keep the
+            // per-element scan and coalesce what it yields.  The charge is
+            // whatever deref_owned charges.
+            return meta_chaos::coalesce_owned(&self.deref_owned(comm, set));
+        }
+        // Contiguous fast path: ownership is a box, and each row of an
+        // intersected sub-section is one run — O(rows) work, same
+        // virtual-clock charge as deref_owned.
+        let me = self.my_local();
+        let pc = dist.proc_coords(me);
+        let my_box: Vec<(usize, usize)> = (0..dist.shape().len())
+            .map(|d| dist.block_bounds(d, pc[d]))
+            .collect();
+        let mut builder = RunBuilder::new();
+        let mut region_offset = 0usize;
+        let mut inspected = 0usize;
+        for region in set.regions() {
+            if let Some(sub) = region.intersect_box(&my_box) {
+                let nd = sub.ndim();
+                let (row_len, stride) = if nd == 0 {
+                    (sub.len(), 1isize)
+                } else {
+                    let ls = &sub.dims()[nd - 1];
+                    (ls.count(), ls.stride as isize)
+                };
+                let rows = sub.len().checked_div(row_len).unwrap_or(0);
+                let mut coords = vec![0usize; nd];
+                for r in 0..rows {
+                    sub.coords_into(r * row_len, &mut coords);
+                    let pos =
+                        region_offset + region.position_of(&coords).expect("subset of region");
+                    builder.push_run(pos, row_len, dist.local_addr(me, &coords), stride);
+                }
+                inspected += sub.len();
+            }
+            region_offset += region.len();
+        }
+        comm.ep().charge_owner_calc(inspected + set.num_regions());
+        builder.finish()
     }
 
     fn locate_positions(
@@ -257,6 +362,89 @@ mod tests {
             let mine = all.iter().filter(|l| l.rank == me).count();
             assert_eq!(mine, owned.len());
         });
+    }
+
+    #[test]
+    fn deref_owned_runs_expand_to_deref_owned() {
+        // Both the contiguous fast path and the cyclic fallback.
+        let dists = [
+            HpfDist::block_block(9, 8, 2, 2),
+            HpfDist::new(
+                vec![9, 8],
+                vec![DistKind::Cyclic(2), DistKind::Block],
+                vec![2, 2],
+            ),
+        ];
+        for dist in dists {
+            let world = World::with_model(4, MachineModel::zero());
+            world.run(|ep| {
+                let g = Group::world(4);
+                let a = HpfArray::<f64>::new(&g, ep.rank(), dist.clone());
+                let set = SetOfRegions::from_regions(vec![
+                    RegularSection::of_bounds(&[(1, 8), (2, 7)]),
+                    RegularSection::new(vec![
+                        meta_chaos::DimSlice::strided(0, 9, 2),
+                        meta_chaos::DimSlice::strided(1, 8, 3),
+                    ]),
+                ]);
+                let mut comm = Comm::new(ep, g);
+                let owned = a.deref_owned(&mut comm, &set);
+                let runs = a.deref_owned_runs(&mut comm, &set);
+                let mut expanded = Vec::new();
+                for r in &runs {
+                    for k in 0..r.len {
+                        expanded.push((r.pos + k, r.addr_at(k)));
+                    }
+                }
+                assert_eq!(expanded, owned);
+            });
+        }
+    }
+
+    #[test]
+    fn locate_run_agrees_with_locate_for_every_kind() {
+        let dists = [
+            HpfDist::new(
+                vec![10, 9],
+                vec![DistKind::Block, DistKind::Cyclic(3)],
+                vec![2, 2],
+            ),
+            HpfDist::new(
+                vec![10, 9],
+                vec![DistKind::Block, DistKind::Collapsed],
+                vec![4, 1],
+            ),
+            HpfDist::new(
+                vec![10, 9],
+                vec![DistKind::Cyclic(1), DistKind::Block],
+                vec![2, 2],
+            ),
+        ];
+        for dist in dists {
+            let desc = HpfDesc {
+                dist,
+                members: (0..4).collect(),
+            };
+            let set = SetOfRegions::from_regions(vec![
+                RegularSection::of_bounds(&[(1, 9), (0, 9)]),
+                RegularSection::new(vec![
+                    meta_chaos::DimSlice::strided(0, 10, 3),
+                    meta_chaos::DimSlice::strided(1, 9, 2),
+                ]),
+            ]);
+            let n = set.total_len();
+            let mut pos = 0;
+            while pos < n {
+                let run = desc.locate_run(&set, pos, n - pos);
+                assert!(run.pos == pos && run.len >= 1 && run.end() <= n);
+                for k in 0..run.len {
+                    let loc = desc.locate(&set, pos + k);
+                    assert_eq!(loc.rank, run.rank, "pos {}", pos + k);
+                    assert_eq!(loc.addr, run.addr_at(k), "pos {}", pos + k);
+                }
+                pos = run.end();
+            }
+        }
     }
 
     #[test]

@@ -17,6 +17,7 @@ use mcsim::prelude::Endpoint;
 use mcsim::wire::Wire;
 
 use crate::region::Region;
+use crate::runs::{coalesce_owned, LocatedRun, OwnedRun};
 use crate::schedule::AddrRuns;
 use crate::setof::SetOfRegions;
 use crate::LocalAddr;
@@ -49,6 +50,61 @@ pub trait McDescriptor: Wire + Clone + Send {
     /// faster batch implementation.
     fn locate_all(&self, set: &SetOfRegions<Self::Region>) -> Vec<Location> {
         (0..set.total_len()).map(|p| self.locate(set, p)).collect()
+    }
+
+    /// Locate the run of consecutive linearization positions starting at
+    /// `pos` that live contiguously (in one address progression) on one
+    /// rank — at most `max_len` positions.
+    ///
+    /// The default answers a length-1 run from [`Self::locate`], which is
+    /// always correct; regular descriptors override it with closed-form
+    /// interval arithmetic so the duplication build walks O(regions) runs
+    /// instead of O(elements) locations.  Implementations must return
+    /// `1 <= len <= max_len`.
+    fn locate_run(
+        &self,
+        set: &SetOfRegions<Self::Region>,
+        pos: usize,
+        max_len: usize,
+    ) -> LocatedRun {
+        debug_assert!(max_len >= 1);
+        let loc = self.locate(set, pos);
+        LocatedRun {
+            pos,
+            len: 1,
+            rank: loc.rank,
+            addr: loc.addr,
+            stride: 1,
+        }
+    }
+
+    /// Locate the span `start .. start + len` as a sorted, disjoint run
+    /// list covering every position exactly once.  Built on
+    /// [`Self::locate_run`], merging runs that continue each other (so a
+    /// default length-1 implementation still yields maximal runs for
+    /// regular stretches).
+    fn locate_runs(
+        &self,
+        set: &SetOfRegions<Self::Region>,
+        start: usize,
+        len: usize,
+    ) -> Vec<LocatedRun> {
+        let mut out: Vec<LocatedRun> = Vec::new();
+        let end = start + len;
+        let mut pos = start;
+        while pos < end {
+            let run = self.locate_run(set, pos, end - pos);
+            debug_assert!(run.pos == pos && run.len >= 1 && run.end() <= end);
+            pos = run.end();
+            let merged = match out.last_mut() {
+                Some(last) => last.try_merge(&run),
+                None => false,
+            };
+            if !merged {
+                out.push(run);
+            }
+        }
+        out
     }
 
     /// Charge the virtual clock for `n` descriptor-based locates.
@@ -86,6 +142,26 @@ pub trait McObject<T: Copy> {
         comm: &mut Comm<'_>,
         set: &SetOfRegions<Self::Region>,
     ) -> Vec<(usize, LocalAddr)>;
+
+    /// Collective over the owning program: as [`McObject::deref_owned`],
+    /// but run-length compressed — sorted, disjoint
+    /// `(pos_start, len, addr_start, stride)` runs covering exactly the
+    /// elements this rank owns.
+    ///
+    /// The default dereferences element-wise and coalesces, which is
+    /// always correct but still O(elements).  Regular libraries override
+    /// it to emit one run per section row straight from owner arithmetic,
+    /// making the inspector O(regions); Chaos coalesces consecutive
+    /// translation-table entries and naturally degrades to length-1 runs.
+    /// The virtual-clock charges must match [`McObject::deref_owned`] —
+    /// the *dereference work* is the same, only its representation shrinks.
+    fn deref_owned_runs(
+        &self,
+        comm: &mut Comm<'_>,
+        set: &SetOfRegions<Self::Region>,
+    ) -> Vec<OwnedRun> {
+        coalesce_owned(&self.deref_owned(comm, set))
+    }
 
     /// Collective over the owning program: locate *arbitrary*
     /// linearization positions of `set` — not just owned ones.  Each
@@ -256,5 +332,35 @@ mod tests {
             assert_eq!(*loc, d.locate(&set, pos));
         }
         assert_eq!(all[0], Location { rank: 1, addr: 1 }); // g=4, p=3
+    }
+
+    #[test]
+    fn default_locate_runs_covers_span_and_merges() {
+        let d = CyclicDesc { p: 3 };
+        let set = SetOfRegions::from_regions(vec![
+            IndexSet::new(vec![4, 7, 9]),
+            IndexSet::new(vec![0, 2]),
+        ]);
+        let runs = d.locate_runs(&set, 0, 5);
+        // Positions 0..5 resolve to ranks 1,1,0,0,2 — three maximal runs.
+        assert_eq!(runs.len(), 3);
+        // Tiling: sorted, disjoint, covering 0..5 exactly.
+        let mut next = 0;
+        for r in &runs {
+            assert_eq!(r.pos, next);
+            next = r.end();
+        }
+        assert_eq!(next, 5);
+        // Expansion agrees with per-position locate.
+        for r in &runs {
+            for k in 0..r.len {
+                let loc = d.locate(&set, r.pos + k);
+                assert_eq!((r.rank, r.addr_at(k)), (loc.rank, loc.addr));
+            }
+        }
+        // A sub-span works too.
+        let tail = d.locate_runs(&set, 3, 2);
+        assert_eq!(tail[0].pos, 3);
+        assert_eq!(tail.last().unwrap().end(), 5);
     }
 }

@@ -85,6 +85,7 @@ pub mod linear;
 pub mod obs;
 pub mod posmap;
 pub mod region;
+pub mod runs;
 pub mod schedule;
 pub mod seqvec;
 pub mod setof;
@@ -94,12 +95,13 @@ pub mod validate;
 pub(crate) mod testlib;
 
 pub use adapter::{Location, McDescriptor, McObject, Side};
-pub use build::{compute_schedule, BuildMethod};
+pub use build::{compute_schedule, compute_schedule_reference, BuildMethod};
 pub use coupling::Coupler;
 pub use datamove::{data_move, data_move_recv, data_move_send, try_data_move};
 pub use error::McError;
 pub use obs::{record_abort, take_last_abort, AbortReport};
 pub use region::{DimSlice, IndexSet, Region, RegularSection};
+pub use runs::{coalesce_owned, LocatedRun, OwnedRun, RunBuilder};
 pub use schedule::{elem_type, Schedule};
 pub use seqvec::SeqVec;
 pub use setof::SetOfRegions;

@@ -51,6 +51,34 @@ impl PosBlocks {
     pub fn total(&self) -> usize {
         self.total
     }
+
+    /// Split the position interval `pos .. pos + len` at coordinator block
+    /// boundaries, yielding `(part, piece_start, piece_len)` in ascending
+    /// position order.  This is the only fragmentation the run-based
+    /// inspector introduces on the announce wire: a run crossing `k` block
+    /// boundaries becomes `k + 1` pieces, and a run inside one block stays
+    /// whole.
+    pub fn split_run(
+        &self,
+        pos: usize,
+        len: usize,
+    ) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        debug_assert!(pos + len <= self.total, "run {pos}+{len} of {}", self.total);
+        let end = pos + len;
+        let mut cur = pos;
+        std::iter::from_fn(move || {
+            if cur >= end {
+                return None;
+            }
+            let part = self.owner(cur);
+            // `range(part).end` strictly exceeds `cur` (owner() guarantees
+            // membership), so every piece makes progress.
+            let piece_end = self.range(part).end.min(end);
+            let piece = (part, cur, piece_end - cur);
+            cur = piece_end;
+            Some(piece)
+        })
+    }
 }
 
 #[cfg(test)]
@@ -93,5 +121,58 @@ mod tests {
         assert_eq!(pb.size_of(1), 1);
         assert_eq!(pb.size_of(2), 0);
         assert_eq!(pb.owner(1), 1);
+    }
+
+    #[test]
+    fn split_run_empty_linearization() {
+        // n = 0: no positions, so only the empty run is legal — and it
+        // yields nothing.
+        let pb = PosBlocks::new(0, 4);
+        assert_eq!(pb.split_run(0, 0).count(), 0);
+    }
+
+    #[test]
+    fn split_run_zero_length_anywhere() {
+        let pb = PosBlocks::new(10, 3);
+        assert_eq!(pb.split_run(7, 0).count(), 0);
+    }
+
+    #[test]
+    fn split_run_more_parts_than_positions() {
+        // p > n: blocks are single positions, so every element of the run
+        // lands on its own coordinator.
+        let pb = PosBlocks::new(3, 8);
+        let pieces: Vec<_> = pb.split_run(0, 3).collect();
+        assert_eq!(pieces, vec![(0, 0, 1), (1, 1, 1), (2, 2, 1)]);
+    }
+
+    #[test]
+    fn split_run_spanning_many_blocks() {
+        // A run crossing 3+ coordinator blocks splits exactly at block
+        // boundaries (blocks of 4: [0,4) [4,8) [8,12) [12,16)).
+        let pb = PosBlocks::new(16, 4);
+        let pieces: Vec<_> = pb.split_run(2, 13).collect();
+        assert_eq!(pieces, vec![(0, 2, 2), (1, 4, 4), (2, 8, 4), (3, 12, 3)]);
+        // Pieces tile the run.
+        let total: usize = pieces.iter().map(|&(_, _, l)| l).sum();
+        assert_eq!(total, 13);
+    }
+
+    #[test]
+    fn split_run_single_element_runs() {
+        // Stride-degenerate (length-1) runs: one piece, owned correctly,
+        // including in the ragged last block.
+        let pb = PosBlocks::new(10, 4); // blocks of 3: last block is {9}
+        for pos in 0..10 {
+            let pieces: Vec<_> = pb.split_run(pos, 1).collect();
+            assert_eq!(pieces, vec![(pb.owner(pos), pos, 1)]);
+        }
+    }
+
+    #[test]
+    fn split_run_within_one_block_stays_whole() {
+        let pb = PosBlocks::new(100, 4); // blocks of 25
+        let pieces: Vec<_> = pb.split_run(26, 20).collect();
+        assert_eq!(pieces, vec![(1, 26, 20)]);
     }
 }

@@ -182,6 +182,53 @@ impl PairRuns {
         self.total += 1;
     }
 
+    /// Append a whole `(src_start, dst_start, len)` run where both sides
+    /// advance consecutively (merged if it continues the last run).
+    pub fn push_run(&mut self, src: LocalAddr, dst: LocalAddr, len: usize) {
+        if len == 0 {
+            return;
+        }
+        if let Some(last) = self.runs.last_mut() {
+            if last.0 + last.2 == src && last.1 + last.2 == dst {
+                last.2 += len;
+                self.total += len;
+                return;
+            }
+        }
+        self.runs.push((src, dst, len));
+        self.total += len;
+    }
+
+    /// Zip two equal-length address lists into pairs — the run-based
+    /// inspector's way of forming the local-copy half without expanding to
+    /// per-element pairs.  Walks both run lists in lockstep, emitting the
+    /// overlap of each `(start, len)` chunk, so the result is exactly what
+    /// per-element `push(src, dst)` over the zipped lists would produce.
+    pub fn from_zip(srcs: &AddrRuns, dsts: &AddrRuns) -> PairRuns {
+        assert_eq!(srcs.len(), dsts.len(), "zipped address lists must pair up");
+        let mut out = PairRuns::new();
+        let (sruns, druns) = (srcs.runs(), dsts.runs());
+        let (mut si, mut di) = (0usize, 0usize);
+        let (mut soff, mut doff) = (0usize, 0usize);
+        while si < sruns.len() {
+            let (ss, sl) = sruns[si];
+            let (ds, dl) = druns[di];
+            let take = (sl - soff).min(dl - doff);
+            out.push_run(ss + soff, ds + doff, take);
+            soff += take;
+            doff += take;
+            if soff == sl {
+                si += 1;
+                soff = 0;
+            }
+            if doff == dl {
+                di += 1;
+                doff = 0;
+            }
+        }
+        out
+    }
+
     /// Number of pairs (not runs).
     #[inline]
     pub fn len(&self) -> usize {
@@ -341,6 +388,37 @@ impl Schedule {
             sends: compress(sends),
             recvs: compress(recvs),
             local_pairs: local_pairs.into_iter().collect(),
+            total_elems,
+            src_epoch: 0,
+            dst_epoch: 0,
+            elem_tag: 0,
+            elem_size: 0,
+        }
+    }
+
+    /// Assemble a schedule from already-compressed address lists (the shape
+    /// the run-based builders produce) — no per-element pass happens here.
+    /// Lists may arrive keyed by every peer; empty ones are dropped and the
+    /// rest sorted by peer, mirroring [`Schedule::new`].
+    pub fn from_runs(
+        group: Group,
+        seq: u32,
+        sends: Vec<(usize, AddrRuns)>,
+        recvs: Vec<(usize, AddrRuns)>,
+        local_pairs: PairRuns,
+        total_elems: usize,
+    ) -> Self {
+        let tidy = |mut lists: Vec<(usize, AddrRuns)>| -> Vec<(usize, AddrRuns)> {
+            lists.retain(|(_, a)| !a.is_empty());
+            lists.sort_by_key(|&(p, _)| p);
+            lists
+        };
+        Schedule {
+            group,
+            seq,
+            sends: tidy(sends),
+            recvs: tidy(recvs),
+            local_pairs,
             total_elems,
             src_epoch: 0,
             dst_epoch: 0,
@@ -641,6 +719,55 @@ mod tests {
         // Hand-built schedules stay untyped.
         assert_eq!(sample().elem_tag(), 0);
         assert_eq!(sample().elem_size(), 0);
+    }
+
+    #[test]
+    fn pair_runs_from_zip_matches_elementwise() {
+        // Misaligned run boundaries on the two sides.
+        let srcs: AddrRuns = vec![0, 1, 2, 3, 50, 51, 52, 9].into_iter().collect();
+        let dsts: AddrRuns = vec![100, 101, 7, 8, 9, 10, 11, 12].into_iter().collect();
+        let zipped = PairRuns::from_zip(&srcs, &dsts);
+        let expected: PairRuns = srcs.iter().zip(dsts.iter()).collect();
+        assert_eq!(zipped, expected);
+        assert_eq!(zipped.len(), 8);
+        // Empty zip.
+        assert_eq!(
+            PairRuns::from_zip(&AddrRuns::new(), &AddrRuns::new()),
+            PairRuns::new()
+        );
+    }
+
+    #[test]
+    fn pair_runs_push_run_merges() {
+        let mut a = PairRuns::new();
+        a.push_run(0, 10, 3);
+        a.push_run(3, 13, 2); // continues both sides
+        a.push_run(9, 15, 1); // breaks
+        a.push_run(0, 0, 0); // ignored
+        let mut b = PairRuns::new();
+        for (s, d) in [(0, 10), (1, 11), (2, 12), (3, 13), (4, 14), (9, 15)] {
+            b.push(s, d);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_runs_matches_new() {
+        let by_elems = sample();
+        let runs_of = |v: Vec<LocalAddr>| -> AddrRuns { v.into_iter().collect() };
+        let by_runs = Schedule::from_runs(
+            Group::world(3),
+            7,
+            vec![
+                (2, runs_of(vec![5, 6])),
+                (1, runs_of(vec![0])),
+                (0, AddrRuns::new()),
+            ],
+            vec![(1, runs_of(vec![9]))],
+            PairRuns::from_zip(&runs_of(vec![1, 3]), &runs_of(vec![2, 4])),
+            6,
+        );
+        assert_eq!(by_runs, by_elems);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use mcsim::wire::{Wire, WireReader};
 
 use meta_chaos::adapter::{Location, McDescriptor, McObject};
 use meta_chaos::region::{Region, RegularSection};
+use meta_chaos::runs::{LocatedRun, OwnedRun, RunBuilder};
 use meta_chaos::schedule::AddrRuns;
 use meta_chaos::setof::SetOfRegions;
 use meta_chaos::LocalAddr;
@@ -68,6 +69,47 @@ impl McDescriptor for BlockDesc {
         }
     }
 
+    fn locate_run(
+        &self,
+        set: &SetOfRegions<RegularSection>,
+        pos: usize,
+        max_len: usize,
+    ) -> LocatedRun {
+        debug_assert!(max_len >= 1);
+        let (ri, off) = set.locate_position(pos);
+        let region = &set.regions()[ri];
+        let nd = region.ndim();
+        let coords = region.coords_of(off);
+        let local = self.dist.owner(&coords);
+        let rank = self.members[local];
+        let addr = self.dist.local_addr(local, &coords);
+        if nd == 0 {
+            return LocatedRun {
+                pos,
+                len: 1,
+                rank,
+                addr,
+                stride: 1,
+            };
+        }
+        // Consecutive positions step the last (fastest) dimension: stay in
+        // this section row, on this owner's block, within max_len.
+        let ls = &region.dims()[nd - 1];
+        let c = coords[nd - 1];
+        let k = ls.position_of(c).expect("coords came from coords_of");
+        let row_left = ls.count() - k;
+        let bc = self.dist.owner_in_dim(nd - 1, c);
+        let (_, bhi) = self.dist.bounds_in_dim(nd - 1, bc);
+        let steps = (bhi - c).div_ceil(ls.stride);
+        LocatedRun {
+            pos,
+            len: row_left.min(steps).min(max_len),
+            rank,
+            addr,
+            stride: ls.stride as isize,
+        }
+    }
+
     fn locate_all(&self, set: &SetOfRegions<RegularSection>) -> Vec<Location> {
         // Batch version: avoid re-resolving the region per element.
         let mut out = Vec::with_capacity(set.total_len());
@@ -117,6 +159,49 @@ impl<T: Copy + Default> McObject<T> for MultiblockArray<T> {
         // region for the intersection itself.
         comm.ep().charge_owner_calc(inspected + set.num_regions());
         out
+    }
+
+    fn deref_owned_runs(
+        &self,
+        comm: &mut Comm<'_>,
+        set: &SetOfRegions<RegularSection>,
+    ) -> Vec<OwnedRun> {
+        // Row-at-a-time version of `deref_owned`: each row of an
+        // intersected sub-section is one run of consecutive positions whose
+        // local addresses advance by the section's last-dim stride.  Work is
+        // O(rows), not O(elements); the virtual-clock charge is identical.
+        let my_box = self.my_box();
+        let dist = self.dist();
+        let me = self.my_local();
+        let mut builder = RunBuilder::new();
+        let mut region_offset = 0;
+        let mut inspected = 0usize;
+        for region in set.regions() {
+            if let Some(sub) = region.intersect_box(&my_box) {
+                let nd = sub.ndim();
+                let (row_len, stride) = if nd == 0 {
+                    (sub.len(), 1isize)
+                } else {
+                    let ls = &sub.dims()[nd - 1];
+                    (ls.count(), ls.stride as isize)
+                };
+                let rows = sub.len().checked_div(row_len).unwrap_or(0);
+                let mut coords = vec![0usize; nd];
+                for r in 0..rows {
+                    sub.coords_into(r * row_len, &mut coords);
+                    let pos = region_offset
+                        + region
+                            .position_of(&coords)
+                            .expect("intersection is a subset");
+                    let addr = dist.local_addr(me, &coords);
+                    builder.push_run(pos, row_len, addr, stride);
+                }
+                inspected += sub.len();
+            }
+            region_offset += region.len();
+        }
+        comm.ep().charge_owner_calc(inspected + set.num_regions());
+        builder.finish()
     }
 
     fn locate_positions(
@@ -265,6 +350,70 @@ mod tests {
                 .collect();
             assert_eq!(mine, owned.iter().map(|&(p, _)| p).collect::<Vec<_>>());
         });
+    }
+
+    #[test]
+    fn deref_owned_runs_expand_to_deref_owned() {
+        let world = World::with_model(4, MachineModel::zero());
+        world.run(|ep| {
+            let g = Group::world(ep.world_size());
+            let a = MultiblockArray::<f64>::new(&g, ep.rank(), &[9, 7]);
+            let set = SetOfRegions::from_regions(vec![
+                RegularSection::of_bounds(&[(1, 6), (2, 7)]),
+                RegularSection::new(vec![
+                    meta_chaos::DimSlice::strided(0, 9, 2),
+                    meta_chaos::DimSlice::strided(1, 7, 3),
+                ]),
+            ]);
+            let mut comm = Comm::world(ep);
+            let owned = a.deref_owned(&mut comm, &set);
+            let runs = a.deref_owned_runs(&mut comm, &set);
+            let mut expanded = Vec::new();
+            for r in &runs {
+                for k in 0..r.len {
+                    expanded.push((r.pos + k, r.addr_at(k)));
+                }
+            }
+            assert_eq!(expanded, owned);
+            // Runs are sorted, disjoint and maximal is implied by equality
+            // with the sorted element list plus the builder invariants.
+            for w in runs.windows(2) {
+                assert!(w[0].end() <= w[1].pos);
+            }
+        });
+    }
+
+    #[test]
+    fn locate_run_agrees_with_locate_and_tiles() {
+        let d = BlockDesc {
+            dist: BlockDist::new(vec![10, 10], ProcGrid::new(vec![2, 2]), 1),
+            members: vec![5, 6, 7, 8],
+        };
+        let set = SetOfRegions::from_regions(vec![
+            RegularSection::of_bounds(&[(2, 9), (3, 8)]),
+            RegularSection::new(vec![
+                meta_chaos::DimSlice::strided(0, 10, 3),
+                meta_chaos::DimSlice::strided(0, 10, 2),
+            ]),
+        ]);
+        let n = set.total_len();
+        let mut pos = 0;
+        while pos < n {
+            let run = d.locate_run(&set, pos, n - pos);
+            assert!(run.pos == pos && run.len >= 1 && run.end() <= n);
+            for k in 0..run.len {
+                let loc = d.locate(&set, pos + k);
+                assert_eq!(loc.rank, run.rank, "pos {}", pos + k);
+                assert_eq!(loc.addr, run.addr_at(k), "pos {}", pos + k);
+            }
+            pos = run.end();
+        }
+        // And the batched form tiles the whole span after merging.
+        let runs = d.locate_runs(&set, 0, n);
+        assert_eq!(runs.iter().map(|r| r.len).sum::<usize>(), n);
+        for w in runs.windows(2) {
+            assert_eq!(w[0].end(), w[1].pos);
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@ use mcsim::wire::{Wire, WireReader};
 
 use meta_chaos::adapter::{Location, McDescriptor, McObject};
 use meta_chaos::region::IndexSet;
+use meta_chaos::runs::{OwnedRun, RunBuilder};
 use meta_chaos::schedule::AddrRuns;
 use meta_chaos::setof::SetOfRegions;
 use meta_chaos::LocalAddr;
@@ -75,6 +76,27 @@ impl<T: Copy + Default> McObject<T> for DistributedCollection<T> {
         }
         comm.ep().charge_owner_calc(pos);
         out
+    }
+
+    fn deref_owned_runs(&self, comm: &mut Comm<'_>, set: &SetOfRegions<IndexSet>) -> Vec<OwnedRun> {
+        // The deal distribution (`g % P`) is irregular from a run point of
+        // view, so the scan stays O(elements); runs still form wherever the
+        // index list walks one owner's elements in order (always for P = 1,
+        // stride-aware for arithmetic index sequences).  Charge matches
+        // deref_owned exactly.
+        let me = self.my_local();
+        let mut builder = RunBuilder::new();
+        let mut pos = 0usize;
+        for region in set.regions() {
+            for &g in region.indices() {
+                if self.owner_of(g) == me {
+                    builder.push(pos, self.local_of(g));
+                }
+                pos += 1;
+            }
+        }
+        comm.ep().charge_owner_calc(pos);
+        builder.finish()
     }
 
     fn locate_positions(
@@ -230,6 +252,35 @@ mod tests {
                 assert_eq!(desc.locate(&set, pos), Location { rank: me, addr });
             }
         });
+    }
+
+    #[test]
+    fn deref_owned_runs_expand_to_deref_owned() {
+        for procs in [1usize, 3] {
+            let world = World::with_model(procs, MachineModel::zero());
+            world.run(move |ep| {
+                let g = Group::world(procs);
+                let c = DistributedCollection::<f64>::new(&g, ep.rank(), 20);
+                let set = SetOfRegions::from_regions(vec![
+                    IndexSet::new((0..12).collect()),
+                    IndexSet::new(vec![19, 3, 8, 8]),
+                ]);
+                let mut comm = Comm::new(ep, g);
+                let owned = c.deref_owned(&mut comm, &set);
+                let runs = c.deref_owned_runs(&mut comm, &set);
+                let mut expanded = Vec::new();
+                for r in &runs {
+                    for k in 0..r.len {
+                        expanded.push((r.pos + k, r.addr_at(k)));
+                    }
+                }
+                assert_eq!(expanded, owned);
+                if procs == 1 {
+                    // Single owner: the contiguous prefix collapses.
+                    assert!(runs[0].len >= 12, "runs: {runs:?}");
+                }
+            });
+        }
     }
 
     #[test]

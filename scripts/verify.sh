@@ -28,4 +28,34 @@ echo "== trace schema =="
 cargo run --release -p bench --bin repro -- trace --n 256 --reps 1 --trace-out "$trace_tmp"
 cargo run --release -p bench --bin repro -- trace-check "$trace_tmp"
 
+# Inspector-regression gate: re-run `repro micro` and compare the run-based
+# cooperation build time against the checked-in baseline.  The baseline is
+# saved BEFORE the run because `repro micro` rewrites BENCH_executor.json in
+# place; the baseline file is restored afterwards so verify never dirties
+# the tree.  Fails on >25% regression; a faster run always passes.
+echo "== inspector regression =="
+extract_ns() {
+  # BENCH_executor.json is one line; grab the first inspector_build_ns value.
+  sed -n 's/.*"inspector_build_ns": \([0-9.]*\).*/\1/p' "$1" | head -n 1
+}
+baseline_json="$(mktemp -t mc_baseline.XXXXXX.json)"
+trap 'rm -f "$trace_tmp" "$baseline_json"' EXIT
+cp BENCH_executor.json "$baseline_json"
+baseline_ns="$(extract_ns "$baseline_json")"
+if [ -z "$baseline_ns" ]; then
+  echo "inspector gate: no inspector_build_ns in baseline BENCH_executor.json" >&2
+  exit 1
+fi
+cargo run --release -p bench --bin repro -- micro
+current_ns="$(extract_ns BENCH_executor.json)"
+cp "$baseline_json" BENCH_executor.json
+awk -v base="$baseline_ns" -v cur="$current_ns" 'BEGIN {
+  limit = base * 1.25
+  printf "inspector build: %.0f ns (baseline %.0f ns, limit %.0f ns)\n", cur, base, limit
+  exit !(cur <= limit)
+}' || {
+  echo "inspector gate: inspector_build_ns regressed >25% vs baseline" >&2
+  exit 1
+}
+
 echo "verify: all checks passed"
