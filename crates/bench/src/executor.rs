@@ -420,6 +420,83 @@ pub fn executor_micro(elements: usize, procs: usize, reps: usize) -> ExecutorMic
     }
 }
 
+/// Wire-throughput legs on the paper's SP2 machine model: stream `bytes`
+/// of payload rank 0 → rank 1 through the reliable transport, once with
+/// the default sliding-window config and once with the stop-and-wait
+/// ablation (window = 1 frame).  Times are **simulated** nanoseconds read
+/// off the virtual clock — the sliding window's gain is a protocol
+/// property of the modeled wire, not of host scheduling.
+#[derive(Debug, Clone, Copy)]
+pub struct WireThroughput {
+    /// Payload bytes per streamed message.
+    pub bytes: usize,
+    /// Simulated ns for the full windowed transfer (send through last ack).
+    pub windowed_ns: f64,
+    /// Simulated ns for the stop-and-wait ablation of the same transfer.
+    pub stopwait_ns: f64,
+}
+
+impl WireThroughput {
+    /// Wire-throughput ratio of the windowed protocol over stop-and-wait.
+    pub fn window_speedup(&self) -> f64 {
+        self.stopwait_ns / self.windowed_ns
+    }
+
+    /// How much of the stop-and-wait serial latency the pipeline hides:
+    /// `(1 - windowed/stopwait) * 100`.
+    pub fn pipeline_overlap_pct(&self) -> f64 {
+        (1.0 - self.windowed_ns / self.stopwait_ns) * 100.0
+    }
+
+    fn mbps(&self, ns: f64) -> f64 {
+        self.bytes as f64 / (ns * 1e-9) / 1e6
+    }
+
+    /// Modeled wire throughput of the windowed stream, MB/s.
+    pub fn windowed_mbps(&self) -> f64 {
+        self.mbps(self.windowed_ns)
+    }
+
+    /// Modeled wire throughput of the stop-and-wait stream, MB/s.
+    pub fn stopwait_mbps(&self) -> f64 {
+        self.mbps(self.stopwait_ns)
+    }
+}
+
+/// Measure one `bytes`-long reliable stream on the SP2 model under the
+/// given transport config, returning simulated seconds from start to the
+/// latest rank clock (sender flush and receiver delivery inclusive).
+fn wire_leg_ns(bytes: usize, cfg: mcsim::ReliableConfig) -> f64 {
+    use mcsim::reliable::{flush_send, reliable_recv, reliable_send, StreamTag};
+    let world = World::with_model(2, MachineModel::sp2()).with_reliable_config(cfg);
+    let out = world.run(move |ep| {
+        let st = StreamTag::new(40, 1);
+        if ep.rank() == 0 {
+            let mut b = ep.take_buf();
+            b.resize(bytes, 0x5A);
+            reliable_send(ep, 1, st, b).expect("wire leg send");
+            flush_send(ep, 1, st).expect("wire leg flush");
+        } else {
+            let b = reliable_recv(ep, 0, st).expect("wire leg recv");
+            assert_eq!(b.len(), bytes, "wire leg must deliver the payload");
+            ep.recycle_buf(b);
+        }
+        ep.clock()
+    });
+    out.elapsed * 1e9
+}
+
+/// The transport-level throughput comparison: a 1M-element (8 MB) payload
+/// streamed through the windowed protocol vs the stop-and-wait ablation
+/// on the same modeled wire.
+pub fn wire_throughput_micro(bytes: usize) -> WireThroughput {
+    WireThroughput {
+        bytes,
+        windowed_ns: wire_leg_ns(bytes, mcsim::ReliableConfig::default()),
+        stopwait_ns: wire_leg_ns(bytes, mcsim::ReliableConfig::stop_and_wait()),
+    }
+}
+
 /// Element count for the per-pair inspector legs — small enough that 16
 /// pairs × 2 methods stay fast, large enough to dominate fixed costs.
 const PAIR_ELEMS: usize = 4096;
@@ -616,6 +693,26 @@ mod tests {
         assert!(a.sched_runs > 1, "quadrant shift must have many runs");
         assert!(a.build_ns > 0.0 && a.move_ns > 0.0);
         assert!(a.breakeven_moves() > 0.0);
+    }
+
+    #[test]
+    fn wire_legs_show_pipelining_win_on_sp2() {
+        // 8 MB on the SP2 wire model: the windowed stream keeps the link
+        // busy while acks are in flight, so it must beat stop-and-wait by
+        // a wide margin — the PR's ≥4× acceptance bar, asserted here so a
+        // protocol regression fails in `cargo test`, not only in the gate.
+        let w = wire_throughput_micro(8 << 20);
+        assert!(w.windowed_ns > 0.0 && w.stopwait_ns > 0.0);
+        assert!(
+            w.window_speedup() >= 4.0,
+            "windowed transport must be >=4x stop-and-wait on sp2/8MB, got {:.2}x \
+             (windowed {:.0} ns, stopwait {:.0} ns)",
+            w.window_speedup(),
+            w.windowed_ns,
+            w.stopwait_ns
+        );
+        assert!(w.pipeline_overlap_pct() > 0.0 && w.pipeline_overlap_pct() < 100.0);
+        assert!(w.windowed_mbps() > w.stopwait_mbps());
     }
 
     #[test]

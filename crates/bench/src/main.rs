@@ -13,7 +13,7 @@
 use std::env;
 
 use bench::clientserver::{break_even, client_server};
-use bench::executor::executor_micro;
+use bench::executor::{executor_micro, wire_throughput_micro};
 use bench::meshes::{table1, table2, table34};
 use bench::regular::table5;
 use bench::report::{fmt_ms, write_json_report, JsonValue};
@@ -202,6 +202,19 @@ fn main() {
                 a.move_ns,
                 a.breakeven_moves()
             );
+            let w = wire_throughput_micro(8 << 20);
+            println!(
+                "wire (simulated sp2, {} MB): windowed {:.0} ns ({:.0} MB/s), \
+                 stop-and-wait {:.0} ns ({:.0} MB/s) — {:.2}x, pipeline hides {:.1}% \
+                 of serial latency",
+                w.bytes >> 20,
+                w.windowed_ns,
+                w.windowed_mbps(),
+                w.stopwait_ns,
+                w.stopwait_mbps(),
+                w.window_speedup(),
+                w.pipeline_overlap_pct()
+            );
             let path = "BENCH_executor.json";
             let mut fields = vec![
                 ("bench", JsonValue::Str("executor".into())),
@@ -228,6 +241,14 @@ fn main() {
             if let Some(pct) = r.reliable_overhead_pct() {
                 fields.push(("reliable_overhead_pct", JsonValue::Num(pct)));
             }
+            fields.push(("wire_bytes", JsonValue::Int(w.bytes as u64)));
+            fields.push(("wire_windowed_ns", JsonValue::Num(w.windowed_ns)));
+            fields.push(("wire_stopwait_ns", JsonValue::Num(w.stopwait_ns)));
+            fields.push(("window_speedup", JsonValue::Num(w.window_speedup())));
+            fields.push((
+                "pipeline_overlap_pct",
+                JsonValue::Num(w.pipeline_overlap_pct()),
+            ));
             let mut phase_fields = vec![
                 (
                     "inspector_build_ns".to_string(),

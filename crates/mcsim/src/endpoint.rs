@@ -24,7 +24,8 @@ use crate::error::SimError;
 use crate::fault::{FaultPlan, FaultState};
 use crate::message::{Body, Message, Rank, DROP_PREFIX};
 use crate::model::MachineModel;
-use crate::reliable::{self, ReliableState};
+use crate::onesided::OnesidedState;
+use crate::reliable::{self, ReliableConfig, ReliableState};
 use crate::span::{ObsState, Phase, SpanId};
 use crate::stats::StatsSnapshot;
 use crate::tag::Tag;
@@ -67,6 +68,8 @@ pub struct Endpoint {
     pub(crate) poisoned: Option<(Rank, String)>,
     /// Reliable-transport stream state (see [`crate::reliable`]).
     pub(crate) rel: ReliableState,
+    /// One-sided (exposed-window put/get) state (see [`crate::onesided`]).
+    pub(crate) os: OnesidedState,
 }
 
 impl Endpoint {
@@ -77,6 +80,7 @@ impl Endpoint {
         rx: Receiver<Message>,
         model: MachineModel,
         faults: Option<&FaultPlan>,
+        rel_cfg: ReliableConfig,
     ) -> Self {
         Endpoint {
             rank,
@@ -91,7 +95,8 @@ impl Endpoint {
             buf_pool: Vec::new(),
             faults: faults.map(|p| FaultState::new(p.clone(), rank)),
             poisoned: None,
-            rel: ReliableState::default(),
+            rel: ReliableState::new(rel_cfg),
+            os: OnesidedState::default(),
         }
     }
 
@@ -189,6 +194,13 @@ impl Endpoint {
     #[inline]
     pub fn faults_enabled(&self) -> bool {
         self.faults.is_some()
+    }
+
+    /// The reliable-transport configuration this world runs with (window,
+    /// chunking, retry policy).
+    #[inline]
+    pub fn reliable_config(&self) -> &ReliableConfig {
+        self.rel.config()
     }
 
     /// Charge `seconds` of modeled computation to this rank.
@@ -654,6 +666,26 @@ impl Endpoint {
             Body::Dropped { .. } => unreachable!("tombstones never match a receive"),
             Body::Poison(_) => unreachable!("poison filtered in pump loop"),
         }
+    }
+
+    /// Charge the receive-side cost of one already-validated transport
+    /// chunk that was reassembled at intake: wait for its arrival, pay
+    /// `recv_cost` on the frame bytes, and record the `Recv` event —
+    /// exactly what [`Endpoint::accept`] does for a matched message,
+    /// without a `Message` to consume.
+    pub(crate) fn accept_chunk(&mut self, from: Rank, tag: Tag, arrival: f64, bytes: usize) {
+        let waited = (arrival - self.clock).max(0.0);
+        if arrival > self.clock {
+            self.clock = arrival;
+        }
+        self.clock += self.model.recv_cost(bytes);
+        self.trace_push(TraceEvent::Recv {
+            at: self.clock,
+            from,
+            tag,
+            bytes,
+            waited,
+        });
     }
 
     /// Keep answering protocol traffic (acks for late frames, retransmit

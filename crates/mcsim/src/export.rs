@@ -120,6 +120,38 @@ pub fn chrome_trace_json(traces: &[Vec<TraceEvent>]) -> String {
                         tag.0
                     ),
                 ),
+                TraceEvent::WindowAdvance {
+                    to,
+                    tag,
+                    acked,
+                    inflight,
+                    ..
+                } => (
+                    "window_advance".to_string(),
+                    format!(
+                        "\"to\":{to},\"tag\":{},\"acked\":{acked},\"inflight\":{inflight}",
+                        tag.0
+                    ),
+                ),
+                TraceEvent::WindowStall {
+                    to,
+                    tag,
+                    inflight,
+                    bytes,
+                    ..
+                } => (
+                    "window_stall".to_string(),
+                    format!(
+                        "\"to\":{to},\"tag\":{},\"inflight\":{inflight},\"bytes\":{bytes}",
+                        tag.0
+                    ),
+                ),
+                TraceEvent::RetransmitBurst {
+                    to, tag, frames, ..
+                } => (
+                    "retransmit_burst".to_string(),
+                    format!("\"to\":{to},\"tag\":{},\"frames\":{frames}", tag.0),
+                ),
                 TraceEvent::Mark { label, .. } => {
                     ("mark".to_string(), format!("\"label\":\"{}\"", esc(label)))
                 }
@@ -193,6 +225,34 @@ pub fn jsonl_line(rank: usize, e: &TraceEvent) -> String {
         } => format!(
             "{head},\"type\":\"retransmit\",\"to\":{to},\"tag\":{},\"seq\":{seq},\
              \"attempt\":{attempt}}}",
+            tag.0
+        ),
+        TraceEvent::WindowAdvance {
+            to,
+            tag,
+            acked,
+            inflight,
+            ..
+        } => format!(
+            "{head},\"type\":\"window_advance\",\"to\":{to},\"tag\":{},\"acked\":{acked},\
+             \"inflight\":{inflight}}}",
+            tag.0
+        ),
+        TraceEvent::WindowStall {
+            to,
+            tag,
+            inflight,
+            bytes,
+            ..
+        } => format!(
+            "{head},\"type\":\"window_stall\",\"to\":{to},\"tag\":{},\"inflight\":{inflight},\
+             \"bytes\":{bytes}}}",
+            tag.0
+        ),
+        TraceEvent::RetransmitBurst {
+            to, tag, frames, ..
+        } => format!(
+            "{head},\"type\":\"retransmit_burst\",\"to\":{to},\"tag\":{},\"frames\":{frames}}}",
             tag.0
         ),
         TraceEvent::SpanBegin {
@@ -272,11 +332,14 @@ fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     Some(&rest[..end])
 }
 
-const KNOWN_TYPES: [&str; 7] = [
+const KNOWN_TYPES: [&str; 10] = [
     "send",
     "recv",
     "fault",
     "retransmit",
+    "window_advance",
+    "window_stall",
+    "retransmit_burst",
     "span_begin",
     "span_end",
     "mark",
@@ -319,6 +382,9 @@ pub fn validate_jsonl(text: &str) -> Result<TraceCheck, String> {
             "recv" => &["from", "tag", "bytes", "waited"],
             "fault" => &["kind", "to", "tag", "bytes"],
             "retransmit" => &["to", "tag", "seq", "attempt"],
+            "window_advance" => &["to", "tag", "acked", "inflight"],
+            "window_stall" => &["to", "tag", "inflight", "bytes"],
+            "retransmit_burst" => &["to", "tag", "frames"],
             "span_begin" => &["id", "parent", "phase", "detail"],
             "span_end" => &["id"],
             "mark" => &["label"],
@@ -399,6 +465,26 @@ mod tests {
                 at: 0.4,
                 label: "cache=hit \"quoted\"".into(),
             },
+            TraceEvent::WindowAdvance {
+                at: 0.5,
+                to: 1,
+                tag: Tag::user(3),
+                acked: 7,
+                inflight: 2,
+            },
+            TraceEvent::WindowStall {
+                at: 0.6,
+                to: 1,
+                tag: Tag::user(3),
+                inflight: 4,
+                bytes: 4096,
+            },
+            TraceEvent::RetransmitBurst {
+                at: 0.7,
+                to: 1,
+                tag: Tag::user(3),
+                frames: 3,
+            },
         ]]
     }
 
@@ -406,7 +492,7 @@ mod tests {
     fn jsonl_round_trips_through_validator() {
         let text = jsonl_events(&sample());
         let check = validate_jsonl(&text).expect("valid");
-        assert_eq!(check.lines, 4);
+        assert_eq!(check.lines, 7);
         assert_eq!(check.ranks, 1);
         assert_eq!(check.span_begins, 1);
         assert_eq!(check.span_ends, 1);
@@ -433,6 +519,9 @@ mod tests {
         assert!(json.contains("\"name\":\"transfer\""));
         assert!(json.contains("\"ph\":\"X\""));
         assert!(json.contains("\"name\":\"send\""));
+        assert!(json.contains("\"name\":\"window_advance\""));
+        assert!(json.contains("\"name\":\"window_stall\""));
+        assert!(json.contains("\"name\":\"retransmit_burst\""));
         // Duration of the transfer span: 0.3 s = 300000 µs.
         assert!(json.contains("\"dur\":300000.000"));
         // Escaped quote in the mark label survived.

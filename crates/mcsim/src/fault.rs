@@ -19,10 +19,12 @@
 //!
 //! By default only the reliable-transport tag classes
 //! ([`Tag::CLASS_RELIABLE_DATA`], [`Tag::CLASS_RELIABLE_CTRL`]) are
-//! faulted; library-internal traffic (collectives, control) and raw tags
-//! are untouched unless the mask says otherwise.  Control frames are never
-//! bit-flipped (they are a few bytes against multi-megabyte payloads; see
-//! `DESIGN.md` for the rationale).
+//! faulted; library-internal traffic (collectives, control), raw tags,
+//! and the one-sided control class ([`Tag::CLASS_ONESIDED_CTRL`], pure
+//! control plane with no retry protocol of its own) are untouched unless
+//! the mask says otherwise.  Control frames are never bit-flipped (they
+//! are a few bytes against multi-megabyte payloads; see `DESIGN.md` for
+//! the rationale).
 
 use std::collections::HashMap;
 
@@ -218,7 +220,10 @@ impl FaultState {
         let mut fates = Vec::with_capacity(copies);
         for _ in 0..copies {
             let drop = rng.gen_f64() < rates.drop;
-            let corruptible = !drop && tag.class() != Tag::CLASS_RELIABLE_CTRL && len > 0;
+            let corruptible = !drop
+                && tag.class() != Tag::CLASS_RELIABLE_CTRL
+                && tag.class() != Tag::CLASS_ONESIDED_CTRL
+                && len > 0;
             let corrupt = corruptible && rng.gen_f64() < rates.corrupt;
             let corrupt_bit = if corrupt {
                 Some(rng.gen_range(len * 8))

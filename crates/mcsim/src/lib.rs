@@ -58,6 +58,7 @@ pub mod group;
 pub mod message;
 pub mod metrics;
 pub mod model;
+pub mod onesided;
 pub mod reliable;
 pub mod rng;
 pub mod span;
@@ -75,6 +76,7 @@ pub use group::{Comm, Group};
 pub use message::Rank;
 pub use metrics::{Histogram, MetricsRegistry};
 pub use model::MachineModel;
+pub use onesided::{expose, get, put, put_flush, put_notify, wait_notify, window_bytes};
 pub use reliable::{ReliableConfig, StreamTag};
 pub use rng::Rng;
 pub use span::{pair_spans, FlightRing, PairedSpan, Phase, SpanId, FLIGHT_RING_CAP};
@@ -92,6 +94,7 @@ pub mod prelude {
     pub use crate::message::Rank;
     pub use crate::metrics::MetricsRegistry;
     pub use crate::model::MachineModel;
+    pub use crate::onesided::{expose, get, put, put_flush, put_notify, wait_notify, window_bytes};
     pub use crate::reliable::{ReliableConfig, StreamTag};
     pub use crate::span::{Phase, SpanId};
     pub use crate::tag::Tag;

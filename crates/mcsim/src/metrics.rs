@@ -83,6 +83,9 @@ impl MetricsRegistry {
         m.set("fault.nacks_sent", f.nacks_sent);
         m.set("fault.dup_frames_dropped", f.dup_frames_dropped);
         m.set("fault.stale_acks_dropped", f.stale_acks_dropped);
+        m.set("fault.window_stalls", f.window_stalls);
+        m.set("fault.window_advances", f.window_advances);
+        m.set("fault.retransmit_bursts", f.retransmit_bursts);
         let s = &stats.session;
         m.set("session.frames_staged", s.frames_staged);
         m.set("session.transfers_aborted", s.transfers_aborted);
@@ -121,6 +124,12 @@ impl MetricsRegistry {
                         if let Some(t0) = last_send.get(&(*to, tag.0)) {
                             self.histo_mut("retransmit.latency").record(at - t0);
                         }
+                    }
+                    TraceEvent::WindowAdvance { inflight, .. } => {
+                        // Pipeline occupancy: frames still in flight each
+                        // time an ack advanced the window (a count, not a
+                        // duration).
+                        self.histo_mut("window.inflight").record(*inflight as f64);
                     }
                     _ => {}
                 }

@@ -37,6 +37,16 @@ pub struct FaultStats {
     pub dup_frames_dropped: u64,
     /// Control frames that matched no pending send (late/duplicate acks).
     pub stale_acks_dropped: u64,
+    /// Sender stalls on a full sliding window (frames or bytes).  Depends
+    /// on wall-clock thread interleaving like the hygiene counters:
+    /// best-effort, not seed-deterministic.
+    pub window_stalls: u64,
+    /// Cumulative acks that retired at least one pending frame and
+    /// advanced a send window.
+    pub window_advances: u64,
+    /// Ack-triggered sweeps that retransmitted one or more
+    /// deadline-expired frames in a burst.
+    pub retransmit_bursts: u64,
 }
 
 impl FaultStats {
@@ -58,6 +68,11 @@ impl FaultStats {
             stale_acks_dropped: self
                 .stale_acks_dropped
                 .saturating_sub(earlier.stale_acks_dropped),
+            window_stalls: self.window_stalls.saturating_sub(earlier.window_stalls),
+            window_advances: self.window_advances.saturating_sub(earlier.window_advances),
+            retransmit_bursts: self
+                .retransmit_bursts
+                .saturating_sub(earlier.retransmit_bursts),
         }
     }
 
@@ -72,6 +87,9 @@ impl FaultStats {
         self.nacks_sent += other.nacks_sent;
         self.dup_frames_dropped += other.dup_frames_dropped;
         self.stale_acks_dropped += other.stale_acks_dropped;
+        self.window_stalls += other.window_stalls;
+        self.window_advances += other.window_advances;
+        self.retransmit_bursts += other.retransmit_bursts;
     }
 }
 

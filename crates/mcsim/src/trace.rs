@@ -79,6 +79,45 @@ pub enum TraceEvent {
         /// Attempt number (1 = first retransmission).
         attempt: u32,
     },
+    /// A cumulative ack retired frames and advanced the sliding window
+    /// on a sender stream.
+    WindowAdvance {
+        /// Arrival time of the retiring ack.
+        at: f64,
+        /// Peer the stream sends toward.
+        to: Rank,
+        /// Data tag of the stream.
+        tag: Tag,
+        /// Highest sequence number the ack covered.
+        acked: u64,
+        /// Frames still unacknowledged after the advance.
+        inflight: usize,
+    },
+    /// A sender filled its window and had to stall until acks opened it.
+    WindowStall {
+        /// Virtual time the stall began (sender clock).
+        at: f64,
+        /// Peer the stream sends toward.
+        to: Rank,
+        /// Data tag of the stream.
+        tag: Tag,
+        /// Frames in flight when the stall began.
+        inflight: usize,
+        /// Bytes in flight when the stall began.
+        bytes: usize,
+    },
+    /// An ack arrived so late that several pending frames' deadlines had
+    /// expired; all of them were retransmitted in one burst.
+    RetransmitBurst {
+        /// Arrival time of the ack that triggered the sweep.
+        at: f64,
+        /// Peer the stream sends toward.
+        to: Rank,
+        /// Data tag of the stream.
+        tag: Tag,
+        /// Frames retransmitted in the burst.
+        frames: usize,
+    },
     /// A phase span opened on this rank (see [`crate::span`]).
     SpanBegin {
         /// Virtual time the phase started.
@@ -117,6 +156,9 @@ impl TraceEvent {
             | TraceEvent::Recv { at, .. }
             | TraceEvent::Fault { at, .. }
             | TraceEvent::Retransmit { at, .. }
+            | TraceEvent::WindowAdvance { at, .. }
+            | TraceEvent::WindowStall { at, .. }
+            | TraceEvent::RetransmitBurst { at, .. }
             | TraceEvent::SpanBegin { at, .. }
             | TraceEvent::SpanEnd { at, .. }
             | TraceEvent::Mark { at, .. } => *at,
@@ -146,6 +188,12 @@ pub struct TraceSummary {
     pub faults: usize,
     /// Number of reliable-layer retransmissions recorded.
     pub retransmits: usize,
+    /// Number of window advances (cumulative-ack retirements) recorded.
+    pub window_advances: usize,
+    /// Number of sender window-full stalls recorded.
+    pub window_stalls: usize,
+    /// Number of retransmit bursts recorded.
+    pub retransmit_bursts: usize,
     /// Number of spans opened.
     pub spans: usize,
     /// Number of point annotations recorded.
@@ -162,6 +210,9 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
         wait_time: 0.0,
         faults: 0,
         retransmits: 0,
+        window_advances: 0,
+        window_stalls: 0,
+        retransmit_bursts: 0,
         spans: 0,
         marks: 0,
     };
@@ -178,6 +229,9 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
             }
             TraceEvent::Fault { .. } => s.faults += 1,
             TraceEvent::Retransmit { .. } => s.retransmits += 1,
+            TraceEvent::WindowAdvance { .. } => s.window_advances += 1,
+            TraceEvent::WindowStall { .. } => s.window_stalls += 1,
+            TraceEvent::RetransmitBurst { .. } => s.retransmit_bursts += 1,
             TraceEvent::SpanBegin { .. } => s.spans += 1,
             TraceEvent::SpanEnd { .. } => {}
             TraceEvent::Mark { .. } => s.marks += 1,

@@ -11,6 +11,7 @@ use crate::fault::FaultPlan;
 use crate::message::Message;
 use crate::metrics::MetricsRegistry;
 use crate::model::MachineModel;
+use crate::reliable::ReliableConfig;
 use crate::stats::{NetStats, StatsSnapshot};
 use crate::trace::TraceEvent;
 
@@ -21,6 +22,7 @@ pub struct World {
     model: MachineModel,
     faults: Option<FaultPlan>,
     trace: bool,
+    rel_cfg: ReliableConfig,
 }
 
 /// Everything a run produces.
@@ -97,7 +99,17 @@ impl World {
             model,
             faults: None,
             trace: false,
+            rel_cfg: ReliableConfig::default(),
         }
+    }
+
+    /// Override the reliable-transport configuration (window size,
+    /// chunking, retry policy) every endpoint in this world runs with.
+    /// `ReliableConfig::stop_and_wait()` gives the one-frame-in-flight
+    /// ablation the benches compare against.
+    pub fn with_reliable_config(mut self, cfg: ReliableConfig) -> Self {
+        self.rel_cfg = cfg;
+        self
     }
 
     /// Attach a deterministic [`FaultPlan`]: every rank's endpoint injects
@@ -156,6 +168,7 @@ impl World {
                     rx,
                     self.model,
                     self.faults.as_ref(),
+                    self.rel_cfg,
                 )
             })
             .collect();

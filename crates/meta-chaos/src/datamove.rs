@@ -349,24 +349,35 @@ where
     let st = move_stream(sched);
     let group = sched.group();
     for (peer, runs) in &sched.recvs {
-        let bytes = reliable::reliable_recv(ep, group.global(*peer), st)?;
-        let mut r = WireReader::new(&bytes);
-        let _te = u64::read(&mut r).map_err(|e| {
-            McError::Transport(format!("frame from peer {peer} has no header: {e}"))
-        })?;
-        let count = usize::read(&mut r).map_err(|e| {
-            McError::Transport(format!("frame from peer {peer} has no element count: {e}"))
-        })?;
-        if count != runs.len() {
-            return Err(McError::Transport(format!(
-                "frame from peer {peer} carries {count} elements, schedule expects {}",
-                runs.len()
-            )));
+        let pg = group.global(*peer);
+        let mut cursor = 0usize;
+        loop {
+            let bytes = reliable::reliable_recv(ep, pg, st)?;
+            let mut r = WireReader::new(&bytes);
+            let (_te, last, count) = read_part_header(&mut r, pg)?;
+            if cursor + count > runs.len() {
+                return Err(McError::Transport(format!(
+                    "half from rank {pg} carries {} elements, schedule expects {}",
+                    cursor + count,
+                    runs.len()
+                )));
+            }
+            let slice = runs.slice_elems(cursor, count);
+            dst.unpack_runs_wire(ep, &slice, &mut r).map_err(|e| {
+                McError::Transport(format!("frame from peer {peer} failed to decode: {e}"))
+            })?;
+            cursor += count;
+            ep.recycle_buf(bytes);
+            if last {
+                if cursor != runs.len() {
+                    return Err(McError::Transport(format!(
+                        "half from rank {pg} carries {cursor} elements, schedule expects {}",
+                        runs.len()
+                    )));
+                }
+                break;
+            }
         }
-        dst.unpack_runs_wire(ep, runs, &mut r).map_err(|e| {
-            McError::Transport(format!("frame from peer {peer} failed to decode: {e}"))
-        })?;
-        ep.recycle_buf(bytes);
     }
     Ok(())
 }
@@ -690,8 +701,29 @@ fn settle_inner(
     Err(peer_abort.expect("abort must have a cause"))
 }
 
-/// Post one data frame per pair, then wait for every acknowledgement.
-/// Frame layout: transfer epoch, element count, packed payload.
+/// Per-part header: transfer epoch (8), last-part flag (1), element count
+/// (8).  Headroom subtracted from the transport chunk size so one part's
+/// payload always fits a single reliable frame (zero-copy delivery).
+const PART_HDR_SLACK: usize = 32;
+
+/// Elements per streamed part: as many as fit one transport chunk, so the
+/// pack of part `k+1` overlaps the wire time of part `k` inside the
+/// sliding window instead of serializing pack → wire → unpack.
+fn part_elems(ep: &Endpoint, elem_size: usize) -> usize {
+    let budget = ep
+        .reliable_config()
+        .chunk_bytes
+        .saturating_sub(PART_HDR_SLACK)
+        .max(1);
+    (budget / elem_size.max(1)).max(1)
+}
+
+/// Pack and post each pair's half as a stream of parts — every part one
+/// reliable frame carrying `[transfer epoch][last flag][element count]`
+/// plus that slice of the packed payload — then wait for every
+/// acknowledgement.  Posting a part admits it into the sliding window and
+/// returns, so packing the next part overlaps the previous part's wire
+/// time.
 fn send_data_frames<T, S>(
     ep: &mut Endpoint,
     sched: &Schedule,
@@ -704,16 +736,33 @@ where
 {
     let st = move_stream(sched);
     let group = sched.group();
+    let per_part = part_elems(ep, sched.elem_size() as usize);
     for (peer, runs) in &sched.sends {
+        let pg = group.global(*peer);
+        let total = runs.len();
         let pack = ep.span_begin(Phase::Pack, || {
-            format!("peer={} runs={} te={te}", group.global(*peer), runs.len())
+            format!(
+                "peer={pg} runs={total} te={te} parts={}",
+                total.div_ceil(per_part)
+            )
         });
-        let mut buf = ep.take_buf();
-        te.write(&mut buf);
-        runs.len().write(&mut buf);
-        src.pack_runs_wire(ep, runs, &mut buf);
+        let mut cursor = 0usize;
+        while cursor < total {
+            let cnt = per_part.min(total - cursor);
+            let last = cursor + cnt == total;
+            let mut buf = ep.take_buf();
+            te.write(&mut buf);
+            u8::from(last).write(&mut buf);
+            cnt.write(&mut buf);
+            let part = runs.slice_elems(cursor, cnt);
+            src.pack_runs_wire(ep, &part, &mut buf);
+            cursor += cnt;
+            if let Err(e) = reliable::reliable_send(ep, pg, st, buf) {
+                ep.span_end(pack);
+                return Err(e.into());
+            }
+        }
         ep.span_end(pack);
-        reliable::reliable_send(ep, group.global(*peer), st, buf)?;
     }
     let wire = ep.span_begin(Phase::Wire, || {
         format!("pairs={} te={te}", sched.sends.len())
@@ -729,10 +778,25 @@ where
     flushed
 }
 
-/// Collect every peer's data half, verify all of them, and only then
-/// unpack — so a failure anywhere leaves `dst` bit-identical.  Halves
-/// carrying a transfer epoch older than the one the peer's manifest
-/// announced are replays of an aborted attempt and are discarded.
+/// Parse one part's header.  Returns `(transfer_epoch, last, count)`.
+fn read_part_header(r: &mut WireReader<'_>, pg: usize) -> Result<(u64, bool, usize), McError> {
+    let bad = |e| {
+        McError::Transport(format!(
+            "data frame from rank {pg} has no transfer header: {e}"
+        ))
+    };
+    let te = u64::read(r).map_err(bad)?;
+    let last = u8::read(r).map_err(bad)? != 0;
+    let count = usize::read(r).map_err(bad)?;
+    Ok((te, last, count))
+}
+
+/// Collect every peer's data half — now a stream of parts per half —
+/// verify all of them, and only then unpack, so a failure anywhere leaves
+/// `dst` bit-identical.  Parts carrying a transfer epoch older than the
+/// one the peer's manifest announced are replays of an aborted attempt:
+/// the whole replayed half (every part through its last-flag) is consumed
+/// and discarded, counted once.
 fn recv_data_frames<T, D>(
     ep: &mut Endpoint,
     sched: &Schedule,
@@ -745,11 +809,18 @@ where
 {
     let st = move_stream(sched);
     let group = sched.group();
-    let mut staged: Vec<Vec<u8>> = Vec::with_capacity(sched.recvs.len());
+    let esz = sched.elem_size() as usize;
+    // Per pair: the ordered list of staged part buffers for its half.
+    let mut staged: Vec<Vec<Vec<u8>>> = Vec::with_capacity(sched.recvs.len());
     let mut fail: Option<McError> = None;
     let stage = ep.span_begin(Phase::Stage, || format!("pairs={}", sched.recvs.len()));
     'pairs: for (i, (peer, runs)) in sched.recvs.iter().enumerate() {
         let pg = group.global(*peer);
+        let mut parts: Vec<Vec<u8>> = Vec::new();
+        let mut got = 0usize;
+        // True while discarding the remainder of a replayed (stale) half:
+        // the half is counted once, at its first part.
+        let mut in_stale = false;
         loop {
             let bytes = match reliable::reliable_recv(ep, pg, st) {
                 Ok(b) => b,
@@ -759,20 +830,23 @@ where
                 }
             };
             let mut r = WireReader::new(&bytes);
-            let header = u64::read(&mut r).and_then(|te| usize::read(&mut r).map(|c| (te, c)));
-            let (te, count) = match header {
+            let (te, last, count) = match read_part_header(&mut r, pg) {
                 Ok(h) => h,
                 Err(e) => {
-                    fail = Some(McError::Transport(format!(
-                        "data frame from rank {pg} has no transfer header: {e}"
-                    )));
+                    fail = Some(e);
                     break 'pairs;
                 }
             };
             if te < expected[i] {
                 // A replay from an earlier, aborted attempt: the retried
                 // transfer must not consume it.
-                ep.record_stale_half();
+                if !in_stale {
+                    ep.record_stale_half();
+                    in_stale = true;
+                }
+                if last {
+                    in_stale = false;
+                }
                 ep.recycle_buf(bytes);
                 continue;
             }
@@ -783,31 +857,35 @@ where
                 )));
                 break 'pairs;
             }
-            if count != runs.len() {
-                fail = Some(McError::Transport(format!(
-                    "frame from rank {pg} carries {count} elements, schedule expects {}",
-                    runs.len()
-                )));
-                break 'pairs;
-            }
-            let esz = sched.elem_size() as usize;
             if esz != 0 && r.remaining() != count * esz {
                 fail = Some(McError::Transport(format!(
-                    "frame from rank {pg} has {} payload bytes, expected {}",
+                    "part from rank {pg} has {} payload bytes, expected {}",
                     r.remaining(),
                     count * esz
                 )));
                 break 'pairs;
             }
+            got += count;
+            if got > runs.len() || (last && got != runs.len()) {
+                fail = Some(McError::Transport(format!(
+                    "half from rank {pg} carries {got} elements, schedule expects {}",
+                    runs.len()
+                )));
+                break 'pairs;
+            }
             ep.record_staged_frame();
-            staged.push(bytes);
-            break;
+            parts.push(bytes);
+            if last {
+                break;
+            }
         }
+        staged.push(std::mem::take(&mut parts));
     }
     ep.span_end(stage);
     if let Some(e) = fail {
-        let abort = ep.span_begin(Phase::Abort, || format!("staged={}", staged.len()));
-        for b in staged {
+        let total: usize = staged.iter().map(Vec::len).sum();
+        let abort = ep.span_begin(Phase::Abort, || format!("staged={total}"));
+        for b in staged.into_iter().flatten() {
             ep.recycle_buf(b);
         }
         ep.record_transfer_aborted();
@@ -816,20 +894,27 @@ where
     }
     // Commit: every half arrived and verified.  Staging holds the received
     // wire buffers themselves, so this is the same single unpack as the
-    // streaming path — deferred, not duplicated.
+    // streaming path — deferred, not duplicated.  Each part unpacks into
+    // its slice of the pair's destination runs.
     let commit = ep.span_begin(Phase::Commit, || format!("pairs={}", sched.recvs.len()));
     let mut committed = Ok(());
-    for ((peer, runs), bytes) in sched.recvs.iter().zip(staged) {
-        let mut r = WireReader::new(&bytes);
-        let _ = u64::read(&mut r);
-        let _ = usize::read(&mut r);
-        if let Err(e) = dst.unpack_runs_wire(ep, runs, &mut r) {
-            committed = Err(McError::Transport(format!(
-                "frame from peer {peer} failed to decode: {e}"
-            )));
-            break;
+    'commit: for ((peer, runs), parts) in sched.recvs.iter().zip(staged) {
+        let mut cursor = 0usize;
+        for bytes in parts {
+            let mut r = WireReader::new(&bytes);
+            let _ = u64::read(&mut r);
+            let _ = u8::read(&mut r);
+            let count = usize::read(&mut r).unwrap_or(0);
+            let slice = runs.slice_elems(cursor, count);
+            if let Err(e) = dst.unpack_runs_wire(ep, &slice, &mut r) {
+                committed = Err(McError::Transport(format!(
+                    "frame from peer {peer} failed to decode: {e}"
+                )));
+                break 'commit;
+            }
+            cursor += count;
+            ep.recycle_buf(bytes);
         }
-        ep.recycle_buf(bytes);
     }
     ep.span_end(commit);
     committed

@@ -100,6 +100,32 @@ impl AddrRuns {
         v
     }
 
+    /// The sub-list covering addresses `[start, start + len)` of this
+    /// list's original order — what one streamed part of a chunked
+    /// transfer packs or unpacks.  O(runs), never materializes addresses.
+    pub fn slice_elems(&self, start: usize, len: usize) -> AddrRuns {
+        let mut out = AddrRuns::new();
+        if len == 0 || start >= self.total {
+            return out;
+        }
+        let want = len.min(self.total - start);
+        let mut pos = 0usize;
+        for &(s, l) in &self.runs {
+            if pos + l <= start {
+                pos += l;
+                continue;
+            }
+            let skip = start.saturating_sub(pos);
+            let take = (l - skip).min(want - out.len());
+            out.push_run(s + skip, take);
+            pos += l;
+            if out.len() == want {
+                break;
+            }
+        }
+        out
+    }
+
     /// Drop all but the first `keep` addresses (used by tests to corrupt a
     /// schedule; cheap because runs are ordered).
     pub fn truncate(&mut self, keep: usize) {
@@ -605,6 +631,32 @@ mod tests {
             vec![(1, 2), (3, 4)],
             6,
         )
+    }
+
+    #[test]
+    fn slice_elems_covers_in_order() {
+        // Runs [10..13), [20..22), [30..31): addresses 10,11,12,20,21,30.
+        let mut r = AddrRuns::new();
+        r.push_run(10, 3);
+        r.push_run(20, 2);
+        r.push_run(30, 1);
+        // Mid-run to mid-run slice.
+        assert_eq!(r.slice_elems(1, 3).to_vec(), vec![11, 12, 20]);
+        // Exact-run slice.
+        assert_eq!(r.slice_elems(3, 2).to_vec(), vec![20, 21]);
+        // Whole list; parts that tile it reassemble exactly.
+        assert_eq!(r.slice_elems(0, 6), r);
+        let mut tiled = AddrRuns::new();
+        for part in 0..3 {
+            for a in r.slice_elems(part * 2, 2).iter() {
+                tiled.push(a);
+            }
+        }
+        assert_eq!(tiled, r);
+        // Over-length and out-of-range requests clamp.
+        assert_eq!(r.slice_elems(4, 100).to_vec(), vec![21, 30]);
+        assert!(r.slice_elems(6, 1).is_empty());
+        assert!(r.slice_elems(0, 0).is_empty());
     }
 
     #[test]

@@ -46,8 +46,14 @@ if [ -z "$baseline_ns" ]; then
   echo "inspector gate: no inspector_build_ns in baseline BENCH_executor.json" >&2
   exit 1
 fi
+extract_field() {
+  sed -n "s/.*\"$2\": \([0-9.]*\).*/\1/p" "$1" | head -n 1
+}
+baseline_rel="$(extract_field "$baseline_json" reliable_mb_per_s)"
 cargo run --release -p bench --bin repro -- micro
 current_ns="$(extract_ns BENCH_executor.json)"
+current_rel="$(extract_field BENCH_executor.json reliable_mb_per_s)"
+current_speedup="$(extract_field BENCH_executor.json window_speedup)"
 cp "$baseline_json" BENCH_executor.json
 awk -v base="$baseline_ns" -v cur="$current_ns" 'BEGIN {
   limit = base * 1.25
@@ -55,6 +61,31 @@ awk -v base="$baseline_ns" -v cur="$current_ns" 'BEGIN {
   exit !(cur <= limit)
 }' || {
   echo "inspector gate: inspector_build_ns regressed >25% vs baseline" >&2
+  exit 1
+}
+
+# Wire-throughput regression gate: the reliable transport leg must hold at
+# least 75% of the committed baseline throughput (higher is always fine),
+# and the sliding window must keep its >=4x win over the stop-and-wait
+# ablation on the simulated sp2 wire.
+echo "== wire throughput regression =="
+if [ -z "$baseline_rel" ] || [ -z "$current_rel" ]; then
+  echo "wire gate: no reliable_mb_per_s in BENCH_executor.json" >&2
+  exit 1
+fi
+awk -v base="$baseline_rel" -v cur="$current_rel" 'BEGIN {
+  floor = base * 0.75
+  printf "reliable wire: %.0f MB/s (baseline %.0f MB/s, floor %.0f MB/s)\n", cur, base, floor
+  exit !(cur >= floor)
+}' || {
+  echo "wire gate: reliable_mb_per_s regressed >25% vs baseline" >&2
+  exit 1
+}
+awk -v s="$current_speedup" 'BEGIN {
+  printf "window speedup: %.2fx (floor 4.00x)\n", s
+  exit !(s >= 4.0)
+}' || {
+  echo "wire gate: windowed transport lost its 4x margin over stop-and-wait" >&2
   exit 1
 }
 

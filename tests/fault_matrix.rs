@@ -827,3 +827,194 @@ fn retried_transfer_dedups_replayed_halves() {
     );
     assert!(out.stats.session.frames_staged >= 1);
 }
+
+/// Raw two-rank reliable stream for the window-edge tests: rank 0 streams
+/// `msgs` messages of `bytes` bytes each to rank 1 under `cfg`, and rank 1
+/// verifies every byte of every message in order.  Integrity is asserted
+/// inside; the caller inspects the returned counters for the edge it
+/// provoked.
+fn raw_stream(
+    plan: Option<FaultPlan>,
+    cfg: mcsim::ReliableConfig,
+    msgs: usize,
+    bytes: usize,
+) -> FaultStats {
+    use mcsim::reliable::{flush_send, reliable_recv, reliable_send, StreamTag};
+    let mut world = World::with_model(2, MachineModel::sp2()).with_reliable_config(cfg);
+    if let Some(p) = plan {
+        world = world.with_faults(p);
+    }
+    let out = world.run(move |ep| {
+        let st = StreamTag::new(50, 9);
+        if ep.rank() == 0 {
+            for m in 0..msgs {
+                let mut b = ep.take_buf();
+                b.extend((0..bytes).map(|i| (m * 131 + i) as u8));
+                reliable_send(ep, 1, st, b).expect("window-edge send");
+            }
+            flush_send(ep, 1, st).expect("window-edge flush");
+        } else {
+            for m in 0..msgs {
+                let b = reliable_recv(ep, 0, st).expect("window-edge recv");
+                assert_eq!(b.len(), bytes, "message {m} length");
+                assert!(
+                    b.iter().enumerate().all(|(i, &x)| x == (m * 131 + i) as u8),
+                    "message {m} must arrive intact and in order"
+                );
+                ep.recycle_buf(b);
+            }
+        }
+    });
+    out.stats.faults
+}
+
+/// Window edge: duplicated frames and duplicated acks.  A replayed data
+/// frame must be re-acked (not redelivered) and a replayed cumulative ack
+/// retires nothing — both sides absorb the duplicates and the stream stays
+/// byte-perfect.
+#[test]
+fn window_edge_duplicate_acks_and_frames_are_idempotent() {
+    let rates = FaultRates {
+        dup: 0.50,
+        ..FaultRates::default()
+    };
+    for seed in seeds() {
+        let f = raw_stream(
+            Some(FaultPlan::new(seed).rates(rates)),
+            mcsim::ReliableConfig::default(),
+            8,
+            16 << 10,
+        );
+        assert!(f.dups_injected > 0, "seed {seed}: no duplicates injected");
+        assert!(
+            f.dup_frames_dropped + f.stale_acks_dropped > 0,
+            "seed {seed}: a 50% dup rate must replay a frame or an ack: {f:?}"
+        );
+    }
+}
+
+/// Window edge: a NACK that names an already-retired sequence.  Drops make
+/// the receiver report losses; duplicates replay those NACKs after the
+/// retransmission has already retired the frame.  The sender must treat
+/// the stale report as a no-op instead of dying or re-sending garbage.
+#[test]
+fn window_edge_stale_nack_for_retired_seq_is_harmless() {
+    let rates = FaultRates {
+        drop: 0.25,
+        dup: 0.35,
+        ..FaultRates::default()
+    };
+    for seed in seeds() {
+        let f = raw_stream(
+            Some(FaultPlan::new(seed).rates(rates)),
+            mcsim::ReliableConfig::default(),
+            8,
+            16 << 10,
+        );
+        assert!(f.drops_injected > 0, "seed {seed}: no drops injected");
+        assert!(f.dups_injected > 0, "seed {seed}: no dups injected");
+        assert!(
+            f.retransmits > 0,
+            "seed {seed}: losses must force retransmission"
+        );
+        // Which signal reports the loss depends on where the drop lands: a
+        // mid-stream gap is nacked, a trailing or ctrl-frame loss only
+        // expires a deadline.  Either way the loss must have been signaled.
+        assert!(
+            f.nacks_sent + f.timeouts > 0,
+            "seed {seed}: every loss must be signaled somehow: {f:?}"
+        );
+    }
+}
+
+/// Window edge: frames arriving out of order inside an open window.  A
+/// dropped frame leaves its successors queued in the receiver's reorder
+/// buffer; the retransmission must slot into the gap and release the whole
+/// run in order (integrity is asserted per byte inside the harness).
+#[test]
+fn window_edge_out_of_order_within_window_is_reordered() {
+    let rates = FaultRates {
+        drop: 0.30,
+        ..FaultRates::default()
+    };
+    for seed in seeds() {
+        let f = raw_stream(
+            Some(FaultPlan::new(seed).rates(rates)),
+            mcsim::ReliableConfig::default(),
+            12,
+            16 << 10,
+        );
+        assert!(f.drops_injected > 0, "seed {seed}: no drops injected");
+        assert!(
+            f.retransmits > 0,
+            "seed {seed}: gaps must be repaired by retransmits"
+        );
+        assert!(
+            f.nacks_sent > 0,
+            "seed {seed}: a gap behind the window edge must be nacked: {f:?}"
+        );
+    }
+}
+
+/// Window protocol events surface on the timeline with exact count parity
+/// against the net counters: every `WindowAdvance`, `WindowStall`, and
+/// `RetransmitBurst` counted in [`FaultStats`] appears as a trace event,
+/// and a universal 50 ms ack delay is guaranteed to blow a whole window of
+/// deadlines at once — a retransmit burst, not frame-by-frame decay.
+#[test]
+fn window_events_trace_with_count_parity() {
+    use mcsim::reliable::{flush_send, reliable_recv, reliable_send, StreamTag};
+    use mcsim::trace::TraceEvent;
+
+    let plan = FaultPlan::new(seeds()[0]).rates(FaultRates {
+        delay: 1.0,
+        delay_secs: 0.05,
+        ..FaultRates::default()
+    });
+    let out = World::with_model(2, MachineModel::sp2())
+        .with_faults(plan)
+        .with_trace()
+        .run(move |ep| {
+            let st = StreamTag::new(51, 3);
+            if ep.rank() == 0 {
+                for m in 0..16 {
+                    let mut b = ep.take_buf();
+                    b.extend((0..4096).map(|i| (m * 37 + i) as u8));
+                    reliable_send(ep, 1, st, b).expect("burst send");
+                }
+                flush_send(ep, 1, st).expect("burst flush");
+            } else {
+                for _ in 0..16 {
+                    let b = reliable_recv(ep, 0, st).expect("burst recv");
+                    ep.recycle_buf(b);
+                }
+            }
+        });
+    let count = |pred: fn(&TraceEvent) -> bool| -> u64 {
+        out.traces.iter().flatten().filter(|e| pred(e)).count() as u64
+    };
+    let f = &out.stats.faults;
+    assert_eq!(
+        count(|e| matches!(e, TraceEvent::WindowAdvance { .. })),
+        f.window_advances,
+        "every counted window advance must appear on the timeline"
+    );
+    assert_eq!(
+        count(|e| matches!(e, TraceEvent::WindowStall { .. })),
+        f.window_stalls,
+        "every counted window stall must appear on the timeline"
+    );
+    assert_eq!(
+        count(|e| matches!(e, TraceEvent::RetransmitBurst { .. })),
+        f.retransmit_bursts,
+        "every counted retransmit burst must appear on the timeline"
+    );
+    assert!(
+        f.window_advances > 0,
+        "acks must retire frames and advance the window: {f:?}"
+    );
+    assert!(
+        f.retransmit_bursts > 0,
+        "a universal 50 ms ack delay must expire several deadlines at once: {f:?}"
+    );
+}

@@ -335,3 +335,62 @@ fn traces_balance_across_ranks() {
     assert_eq!(bytes_out, bytes_in, "every byte must be received");
     assert!(sends > 0);
 }
+
+/// A sender that outruns a tiny window must stall at the window edge,
+/// resume as acks retire frames, and still deliver every byte in order —
+/// under a 2-frame window, the stop-and-wait ablation (window of 1), and
+/// the default config, all on the same payload.
+#[test]
+fn window_full_stall_blocks_then_drains_in_order() {
+    use mcsim::reliable::{flush_send, reliable_recv, reliable_send, StreamTag};
+    use mcsim::{MachineModel, ReliableConfig, World};
+
+    let tiny = ReliableConfig {
+        window_frames: 2,
+        ..ReliableConfig::default()
+    };
+    for (label, cfg, must_stall) in [
+        ("2-frame window", tiny, true),
+        ("stop-and-wait", ReliableConfig::stop_and_wait(), true),
+        ("default window", ReliableConfig::default(), false),
+    ] {
+        let msgs = 8usize;
+        let bytes = 16usize << 10;
+        let out = World::with_model(2, MachineModel::sp2())
+            .with_reliable_config(cfg)
+            .run(move |ep| {
+                let st = StreamTag::new(52, 4);
+                if ep.rank() == 0 {
+                    for m in 0..msgs {
+                        let mut b = ep.take_buf();
+                        b.extend((0..bytes).map(|i| (m * 59 + i) as u8));
+                        reliable_send(ep, 1, st, b).expect("stall send");
+                    }
+                    flush_send(ep, 1, st).expect("stall flush");
+                } else {
+                    for m in 0..msgs {
+                        let b = reliable_recv(ep, 0, st).expect("stall recv");
+                        assert_eq!(b.len(), bytes, "{m}: length");
+                        assert!(
+                            b.iter().enumerate().all(|(i, &x)| x == (m * 59 + i) as u8),
+                            "message {m} must drain in order through the stall"
+                        );
+                        ep.recycle_buf(b);
+                    }
+                }
+            });
+        let f = &out.stats.faults;
+        if must_stall {
+            assert!(
+                f.window_stalls > 0,
+                "{label}: 8 frames through a tiny window must stall: {f:?}"
+            );
+        }
+        assert!(
+            f.window_advances > 0,
+            "{label}: acks must advance the window: {f:?}"
+        );
+        assert_eq!(f.retransmits, 0, "{label}: fault-free run retransmits");
+        assert_eq!(f.timeouts, 0, "{label}: fault-free run times out");
+    }
+}
