@@ -21,6 +21,17 @@ pub enum Partition {
 }
 
 impl Partition {
+    /// A random partition family for generated scenarios (the fuzz
+    /// harness): block, cyclic, or seeded pseudo-random with a seed
+    /// drawn from `rng`.
+    pub fn random_choice(rng: &mut Rng) -> Self {
+        match rng.gen_range(3) {
+            0 => Partition::Block,
+            1 => Partition::Cyclic,
+            _ => Partition::Random(rng.next_u64()),
+        }
+    }
+
     /// The global indices rank `me` owns, in local-address order.
     pub fn indices_of(&self, n: usize, p: usize, me: usize) -> Vec<usize> {
         assert!(me < p);

@@ -1,0 +1,619 @@
+//! Scenario execution: run a [`Scenario`] through the real
+//! inspector/executor/session stack inside an `mcsim::World` and report
+//! everything the oracles need — per-rank schedule dumps, per-step typed
+//! outcomes, and the destination's final memory as `(global, bits)`.
+//!
+//! The same scenario can be run three ways: fault-free with the run-based
+//! inspector, fault-free with the element-wise reference inspector (the
+//! differential pair), and faulted (the chaos soak).  Every world is armed
+//! with the scenario's virtual-clock deadline, so a hang surfaces as a
+//! typed `DeadlineExceeded` instead of wedging the harness.
+
+use mcsim::group::{Comm, Group};
+use mcsim::prelude::Endpoint;
+use mcsim::rng::Rng;
+use mcsim::{FaultPlan, FaultRates, MachineModel, World};
+use meta_chaos::build::{compute_schedule, compute_schedule_reference, BuildMethod};
+use meta_chaos::datamove::{data_move_recv, data_move_send, try_data_move};
+use meta_chaos::region::{DimSlice, IndexSet, RegularSection};
+use meta_chaos::schedule::Schedule;
+use meta_chaos::setof::SetOfRegions;
+use meta_chaos::{McError, McObject, Side};
+
+use chaos::{remap, IrregArray, Partition};
+use hpf::{redistribute, HpfArray, HpfDist};
+use multiblock::{regrid, BlockDist, MultiblockArray};
+use tulip::DistributedCollection;
+
+use crate::scenario::{LibKind, LibSpec, RegionsSpec, Scenario, Step};
+
+/// Source fill value for global flat index `g` — shared with the serial
+/// oracle so expected memory is pure arithmetic.
+pub fn src_val(g: usize) -> f64 {
+    g as f64 * 2.0 + 0.5
+}
+
+/// Destination initial value for global flat index `g`.
+pub fn dst_init(g: usize) -> f64 {
+    -(g as f64) - 0.25
+}
+
+/// Row-major flattening of `coords` over `shape`.
+pub fn flatten(coords: &[usize], shape: &[usize]) -> usize {
+    coords.iter().zip(shape).fold(0, |acc, (&c, &n)| {
+        debug_assert!(c < n);
+        acc * n + c
+    })
+}
+
+fn unflatten(mut flat: usize, shape: &[usize]) -> Vec<usize> {
+    let mut out = vec![0; shape.len()];
+    for d in (0..shape.len()).rev() {
+        out[d] = flat % shape[d];
+        flat /= shape[d];
+    }
+    out
+}
+
+/// Visit every coordinate of the box `bounds` (per-dim `[lo, hi)`).
+fn for_box(bounds: &[(usize, usize)], f: &mut impl FnMut(&[usize])) {
+    if bounds.iter().any(|&(lo, hi)| lo >= hi) {
+        return;
+    }
+    let mut coords: Vec<usize> = bounds.iter().map(|b| b.0).collect();
+    loop {
+        f(&coords);
+        let mut d = bounds.len();
+        loop {
+            if d == 0 {
+                return;
+            }
+            d -= 1;
+            coords[d] += 1;
+            if coords[d] < bounds[d].1 {
+                break;
+            }
+            coords[d] = bounds[d].0;
+        }
+    }
+}
+
+fn sections_set(spec: &RegionsSpec) -> SetOfRegions<RegularSection> {
+    let RegionsSpec::Sections(regions) = spec else {
+        panic!("section-library side given index regions");
+    };
+    SetOfRegions::from_regions(
+        regions
+            .iter()
+            .map(|dims| {
+                RegularSection::new(
+                    dims.iter()
+                        .map(|&(lo, hi, s)| DimSlice::strided(lo, hi, s))
+                        .collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn indices_set(spec: &RegionsSpec) -> SetOfRegions<IndexSet> {
+    let RegionsSpec::Indices(regions) = spec else {
+        panic!("index-library side given section regions");
+    };
+    SetOfRegions::from_regions(regions.iter().map(|l| IndexSet::new(l.clone())).collect())
+}
+
+/// The adapter surface the harness drives generically per library.
+pub trait FuzzLib: McObject<f64> + Sized + 'static {
+    const KIND: LibKind;
+    /// Whether a mid-stream distribution change exists for this library.
+    const CAN_BUMP: bool;
+
+    /// Collective over `prog`: build the object with its random (but
+    /// valid) distribution regenerated from `spec.dist_seed`, filled with
+    /// `fill(global flat index)`.
+    fn build(
+        ep: &mut Endpoint,
+        prog: &Group,
+        me: usize,
+        spec: &LibSpec,
+        fill: fn(usize) -> f64,
+    ) -> Self;
+
+    fn regions(set: &RegionsSpec) -> SetOfRegions<Self::Region>;
+
+    /// Collective over `prog`: redistribute to a new random distribution
+    /// from `dist_seed` (epoch bumps by one).  Only called when
+    /// [`FuzzLib::CAN_BUMP`].
+    fn bump(
+        ep: &mut Endpoint,
+        prog: &Group,
+        me: usize,
+        cur: &Self,
+        spec: &LibSpec,
+        dist_seed: u64,
+    ) -> Self;
+
+    /// This rank's owned elements as `(global flat index, value bits)`.
+    fn owned_mem(cur: &Self, shape: &[usize]) -> Vec<(usize, u64)>;
+}
+
+impl FuzzLib for MultiblockArray<f64> {
+    const KIND: LibKind = LibKind::Multiblock;
+    const CAN_BUMP: bool = true;
+
+    fn build(
+        _ep: &mut Endpoint,
+        prog: &Group,
+        me: usize,
+        spec: &LibSpec,
+        fill: fn(usize) -> f64,
+    ) -> Self {
+        let dist = BlockDist::random(
+            &mut Rng::seed_from_u64(spec.dist_seed),
+            spec.shape.clone(),
+            prog.size(),
+        );
+        let mut a = MultiblockArray::from_dist(prog, me, dist);
+        let shape = spec.shape.clone();
+        a.fill_with(|c| fill(flatten(c, &shape)));
+        a
+    }
+
+    fn regions(set: &RegionsSpec) -> SetOfRegions<RegularSection> {
+        sections_set(set)
+    }
+
+    fn bump(
+        ep: &mut Endpoint,
+        prog: &Group,
+        _me: usize,
+        cur: &Self,
+        spec: &LibSpec,
+        dist_seed: u64,
+    ) -> Self {
+        let dist = BlockDist::random(
+            &mut Rng::seed_from_u64(dist_seed),
+            spec.shape.clone(),
+            prog.size(),
+        );
+        regrid(ep, prog, cur, dist)
+    }
+
+    fn owned_mem(cur: &Self, shape: &[usize]) -> Vec<(usize, u64)> {
+        let mut out = Vec::new();
+        for_box(&cur.my_box(), &mut |coords| {
+            out.push((flatten(coords, shape), cur.get(coords).to_bits()));
+        });
+        out
+    }
+}
+
+impl FuzzLib for HpfArray<f64> {
+    const KIND: LibKind = LibKind::Hpf;
+    const CAN_BUMP: bool = true;
+
+    fn build(
+        _ep: &mut Endpoint,
+        prog: &Group,
+        me: usize,
+        spec: &LibSpec,
+        fill: fn(usize) -> f64,
+    ) -> Self {
+        let dist = HpfDist::random(
+            &mut Rng::seed_from_u64(spec.dist_seed),
+            spec.shape.clone(),
+            prog.size(),
+        );
+        let mut h = HpfArray::new(prog, me, dist);
+        let shape = spec.shape.clone();
+        h.for_each_owned(|c, v| *v = fill(flatten(c, &shape)));
+        h
+    }
+
+    fn regions(set: &RegionsSpec) -> SetOfRegions<RegularSection> {
+        sections_set(set)
+    }
+
+    fn bump(
+        ep: &mut Endpoint,
+        prog: &Group,
+        _me: usize,
+        cur: &Self,
+        spec: &LibSpec,
+        dist_seed: u64,
+    ) -> Self {
+        let dist = HpfDist::random(
+            &mut Rng::seed_from_u64(dist_seed),
+            spec.shape.clone(),
+            prog.size(),
+        );
+        redistribute(ep, prog, cur, dist)
+    }
+
+    fn owned_mem(cur: &Self, shape: &[usize]) -> Vec<(usize, u64)> {
+        let total: usize = shape.iter().product();
+        (0..total)
+            .filter_map(|g| {
+                let coords = unflatten(g, shape);
+                cur.owns(&coords).then(|| (g, cur.get(&coords).to_bits()))
+            })
+            .collect()
+    }
+}
+
+impl FuzzLib for DistributedCollection<f64> {
+    const KIND: LibKind = LibKind::Tulip;
+    const CAN_BUMP: bool = false;
+
+    fn build(
+        _ep: &mut Endpoint,
+        prog: &Group,
+        me: usize,
+        spec: &LibSpec,
+        fill: fn(usize) -> f64,
+    ) -> Self {
+        DistributedCollection::new_filled(prog, me, spec.shape[0], fill)
+    }
+
+    fn regions(set: &RegionsSpec) -> SetOfRegions<IndexSet> {
+        indices_set(set)
+    }
+
+    fn bump(
+        _ep: &mut Endpoint,
+        _prog: &Group,
+        _me: usize,
+        _cur: &Self,
+        _spec: &LibSpec,
+        _dist_seed: u64,
+    ) -> Self {
+        unreachable!("tulip collections do not redistribute");
+    }
+
+    fn owned_mem(cur: &Self, _shape: &[usize]) -> Vec<(usize, u64)> {
+        let p = cur.num_procs();
+        let me = cur.my_local();
+        cur.local()
+            .iter()
+            .enumerate()
+            .map(|(l, v)| (l * p + me, v.to_bits()))
+            .collect()
+    }
+}
+
+impl FuzzLib for IrregArray<f64> {
+    const KIND: LibKind = LibKind::Chaos;
+    const CAN_BUMP: bool = true;
+
+    fn build(
+        ep: &mut Endpoint,
+        prog: &Group,
+        _me: usize,
+        spec: &LibSpec,
+        fill: fn(usize) -> f64,
+    ) -> Self {
+        let part = Partition::random_choice(&mut Rng::seed_from_u64(spec.dist_seed));
+        let mut comm = Comm::new(ep, prog.clone());
+        IrregArray::create(&mut comm, spec.shape[0], part, fill)
+    }
+
+    fn regions(set: &RegionsSpec) -> SetOfRegions<IndexSet> {
+        indices_set(set)
+    }
+
+    fn bump(
+        ep: &mut Endpoint,
+        prog: &Group,
+        me: usize,
+        cur: &Self,
+        spec: &LibSpec,
+        dist_seed: u64,
+    ) -> Self {
+        let part = Partition::random_choice(&mut Rng::seed_from_u64(dist_seed));
+        let me_local = prog.local_of(me).expect("member rank");
+        let globals = part.indices_of(spec.shape[0], prog.size(), me_local);
+        let mut comm = Comm::new(ep, prog.clone());
+        remap(&mut comm, cur, globals)
+    }
+
+    fn owned_mem(cur: &Self, _shape: &[usize]) -> Vec<(usize, u64)> {
+        cur.my_globals()
+            .iter()
+            .zip(cur.local())
+            .map(|(&g, v)| (g, v.to_bits()))
+            .collect()
+    }
+}
+
+/// Everything observable about one rank's built schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedDump {
+    pub seq: u32,
+    pub total_elems: usize,
+    pub src_epoch: u64,
+    pub dst_epoch: u64,
+    pub elem_tag: u64,
+    pub elem_size: u32,
+    pub sends: Vec<(usize, Vec<(usize, usize)>)>,
+    pub recvs: Vec<(usize, Vec<(usize, usize)>)>,
+    pub local_pairs: Vec<(usize, usize, usize)>,
+}
+
+fn dump(sched: &Schedule) -> SchedDump {
+    SchedDump {
+        seq: sched.seq(),
+        total_elems: sched.total_elems,
+        src_epoch: sched.src_epoch(),
+        dst_epoch: sched.dst_epoch(),
+        elem_tag: sched.elem_tag(),
+        elem_size: sched.elem_size(),
+        sends: sched
+            .sends
+            .iter()
+            .map(|(p, a)| (*p, a.runs().to_vec()))
+            .collect(),
+        recvs: sched
+            .recvs
+            .iter()
+            .map(|(p, a)| (*p, a.runs().to_vec()))
+            .collect(),
+        local_pairs: sched.local_pairs.runs().to_vec(),
+    }
+}
+
+/// One rank's full observation of a scenario run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RankReport {
+    /// `Some(error)` when the initial schedule build failed (everything
+    /// after is skipped).
+    pub build_err: Option<String>,
+    /// One dump per schedule built (initial + one per effective bump).
+    pub scheds: Vec<SchedDump>,
+    /// `(step index, result)` for every executed step.
+    pub outcomes: Vec<(usize, Result<(), String>)>,
+    /// For each effective bump in a same-program run: the error the *old*
+    /// schedule produced (`None` means it was wrongly accepted).
+    pub stale_probes: Vec<Option<String>>,
+    /// Destination-side owned memory after all steps.  Empty on pure
+    /// source ranks.
+    pub mem: Vec<(usize, u64)>,
+}
+
+/// A whole world's observations: per-rank reports (`Err` = the rank
+/// panicked; the string carries the reason) plus per-rank trace tails for
+/// post-mortems.
+#[derive(Debug, Clone)]
+pub struct WorldRun {
+    pub reports: Vec<Result<RankReport, String>>,
+    pub trace_tails: Vec<Vec<String>>,
+}
+
+fn fault_plan(f: &crate::scenario::FaultSpec) -> FaultPlan {
+    let mut plan = FaultPlan::new(f.seed).rates(FaultRates {
+        drop: f.drop,
+        dup: f.dup,
+        corrupt: f.corrupt,
+        delay: f.delay,
+        delay_secs: f.delay_secs,
+    });
+    if let Some((rank, at)) = f.crash {
+        plan = plan.crash(rank, at);
+    }
+    plan
+}
+
+fn run_rank<S: FuzzLib, D: FuzzLib>(
+    ep: &mut Endpoint,
+    sc: &Scenario,
+    reference: bool,
+) -> RankReport {
+    let me = ep.rank();
+    let (src_prog, dst_prog, un) = if sc.coupled {
+        Group::split_two(sc.procs_src, sc.procs_dst, 32)
+    } else {
+        let g = Group::world(sc.procs_src);
+        (g.clone(), g.clone(), g)
+    };
+    let on_src = src_prog.contains(me);
+    let on_dst = dst_prog.contains(me);
+    let mut src_obj = on_src.then(|| S::build(ep, &src_prog, me, &sc.src, src_val));
+    let mut dst_obj = on_dst.then(|| D::build(ep, &dst_prog, me, &sc.dst, dst_init));
+    let sset = S::regions(&sc.src_set);
+    let dset = D::regions(&sc.dst_set);
+    let method = if sc.method == 0 {
+        BuildMethod::Cooperation
+    } else {
+        BuildMethod::Duplication
+    };
+
+    let build = |ep: &mut Endpoint,
+                 src_obj: &Option<S>,
+                 dst_obj: &Option<D>|
+     -> Result<Schedule, McError> {
+        let sside = src_obj.as_ref().map(|o| Side::new(o, &sset));
+        let dside = dst_obj.as_ref().map(|o| Side::new(o, &dset));
+        if reference {
+            compute_schedule_reference::<f64, S, D>(
+                ep, &un, &src_prog, sside, &dst_prog, dside, method,
+            )
+        } else {
+            compute_schedule::<f64, S, D>(ep, &un, &src_prog, sside, &dst_prog, dside, method)
+        }
+    };
+
+    let mut report = RankReport::default();
+    let mut sched = match build(ep, &src_obj, &dst_obj) {
+        Ok(s) => {
+            report.scheds.push(dump(&s));
+            Some(s)
+        }
+        Err(e) => {
+            report.build_err = Some(format!("{e:?}"));
+            None
+        }
+    };
+
+    if let Some(live) = sched.as_mut() {
+        for (i, step) in sc.steps.iter().enumerate() {
+            match step {
+                Step::Move => {
+                    let r = if !sc.coupled {
+                        try_data_move(
+                            ep,
+                            live,
+                            src_obj.as_ref().expect("same-program src"),
+                            dst_obj.as_mut().expect("same-program dst"),
+                        )
+                    } else if on_src {
+                        data_move_send(ep, live, src_obj.as_ref().expect("src side"))
+                    } else {
+                        data_move_recv(ep, live, dst_obj.as_mut().expect("dst side"))
+                    };
+                    report.outcomes.push((i, r.map_err(|e| format!("{e:?}"))));
+                }
+                Step::BumpSrc { dist_seed } => {
+                    if !S::CAN_BUMP {
+                        report.outcomes.push((i, Ok(())));
+                        continue;
+                    }
+                    if let Some(cur) = src_obj.as_ref() {
+                        src_obj = Some(S::bump(ep, &src_prog, me, cur, &sc.src, *dist_seed));
+                    }
+                    if !sc.coupled {
+                        let e = try_data_move(
+                            ep,
+                            live,
+                            src_obj.as_ref().expect("same-program src"),
+                            dst_obj.as_mut().expect("same-program dst"),
+                        )
+                        .err();
+                        report.stale_probes.push(e.map(|e| format!("{e:?}")));
+                    }
+                    match build(ep, &src_obj, &dst_obj) {
+                        Ok(s) => {
+                            report.scheds.push(dump(&s));
+                            *live = s;
+                            report.outcomes.push((i, Ok(())));
+                        }
+                        Err(e) => report.outcomes.push((i, Err(format!("{e:?}")))),
+                    }
+                }
+                Step::BumpDst { dist_seed } => {
+                    if !D::CAN_BUMP {
+                        report.outcomes.push((i, Ok(())));
+                        continue;
+                    }
+                    if let Some(cur) = dst_obj.as_ref() {
+                        dst_obj = Some(D::bump(ep, &dst_prog, me, cur, &sc.dst, *dist_seed));
+                    }
+                    if !sc.coupled {
+                        let e = try_data_move(
+                            ep,
+                            live,
+                            src_obj.as_ref().expect("same-program src"),
+                            dst_obj.as_mut().expect("same-program dst"),
+                        )
+                        .err();
+                        report.stale_probes.push(e.map(|e| format!("{e:?}")));
+                    }
+                    match build(ep, &src_obj, &dst_obj) {
+                        Ok(s) => {
+                            report.scheds.push(dump(&s));
+                            *live = s;
+                            report.outcomes.push((i, Ok(())));
+                        }
+                        Err(e) => report.outcomes.push((i, Err(format!("{e:?}")))),
+                    }
+                }
+            }
+        }
+    }
+
+    report.mem = dst_obj
+        .map(|o| D::owned_mem(&o, &sc.dst.shape))
+        .unwrap_or_default();
+    report
+}
+
+fn run_pair<S: FuzzLib, D: FuzzLib>(sc: &Scenario, reference: bool, faults_on: bool) -> WorldRun {
+    let model = if faults_on {
+        MachineModel::sp2()
+    } else {
+        MachineModel::zero()
+    };
+    let mut world = World::with_model(sc.total_procs(), model)
+        .with_deadline(sc.deadline)
+        .with_trace();
+    if faults_on {
+        if let Some(f) = &sc.fault {
+            world = world.with_faults(fault_plan(f));
+        }
+    }
+    let sc = sc.clone();
+    let rep = world.run_result(move |ep| run_rank::<S, D>(ep, &sc, reference));
+    WorldRun {
+        reports: rep
+            .outcomes
+            .into_iter()
+            .map(|r| r.map_err(|e| format!("{e:?}")))
+            .collect(),
+        trace_tails: rep
+            .traces
+            .iter()
+            .map(|t| {
+                let skip = t.len().saturating_sub(16);
+                t[skip..].iter().map(|e| format!("{e:?}")).collect()
+            })
+            .collect(),
+    }
+}
+
+/// Run a scenario: `reference` selects the element-wise inspector,
+/// `faults_on` attaches the scenario's fault plan (ignored when the
+/// scenario has none).
+pub fn run_scenario(sc: &Scenario, reference: bool, faults_on: bool) -> WorldRun {
+    use LibKind::*;
+    match (sc.src.kind, sc.dst.kind) {
+        (Multiblock, Multiblock) => {
+            run_pair::<MultiblockArray<f64>, MultiblockArray<f64>>(sc, reference, faults_on)
+        }
+        (Multiblock, Hpf) => {
+            run_pair::<MultiblockArray<f64>, HpfArray<f64>>(sc, reference, faults_on)
+        }
+        (Multiblock, Tulip) => {
+            run_pair::<MultiblockArray<f64>, DistributedCollection<f64>>(sc, reference, faults_on)
+        }
+        (Multiblock, Chaos) => {
+            run_pair::<MultiblockArray<f64>, IrregArray<f64>>(sc, reference, faults_on)
+        }
+        (Hpf, Multiblock) => {
+            run_pair::<HpfArray<f64>, MultiblockArray<f64>>(sc, reference, faults_on)
+        }
+        (Hpf, Hpf) => run_pair::<HpfArray<f64>, HpfArray<f64>>(sc, reference, faults_on),
+        (Hpf, Tulip) => {
+            run_pair::<HpfArray<f64>, DistributedCollection<f64>>(sc, reference, faults_on)
+        }
+        (Hpf, Chaos) => run_pair::<HpfArray<f64>, IrregArray<f64>>(sc, reference, faults_on),
+        (Tulip, Multiblock) => {
+            run_pair::<DistributedCollection<f64>, MultiblockArray<f64>>(sc, reference, faults_on)
+        }
+        (Tulip, Hpf) => {
+            run_pair::<DistributedCollection<f64>, HpfArray<f64>>(sc, reference, faults_on)
+        }
+        (Tulip, Tulip) => run_pair::<DistributedCollection<f64>, DistributedCollection<f64>>(
+            sc, reference, faults_on,
+        ),
+        (Tulip, Chaos) => {
+            run_pair::<DistributedCollection<f64>, IrregArray<f64>>(sc, reference, faults_on)
+        }
+        (Chaos, Multiblock) => {
+            run_pair::<IrregArray<f64>, MultiblockArray<f64>>(sc, reference, faults_on)
+        }
+        (Chaos, Hpf) => run_pair::<IrregArray<f64>, HpfArray<f64>>(sc, reference, faults_on),
+        (Chaos, Tulip) => {
+            run_pair::<IrregArray<f64>, DistributedCollection<f64>>(sc, reference, faults_on)
+        }
+        (Chaos, Chaos) => run_pair::<IrregArray<f64>, IrregArray<f64>>(sc, reference, faults_on),
+    }
+}

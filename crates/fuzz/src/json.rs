@@ -1,0 +1,368 @@
+//! Minimal hand-rolled JSON: enough to serialize scenarios and repros and
+//! parse them back.  No external dependencies, by the repository's rules;
+//! integers are kept as `u64` (not `f64`) so full-range seeds round-trip.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value.  Integers that fit `u64` parse as [`Value::Int`];
+/// everything else numeric parses as [`Value::Num`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(u64),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(n) => Some(n),
+            Value::Num(x) if x >= 0.0 && x.fract() == 0.0 => Some(x as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(n) => Some(n as f64),
+            Value::Num(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Serialize with 2-space indentation (repros are meant to be read).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        write_value(self, 0, &mut out);
+        out
+    }
+}
+
+pub fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+pub fn arr(items: Vec<Value>) -> Value {
+    Value::Arr(items)
+}
+
+fn write_value(v: &Value, indent: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::Num(x) => {
+            if x.is_finite() {
+                let _ = write!(out, "{x}");
+                // `{}` prints integral floats without a dot; keep the dot
+                // so the parser reads them back as Num, not Int.
+                if x.fract() == 0.0 && !out.ends_with(['.', 'e']) {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                pad(indent + 1, out);
+                write_value(item, indent + 1, out);
+            }
+            out.push('\n');
+            pad(indent, out);
+            out.push(']');
+        }
+        Value::Obj(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                pad(indent + 1, out);
+                write_string(k, out);
+                out.push_str(": ");
+                write_value(item, indent + 1, out);
+            }
+            out.push('\n');
+            pad(indent, out);
+            out.push('}');
+        }
+    }
+}
+
+fn pad(indent: usize, out: &mut String) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse a JSON document.  Errors carry the byte offset they occurred at.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let val = parse_value(b, pos)?;
+                map.insert(key, val);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(map));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+        Some(b't') => keyword(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => keyword(b, pos, "false", Value::Bool(false)),
+        Some(b'n') => keyword(b, pos, "null", Value::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn keyword(b: &[u8], pos: &mut usize, word: &str, v: Value) -> Result<Value, String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(v)
+    } else {
+        Err(format!("bad keyword at byte {}", *pos))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte aware).
+                let start = *pos;
+                *pos += 1;
+                while *pos < b.len() && (b[*pos] & 0xC0) == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?);
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    if !float {
+        if let Ok(n) = text.parse::<u64>() {
+            return Ok(Value::Int(n));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::Num)
+        .map_err(|_| format!("bad number '{text}' at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let v = obj(vec![
+            ("seed", Value::Int(u64::MAX)),
+            ("rate", Value::Num(0.25)),
+            ("whole", Value::Num(3.0)),
+            ("name", Value::Str("a \"b\"\nc".into())),
+            (
+                "items",
+                arr(vec![Value::Int(1), Value::Bool(false), Value::Null]),
+            ),
+            ("empty", arr(vec![])),
+        ]);
+        let text = v.to_json();
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn u64_seeds_survive() {
+        let v = parse("{\"s\": 18446744073709551615}").unwrap();
+        assert_eq!(v.get("s").unwrap().as_u64(), Some(u64::MAX));
+    }
+}

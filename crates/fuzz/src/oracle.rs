@@ -1,0 +1,250 @@
+//! The three oracles.
+//!
+//! 1. **Schedule parity** — the run-based inspector must produce reports
+//!    (schedule dumps, outcomes, memory) identical to the element-wise
+//!    reference inspector on the same fault-free scenario.
+//! 2. **Serial memory model** — after a clean run, the union of
+//!    destination memory across ranks must cover every global exactly
+//!    once and bit-match a straight-line serial copy; after a faulted
+//!    run with a scripted crash, each surviving destination rank must be
+//!    all-or-nothing (fully moved or bit-identical to its initial fill).
+//! 3. **No hang** — every run terminates; a virtual-clock deadline trip
+//!    (`DeadlineExceeded`) anywhere is a failure in itself.
+
+use std::collections::BTreeMap;
+
+use crate::exec::{dst_init, run_scenario, src_val, WorldRun};
+use crate::scenario::Scenario;
+
+/// A confirmed oracle violation, with enough context to debug it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Which run and oracle tripped (e.g. `"fault-free (runs inspector)"`).
+    pub phase: String,
+    /// Human-readable description of the violation.
+    pub detail: String,
+    /// Flight-recorder tails from the failing world, one line per event.
+    pub post_mortem: Vec<String>,
+}
+
+fn post_mortem(run: &WorldRun) -> Vec<String> {
+    let mut out = Vec::new();
+    for (rank, tail) in run.trace_tails.iter().enumerate() {
+        for ev in tail {
+            out.push(format!("rank {rank}: {ev}"));
+        }
+    }
+    out
+}
+
+/// Expected destination memory after every scheduled element moved:
+/// `global -> value bits`.
+fn expected_moved(sc: &Scenario) -> BTreeMap<usize, u64> {
+    let dst_total: usize = sc.dst.shape.iter().product();
+    let mut m: BTreeMap<usize, u64> = (0..dst_total).map(|g| (g, dst_init(g).to_bits())).collect();
+    for p in 0..sc.dst_set.total() {
+        let dg = sc.dst_set.global_of(&sc.dst.shape, p);
+        let sg = sc.src_set.global_of(&sc.src.shape, p);
+        m.insert(dg, src_val(sg).to_bits());
+    }
+    m
+}
+
+/// Clean-run oracle: every rank returns, every step succeeds, stale
+/// probes are rejected with `StaleSchedule`, and the union of
+/// destination memory is exactly the serial-copy model.
+fn check_clean(sc: &Scenario, run: &WorldRun, phase: &str) -> Option<Failure> {
+    let fail = |detail: String| {
+        Some(Failure {
+            phase: phase.to_string(),
+            detail,
+            post_mortem: post_mortem(run),
+        })
+    };
+    let mut union: BTreeMap<usize, (usize, u64)> = BTreeMap::new();
+    for (rank, rep) in run.reports.iter().enumerate() {
+        let rep = match rep {
+            Ok(r) => r,
+            Err(e) => return fail(format!("rank {rank} did not return cleanly: {e}")),
+        };
+        if let Some(e) = &rep.build_err {
+            return fail(format!("rank {rank} schedule build failed: {e}"));
+        }
+        for (step, r) in &rep.outcomes {
+            if let Err(e) = r {
+                return fail(format!("rank {rank} step {step} failed: {e}"));
+            }
+        }
+        for (probe, e) in rep.stale_probes.iter().enumerate() {
+            match e {
+                Some(msg) if msg.contains("StaleSchedule") => {}
+                Some(msg) => {
+                    return fail(format!(
+                        "rank {rank} stale probe {probe}: wrong error {msg}"
+                    ))
+                }
+                None => {
+                    return fail(format!(
+                        "rank {rank} stale probe {probe}: old schedule was accepted"
+                    ))
+                }
+            }
+        }
+        for &(g, bits) in &rep.mem {
+            if let Some((prev, _)) = union.insert(g, (rank, bits)) {
+                return fail(format!(
+                    "global {g} owned by both rank {prev} and rank {rank}"
+                ));
+            }
+        }
+    }
+    let expect = expected_moved(sc);
+    if union.len() != expect.len() {
+        return fail(format!(
+            "destination memory union covers {} globals, expected {}",
+            union.len(),
+            expect.len()
+        ));
+    }
+    for (g, want) in &expect {
+        let (rank, got) = union[g];
+        if got != *want {
+            return fail(format!(
+                "global {g} (rank {rank}): got {}, expected {}",
+                f64::from_bits(got),
+                f64::from_bits(*want)
+            ));
+        }
+    }
+    None
+}
+
+/// Differential oracle: the runs-based and reference inspectors must
+/// report byte-identical schedules, outcomes, and final memory.
+fn check_parity(runs: &WorldRun, reference: &WorldRun) -> Option<Failure> {
+    for (rank, (a, b)) in runs.reports.iter().zip(&reference.reports).enumerate() {
+        if a != b {
+            let detail = match (a, b) {
+                (Ok(ra), Ok(rb)) => {
+                    let what = if ra.scheds != rb.scheds {
+                        format!(
+                            "schedules differ:\n  runs: {:?}\n  ref:  {:?}",
+                            ra.scheds, rb.scheds
+                        )
+                    } else if ra.mem != rb.mem {
+                        "final memory differs".to_string()
+                    } else {
+                        format!("reports differ:\n  runs: {ra:?}\n  ref:  {rb:?}")
+                    };
+                    format!("rank {rank}: {what}")
+                }
+                _ => format!("rank {rank}: {a:?} vs {b:?}"),
+            };
+            return Some(Failure {
+                phase: "parity (runs vs reference inspector)".to_string(),
+                detail,
+                post_mortem: post_mortem(runs),
+            });
+        }
+    }
+    None
+}
+
+/// Returns true when any string anywhere in the run mentions the
+/// virtual-clock deadline — the signature of a wedged run.
+fn hit_deadline(run: &WorldRun) -> Option<String> {
+    for (rank, rep) in run.reports.iter().enumerate() {
+        match rep {
+            Err(e) if e.contains("DeadlineExceeded") || e.contains("deadline") => {
+                return Some(format!("rank {rank}: {e}"));
+            }
+            Ok(r) => {
+                if let Some(e) = &r.build_err {
+                    if e.contains("deadline") {
+                        return Some(format!("rank {rank} build: {e}"));
+                    }
+                }
+                for (step, o) in &r.outcomes {
+                    if let Err(e) = o {
+                        if e.contains("deadline") {
+                            return Some(format!("rank {rank} step {step}: {e}"));
+                        }
+                    }
+                }
+            }
+            Err(_) => {}
+        }
+    }
+    None
+}
+
+/// Faulted-run oracle for scenarios with a scripted crash: nobody may
+/// hit the deadline, and every surviving destination rank must hold
+/// either the fully-moved memory or its pristine initial fill.
+fn check_crashed(sc: &Scenario, run: &WorldRun) -> Option<Failure> {
+    let fail = |detail: String| {
+        Some(Failure {
+            phase: "faulted (scripted crash)".to_string(),
+            detail,
+            post_mortem: post_mortem(run),
+        })
+    };
+    if let Some(d) = hit_deadline(run) {
+        return fail(format!("virtual-clock deadline hit: {d}"));
+    }
+    let expect = expected_moved(sc);
+    for (rank, rep) in run.reports.iter().enumerate() {
+        let Ok(rep) = rep else { continue }; // crashed or cascaded: no report
+        if rep.mem.is_empty() {
+            continue; // pure source rank
+        }
+        let any_ok = rep.outcomes.iter().any(|(_, r)| r.is_ok());
+        for &(g, bits) in &rep.mem {
+            let want = if any_ok {
+                expect[&g]
+            } else {
+                dst_init(g).to_bits()
+            };
+            if bits != want {
+                return fail(format!(
+                    "rank {rank} not all-or-nothing (moves {}): global {g} got {}, expected {}",
+                    if any_ok { "committed" } else { "aborted" },
+                    f64::from_bits(bits),
+                    f64::from_bits(want)
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Run every applicable oracle against `sc`.  `None` means the scenario
+/// passed; `Some` carries the first violation found.
+pub fn check(sc: &Scenario) -> Option<Failure> {
+    let runs = run_scenario(sc, false, false);
+    if let Some(f) = check_clean(sc, &runs, "fault-free (runs inspector)") {
+        return Some(f);
+    }
+    let reference = run_scenario(sc, true, false);
+    if let Some(f) = check_clean(sc, &reference, "fault-free (reference inspector)") {
+        return Some(f);
+    }
+    if let Some(f) = check_parity(&runs, &reference) {
+        return Some(f);
+    }
+    if let Some(fault) = &sc.fault {
+        let faulted = run_scenario(sc, false, true);
+        if fault.crash.is_some() {
+            if let Some(f) = check_crashed(sc, &faulted) {
+                return Some(f);
+            }
+        } else {
+            // Lossy-but-crash-free links: the reliable transport must
+            // fully mask them, so the clean oracle applies unchanged.
+            if let Some(f) = check_clean(sc, &faulted, "faulted (no crash)") {
+                return Some(f);
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,304 @@
+//! Greedy scenario shrinking.
+//!
+//! Given a failing scenario, repeatedly try structurally smaller
+//! variants — fewer steps, fewer/shorter regions, fewer fault-plan
+//! entries, fewer processes — keeping a variant whenever the oracles
+//! still reject it, until a fixpoint or the attempt budget is reached.
+//! Every kept variant is a real reproducer: `oracle::check` failed on
+//! it, not merely on its ancestor.
+
+use crate::oracle;
+use crate::scenario::{RegionsSpec, Scenario, Step};
+
+/// Default shrink budget (oracle evaluations, each a handful of worlds).
+pub const DEFAULT_BUDGET: usize = 200;
+
+fn dim_count(lo: usize, hi: usize, stride: usize) -> usize {
+    if lo >= hi {
+        0
+    } else {
+        (hi - lo - 1) / stride + 1
+    }
+}
+
+/// Truncate one section region to its first `k` elements (linearization
+/// order).  Only the 1-D and 2-D shapes the generator emits are handled.
+fn truncate_section(
+    dims: &[(usize, usize, usize)],
+    k: usize,
+) -> Option<Vec<Vec<(usize, usize, usize)>>> {
+    debug_assert!(k >= 1);
+    match dims {
+        [(lo, _, s)] => Some(vec![vec![(*lo, lo + (k - 1) * s + 1, *s)]]),
+        [(lo0, _, s0), (lo1, hi1, s1)] => {
+            let c1 = dim_count(*lo1, *hi1, *s1);
+            let q = k / c1;
+            let rem = k % c1;
+            let mut out = Vec::new();
+            if q > 0 {
+                out.push(vec![(*lo0, lo0 + (q - 1) * s0 + 1, *s0), (*lo1, *hi1, *s1)]);
+            }
+            if rem > 0 {
+                let r = lo0 + q * s0;
+                out.push(vec![(r, r + 1, 1), (*lo1, lo1 + (rem - 1) * s1 + 1, *s1)]);
+            }
+            Some(out)
+        }
+        _ => None,
+    }
+}
+
+/// Rebuild a region set truncated to its first `needed` elements.
+fn truncate_regions(set: &RegionsSpec, needed: usize) -> Option<RegionsSpec> {
+    if needed == 0 {
+        return None;
+    }
+    match set {
+        RegionsSpec::Indices(lists) => {
+            let mut out = Vec::new();
+            let mut left = needed;
+            for l in lists {
+                if left == 0 {
+                    break;
+                }
+                let take = l.len().min(left);
+                if take > 0 {
+                    out.push(l[..take].to_vec());
+                    left -= take;
+                }
+            }
+            (left == 0).then_some(RegionsSpec::Indices(out))
+        }
+        RegionsSpec::Sections(regions) => {
+            let mut out = Vec::new();
+            let mut left = needed;
+            for dims in regions {
+                if left == 0 {
+                    break;
+                }
+                let cnt: usize = dims
+                    .iter()
+                    .map(|&(lo, hi, s)| dim_count(lo, hi, s))
+                    .product();
+                if cnt <= left {
+                    out.push(dims.clone());
+                    left -= cnt;
+                } else {
+                    out.extend(truncate_section(dims, left)?);
+                    left = 0;
+                }
+            }
+            (left == 0).then_some(RegionsSpec::Sections(out))
+        }
+    }
+}
+
+/// After mutating the destination set, re-size the source set to match.
+fn retarget(sc: Scenario, new_dst: RegionsSpec) -> Option<Scenario> {
+    let needed = new_dst.total();
+    let src_set = truncate_regions(&sc.src_set, needed)?;
+    Some(Scenario {
+        src_set,
+        dst_set: new_dst,
+        ..sc
+    })
+}
+
+/// All one-step-smaller variants of `sc`, most aggressive first.
+fn candidates(sc: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+
+    // Drop the whole fault plan, then just the crash, then single rates.
+    if let Some(f) = &sc.fault {
+        out.push(Scenario {
+            fault: None,
+            ..sc.clone()
+        });
+        if f.crash.is_some() {
+            let mut v = sc.clone();
+            v.fault.as_mut().unwrap().crash = None;
+            out.push(v);
+        }
+        for pick in 0..4 {
+            let rate = |f: &crate::scenario::FaultSpec| match pick {
+                0 => f.drop,
+                1 => f.dup,
+                2 => f.corrupt,
+                _ => f.delay,
+            };
+            if rate(f) > 0.0 {
+                let mut v = sc.clone();
+                let fm = v.fault.as_mut().unwrap();
+                match pick {
+                    0 => fm.drop = 0.0,
+                    1 => fm.dup = 0.0,
+                    2 => fm.corrupt = 0.0,
+                    _ => fm.delay = 0.0,
+                }
+                out.push(v);
+            }
+        }
+    }
+
+    // Remove one step, keeping at least one Move.
+    if sc.steps.len() > 1 {
+        for i in 0..sc.steps.len() {
+            let mut steps = sc.steps.clone();
+            steps.remove(i);
+            if steps.iter().any(|s| matches!(s, Step::Move)) {
+                out.push(Scenario {
+                    steps,
+                    ..sc.clone()
+                });
+            }
+        }
+    }
+
+    // Remove one destination region outright.
+    if sc.dst_set.num_regions() > 1 {
+        for j in 0..sc.dst_set.num_regions() {
+            let new_dst = match &sc.dst_set {
+                RegionsSpec::Sections(v) => {
+                    let mut v = v.clone();
+                    v.remove(j);
+                    RegionsSpec::Sections(v)
+                }
+                RegionsSpec::Indices(v) => {
+                    let mut v = v.clone();
+                    v.remove(j);
+                    RegionsSpec::Indices(v)
+                }
+            };
+            if let Some(v) = retarget(sc.clone(), new_dst) {
+                out.push(v);
+            }
+        }
+    }
+
+    // Halve one destination region's element count.
+    for j in 0..sc.dst_set.num_regions() {
+        let cnt = sc.dst_set.region_count(j);
+        if cnt < 2 {
+            continue;
+        }
+        let new_dst = match &sc.dst_set {
+            RegionsSpec::Indices(v) => {
+                let mut v = v.clone();
+                v[j].truncate(cnt / 2);
+                RegionsSpec::Indices(v)
+            }
+            RegionsSpec::Sections(v) => {
+                let Some(repl) = truncate_section(&v[j], cnt / 2) else {
+                    continue;
+                };
+                let mut v = v.clone();
+                v.splice(j..=j, repl);
+                RegionsSpec::Sections(v)
+            }
+        };
+        if let Some(v) = retarget(sc.clone(), new_dst) {
+            out.push(v);
+        }
+    }
+
+    // Fewer processes.
+    let shrink_procs = |ps: usize, pd: usize| {
+        let mut v = sc.clone();
+        v.procs_src = ps;
+        v.procs_dst = pd;
+        let total = v.total_procs();
+        if let Some(f) = v.fault.as_mut() {
+            if let Some((rank, at)) = f.crash {
+                if rank >= total {
+                    f.crash = Some((total - 1, at));
+                }
+            }
+        }
+        v
+    };
+    if sc.coupled {
+        if sc.procs_src > 1 {
+            out.push(shrink_procs(sc.procs_src - 1, sc.procs_dst));
+        }
+        if sc.procs_dst > 1 {
+            out.push(shrink_procs(sc.procs_src, sc.procs_dst - 1));
+        }
+    } else if sc.procs_src > 2 {
+        out.push(shrink_procs(sc.procs_src - 1, sc.procs_dst - 1));
+    }
+
+    out
+}
+
+/// Shrink a failing scenario to a (local) minimum.  Returns the smallest
+/// still-failing variant found and the number of oracle evaluations
+/// spent.  The input is assumed to fail; the result is guaranteed to
+/// (it is either the input or a variant `oracle::check` rejected).
+pub fn shrink(orig: &Scenario, budget: usize) -> (Scenario, usize) {
+    let mut best = orig.clone();
+    let mut attempts = 0;
+    loop {
+        let mut progressed = false;
+        for cand in candidates(&best) {
+            if attempts >= budget {
+                return (best, attempts);
+            }
+            attempts += 1;
+            if oracle::check(&cand).is_some() {
+                best = cand;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            return (best, attempts);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    #[test]
+    fn truncation_preserves_prefix_semantics() {
+        let set = RegionsSpec::Sections(vec![
+            vec![(1, 3, 1), (0, 5, 2)],
+            vec![(10, 11, 1), (0, 2, 1)],
+        ]);
+        assert_eq!(set.total(), 8);
+        for k in 1..=8 {
+            let t = truncate_regions(&set, k).expect("truncatable");
+            assert_eq!(t.total(), k, "k={k}");
+            for p in 0..k {
+                assert_eq!(
+                    t.global_of(&[12, 6], p),
+                    set.global_of(&[12, 6], p),
+                    "k={k} p={p}: truncation must preserve the address map prefix"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_stay_structurally_valid() {
+        for seed in 0..60u64 {
+            let sc = generate(seed);
+            for cand in candidates(&sc) {
+                assert!(cand.num_moves() >= 1, "seed {seed}");
+                assert_eq!(
+                    cand.src_set.total(),
+                    cand.dst_set.total(),
+                    "seed {seed}: candidate broke total parity"
+                );
+                assert!(cand.dst_set.total() >= 1, "seed {seed}");
+                if let Some(f) = &cand.fault {
+                    if let Some((rank, _)) = f.crash {
+                        assert!(rank < cand.total_procs(), "seed {seed}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -11,6 +11,7 @@
 //! course/offset layout.
 
 use mcsim::error::SimError;
+use mcsim::rng::Rng;
 use mcsim::wire::{Wire, WireReader};
 
 /// A per-dimension distribution directive.
@@ -151,6 +152,48 @@ impl HpfDist {
             kinds,
             proc_dims,
         }
+    }
+
+    /// A random valid distribution of `shape` over `procs` ranks, for
+    /// generated scenarios (the fuzz harness): a uniformly chosen
+    /// factorization of the procs into the arrangement, then a random
+    /// legal directive per dimension (`BLOCK` only where the extent
+    /// covers the procs, `CYCLIC(1..=4)` anywhere, `*` only on
+    /// single-proc axes).
+    pub fn random(rng: &mut Rng, shape: Vec<usize>, procs: usize) -> Self {
+        fn factorizations(p: usize, ndim: usize, acc: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+            if ndim == 1 {
+                acc.push(p);
+                out.push(acc.clone());
+                acc.pop();
+                return;
+            }
+            for g in 1..=p {
+                if p.is_multiple_of(g) {
+                    acc.push(g);
+                    factorizations(p / g, ndim - 1, acc, out);
+                    acc.pop();
+                }
+            }
+        }
+        let mut arrangements = Vec::new();
+        factorizations(procs, shape.len(), &mut Vec::new(), &mut arrangements);
+        let proc_dims = arrangements[rng.gen_range(arrangements.len())].clone();
+        let kinds = shape
+            .iter()
+            .zip(&proc_dims)
+            .map(|(&n, &g)| {
+                let cyclic = DistKind::Cyclic(1 + rng.gen_range(4));
+                if g == 1 {
+                    [DistKind::Block, cyclic, DistKind::Collapsed][rng.gen_range(3)]
+                } else if n >= g && rng.gen_range(2) == 0 {
+                    DistKind::Block
+                } else {
+                    cyclic
+                }
+            })
+            .collect();
+        HpfDist::new(shape, kinds, proc_dims)
     }
 
     /// 1-D `BLOCK` over `p` procs.

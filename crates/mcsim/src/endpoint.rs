@@ -43,6 +43,13 @@ const BUF_POOL_CAP: usize = 32;
 /// sends at all (e.g. it already returned, or is itself blocked).
 const RECV_TIMEOUT_REAL_CAP: Duration = Duration::from_millis(250);
 
+/// Real-time silence cap for blocking pumps when a world-level deadline is
+/// armed (see [`crate::world::World::with_deadline`]).  A rank blocked
+/// this long with nothing arriving is declared wedged: the virtual clock
+/// only moves when messages do, so physical silence is the only way a
+/// deadlocked run manifests.
+const DEADLINE_REAL_CAP: Duration = Duration::from_millis(400);
+
 /// One rank's handle on the simulated machine.
 pub struct Endpoint {
     rank: Rank,
@@ -70,9 +77,17 @@ pub struct Endpoint {
     pub(crate) rel: ReliableState,
     /// One-sided (exposed-window put/get) state (see [`crate::onesided`]).
     pub(crate) os: OnesidedState,
+    /// Virtual-clock deadline for the whole run, when the world was built
+    /// with [`crate::world::World::with_deadline`].  Blocking pumps check
+    /// it and fail with [`SimError::DeadlineExceeded`] instead of waiting
+    /// forever.
+    deadline: Option<f64>,
 }
 
 impl Endpoint {
+    // One internal call site (world spawn); the argument list mirrors the
+    // world's configuration knobs one-to-one.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         rank: Rank,
         world: usize,
@@ -81,6 +96,7 @@ impl Endpoint {
         model: MachineModel,
         faults: Option<&FaultPlan>,
         rel_cfg: ReliableConfig,
+        deadline: Option<f64>,
     ) -> Self {
         Endpoint {
             rank,
@@ -97,6 +113,7 @@ impl Endpoint {
             poisoned: None,
             rel: ReliableState::new(rel_cfg),
             os: OnesidedState::default(),
+            deadline,
         }
     }
 
@@ -470,6 +487,11 @@ impl Endpoint {
     }
 
     /// Block for one message from the wire and route it.
+    ///
+    /// When a world deadline is armed, both halves of "hung" are bounded:
+    /// a virtual clock already past the deadline fails immediately, and
+    /// physical silence past [`DEADLINE_REAL_CAP`] fails too (a peer that
+    /// will never send cannot advance our virtual clock).
     pub(crate) fn pump_one(&mut self) -> Result<(), SimError> {
         if let Some((rank, reason)) = &self.poisoned {
             return Err(SimError::PeerFailed {
@@ -477,8 +499,42 @@ impl Endpoint {
                 reason: reason.clone(),
             });
         }
+        if let Some(d) = self.deadline {
+            if self.clock > d {
+                let clock = self.clock;
+                self.mark(move || format!("deadline exceeded clock={clock:.6} limit={d:.6}"));
+                return Err(SimError::DeadlineExceeded);
+            }
+            return match self.rx.recv_timeout(DEADLINE_REAL_CAP) {
+                Ok(msg) => self.route_msg(msg),
+                Err(RecvTimeoutError::Timeout) => {
+                    let clock = self.clock;
+                    self.mark(move || format!("deadline silence clock={clock:.6} limit={d:.6}"));
+                    Err(SimError::DeadlineExceeded)
+                }
+                Err(RecvTimeoutError::Disconnected) => Err(SimError::Shutdown),
+            };
+        }
         let msg = self.rx.recv().map_err(|_| SimError::Shutdown)?;
         self.route_msg(msg)
+    }
+
+    /// Wait up to `cap` of real time for one message and route it.
+    /// `Ok(true)` when a message was handled, `Ok(false)` on silence —
+    /// the caller decides what silence means (e.g. the one-sided get
+    /// retries its unprotected control-plane request).
+    pub(crate) fn pump_some(&mut self, cap: Duration) -> Result<bool, SimError> {
+        if let Some((rank, reason)) = &self.poisoned {
+            return Err(SimError::PeerFailed {
+                rank: *rank,
+                reason: reason.clone(),
+            });
+        }
+        match self.rx.recv_timeout(cap) {
+            Ok(msg) => self.route_msg(msg).map(|()| true),
+            Err(RecvTimeoutError::Timeout) => Ok(false),
+            Err(RecvTimeoutError::Disconnected) => Err(SimError::Shutdown),
+        }
     }
 
     /// Route everything already waiting in the channel without blocking.
@@ -590,6 +646,10 @@ impl Endpoint {
             SimError::PeerTimeout { rank } => {
                 panic!("rank {}: timed out waiting for rank {rank}", self.rank)
             }
+            SimError::DeadlineExceeded => panic!(
+                "rank {}: virtual-clock deadline exceeded waiting for {from} tag {tag:?}",
+                self.rank
+            ),
         }
     }
 

@@ -29,6 +29,11 @@ pub enum SimError {
     /// The world's channels closed while waiting — every other rank has
     /// already torn down.
     Shutdown,
+    /// The world-level virtual-clock deadline (see
+    /// [`crate::world::World::with_deadline`]) elapsed, or the rank sat in
+    /// a blocking receive past the real-time silence cap while a deadline
+    /// was armed.  The run is declared wedged rather than allowed to hang.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for SimError {
@@ -42,6 +47,9 @@ impl fmt::Display for SimError {
                 write!(f, "timed out waiting for rank {rank}")
             }
             SimError::Shutdown => write!(f, "world tore down"),
+            SimError::DeadlineExceeded => {
+                write!(f, "virtual-clock deadline exceeded (run declared wedged)")
+            }
         }
     }
 }

@@ -55,6 +55,37 @@ impl FaultRates {
     pub fn is_quiet(&self) -> bool {
         self.drop == 0.0 && self.dup == 0.0 && self.corrupt == 0.0 && self.delay == 0.0
     }
+
+    /// Random rates drawn from `rng`, each in `[0, cap]`, for generated
+    /// fault plans (the fuzz harness).  Delay is kept small relative to
+    /// the retry budget so delayed copies stress reordering, not liveness.
+    pub fn random(rng: &mut Rng, cap: f64) -> Self {
+        let r = |rng: &mut Rng| rng.gen_f64() * cap;
+        FaultRates {
+            drop: r(rng),
+            dup: r(rng),
+            corrupt: r(rng),
+            delay: r(rng),
+            delay_secs: 1e-4 + rng.gen_f64() * 1e-3,
+        }
+    }
+}
+
+/// The seeds the deterministic robustness suites run under: either the
+/// single seed in `MC_FAULT_SEED`, or the committed default set.  Shared
+/// by tests/fault_matrix.rs, tests/robustness.rs, and the fuzz driver so
+/// "re-run under seed N" means the same thing everywhere.
+pub fn test_seeds() -> Vec<u64> {
+    match std::env::var("MC_FAULT_SEED") {
+        Ok(s) => vec![s.parse().expect("MC_FAULT_SEED must be a u64")],
+        Err(_) => vec![11, 42, 20260805],
+    }
+}
+
+/// The first seed from [`test_seeds`] — for suites that derive their own
+/// per-case streams from one base seed.
+pub fn test_seed() -> u64 {
+    test_seeds()[0]
 }
 
 /// A deterministic script of network faults and rank crashes.

@@ -71,7 +71,7 @@ pub mod world;
 pub use endpoint::Endpoint;
 pub use error::SimError;
 pub use export::{chrome_trace_json, jsonl_events, validate_jsonl, TraceCheck};
-pub use fault::{FaultPlan, FaultRates};
+pub use fault::{test_seed, test_seeds, FaultPlan, FaultRates};
 pub use group::{Comm, Group};
 pub use message::Rank;
 pub use metrics::{Histogram, MetricsRegistry};
@@ -89,7 +89,7 @@ pub use world::{RunOutput, RunReport, World};
 /// Convenient glob import for downstream crates.
 pub mod prelude {
     pub use crate::endpoint::Endpoint;
-    pub use crate::fault::{FaultPlan, FaultRates};
+    pub use crate::fault::{test_seed, test_seeds, FaultPlan, FaultRates};
     pub use crate::group::{Comm, Group};
     pub use crate::message::Rank;
     pub use crate::metrics::MetricsRegistry;

@@ -36,6 +36,7 @@
 //! of their arrival times is not specified.
 
 use std::collections::HashMap;
+use std::time::Duration;
 
 use crate::endpoint::Endpoint;
 use crate::error::SimError;
@@ -247,11 +248,21 @@ pub fn wait_notify(ep: &mut Endpoint, win: u32, n: usize) -> Result<(), SimError
     }
 }
 
+/// How many times a GET request is (re)issued before the origin gives up
+/// with [`SimError::PeerTimeout`], and the real-time silence window that
+/// separates attempts.  The request and reply ride tag class 0x7 with no
+/// sequencing of their own, so a faulted control plane loses them whole;
+/// re-sending under the same request id is idempotent (a late or
+/// duplicated reply just overwrites the same `get_replies` slot).
+const GET_ATTEMPTS: usize = 4;
+const GET_SILENCE_CAP: Duration = Duration::from_millis(80);
+
 /// Read `len` bytes at `offset` from remote window `win` on `target`.
 /// The target's NIC answers from the exposed window at protocol
 /// turnaround time; the target's program is not involved.  Fails with
 /// [`SimError::Decode`] when the window is not exposed or the range is
-/// out of bounds.
+/// out of bounds, and with [`SimError::PeerTimeout`] when the request or
+/// reply is lost [`GET_ATTEMPTS`] times in a row (a faulted 0x7 class).
 pub fn get(
     ep: &mut Endpoint,
     target: Rank,
@@ -263,26 +274,39 @@ pub fn get(
     let tag = get_tag(ctx, win);
     let req = ep.os.next_req;
     ep.os.next_req += 1;
-    let mut frame = ep.take_buf();
-    frame.push(K_GET);
-    frame.extend_from_slice(&req.to_le_bytes());
-    frame.extend_from_slice(&(offset as u64).to_le_bytes());
-    frame.extend_from_slice(&(len as u64).to_le_bytes());
-    ep.send(target, tag, frame);
-    loop {
-        if let Some(reply) = ep.os.get_replies.remove(&req) {
-            // Mirror a matched receive: wait for the reply's arrival and
-            // pay the receive cost on its frame bytes.
-            ep.accept_chunk(target, tag, reply.arrival, reply.data.len() + 10);
-            if !reply.ok {
-                return Err(SimError::Decode(format!(
-                    "one-sided get: window {win} rejected [{offset}, +{len}) on rank {target}"
-                )));
+    for attempt in 0..GET_ATTEMPTS {
+        let mut frame = ep.take_buf();
+        frame.push(K_GET);
+        frame.extend_from_slice(&req.to_le_bytes());
+        frame.extend_from_slice(&(offset as u64).to_le_bytes());
+        frame.extend_from_slice(&(len as u64).to_le_bytes());
+        ep.send(target, tag, frame);
+        loop {
+            if let Some(reply) = ep.os.get_replies.remove(&req) {
+                // Mirror a matched receive: wait for the reply's arrival
+                // and pay the receive cost on its frame bytes.
+                ep.accept_chunk(target, tag, reply.arrival, reply.data.len() + 10);
+                if !reply.ok {
+                    return Err(SimError::Decode(format!(
+                        "one-sided get: window {win} rejected [{offset}, +{len}) on rank {target}"
+                    )));
+                }
+                return Ok(reply.data);
             }
-            return Ok(reply.data);
+            // Silence means the request or its reply was lost in flight —
+            // fall out to re-send the same request id.
+            if !ep.pump_some(GET_SILENCE_CAP)? {
+                ep.mark(|| {
+                    format!(
+                        "onesided get retry req={req} win={win} attempt={}",
+                        attempt + 1
+                    )
+                });
+                break;
+            }
         }
-        ep.pump_one()?;
     }
+    Err(SimError::PeerTimeout { rank: target })
 }
 
 fn apply_op(ep: &mut Endpoint, win: u32, op: PutOp) {
@@ -337,8 +361,10 @@ pub(crate) fn apply_put(ep: &mut Endpoint, src: Rank, tag: Tag, payload: Vec<u8>
 /// Intake for [`Tag::CLASS_ONESIDED_CTRL`] traffic: GET requests are
 /// answered from the exposed window at NIC turnaround; GET replies are
 /// filed for the waiting origin.  The class is excluded from the default
-/// fault mask; a plan that faults it anyway may lose requests (there is
-/// no retry on this control plane).
+/// fault mask; under a plan that faults it anyway, lost requests or
+/// replies are re-issued by [`get`]'s bounded retry (same request id, so
+/// duplicate service is idempotent) and surface as
+/// [`SimError::PeerTimeout`] once the attempt budget is spent.
 pub(crate) fn intake_ctrl(ep: &mut Endpoint, msg: Message) {
     let Body::Data(bytes) = &msg.body else {
         // Tombstones and poison never carry a usable control frame;

@@ -23,6 +23,7 @@ pub struct World {
     faults: Option<FaultPlan>,
     trace: bool,
     rel_cfg: ReliableConfig,
+    deadline: Option<f64>,
 }
 
 /// Everything a run produces.
@@ -100,7 +101,21 @@ impl World {
             faults: None,
             trace: false,
             rel_cfg: ReliableConfig::default(),
+            deadline: None,
         }
+    }
+
+    /// Arm a virtual-clock deadline (seconds) for the whole run: any rank
+    /// whose clock passes it — or that blocks in a receive with nothing
+    /// arriving while it is armed — fails with
+    /// [`SimError::DeadlineExceeded`](crate::SimError::DeadlineExceeded)
+    /// instead of hanging.  This is the fuzz harness's no-hang oracle;
+    /// production-style runs leave it off and rely on the reliable
+    /// layer's retry budget.
+    pub fn with_deadline(mut self, secs: f64) -> Self {
+        assert!(secs > 0.0, "deadline must be positive");
+        self.deadline = Some(secs);
+        self
     }
 
     /// Override the reliable-transport configuration (window size,
@@ -169,6 +184,7 @@ impl World {
                     self.model,
                     self.faults.as_ref(),
                     self.rel_cfg,
+                    self.deadline,
                 )
             })
             .collect();

@@ -157,6 +157,9 @@ impl From<SimError> for McError {
             SimError::PeerTimeout { rank } => McError::PeerTimeout { rank },
             SimError::Decode(msg) => McError::Transport(msg),
             SimError::Shutdown => McError::Transport("world tore down".to_string()),
+            SimError::DeadlineExceeded => {
+                McError::Transport("virtual-clock deadline exceeded".to_string())
+            }
         }
     }
 }

@@ -166,6 +166,16 @@ impl RunBuilder {
                     last.len += 1;
                     return;
                 }
+                // Canary for the fuzz harness (`RUSTFLAGS="--cfg
+                // fuzz_canary"`): absorb the element even though its
+                // address breaks the run's stride progression — a silent
+                // wrong-address coalescing bug with totals intact, which
+                // only the differential oracles can see.
+                #[cfg(fuzz_canary)]
+                {
+                    last.len += 1;
+                    return;
+                }
             }
         }
         self.runs.push(OwnedRun {

@@ -6,7 +6,34 @@
 //! owner/address queries are O(1) arithmetic — the reason Parti schedule
 //! construction is cheap (paper Table 5).
 
+use mcsim::rng::Rng;
+
 use crate::grid::ProcGrid;
+
+/// All grid factorizations of `p` into `shape.len()` factors whose
+/// extents fit `shape` (so [`BlockDist::new`]'s per-dim check holds).
+fn fitting_grids(p: usize, shape: &[usize]) -> Vec<Vec<usize>> {
+    fn rec(p: usize, shape: &[usize], acc: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if shape.len() == 1 {
+            if p <= shape[0] {
+                acc.push(p);
+                out.push(acc.clone());
+                acc.pop();
+            }
+            return;
+        }
+        for g in 1..=p.min(shape[0]) {
+            if p.is_multiple_of(g) {
+                acc.push(g);
+                rec(p / g, &shape[1..], acc, out);
+                acc.pop();
+            }
+        }
+    }
+    let mut out = Vec::new();
+    rec(p, shape, &mut Vec::new(), &mut out);
+    out
+}
 
 /// Block distribution of a `shape`-sized index space over a processor grid,
 /// with `halo` ghost cells per side in the local allocation.
@@ -33,6 +60,22 @@ impl BlockDist {
             );
         }
         BlockDist { shape, grid, halo }
+    }
+
+    /// A random valid distribution of `shape` over `procs` ranks, for
+    /// generated scenarios (the fuzz harness): a uniformly chosen grid
+    /// factorization whose extents fit the shape, plus a small random
+    /// halo.  Panics when no factorization fits (e.g. more procs than
+    /// elements in every dimension).
+    pub fn random(rng: &mut Rng, shape: Vec<usize>, procs: usize) -> Self {
+        let grids = fitting_grids(procs, &shape);
+        assert!(
+            !grids.is_empty(),
+            "no grid factorization of {procs} procs fits shape {shape:?}"
+        );
+        let dims = grids[rng.gen_range(grids.len())].clone();
+        let halo = rng.gen_range(3);
+        BlockDist::new(shape, ProcGrid::new(dims), halo)
     }
 
     /// Global array shape.

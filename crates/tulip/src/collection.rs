@@ -30,6 +30,20 @@ impl<T: Copy + Default> DistributedCollection<T> {
         }
     }
 
+    /// Create and fill in one step: `f(global index)` values every owned
+    /// element — the construction shape generated scenarios (the fuzz
+    /// harness) and most examples use.
+    pub fn new_filled(
+        prog: &Group,
+        me_global: usize,
+        n: usize,
+        mut f: impl FnMut(usize) -> T,
+    ) -> Self {
+        let mut c = Self::new(prog, me_global, n);
+        c.apply(|g, v| *v = f(g));
+        c
+    }
+
     /// Collection size.
     pub fn len(&self) -> usize {
         self.n

@@ -20,6 +20,17 @@ for seed in 11 42 20260805; do
   MC_FAULT_SEED=$seed cargo test --test robustness -q
 done
 
+# Fuzz gate: a bounded differential soak with fixed seeds — ~300 scenarios
+# round-robined across all 16 library pairs, each checked against the
+# reference inspector, a serial memory model, and a virtual-clock deadline.
+# On a violation the driver shrinks the scenario and leaves a self-contained
+# repro (scenario + failure + flight-recorder post-mortem) in target/fuzz/.
+echo "== fuzz soak (16-pair matrix) =="
+cargo run --release -p fuzz -- --matrix --iters 304 --seed 1 || {
+  echo "fuzz gate: oracle violation — see repro under target/fuzz/" >&2
+  exit 1
+}
+
 # Trace-schema gate: a small traced coupled run must export valid JSONL
 # (one self-describing object per event) that the checker accepts.
 trace_tmp="$(mktemp -t mc_trace.XXXXXX.jsonl)"
