@@ -16,13 +16,14 @@
 //! therefore share one denominator — the earlier harness let the reliable
 //! leg stream ahead of the barrier and "cost" −67% of the fast path.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mcsim::group::{Comm, Group};
 use mcsim::model::MachineModel;
 use mcsim::prelude::Endpoint;
 use mcsim::wire::WireReader;
 use mcsim::world::World;
+use mcsim::{pair_spans, Phase, RecoveryConfig, RunReport};
 
 use meta_chaos::build::{compute_schedule, compute_schedule_reference, BuildMethod};
 use meta_chaos::datamove::{
@@ -31,7 +32,7 @@ use meta_chaos::datamove::{
 };
 use meta_chaos::region::{IndexSet, RegularSection};
 use meta_chaos::setof::SetOfRegions;
-use meta_chaos::{McObject, Side};
+use meta_chaos::{McObject, RecoverySession, Side};
 
 use chaos::{IrregArray, Partition};
 use hpf::{HpfArray, HpfDist};
@@ -642,6 +643,189 @@ pub fn amortization_micro(side: usize, procs: usize, reps: usize) -> Amortizatio
     }
 }
 
+/// Wall-clock cost of one supervised crash + recovery: the same small
+/// resumable coupled transfer (one Multiblock sender, one HPF receiver,
+/// two steps through a [`RecoverySession`]) run under the supervisor
+/// twice — once fault-free, once with the receiving rank killed halfway
+/// through its transfer window and respawned from its checkpoint.  The
+/// settle time is the wall-clock difference: what the lease windows,
+/// restart, and part replay actually cost on this host.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoverySettle {
+    /// Transferred elements per step (f64, 8 bytes each).
+    pub elements: usize,
+    /// Wall ns for the fault-free supervised run.
+    pub baseline_ns: f64,
+    /// Wall ns for the run with one mid-transfer crash + respawn.
+    pub crashed_ns: f64,
+    /// Ranks the supervisor respawned in the crashed run (>= 1).
+    pub ranks_recovered: u64,
+    /// Transfer halves replayed while the recovered pair re-settled.
+    pub parts_replayed: u64,
+}
+
+impl RecoverySettle {
+    /// Recovery overhead: crashed minus baseline wall time, floored at
+    /// zero (both runs share world setup and teardown, so the
+    /// difference isolates detection + restart + replay).
+    pub fn settle_ns(&self) -> f64 {
+        (self.crashed_ns - self.baseline_ns).max(0.0)
+    }
+}
+
+/// Steps in the settle micro: two, so a restarted life demonstrably
+/// resumes (step 0 replayed or confirmed, step 1 fresh).
+const SETTLE_STEPS: u64 = 2;
+
+/// Scripted crashes panic inside worker threads *by design*; the world
+/// supervisor catches them and respawns the rank.  Silence just those
+/// expected payloads so bench output stays readable, and leave every
+/// other panic on the default reporter.
+fn quiet_crash_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.contains("crashed by fault plan") {
+                default_hook(info);
+            }
+        }));
+    });
+}
+
+/// One supervised settle run: a 2-rank coupled transfer driven through
+/// a `RecoverySession`, optionally crashing rank 1 at virtual time
+/// `crash`.  Returns the wall ns around `World::run_result` plus the
+/// report (traces for span mining, stats for recovery counters).
+fn settle_world(n: usize, crash: Option<f64>) -> (f64, RunReport<()>) {
+    let world = World::with_model(2, MachineModel::sp2())
+        .with_supervisor(1)
+        .with_recovery_config(RecoveryConfig {
+            heartbeats: true,
+            lease_window: Duration::from_millis(20),
+            lease_misses: 3,
+            ..RecoveryConfig::default()
+        })
+        .with_trace();
+    let t = Instant::now();
+    let rep = world.run_result(move |ep| {
+        // Arm the scripted crash once per rank: the flag rides the
+        // checkpoint store, so the restarted life does not re-crash.
+        if let Some(at) = crash {
+            if ep.rank() == 1 && !ep.ckpt_has("settle-crash-armed") {
+                ep.ckpt_put("settle-crash-armed", Vec::new());
+                ep.arm_crash(at);
+            }
+        }
+        let (pa, pb, un) = Group::split_two(1, 1, 36);
+        let set: SetOfRegions<RegularSection> = SetOfRegions::single(RegularSection::whole(&[n]));
+        let mut ses = RecoverySession::new("bench-settle");
+        if pa.contains(ep.rank()) {
+            let mut v: MultiblockArray<f64> = ses.restore_object(ep).unwrap_or_else(|| {
+                let o = MultiblockArray::<f64>::new(&pa, ep.rank(), &[n]);
+                ses.checkpoint_object(ep, &o);
+                o
+            });
+            let sched = ses.restore_schedule(ep).unwrap_or_else(|| {
+                let s = compute_schedule::<f64, MultiblockArray<f64>, HpfArray<f64>>(
+                    ep,
+                    &un,
+                    &pa,
+                    Some(Side::new(&v, &set)),
+                    &pb,
+                    None,
+                    BuildMethod::Cooperation,
+                )
+                .expect("settle schedule");
+                ses.checkpoint_schedule(ep, &s);
+                s
+            });
+            for k in 0..SETTLE_STEPS {
+                v.fill_with(|c| (k * n as u64 + c[0] as u64) as f64);
+                ses.send_step(ep, &sched, &v, k).expect("settle send");
+            }
+            ses.finish(ep, &sched, SETTLE_STEPS).expect("settle finish");
+        } else {
+            let mut h: HpfArray<f64> = ses.restore_object(ep).unwrap_or_else(|| {
+                let o = HpfArray::<f64>::new(&pb, ep.rank(), HpfDist::block_1d(n, 1));
+                ses.checkpoint_object(ep, &o);
+                o
+            });
+            let sched = ses.restore_schedule(ep).unwrap_or_else(|| {
+                let s = compute_schedule::<f64, MultiblockArray<f64>, HpfArray<f64>>(
+                    ep,
+                    &un,
+                    &pa,
+                    None,
+                    &pb,
+                    Some(Side::new(&h, &set)),
+                    BuildMethod::Cooperation,
+                )
+                .expect("settle schedule");
+                ses.checkpoint_schedule(ep, &s);
+                s
+            });
+            for k in 0..SETTLE_STEPS {
+                ses.recv_step(ep, &sched, &mut h, k).expect("settle recv");
+            }
+            ses.finish(ep, &sched, SETTLE_STEPS).expect("settle finish");
+        }
+    });
+    (t.elapsed().as_nanos() as f64, rep)
+}
+
+/// The crash-recovery settle micro: price a supervised mid-transfer
+/// crash against the fault-free supervised baseline.  The crash time is
+/// mined from the baseline's traces (midpoint of the receiver's transfer
+/// window) so it always lands inside the resumable session, never inside
+/// the collective schedule build.
+pub fn recovery_settle_micro(n: usize) -> RecoverySettle {
+    quiet_crash_panics();
+    let (baseline_ns, base) = settle_world(n, None);
+    for o in &base.outcomes {
+        o.as_ref().expect("fault-free supervised settle run");
+    }
+    let (lo, hi) = pair_spans(&base.traces[1])
+        .into_iter()
+        .filter(|s| {
+            matches!(
+                s.phase,
+                Phase::Manifest | Phase::Pack | Phase::Wire | Phase::Stage | Phase::Commit
+            )
+        })
+        .fold(None::<(f64, f64)>, |acc, s| {
+            Some(match acc {
+                None => (s.begin, s.end),
+                Some((lo, hi)) => (lo.min(s.begin), hi.max(s.end)),
+            })
+        })
+        .expect("baseline transfer spans on the receiving rank");
+    let (crashed_ns, crashed) = settle_world(n, Some(lo + 0.5 * (hi - lo)));
+    for o in &crashed.outcomes {
+        o.as_ref()
+            .expect("crashed supervised settle run must converge");
+    }
+    let rec = crashed.stats.recovery;
+    assert!(
+        rec.ranks_recovered >= 1,
+        "the scripted mid-transfer crash must fire and be recovered"
+    );
+    RecoverySettle {
+        elements: n,
+        baseline_ns,
+        crashed_ns,
+        ranks_recovered: rec.ranks_recovered,
+        parts_replayed: rec.parts_replayed,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -713,6 +897,14 @@ mod tests {
         );
         assert!(w.pipeline_overlap_pct() > 0.0 && w.pipeline_overlap_pct() < 100.0);
         assert!(w.windowed_mbps() > w.stopwait_mbps());
+    }
+
+    #[test]
+    fn recovery_settle_micro_converges_and_reports() {
+        let r = recovery_settle_micro(512);
+        assert!(r.baseline_ns > 0.0 && r.crashed_ns > 0.0);
+        assert!(r.ranks_recovered >= 1, "the scripted crash must recover");
+        assert!(r.settle_ns() >= 0.0);
     }
 
     #[test]

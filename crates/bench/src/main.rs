@@ -13,7 +13,7 @@
 use std::env;
 
 use bench::clientserver::{break_even, client_server};
-use bench::executor::{executor_micro, wire_throughput_micro};
+use bench::executor::{executor_micro, recovery_settle_micro, wire_throughput_micro};
 use bench::meshes::{table1, table2, table34};
 use bench::regular::table5;
 use bench::report::{fmt_ms, write_json_report, JsonValue};
@@ -215,6 +215,17 @@ fn main() {
                 w.window_speedup(),
                 w.pipeline_overlap_pct()
             );
+            let rec = recovery_settle_micro(4096);
+            println!(
+                "recovery (simulated sp2, supervised): baseline {:.0} ns wall, \
+                 crashed+recovered {:.0} ns wall — settle {:.0} ns ({} rank(s) \
+                 respawned, {} part(s) replayed)",
+                rec.baseline_ns,
+                rec.crashed_ns,
+                rec.settle_ns(),
+                rec.ranks_recovered,
+                rec.parts_replayed
+            );
             let path = "BENCH_executor.json";
             let mut fields = vec![
                 ("bench", JsonValue::Str("executor".into())),
@@ -241,6 +252,17 @@ fn main() {
             if let Some(pct) = r.reliable_overhead_pct() {
                 fields.push(("reliable_overhead_pct", JsonValue::Num(pct)));
             }
+            fields.push(("recovery_settle_ns", JsonValue::Num(rec.settle_ns())));
+            fields.push(("recovery_baseline_ns", JsonValue::Num(rec.baseline_ns)));
+            fields.push(("recovery_crashed_ns", JsonValue::Num(rec.crashed_ns)));
+            fields.push((
+                "recovery_ranks_recovered",
+                JsonValue::Int(rec.ranks_recovered),
+            ));
+            fields.push((
+                "recovery_parts_replayed",
+                JsonValue::Int(rec.parts_replayed),
+            ));
             fields.push(("wire_bytes", JsonValue::Int(w.bytes as u64)));
             fields.push(("wire_windowed_ns", JsonValue::Num(w.windowed_ns)));
             fields.push(("wire_stopwait_ns", JsonValue::Num(w.stopwait_ns)));

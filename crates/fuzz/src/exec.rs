@@ -9,16 +9,19 @@
 //! with the scenario's virtual-clock deadline, so a hang surfaces as a
 //! typed `DeadlineExceeded` instead of wedging the harness.
 
+use std::time::Duration;
+
 use mcsim::group::{Comm, Group};
 use mcsim::prelude::Endpoint;
 use mcsim::rng::Rng;
-use mcsim::{FaultPlan, FaultRates, MachineModel, World};
+use mcsim::span::Phase;
+use mcsim::{pair_spans, FaultPlan, FaultRates, MachineModel, RecoveryConfig, World};
 use meta_chaos::build::{compute_schedule, compute_schedule_reference, BuildMethod};
 use meta_chaos::datamove::{data_move_recv, data_move_send, try_data_move};
 use meta_chaos::region::{DimSlice, IndexSet, RegularSection};
 use meta_chaos::schedule::Schedule;
 use meta_chaos::setof::SetOfRegions;
-use meta_chaos::{McError, McObject, Side};
+use meta_chaos::{McError, McObject, RecoverySession, Side};
 
 use chaos::{remap, IrregArray, Partition};
 use hpf::{redistribute, HpfArray, HpfDist};
@@ -104,7 +107,9 @@ fn indices_set(spec: &RegionsSpec) -> SetOfRegions<IndexSet> {
 }
 
 /// The adapter surface the harness drives generically per library.
-pub trait FuzzLib: McObject<f64> + Sized + 'static {
+/// `Clone + Send` is what [`RecoverySession::checkpoint_object`] needs
+/// for the supervised recovery mode.
+pub trait FuzzLib: McObject<f64> + Clone + Send + Sized + 'static {
     const KIND: LibKind;
     /// Whether a mid-stream distribution change exists for this library.
     const CAN_BUMP: bool;
@@ -387,6 +392,62 @@ pub struct RankReport {
 pub struct WorldRun {
     pub reports: Vec<Result<RankReport, String>>,
     pub trace_tails: Vec<Vec<String>>,
+    /// Total supervisor recoveries across the run (`ranks_recovered`).
+    pub recovered: u64,
+    /// Per rank, the `[begin, end]` virtual-time window of its transfer
+    /// activity (Manifest/Pack/Wire/Stage/Commit spans) — `None` for
+    /// ranks that recorded none.  Recovery crash fractions resolve
+    /// against these windows.
+    pub windows: Vec<Option<(f64, f64)>>,
+}
+
+/// Which execution mode a dispatch runs the scenario under.
+#[derive(Clone, Copy)]
+enum Mode<'a> {
+    /// The classic paths: run-based or reference inspector, faults
+    /// attached or not.
+    Plain { reference: bool, faults_on: bool },
+    /// Supervised recovery: `RecoverySession` steps under crash scripts
+    /// with absolute times already resolved.
+    Recovery { crash_times: &'a [(usize, f64)] },
+}
+
+fn world_run(rep: mcsim::RunReport<RankReport>) -> WorldRun {
+    let windows = rep
+        .traces
+        .iter()
+        .map(|t| {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for s in pair_spans(t) {
+                if matches!(
+                    s.phase,
+                    Phase::Manifest | Phase::Pack | Phase::Wire | Phase::Stage | Phase::Commit
+                ) {
+                    lo = lo.min(s.begin);
+                    hi = hi.max(s.end);
+                }
+            }
+            (lo < hi).then_some((lo, hi))
+        })
+        .collect();
+    WorldRun {
+        windows,
+        recovered: rep.stats.recovery.ranks_recovered,
+        reports: rep
+            .outcomes
+            .into_iter()
+            .map(|r| r.map_err(|e| format!("{e:?}")))
+            .collect(),
+        trace_tails: rep
+            .traces
+            .iter()
+            .map(|t| {
+                let skip = t.len().saturating_sub(16);
+                t[skip..].iter().map(|e| format!("{e:?}")).collect()
+            })
+            .collect(),
+    }
 }
 
 fn fault_plan(f: &crate::scenario::FaultSpec) -> FaultPlan {
@@ -551,21 +612,156 @@ fn run_pair<S: FuzzLib, D: FuzzLib>(sc: &Scenario, reference: bool, faults_on: b
         }
     }
     let sc = sc.clone();
-    let rep = world.run_result(move |ep| run_rank::<S, D>(ep, &sc, reference));
-    WorldRun {
-        reports: rep
+    world_run(world.run_result(move |ep| run_rank::<S, D>(ep, &sc, reference)))
+}
+
+/// One rank of a supervised recovery run: restore-or-build the objects
+/// and the schedule (a restarted rank must never redo collective work
+/// its peers will not repeat), then drive every `Move` step through a
+/// [`RecoverySession`] and close it.
+fn run_recovery_rank<S: FuzzLib, D: FuzzLib>(ep: &mut Endpoint, sc: &Scenario) -> RankReport {
+    let me = ep.rank();
+    let (src_prog, dst_prog, un) = Group::split_two(sc.procs_src, sc.procs_dst, 32);
+    let on_src = src_prog.contains(me);
+    let mut ses = RecoverySession::new("fuzz");
+    let mut report = RankReport::default();
+
+    let src_obj = on_src.then(|| {
+        ses.restore_object::<S>(ep).unwrap_or_else(|| {
+            let o = S::build(ep, &src_prog, me, &sc.src, src_val);
+            ses.checkpoint_object(ep, &o);
+            o
+        })
+    });
+    let mut dst_obj = (!on_src).then(|| {
+        ses.restore_object::<D>(ep).unwrap_or_else(|| {
+            let o = D::build(ep, &dst_prog, me, &sc.dst, dst_init);
+            ses.checkpoint_object(ep, &o);
+            o
+        })
+    });
+
+    let sset = S::regions(&sc.src_set);
+    let dset = D::regions(&sc.dst_set);
+    let method = if sc.method == 0 {
+        BuildMethod::Cooperation
+    } else {
+        BuildMethod::Duplication
+    };
+    let sched = match ses.restore_schedule(ep) {
+        Some(s) => s,
+        None => {
+            let sside = src_obj.as_ref().map(|o| Side::new(o, &sset));
+            let dside = dst_obj.as_ref().map(|o| Side::new(o, &dset));
+            match compute_schedule::<f64, S, D>(ep, &un, &src_prog, sside, &dst_prog, dside, method)
+            {
+                Ok(s) => {
+                    ses.checkpoint_schedule(ep, &s);
+                    s
+                }
+                Err(e) => {
+                    report.build_err = Some(format!("{e:?}"));
+                    return report;
+                }
+            }
+        }
+    };
+    report.scheds.push(dump(&sched));
+
+    let steps = sc.num_moves() as u64;
+    for k in 0..steps {
+        let r = if on_src {
+            ses.send_step(ep, &sched, src_obj.as_ref().expect("source side"), k)
+        } else {
+            ses.recv_step(ep, &sched, dst_obj.as_mut().expect("destination side"), k)
+        };
+        report
             .outcomes
-            .into_iter()
-            .map(|r| r.map_err(|e| format!("{e:?}")))
-            .collect(),
-        trace_tails: rep
-            .traces
-            .iter()
-            .map(|t| {
-                let skip = t.len().saturating_sub(16);
-                t[skip..].iter().map(|e| format!("{e:?}")).collect()
-            })
-            .collect(),
+            .push((k as usize, r.map_err(|e| format!("{e:?}"))));
+    }
+    let fin = ses.finish(ep, &sched, steps);
+    report
+        .outcomes
+        .push((steps as usize, fin.map_err(|e| format!("{e:?}"))));
+
+    report.mem = dst_obj
+        .map(|o| D::owned_mem(&o, &sc.dst.shape))
+        .unwrap_or_default();
+    report
+}
+
+fn run_recovery_pair<S: FuzzLib, D: FuzzLib>(
+    sc: &Scenario,
+    crash_times: &[(usize, f64)],
+) -> WorldRun {
+    let mut world = World::with_model(sc.total_procs(), MachineModel::sp2())
+        .with_supervisor(2)
+        .with_recovery_config(RecoveryConfig {
+            heartbeats: true,
+            lease_window: Duration::from_millis(20),
+            lease_misses: 3,
+            ..RecoveryConfig::default()
+        })
+        .with_deadline(sc.deadline)
+        .with_trace();
+    if !crash_times.is_empty() {
+        let seed = sc.fault.as_ref().map_or(1, |f| f.seed);
+        let mut plan = FaultPlan::new(seed);
+        if let Some(f) = &sc.fault {
+            plan = plan.rates(FaultRates {
+                drop: f.drop,
+                dup: f.dup,
+                corrupt: f.corrupt,
+                delay: f.delay,
+                delay_secs: f.delay_secs,
+            });
+        }
+        for &(rank, at) in crash_times {
+            plan = plan.crash(rank, at);
+        }
+        world = world.with_faults(plan);
+    }
+    let sc = sc.clone();
+    world_run(world.run_result(move |ep| run_recovery_rank::<S, D>(ep, &sc)))
+}
+
+fn run_mode<S: FuzzLib, D: FuzzLib>(sc: &Scenario, mode: Mode) -> WorldRun {
+    match mode {
+        Mode::Plain {
+            reference,
+            faults_on,
+        } => run_pair::<S, D>(sc, reference, faults_on),
+        Mode::Recovery { crash_times } => run_recovery_pair::<S, D>(sc, crash_times),
+    }
+}
+
+fn dispatch(sc: &Scenario, mode: Mode) -> WorldRun {
+    use LibKind::*;
+    match (sc.src.kind, sc.dst.kind) {
+        (Multiblock, Multiblock) => {
+            run_mode::<MultiblockArray<f64>, MultiblockArray<f64>>(sc, mode)
+        }
+        (Multiblock, Hpf) => run_mode::<MultiblockArray<f64>, HpfArray<f64>>(sc, mode),
+        (Multiblock, Tulip) => {
+            run_mode::<MultiblockArray<f64>, DistributedCollection<f64>>(sc, mode)
+        }
+        (Multiblock, Chaos) => run_mode::<MultiblockArray<f64>, IrregArray<f64>>(sc, mode),
+        (Hpf, Multiblock) => run_mode::<HpfArray<f64>, MultiblockArray<f64>>(sc, mode),
+        (Hpf, Hpf) => run_mode::<HpfArray<f64>, HpfArray<f64>>(sc, mode),
+        (Hpf, Tulip) => run_mode::<HpfArray<f64>, DistributedCollection<f64>>(sc, mode),
+        (Hpf, Chaos) => run_mode::<HpfArray<f64>, IrregArray<f64>>(sc, mode),
+        (Tulip, Multiblock) => {
+            run_mode::<DistributedCollection<f64>, MultiblockArray<f64>>(sc, mode)
+        }
+        (Tulip, Hpf) => run_mode::<DistributedCollection<f64>, HpfArray<f64>>(sc, mode),
+        (Tulip, Tulip) => {
+            run_mode::<DistributedCollection<f64>, DistributedCollection<f64>>(sc, mode)
+        }
+        (Tulip, Chaos) => run_mode::<DistributedCollection<f64>, IrregArray<f64>>(sc, mode),
+        (Chaos, Multiblock) => run_mode::<IrregArray<f64>, MultiblockArray<f64>>(sc, mode),
+        (Chaos, Hpf) => run_mode::<IrregArray<f64>, HpfArray<f64>>(sc, mode),
+        (Chaos, Tulip) => run_mode::<IrregArray<f64>, DistributedCollection<f64>>(sc, mode),
+        (Chaos, Chaos) => run_mode::<IrregArray<f64>, IrregArray<f64>>(sc, mode),
     }
 }
 
@@ -573,47 +769,19 @@ fn run_pair<S: FuzzLib, D: FuzzLib>(sc: &Scenario, reference: bool, faults_on: b
 /// `faults_on` attaches the scenario's fault plan (ignored when the
 /// scenario has none).
 pub fn run_scenario(sc: &Scenario, reference: bool, faults_on: bool) -> WorldRun {
-    use LibKind::*;
-    match (sc.src.kind, sc.dst.kind) {
-        (Multiblock, Multiblock) => {
-            run_pair::<MultiblockArray<f64>, MultiblockArray<f64>>(sc, reference, faults_on)
-        }
-        (Multiblock, Hpf) => {
-            run_pair::<MultiblockArray<f64>, HpfArray<f64>>(sc, reference, faults_on)
-        }
-        (Multiblock, Tulip) => {
-            run_pair::<MultiblockArray<f64>, DistributedCollection<f64>>(sc, reference, faults_on)
-        }
-        (Multiblock, Chaos) => {
-            run_pair::<MultiblockArray<f64>, IrregArray<f64>>(sc, reference, faults_on)
-        }
-        (Hpf, Multiblock) => {
-            run_pair::<HpfArray<f64>, MultiblockArray<f64>>(sc, reference, faults_on)
-        }
-        (Hpf, Hpf) => run_pair::<HpfArray<f64>, HpfArray<f64>>(sc, reference, faults_on),
-        (Hpf, Tulip) => {
-            run_pair::<HpfArray<f64>, DistributedCollection<f64>>(sc, reference, faults_on)
-        }
-        (Hpf, Chaos) => run_pair::<HpfArray<f64>, IrregArray<f64>>(sc, reference, faults_on),
-        (Tulip, Multiblock) => {
-            run_pair::<DistributedCollection<f64>, MultiblockArray<f64>>(sc, reference, faults_on)
-        }
-        (Tulip, Hpf) => {
-            run_pair::<DistributedCollection<f64>, HpfArray<f64>>(sc, reference, faults_on)
-        }
-        (Tulip, Tulip) => run_pair::<DistributedCollection<f64>, DistributedCollection<f64>>(
-            sc, reference, faults_on,
-        ),
-        (Tulip, Chaos) => {
-            run_pair::<DistributedCollection<f64>, IrregArray<f64>>(sc, reference, faults_on)
-        }
-        (Chaos, Multiblock) => {
-            run_pair::<IrregArray<f64>, MultiblockArray<f64>>(sc, reference, faults_on)
-        }
-        (Chaos, Hpf) => run_pair::<IrregArray<f64>, HpfArray<f64>>(sc, reference, faults_on),
-        (Chaos, Tulip) => {
-            run_pair::<IrregArray<f64>, DistributedCollection<f64>>(sc, reference, faults_on)
-        }
-        (Chaos, Chaos) => run_pair::<IrregArray<f64>, IrregArray<f64>>(sc, reference, faults_on),
-    }
+    dispatch(
+        sc,
+        Mode::Plain {
+            reference,
+            faults_on,
+        },
+    )
+}
+
+/// Run a recovery scenario under a supervised world.  `crash_times`
+/// carries absolute virtual crash times (resolve the scenario's window
+/// fractions against a fault-free baseline's [`WorldRun::windows`]
+/// first); pass an empty slice for the baseline itself.
+pub fn run_recovery(sc: &Scenario, crash_times: &[(usize, f64)]) -> WorldRun {
+    dispatch(sc, Mode::Recovery { crash_times })
 }

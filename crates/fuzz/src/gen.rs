@@ -40,6 +40,72 @@ pub fn generate_pair(seed: u64, src: LibKind, dst: LibKind) -> Scenario {
     gen_with(&mut rng, seed, src, dst)
 }
 
+/// Generate a recovery scenario for `seed`: a coupled multi-move run
+/// under a supervised world, with one or two crashes whose times are
+/// fractions of the victims' transfer windows (resolved against a
+/// fault-free baseline by the executor, so they land inside the
+/// resumable session rather than a collective build).
+pub fn gen_recovery(seed: u64) -> Scenario {
+    let mut rng = Rng::seed_from_u64(seed);
+    let src_kind = LibKind::ALL[rng.gen_range(4)];
+    let dst_kind = LibKind::ALL[rng.gen_range(4)];
+    let (procs_src, procs_dst) = (1 + rng.gen_range(3), 1 + rng.gen_range(3));
+    let src_shape = gen_shape(&mut rng, src_kind);
+    let dst_shape = gen_shape(&mut rng, dst_kind);
+    let dst_set = gen_dst_regions(&mut rng, dst_kind, &dst_shape);
+    let src_set = gen_src_regions(&mut rng, src_kind, &src_shape, dst_set.total());
+    let steps = vec![Step::Move; 1 + rng.gen_range(3)];
+    let total = procs_src + procs_dst;
+    let ncrashes = 1 + rng.gen_range(2.min(total));
+    let mut victims: Vec<usize> = Vec::new();
+    let crashes = (0..ncrashes)
+        .filter_map(|_| {
+            // Distinct victims: restart budgets are per rank, and two
+            // crashes on one rank at baseline-derived times are not
+            // meaningful after the first restart shifts its timeline.
+            let rank = rng.gen_range(total);
+            let frac = 0.1 + rng.gen_f64() * 0.8;
+            if victims.contains(&rank) {
+                return None;
+            }
+            victims.push(rank);
+            Some((rank, frac))
+        })
+        .collect();
+    Scenario {
+        seed,
+        coupled: true,
+        procs_src,
+        procs_dst,
+        method: rng.gen_range(2) as u8,
+        src: LibSpec {
+            kind: src_kind,
+            shape: src_shape,
+            dist_seed: rng.next_u64(),
+        },
+        dst: LibSpec {
+            kind: dst_kind,
+            shape: dst_shape,
+            dist_seed: rng.next_u64(),
+        },
+        src_set,
+        dst_set,
+        steps,
+        fault: Some(FaultSpec {
+            seed: rng.next_u64(),
+            drop: 0.0,
+            dup: 0.0,
+            corrupt: 0.0,
+            delay: 0.0,
+            delay_secs: 1e-4,
+            crash: None,
+            crashes,
+        }),
+        deadline: DEADLINE_SECS,
+        recover: true,
+    }
+}
+
 fn gen_shape(rng: &mut Rng, kind: LibKind) -> Vec<usize> {
     if kind.uses_sections() && rng.gen_f64() < 0.5 {
         vec![4 + rng.gen_range(9), 4 + rng.gen_range(9)]
@@ -222,6 +288,7 @@ fn gen_with(rng: &mut Rng, seed: u64, src_kind: LibKind, dst_kind: LibKind) -> S
             delay: rate(rng),
             delay_secs: 1e-4 + rng.gen_f64() * 1e-3,
             crash: None,
+            crashes: Vec::new(),
         };
         let crash = (rng.gen_f64() < 0.4)
             .then(|| (rng.gen_range(procs_src + procs_dst), rng.gen_f64() * 0.01));
@@ -231,6 +298,7 @@ fn gen_with(rng: &mut Rng, seed: u64, src_kind: LibKind, dst_kind: LibKind) -> S
     Scenario {
         seed,
         coupled,
+        recover: false,
         procs_src,
         procs_dst,
         method: rng.gen_range(2) as u8,
@@ -293,6 +361,28 @@ mod tests {
             }
             // Same seed, same scenario.
             assert_eq!(generate(seed), sc, "seed {seed}: not deterministic");
+        }
+    }
+
+    #[test]
+    fn recovery_scenarios_are_structurally_valid() {
+        for seed in 0..100u64 {
+            let sc = gen_recovery(seed);
+            assert!(sc.recover && sc.coupled, "seed {seed}");
+            assert!(
+                sc.steps.iter().all(|s| matches!(s, Step::Move)),
+                "seed {seed}: recovery scripts are move-only"
+            );
+            assert_eq!(sc.src_set.total(), sc.dst_set.total(), "seed {seed}");
+            let f = sc.fault.as_ref().expect("recovery scenarios carry crashes");
+            assert!(!f.crashes.is_empty(), "seed {seed}: no crash scripted");
+            let mut victims = std::collections::BTreeSet::new();
+            for &(rank, frac) in &f.crashes {
+                assert!(rank < sc.total_procs(), "seed {seed}: crash rank oob");
+                assert!((0.0..1.0).contains(&frac), "seed {seed}: frac oob");
+                assert!(victims.insert(rank), "seed {seed}: duplicate victim");
+            }
+            assert_eq!(gen_recovery(seed), sc, "seed {seed}: not deterministic");
         }
     }
 

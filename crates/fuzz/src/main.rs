@@ -17,7 +17,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use fuzz::gen::{generate, generate_pair};
+use fuzz::gen::{gen_recovery, generate, generate_pair};
 use fuzz::json::{arr, obj, Value};
 use fuzz::oracle::{check, Failure};
 use fuzz::scenario::{LibKind, Scenario};
@@ -28,6 +28,7 @@ struct Opts {
     iters: usize,
     seed: u64,
     matrix: bool,
+    recover: bool,
     replay: Option<String>,
     dump: Option<u64>,
     budget: usize,
@@ -36,7 +37,7 @@ struct Opts {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fuzz [--iters N] [--seed S] [--matrix] [--budget N] [--out DIR]\n       fuzz --replay FILE\n       fuzz --dump SEED   (print the generated scenario as JSON)"
+        "usage: fuzz [--iters N] [--seed S] [--matrix] [--recover] [--budget N] [--out DIR]\n       fuzz --replay FILE\n       fuzz --dump SEED   (print the generated scenario as JSON)\n\n--recover soaks crash-recovery scenarios: supervised worlds, scripted\nmid-transfer crashes, and the bit-identical convergence oracle."
     );
     std::process::exit(2);
 }
@@ -46,6 +47,7 @@ fn parse_opts() -> Opts {
         iters: 200,
         seed: mcsim::test_seed(),
         matrix: false,
+        recover: false,
         replay: None,
         dump: None,
         budget: DEFAULT_BUDGET,
@@ -59,6 +61,7 @@ fn parse_opts() -> Opts {
             "--seed" => opts.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
             "--budget" => opts.budget = val("--budget").parse().unwrap_or_else(|_| usage()),
             "--matrix" => opts.matrix = true,
+            "--recover" => opts.recover = true,
             "--replay" => opts.replay = Some(val("--replay")),
             "--dump" => opts.dump = Some(val("--dump").parse().unwrap_or_else(|_| usage())),
             "--out" => opts.out_dir = PathBuf::from(val("--out")),
@@ -209,7 +212,9 @@ fn main() -> ExitCode {
     println!(
         "fuzz: {total} scenarios, seed {}, {}",
         opts.seed,
-        if opts.matrix {
+        if opts.recover {
+            "crash-recovery soak"
+        } else if opts.matrix {
             "full 16-pair matrix"
         } else {
             "random pairs"
@@ -218,7 +223,9 @@ fn main() -> ExitCode {
 
     for i in 0..total {
         let s = seq.next_u64();
-        let sc = if opts.matrix {
+        let sc = if opts.recover {
+            gen_recovery(s)
+        } else if opts.matrix {
             let (src, dst) = pairs[i % pairs.len()];
             generate_pair(s, src, dst)
         } else {

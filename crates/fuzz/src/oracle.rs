@@ -13,7 +13,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::exec::{dst_init, run_scenario, src_val, WorldRun};
+use crate::exec::{dst_init, run_recovery, run_scenario, src_val, WorldRun};
 use crate::scenario::Scenario;
 
 /// A confirmed oracle violation, with enough context to debug it.
@@ -218,9 +218,48 @@ fn check_crashed(sc: &Scenario, run: &WorldRun) -> Option<Failure> {
     None
 }
 
+/// Recovery oracle: a fault-free supervised baseline must satisfy the
+/// serial memory model; the crashed run — with crash fractions resolved
+/// against the baseline's per-rank transfer windows — must then satisfy
+/// the *same* model bit-for-bit.  Crash + restart + resumed session must
+/// be indistinguishable from never having crashed; duplicate commits
+/// would double-apply and diverge, lost halves would leave initial fill.
+fn check_recovered(sc: &Scenario) -> Option<Failure> {
+    let baseline = run_recovery(sc, &[]);
+    if let Some(f) = check_clean(sc, &baseline, "recovery baseline (supervised, fault-free)") {
+        return Some(f);
+    }
+    if baseline.recovered != 0 {
+        return Some(Failure {
+            phase: "recovery baseline (supervised, fault-free)".to_string(),
+            detail: format!(
+                "{} spurious recoveries without any scripted crash",
+                baseline.recovered
+            ),
+            post_mortem: post_mortem(&baseline),
+        });
+    }
+    let fracs = sc.fault.as_ref().map(|f| &f.crashes[..]).unwrap_or(&[]);
+    let times: Vec<(usize, f64)> = fracs
+        .iter()
+        .filter_map(|&(rank, frac)| {
+            let (lo, hi) = baseline.windows.get(rank).copied().flatten()?;
+            Some((rank, lo + frac * (hi - lo)))
+        })
+        .collect();
+    if times.is_empty() {
+        return None;
+    }
+    let crashed = run_recovery(sc, &times);
+    check_clean(sc, &crashed, "recovery (crashed, supervised)")
+}
+
 /// Run every applicable oracle against `sc`.  `None` means the scenario
 /// passed; `Some` carries the first violation found.
 pub fn check(sc: &Scenario) -> Option<Failure> {
+    if sc.recover {
+        return check_recovered(sc);
+    }
     let runs = run_scenario(sc, false, false);
     if let Some(f) = check_clean(sc, &runs, "fault-free (runs inspector)") {
         return Some(f);

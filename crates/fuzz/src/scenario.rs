@@ -167,9 +167,13 @@ pub enum Step {
     BumpDst { dist_seed: u64 },
 }
 
-/// A serializable fault plan: one set of default rates plus at most one
-/// scripted crash — at most 2 fault-plan entries, which is also the
-/// shrink target the acceptance criteria name.
+/// A serializable fault plan: one set of default rates plus scripted
+/// crashes.  Plain scenarios script at most one absolute-time `crash`;
+/// recovery scenarios use `crashes`, whose times are *fractions* of the
+/// victim rank's transfer window — the executor measures the window on a
+/// fault-free baseline run, so a crash always lands inside the resumable
+/// protocol rather than inside a collective build (which no supervisor
+/// can repair).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultSpec {
     pub seed: u64,
@@ -180,16 +184,19 @@ pub struct FaultSpec {
     pub delay_secs: f64,
     /// `(rank, virtual time)` of a scripted crash.
     pub crash: Option<(usize, f64)>,
+    /// Recovery crashes: `(rank, fraction of that rank's transfer
+    /// window)`, each fraction in `[0, 1)`.
+    pub crashes: Vec<(usize, f64)>,
 }
 
 impl FaultSpec {
-    /// Number of plan entries (rates block + crash) — the shrinker's and
-    /// the acceptance criteria's size measure.
+    /// Number of plan entries (rates block + crashes) — the shrinker's
+    /// and the acceptance criteria's size measure.
     pub fn entries(&self) -> usize {
         let rates = usize::from(
             self.drop > 0.0 || self.dup > 0.0 || self.corrupt > 0.0 || self.delay > 0.0,
         );
-        rates + usize::from(self.crash.is_some())
+        rates + usize::from(self.crash.is_some()) + self.crashes.len()
     }
 }
 
@@ -213,6 +220,10 @@ pub struct Scenario {
     pub fault: Option<FaultSpec>,
     /// Virtual-clock deadline for the no-hang oracle, seconds.
     pub deadline: f64,
+    /// Run under a supervised world through a `RecoverySession`: crashed
+    /// ranks restart from checkpoint and the convergence oracle applies
+    /// (destination bit-identical to the fault-free run).
+    pub recover: bool,
 }
 
 impl Scenario {
@@ -235,10 +246,11 @@ impl Scenario {
     /// A short one-line label for progress output.
     pub fn label(&self) -> String {
         format!(
-            "{}->{} {} {} procs={}+{} regions={}+{} elems={} steps={} fault={}",
+            "{}->{} {} {}{} procs={}+{} regions={}+{} elems={} steps={} fault={}",
             self.src.kind.name(),
             self.dst.kind.name(),
             if self.method == 0 { "coop" } else { "dup" },
+            if self.recover { "recover " } else { "" },
             if self.coupled { "coupled" } else { "same-prog" },
             self.procs_src,
             self.procs_dst,
@@ -330,6 +342,21 @@ impl Scenario {
                         ]),
                     ));
                 }
+                if !f.crashes.is_empty() {
+                    entries.push((
+                        "crashes",
+                        arr(f
+                            .crashes
+                            .iter()
+                            .map(|&(rank, frac)| {
+                                obj(vec![
+                                    ("rank", Value::Int(rank as u64)),
+                                    ("frac", Value::Num(frac)),
+                                ])
+                            })
+                            .collect()),
+                    ));
+                }
                 obj(entries)
             }
         };
@@ -356,6 +383,7 @@ impl Scenario {
             ("steps", steps),
             ("fault", fault),
             ("deadline", Value::Num(self.deadline)),
+            ("recover", Value::Bool(self.recover)),
         ])
     }
 
@@ -473,6 +501,19 @@ impl Scenario {
                             .ok_or("crash: missing at")?,
                     )),
                 };
+                let crashes = match f.get("crashes").and_then(Value::as_arr) {
+                    None => Vec::new(),
+                    Some(list) => list
+                        .iter()
+                        .map(|c| {
+                            Some((
+                                c.get("rank")?.as_u64()? as usize,
+                                c.get("frac").and_then(Value::as_f64)?,
+                            ))
+                        })
+                        .collect::<Option<Vec<_>>>()
+                        .ok_or("fault: bad crashes entry")?,
+                };
                 Some(FaultSpec {
                     seed: f
                         .get("seed")
@@ -484,6 +525,7 @@ impl Scenario {
                     delay: g("delay")?,
                     delay_secs: g("delay_secs")?,
                     crash,
+                    crashes,
                 })
             }
         };
@@ -511,6 +553,7 @@ impl Scenario {
                 .get("deadline")
                 .and_then(Value::as_f64)
                 .ok_or("missing 'deadline'")?,
+            recover: v.get("recover").and_then(Value::as_bool).unwrap_or(false),
         })
     }
 
@@ -552,8 +595,10 @@ mod tests {
                 delay: 0.0,
                 delay_secs: 0.001,
                 crash: Some((2, 0.004)),
+                crashes: vec![(0, 0.25), (2, 0.75)],
             }),
             deadline: 60.0,
+            recover: true,
         };
         let text = sc.to_json();
         assert_eq!(Scenario::from_json(&text).unwrap(), sc);

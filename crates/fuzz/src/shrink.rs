@@ -108,7 +108,7 @@ fn retarget(sc: Scenario, new_dst: RegionsSpec) -> Option<Scenario> {
 fn candidates(sc: &Scenario) -> Vec<Scenario> {
     let mut out = Vec::new();
 
-    // Drop the whole fault plan, then just the crash, then single rates.
+    // Drop the whole fault plan, then single crashes, then single rates.
     if let Some(f) = &sc.fault {
         out.push(Scenario {
             fault: None,
@@ -117,6 +117,11 @@ fn candidates(sc: &Scenario) -> Vec<Scenario> {
         if f.crash.is_some() {
             let mut v = sc.clone();
             v.fault.as_mut().unwrap().crash = None;
+            out.push(v);
+        }
+        for j in 0..f.crashes.len() {
+            let mut v = sc.clone();
+            v.fault.as_mut().unwrap().crashes.remove(j);
             out.push(v);
         }
         for pick in 0..4 {
@@ -211,6 +216,11 @@ fn candidates(sc: &Scenario) -> Vec<Scenario> {
             if let Some((rank, at)) = f.crash {
                 if rank >= total {
                     f.crash = Some((total - 1, at));
+                }
+            }
+            for c in f.crashes.iter_mut() {
+                if c.0 >= total {
+                    c.0 = total - 1;
                 }
             }
         }

@@ -16,15 +16,17 @@
 //! * when the world carries a [`crate::fault::FaultPlan`], deterministic
 //!   fault injection on sends and scripted crashes on communication ops.
 
+use std::any::Any;
 use std::collections::VecDeque;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::error::SimError;
 use crate::fault::{FaultPlan, FaultState};
 use crate::message::{Body, Message, Rank, DROP_PREFIX};
 use crate::model::MachineModel;
 use crate::onesided::OnesidedState;
+use crate::recovery::{CkptStore, RecoveryConfig};
 use crate::reliable::{self, ReliableConfig, ReliableState};
 use crate::span::{ObsState, Phase, SpanId};
 use crate::stats::StatsSnapshot;
@@ -82,6 +84,31 @@ pub struct Endpoint {
     /// it and fail with [`SimError::DeadlineExceeded`] instead of waiting
     /// forever.
     deadline: Option<f64>,
+    /// Recovery knobs (heartbeat cadence, lease budget, get retries).
+    pub(crate) recovery: RecoveryConfig,
+    /// True when the world was built with a supervisor.
+    supervised: bool,
+    /// Scripted-crash restarts this rank may still consume.
+    restarts_left: u32,
+    /// This rank's incarnation: 0 for the first life, bumped once per
+    /// supervisor restart.
+    incarnation: u64,
+    /// Highest incarnation observed per peer (via heartbeats).
+    peer_inc: Vec<u64>,
+    /// Last *real* time a frame from each peer was routed — the lease
+    /// detector's liveness evidence.
+    peer_seen: Vec<Instant>,
+    /// Incarnation baseline snapshotted by [`Endpoint::arm_eviction`]:
+    /// while armed, waits fail with `PeerEvicted` when a peer is observed
+    /// restarting past its baseline.  `None` (default) disables it.
+    evict_base: Option<Vec<u64>>,
+    /// Virtual time of the last heartbeat broadcast.
+    last_beat: f64,
+    /// Crash armed at runtime (see [`Endpoint::arm_crash`]); fires like a
+    /// fault-plan crash.
+    armed_crash: Option<f64>,
+    /// Handle on the world-level checkpoint store.
+    ckpt: CkptStore,
 }
 
 impl Endpoint {
@@ -97,6 +124,9 @@ impl Endpoint {
         faults: Option<&FaultPlan>,
         rel_cfg: ReliableConfig,
         deadline: Option<f64>,
+        recovery: RecoveryConfig,
+        supervisor: Option<u32>,
+        ckpt: CkptStore,
     ) -> Self {
         Endpoint {
             rank,
@@ -114,6 +144,16 @@ impl Endpoint {
             rel: ReliableState::new(rel_cfg),
             os: OnesidedState::default(),
             deadline,
+            recovery,
+            supervised: supervisor.is_some(),
+            restarts_left: supervisor.unwrap_or(0),
+            incarnation: 0,
+            peer_inc: vec![0; world],
+            peer_seen: vec![Instant::now(); world],
+            evict_base: None,
+            last_beat: f64::NEG_INFINITY,
+            armed_crash: None,
+            ckpt,
         }
     }
 
@@ -307,6 +347,22 @@ impl Endpoint {
         self.stats.session.stale_schedules += 1;
     }
 
+    /// Count a coupled transfer whose staged halves were committed into
+    /// the destination (the exactly-once counterpart of
+    /// [`Endpoint::record_transfer_aborted`]).
+    pub fn record_transfer_committed(&mut self) {
+        self.stats.session.transfers_committed += 1;
+    }
+
+    /// Count `parts` already-committed transfer parts that were
+    /// re-received and discarded during a resume, with the matching
+    /// trace event (one per absorbed half).
+    pub fn record_parts_replayed(&mut self, from: Rank, parts: usize) {
+        self.stats.recovery.parts_replayed += parts as u64;
+        let at = self.clock;
+        self.trace_push(TraceEvent::PartReplayed { at, from, parts });
+    }
+
     /// Take an empty byte buffer, reusing pooled capacity when available.
     pub fn take_buf(&mut self) -> Vec<u8> {
         self.buf_pool.pop().unwrap_or_default()
@@ -320,14 +376,290 @@ impl Endpoint {
         }
     }
 
-    /// Fire a scripted crash if the fault plan says this rank's time has
-    /// come.  Called on entry to every communication operation.
+    /// Fire a scripted crash if the fault plan (or a runtime-armed crash)
+    /// says this rank's time has come.  Called on entry to every
+    /// communication operation — which also makes it the natural place to
+    /// piggyback heartbeat broadcasts: a rank that stopped performing
+    /// communication operations stops beating, and that is exactly the
+    /// silence the lease detector exists to notice.
     pub(crate) fn check_crash(&mut self) {
+        self.maybe_beat();
+        if let Some(t) = self.armed_crash {
+            if self.clock >= t {
+                // Disarm before dying so a supervised restart does not
+                // immediately re-fire the same crash.
+                self.armed_crash = None;
+                panic!("rank {} crashed by fault plan at t={t:.6}", self.rank);
+            }
+        }
         if let Some(f) = &mut self.faults {
             if let Some(t) = f.crash_due(self.clock) {
                 panic!("rank {} crashed by fault plan at t={t:.6}", self.rank);
             }
         }
+    }
+
+    /// Arm a one-shot crash at virtual time `at` (same panic shape as a
+    /// fault-plan crash, so the supervisor treats both alike).  Used by
+    /// harnesses that decide crash points at runtime.
+    pub fn arm_crash(&mut self, at: f64) {
+        self.armed_crash = Some(at);
+    }
+
+    /// This rank's incarnation: 0 until a supervisor restart bumps it.
+    #[inline]
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+
+    /// Highest incarnation observed for `rank` (via heartbeats).
+    #[inline]
+    pub fn peer_incarnation(&self, rank: Rank) -> u64 {
+        self.peer_inc[rank]
+    }
+
+    /// True when the world was built with a supervisor
+    /// (see [`crate::world::World::with_supervisor`]).
+    #[inline]
+    pub fn supervised(&self) -> bool {
+        self.supervised
+    }
+
+    /// The recovery configuration this world runs with.
+    #[inline]
+    pub fn recovery_config(&self) -> &RecoveryConfig {
+        &self.recovery
+    }
+
+    /// Snapshot the current peer-incarnation vector as an eviction
+    /// baseline: until [`Endpoint::disarm_eviction`], any wait that
+    /// observes a peer restarting past this baseline fails with
+    /// [`SimError::PeerEvicted`] instead of blocking on a peer whose old
+    /// life will never answer.
+    pub fn arm_eviction(&mut self) {
+        self.evict_base = Some(self.peer_inc.clone());
+    }
+
+    /// Drop the eviction baseline armed by [`Endpoint::arm_eviction`].
+    pub fn disarm_eviction(&mut self) {
+        self.evict_base = None;
+    }
+
+    /// Heal dead reliable streams keyed to `peer` so a session-layer
+    /// retry can reopen them from seq 0.  A give-up (ours, or a stale
+    /// GIVEUP frame that crossed the peer's restart) otherwise leaves a
+    /// permanently dead stream that wedges every subsequent attempt.
+    /// Live streams are untouched: within one life their sequence space
+    /// is still coherent.
+    pub fn clear_dead_streams(&mut self, peer: Rank) {
+        self.rel.clear_dead(peer);
+    }
+
+    /// Checkpoint serialized bytes under `key` for this rank.
+    pub fn ckpt_put(&mut self, key: &str, bytes: Vec<u8>) {
+        self.ckpt.put(self.rank, key, bytes);
+    }
+
+    /// Checkpoint serialized bytes plus a typed in-memory snapshot that
+    /// [`Endpoint::ckpt_state`] can restore by clone.
+    pub fn ckpt_put_state<T: Any + Send>(&mut self, key: &str, bytes: Vec<u8>, state: T) {
+        self.ckpt.put_with_state(self.rank, key, bytes, state);
+    }
+
+    /// This rank's checkpointed bytes under `key`, if any.
+    pub fn ckpt_bytes(&self, key: &str) -> Option<Vec<u8>> {
+        self.ckpt.bytes(self.rank, key)
+    }
+
+    /// A clone of this rank's typed checkpoint snapshot under `key`.
+    pub fn ckpt_state<T: Any + Clone>(&self, key: &str) -> Option<T> {
+        self.ckpt.state(self.rank, key)
+    }
+
+    /// True when this rank has a checkpoint under `key`.
+    pub fn ckpt_has(&self, key: &str) -> bool {
+        self.ckpt.has(self.rank, key)
+    }
+
+    /// Broadcast a heartbeat if the configured virtual-clock cadence says
+    /// one is due.  No-op unless heartbeats are armed.
+    pub(crate) fn maybe_beat(&mut self) {
+        if !self.recovery.heartbeats || self.world < 2 {
+            return;
+        }
+        if self.clock < self.last_beat + self.recovery.beat_interval {
+            return;
+        }
+        self.broadcast_beat();
+    }
+
+    /// Broadcast one heartbeat (NIC plane, uncharged) carrying this
+    /// rank's incarnation.  Exactly one `Heartbeat` trace event and one
+    /// `heartbeats_sent` tick per broadcast, whatever the world size.
+    pub(crate) fn broadcast_beat(&mut self) {
+        let at = self.clock;
+        let incarnation = self.incarnation;
+        self.stats.recovery.heartbeats_sent += 1;
+        self.trace_push(TraceEvent::Heartbeat { at, incarnation });
+        let tag = crate::onesided::beat_tag();
+        for to in 0..self.world {
+            if to == self.rank {
+                continue;
+            }
+            let mut buf = Vec::with_capacity(17);
+            buf.push(crate::onesided::K_BEAT);
+            buf.extend_from_slice(&incarnation.to_le_bytes());
+            buf.extend_from_slice(&at.to_le_bytes());
+            self.nic_send(to, tag, buf, at);
+        }
+        self.last_beat = at;
+    }
+
+    /// Record a peer's incarnation learned from a heartbeat.  A bump
+    /// means the peer restarted: reliable streams still keyed to its old
+    /// life can only ever deliver stale frames, so they are purged.
+    pub(crate) fn note_peer_incarnation(&mut self, from: Rank, inc: u64) {
+        if inc > self.peer_inc[from] {
+            self.peer_inc[from] = inc;
+            self.rel.purge_peer(from);
+        }
+    }
+
+    /// Fail with [`SimError::PeerEvicted`] when an armed eviction
+    /// baseline shows `from` restarted since the baseline was taken.
+    pub(crate) fn check_evicted(&mut self, from: Rank) -> Result<(), SimError> {
+        if let Some(base) = &self.evict_base {
+            if self.peer_inc[from] > base[from] {
+                return Err(SimError::PeerEvicted {
+                    rank: from,
+                    incarnation: self.peer_inc[from],
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Pump one message on behalf of a wait against peer `from`,
+    /// enforcing the failure detector.  With heartbeats off this is
+    /// exactly [`Endpoint::pump_one`] (plus the incarnation check, which
+    /// is inert unless armed).  With heartbeats on, the blocking receive
+    /// becomes lease windows: `misses` (caller-held, one per wait) counts
+    /// consecutive windows in which `from` stayed silent, and crossing
+    /// the configured budget evicts the peer.
+    pub(crate) fn pump_guarded(&mut self, from: Rank, misses: &mut u32) -> Result<(), SimError> {
+        self.check_evicted(from)?;
+        if !self.recovery.heartbeats {
+            return self.pump_one();
+        }
+        self.maybe_beat();
+        if let Some(d) = self.deadline {
+            if self.clock > d {
+                let clock = self.clock;
+                self.mark(move || format!("deadline exceeded clock={clock:.6} limit={d:.6}"));
+                return Err(SimError::DeadlineExceeded);
+            }
+        }
+        let before = self.peer_seen[from];
+        let got = self.pump_some(self.recovery.lease_window)?;
+        self.check_evicted(from)?;
+        if self.peer_seen[from] > before {
+            *misses = 0;
+        } else if !got {
+            // A rank blocked in a receive wait does not advance its
+            // virtual clock, so the virtual-cadence beat goes silent
+            // exactly when peers most need liveness (and incarnation)
+            // evidence.  Re-announce once per silent real-time window:
+            // a recovered life whose only activity is waiting keeps its
+            // new incarnation flowing, and peers un-wedge streams still
+            // keyed to the old one.
+            self.broadcast_beat();
+            *misses += 1;
+            if *misses >= self.recovery.lease_misses {
+                self.stats.recovery.leases_expired += 1;
+                let at = self.clock;
+                let incarnation = self.peer_inc[from];
+                self.trace_push(TraceEvent::LeaseExpired {
+                    at,
+                    rank: from,
+                    incarnation,
+                });
+                return Err(SimError::PeerEvicted {
+                    rank: from,
+                    incarnation,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Supervisor hook: consume one restart if `reason` is a scripted
+    /// crash and budget remains.  Returns true when the rank closure
+    /// should be re-invoked on this (reset) endpoint.
+    pub(crate) fn try_restart(&mut self, reason: &str) -> bool {
+        if self.restarts_left == 0 || !reason.contains("crashed by fault plan") {
+            return false;
+        }
+        self.restarts_left -= 1;
+        self.reset_for_recovery();
+        true
+    }
+
+    /// Reset this endpoint for a new life: bump the incarnation, discard
+    /// every frame and stream belonging to the old one, and announce the
+    /// restart with an immediate heartbeat.  The clock, traffic counters,
+    /// trace, and peer-incarnation knowledge all survive — a restart is a
+    /// continuation of the same simulated rank, not a new rank.
+    pub(crate) fn reset_for_recovery(&mut self) {
+        self.incarnation += 1;
+        self.poisoned = None;
+        // Drain the mailbox: everything queued was addressed to the dead
+        // life.  Poison still latches — a *real* peer failure must not be
+        // swallowed by our own restart.
+        loop {
+            match self.rx.try_recv() {
+                Ok(Message {
+                    src,
+                    body: Body::Poison(reason),
+                    ..
+                }) => self.poisoned = Some((src, reason)),
+                // A peer's restart announcement must survive *our*
+                // restart: discarding it with the rest of the dead
+                // life's mail would leave that peer's incarnation
+                // unknown and every reliable stream to it wedged on
+                // old sequence state.
+                Ok(Message {
+                    src,
+                    tag,
+                    body: Body::Data(b),
+                    ..
+                }) if tag == crate::onesided::beat_tag()
+                    && b.len() >= 17
+                    && b[0] == crate::onesided::K_BEAT =>
+                {
+                    let inc = u64::from_le_bytes(b[1..9].try_into().unwrap());
+                    self.note_peer_incarnation(src, inc);
+                }
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+        self.stash.clear();
+        self.rel.purge_all();
+        self.os.reset_keep_reqs();
+        self.armed_crash = None;
+        self.evict_base = None;
+        self.obs.stack.clear();
+        self.stats.recovery.ranks_recovered += 1;
+        let at = self.clock;
+        let rank = self.rank;
+        let incarnation = self.incarnation;
+        self.trace_push(TraceEvent::Recovered {
+            at,
+            rank,
+            incarnation,
+        });
+        // Peers purge streams keyed to the old life when this beat lands.
+        self.broadcast_beat();
     }
 
     pub(crate) fn trace_push(&mut self, ev: TraceEvent) {
@@ -480,6 +812,8 @@ impl Endpoint {
                 reason: p.1,
             });
         }
+        // Any frame is liveness evidence for its sender's lease.
+        self.peer_seen[msg.src] = Instant::now();
         if let Some(m) = reliable::intake(self, msg) {
             self.stash.push_back(m);
         }
@@ -646,6 +980,10 @@ impl Endpoint {
             SimError::PeerTimeout { rank } => {
                 panic!("rank {}: timed out waiting for rank {rank}", self.rank)
             }
+            SimError::PeerEvicted { rank, incarnation } => panic!(
+                "rank {}: evicted rank {rank} (incarnation {incarnation})",
+                self.rank
+            ),
             SimError::DeadlineExceeded => panic!(
                 "rank {}: virtual-clock deadline exceeded waiting for {from} tag {tag:?}",
                 self.rank

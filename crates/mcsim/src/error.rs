@@ -26,6 +26,19 @@ pub enum SimError {
         /// The peer rank that never delivered (or never acknowledged).
         rank: usize,
     },
+    /// The failure detector evicted the peer: either its lease lapsed
+    /// (no heartbeat for the configured number of windows) or it was
+    /// observed restarting under a bumped incarnation mid-wait.  Distinct
+    /// from [`SimError::PeerTimeout`] (a transport retry-budget give-up):
+    /// eviction is a *membership* decision, and under a supervisor the
+    /// peer may come back — callers with a checkpoint can retry the step.
+    PeerEvicted {
+        /// The evicted peer's global rank.
+        rank: usize,
+        /// The peer's incarnation as known at eviction time (bumped once
+        /// per supervisor restart; 0 for a never-restarted rank).
+        incarnation: u64,
+    },
     /// The world's channels closed while waiting — every other rank has
     /// already torn down.
     Shutdown,
@@ -45,6 +58,9 @@ impl fmt::Display for SimError {
             SimError::Decode(msg) => write!(f, "wire decode error: {msg}"),
             SimError::PeerTimeout { rank } => {
                 write!(f, "timed out waiting for rank {rank}")
+            }
+            SimError::PeerEvicted { rank, incarnation } => {
+                write!(f, "evicted rank {rank} (incarnation {incarnation})")
             }
             SimError::Shutdown => write!(f, "world tore down"),
             SimError::DeadlineExceeded => {

@@ -155,6 +155,30 @@ pub fn chrome_trace_json(traces: &[Vec<TraceEvent>]) -> String {
                 TraceEvent::Mark { label, .. } => {
                     ("mark".to_string(), format!("\"label\":\"{}\"", esc(label)))
                 }
+                TraceEvent::Heartbeat { incarnation, .. } => (
+                    "heartbeat".to_string(),
+                    format!("\"incarnation\":{incarnation}"),
+                ),
+                TraceEvent::LeaseExpired {
+                    rank: peer,
+                    incarnation,
+                    ..
+                } => (
+                    "lease_expired".to_string(),
+                    format!("\"peer\":{peer},\"incarnation\":{incarnation}"),
+                ),
+                TraceEvent::Recovered {
+                    rank: peer,
+                    incarnation,
+                    ..
+                } => (
+                    "recovered".to_string(),
+                    format!("\"peer\":{peer},\"incarnation\":{incarnation}"),
+                ),
+                TraceEvent::PartReplayed { from, parts, .. } => (
+                    "part_replayed".to_string(),
+                    format!("\"from\":{from},\"parts\":{parts}"),
+                ),
                 TraceEvent::SpanBegin { .. } | TraceEvent::SpanEnd { .. } => continue,
             };
             ev.push(format!(
@@ -277,6 +301,26 @@ pub fn jsonl_line(rank: usize, e: &TraceEvent) -> String {
         TraceEvent::Mark { label, .. } => {
             format!("{head},\"type\":\"mark\",\"label\":\"{}\"}}", esc(label))
         }
+        TraceEvent::Heartbeat { incarnation, .. } => {
+            format!("{head},\"type\":\"heartbeat\",\"incarnation\":{incarnation}}}")
+        }
+        TraceEvent::LeaseExpired {
+            rank: peer,
+            incarnation,
+            ..
+        } => format!(
+            "{head},\"type\":\"lease_expired\",\"peer\":{peer},\"incarnation\":{incarnation}}}"
+        ),
+        TraceEvent::Recovered {
+            rank: peer,
+            incarnation,
+            ..
+        } => {
+            format!("{head},\"type\":\"recovered\",\"peer\":{peer},\"incarnation\":{incarnation}}}")
+        }
+        TraceEvent::PartReplayed { from, parts, .. } => {
+            format!("{head},\"type\":\"part_replayed\",\"from\":{from},\"parts\":{parts}}}")
+        }
     }
 }
 
@@ -332,7 +376,7 @@ fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     Some(&rest[..end])
 }
 
-const KNOWN_TYPES: [&str; 10] = [
+const KNOWN_TYPES: [&str; 14] = [
     "send",
     "recv",
     "fault",
@@ -343,6 +387,10 @@ const KNOWN_TYPES: [&str; 10] = [
     "span_begin",
     "span_end",
     "mark",
+    "heartbeat",
+    "lease_expired",
+    "recovered",
+    "part_replayed",
 ];
 
 /// Validate a JSONL trace stream: every line must carry the
@@ -388,6 +436,10 @@ pub fn validate_jsonl(text: &str) -> Result<TraceCheck, String> {
             "span_begin" => &["id", "parent", "phase", "detail"],
             "span_end" => &["id"],
             "mark" => &["label"],
+            "heartbeat" => &["incarnation"],
+            "lease_expired" => &["peer", "incarnation"],
+            "recovered" => &["peer", "incarnation"],
+            "part_replayed" => &["from", "parts"],
             _ => unreachable!(),
         };
         for key in required {

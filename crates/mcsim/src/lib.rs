@@ -59,6 +59,7 @@ pub mod message;
 pub mod metrics;
 pub mod model;
 pub mod onesided;
+pub mod recovery;
 pub mod reliable;
 pub mod rng;
 pub mod span;
@@ -77,10 +78,11 @@ pub use message::Rank;
 pub use metrics::{Histogram, MetricsRegistry};
 pub use model::MachineModel;
 pub use onesided::{expose, get, put, put_flush, put_notify, wait_notify, window_bytes};
+pub use recovery::{CkptStore, RecoveryConfig};
 pub use reliable::{ReliableConfig, StreamTag};
 pub use rng::Rng;
 pub use span::{pair_spans, FlightRing, PairedSpan, Phase, SpanId, FLIGHT_RING_CAP};
-pub use stats::{FaultStats, NetStats, SessionStats, StatsSnapshot};
+pub use stats::{FaultStats, NetStats, RecoveryStats, SessionStats, StatsSnapshot};
 pub use tag::Tag;
 pub use trace::{summarize, FaultKind, TraceEvent, TraceSummary};
 pub use wire::{Wire, WireReader};
@@ -95,6 +97,7 @@ pub mod prelude {
     pub use crate::metrics::MetricsRegistry;
     pub use crate::model::MachineModel;
     pub use crate::onesided::{expose, get, put, put_flush, put_notify, wait_notify, window_bytes};
+    pub use crate::recovery::{CkptStore, RecoveryConfig};
     pub use crate::reliable::{ReliableConfig, StreamTag};
     pub use crate::span::{Phase, SpanId};
     pub use crate::tag::Tag;

@@ -89,8 +89,14 @@ impl MetricsRegistry {
         let s = &stats.session;
         m.set("session.frames_staged", s.frames_staged);
         m.set("session.transfers_aborted", s.transfers_aborted);
+        m.set("session.transfers_committed", s.transfers_committed);
         m.set("session.stale_halves_dropped", s.stale_halves_dropped);
         m.set("session.stale_schedules", s.stale_schedules);
+        let r = &stats.recovery;
+        m.set("recovery.heartbeats_sent", r.heartbeats_sent);
+        m.set("recovery.leases_expired", r.leases_expired);
+        m.set("recovery.ranks_recovered", r.ranks_recovered);
+        m.set("recovery.parts_replayed", r.parts_replayed);
         m.fold_traces(traces);
         m
     }

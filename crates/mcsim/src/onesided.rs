@@ -36,7 +36,6 @@
 //! of their arrival times is not specified.
 
 use std::collections::HashMap;
-use std::time::Duration;
 
 use crate::endpoint::Endpoint;
 use crate::error::SimError;
@@ -61,6 +60,21 @@ const PUT_HDR: usize = 9;
 
 const K_GET: u8 = 1;
 const K_GET_REPLY: u8 = 2;
+/// Heartbeat frame: `[K_BEAT][incarnation u64][clock f64]`, broadcast by
+/// the failure detector (see [`crate::recovery::RecoveryConfig`]).
+pub(crate) const K_BEAT: u8 = 3;
+
+/// Stream id heartbeats ride on: class `0x7`, discriminator bits clear
+/// (not a sink), below the session streams' high range.
+const BEAT_STREAM: u32 = 0x02FF_FFFF;
+
+/// The control tag heartbeat broadcasts travel on.
+pub(crate) fn beat_tag() -> Tag {
+    Tag::new(
+        Tag::FIRST_USER_CTX,
+        (Tag::CLASS_ONESIDED_CTRL << 28) | BEAT_STREAM,
+    )
+}
 
 /// True when a reliable DATA tag addresses a one-sided sink window
 /// rather than a matched-receive stream.
@@ -118,6 +132,18 @@ pub(crate) struct OnesidedState {
     pending_puts: Vec<(u32, PutOp)>,
     get_replies: HashMap<u64, GetReply>,
     next_req: u64,
+}
+
+impl OnesidedState {
+    /// Drop all one-sided state from the crashed life — exposed windows,
+    /// early puts, buffered replies — but keep the request-id counter
+    /// monotone so a late reply from the old life can never satisfy a
+    /// request issued by the new one.
+    pub(crate) fn reset_keep_reqs(&mut self) {
+        self.windows.clear();
+        self.pending_puts.clear();
+        self.get_replies.clear();
+    }
 }
 
 /// Expose `data` as one-sided window `win` on this rank.  Puts that
@@ -248,21 +274,19 @@ pub fn wait_notify(ep: &mut Endpoint, win: u32, n: usize) -> Result<(), SimError
     }
 }
 
-/// How many times a GET request is (re)issued before the origin gives up
-/// with [`SimError::PeerTimeout`], and the real-time silence window that
-/// separates attempts.  The request and reply ride tag class 0x7 with no
-/// sequencing of their own, so a faulted control plane loses them whole;
-/// re-sending under the same request id is idempotent (a late or
-/// duplicated reply just overwrites the same `get_replies` slot).
-const GET_ATTEMPTS: usize = 4;
-const GET_SILENCE_CAP: Duration = Duration::from_millis(80);
-
 /// Read `len` bytes at `offset` from remote window `win` on `target`.
 /// The target's NIC answers from the exposed window at protocol
 /// turnaround time; the target's program is not involved.  Fails with
 /// [`SimError::Decode`] when the window is not exposed or the range is
 /// out of bounds, and with [`SimError::PeerTimeout`] when the request or
-/// reply is lost [`GET_ATTEMPTS`] times in a row (a faulted 0x7 class).
+/// reply is lost for the whole retry budget (a faulted 0x7 class).
+///
+/// The request and reply ride tag class 0x7 with no sequencing of their
+/// own, so a faulted control plane loses them whole; re-sending under the
+/// same request id is idempotent (a late or duplicated reply just
+/// overwrites the same `get_replies` slot).  The attempt budget and the
+/// real-time silence window separating attempts come from the world's
+/// [`crate::recovery::RecoveryConfig`] (default: 4 × 80 ms).
 pub fn get(
     ep: &mut Endpoint,
     target: Rank,
@@ -274,7 +298,9 @@ pub fn get(
     let tag = get_tag(ctx, win);
     let req = ep.os.next_req;
     ep.os.next_req += 1;
-    for attempt in 0..GET_ATTEMPTS {
+    let attempts = ep.recovery.get_attempts;
+    let silence = ep.recovery.get_silence;
+    for attempt in 0..attempts {
         let mut frame = ep.take_buf();
         frame.push(K_GET);
         frame.extend_from_slice(&req.to_le_bytes());
@@ -293,9 +319,13 @@ pub fn get(
                 }
                 return Ok(reply.data);
             }
+            // An armed eviction baseline fails the RPC fast: the target
+            // restarted, and its new life serves a different world of
+            // windows.
+            ep.check_evicted(target)?;
             // Silence means the request or its reply was lost in flight —
             // fall out to re-send the same request id.
-            if !ep.pump_some(GET_SILENCE_CAP)? {
+            if !ep.pump_some(silence)? {
                 ep.mark(|| {
                     format!(
                         "onesided get retry req={req} win={win} attempt={}",
@@ -407,6 +437,10 @@ pub(crate) fn intake_ctrl(ep: &mut Endpoint, msg: Message) {
             ep.os
                 .get_replies
                 .insert(req, GetReply { arrival, ok, data });
+        }
+        K_BEAT if bytes.len() >= 17 => {
+            let inc = u64::from_le_bytes(bytes[1..9].try_into().unwrap());
+            ep.note_peer_incarnation(src, inc);
         }
         _ => {}
     }

@@ -287,6 +287,32 @@ impl ReliableState {
     pub(crate) fn config(&self) -> &ReliableConfig {
         &self.cfg
     }
+
+    /// Forget every stream keyed to `peer`, both directions.  Called when
+    /// a heartbeat reveals the peer restarted under a new incarnation:
+    /// the old life's sequence space is void, and the new life's streams
+    /// must start from seq 0 on both sides.
+    pub(crate) fn purge_peer(&mut self, peer: Rank) {
+        self.send.retain(|k, _| k.0 != peer);
+        self.recv.retain(|k, _| k.0 != peer);
+    }
+
+    /// Forget every stream in both directions — the restarting rank's own
+    /// reset: its peers will purge their half when its recovery beat
+    /// arrives.
+    pub(crate) fn purge_all(&mut self) {
+        self.send.clear();
+        self.recv.clear();
+    }
+
+    /// Drop only the *dead* streams keyed to `peer`, so a session-layer
+    /// retry can reopen them from seq 0.  Live streams are kept: within
+    /// one life their sequence space is still coherent, and clearing them
+    /// would alias sequence numbers against frames still in flight.
+    pub(crate) fn clear_dead(&mut self, peer: Rank) {
+        self.send.retain(|k, s| k.0 != peer || !s.dead);
+        self.recv.retain(|k, s| k.0 != peer || !s.dead);
+    }
 }
 
 /// Lane-summed checksum over `region`; detects any single bit flip.
@@ -412,6 +438,13 @@ fn post_frame(
     let mut frame = payload;
     let key = (to, st.data.0);
     let seq = ep.rel.send.entry(key).or_default().next_seq;
+    // Stamp the incarnation we believe the receiver is at into flags bits
+    // 1..16 (bit 0 is FLAG_LAST).  A frame that was in flight across the
+    // receiver's restart carries the old incarnation and is silently
+    // dropped at intake — the new life must never absorb old-life data.
+    // Without recovery armed every incarnation is 0, so frames are
+    // bit-identical to the pre-recovery protocol.
+    let flags = flags | (((ep.peer_incarnation(to) & 0x7FFF) as u16) << 1);
     append_trailer(&mut frame, seq, 0, flags, faulted);
     let bytes = frame.len();
     let retx = faulted.then(|| frame.clone());
@@ -440,10 +473,14 @@ fn post_frame(
 /// the virtual time the window actually opened.
 fn wait_for_window(ep: &mut Endpoint, to: Rank, st: StreamTag) -> Result<(), SimError> {
     ep.check_crash();
+    // A purged stream reads as Gate::Open without a single pump; the
+    // entry check keeps an evicted peer from looking like fresh room.
+    ep.check_evicted(to)?;
     let key = (to, st.data.0);
     let max_frames = ep.rel.cfg.window_frames.max(1);
     let max_bytes = ep.rel.cfg.window_bytes.max(1);
     let mut stalled = false;
+    let mut misses = 0u32;
     loop {
         enum Gate {
             Open(f64),
@@ -485,7 +522,7 @@ fn wait_for_window(ep: &mut Endpoint, to: Rank, st: StreamTag) -> Result<(), Sim
                         bytes,
                     });
                 }
-                ep.pump_one()?;
+                ep.pump_guarded(to, &mut misses)?;
             }
         }
     }
@@ -495,7 +532,11 @@ fn wait_for_window(ep: &mut Endpoint, to: Rank, st: StreamTag) -> Result<(), Sim
 /// unacknowledged frames.  Returns [`SimError::PeerTimeout`] once the
 /// retry budget has been exhausted and the stream declared dead.
 pub fn flush_send(ep: &mut Endpoint, to: Rank, st: StreamTag) -> Result<(), SimError> {
+    // An eviction purge removes the stream entirely — without this check
+    // the `None` arm below would report a clean flush for a dead peer.
+    ep.check_evicted(to)?;
     let key = (to, st.data.0);
+    let mut misses = 0u32;
     loop {
         match ep.rel.send.get(&key) {
             None => return Ok(()),
@@ -510,7 +551,7 @@ pub fn flush_send(ep: &mut Endpoint, to: Rank, st: StreamTag) -> Result<(), SimE
                 ep.advance_to(t);
                 return Ok(());
             }
-            Some(_) => ep.pump_one()?,
+            Some(_) => ep.pump_guarded(to, &mut misses)?,
         }
     }
 }
@@ -522,7 +563,9 @@ pub fn flush_send(ep: &mut Endpoint, to: Rank, st: StreamTag) -> Result<(), SimE
 /// [`SimError::PeerFailed`] if the peer crashed.
 pub fn reliable_recv(ep: &mut Endpoint, from: Rank, st: StreamTag) -> Result<Vec<u8>, SimError> {
     ep.check_crash();
+    ep.check_evicted(from)?;
     let key = (from, st.data.0);
+    let mut misses = 0u32;
     loop {
         let popped = ep.rel.recv.get_mut(&key).and_then(|s| s.ready.pop_front());
         if let Some(ready) = popped {
@@ -552,7 +595,7 @@ pub fn reliable_recv(ep: &mut Endpoint, from: Rank, st: StreamTag) -> Result<Vec
             ep.mark(|| format!("reliable give-up peer={from} tag={:?} side=recv", st.data));
             return Err(SimError::PeerTimeout { rank: from });
         }
-        ep.pump_one()?;
+        ep.pump_guarded(from, &mut misses)?;
     }
 }
 
@@ -661,6 +704,14 @@ fn intake_data(ep: &mut Endpoint, msg: Message) -> Option<Message> {
     let Body::Data(frame) = &msg.body else {
         unreachable!();
     };
+    // A frame stamped with an incarnation other than ours was sent toward
+    // a previous (or not-yet-seen) life of this rank: drop it silently.
+    // No NACK — the sender's stream for the old life is void, and its new
+    // stream will start from seq 0 once it observes our recovery beat.
+    let inc_bits = (frame_flags(frame) >> 1) & 0x7FFF;
+    if inc_bits != (ep.incarnation() & 0x7FFF) as u16 {
+        return None;
+    }
     let seq = frame_seq(frame);
     let sink = crate::onesided::is_sink_tag(msg.tag);
     let mut completions: Vec<(Tag, Vec<u8>, f64)> = Vec::new();

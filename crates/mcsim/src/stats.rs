@@ -109,6 +109,11 @@ pub struct SessionStats {
     /// Stale-schedule rejections (`McError::StaleSchedule`) reported by
     /// executors on this rank.
     pub stale_schedules: u64,
+    /// Coupled transfers whose staged halves were unpacked into the
+    /// destination (the all-or-nothing commit ran).  The exactly-once
+    /// oracle of the recovery subsystem asserts this never exceeds the
+    /// number of logical transfer steps per rank.
+    pub transfers_committed: u64,
 }
 
 impl SessionStats {
@@ -122,6 +127,9 @@ impl SessionStats {
                 .stale_halves_dropped
                 .saturating_sub(earlier.stale_halves_dropped),
             stale_schedules: self.stale_schedules.saturating_sub(earlier.stale_schedules),
+            transfers_committed: self
+                .transfers_committed
+                .saturating_sub(earlier.transfers_committed),
         }
     }
 
@@ -130,6 +138,44 @@ impl SessionStats {
         self.transfers_aborted += other.transfers_aborted;
         self.stale_halves_dropped += other.stale_halves_dropped;
         self.stale_schedules += other.stale_schedules;
+        self.transfers_committed += other.transfers_committed;
+    }
+}
+
+/// Crash-recovery counters for one rank: the lease-based failure detector
+/// and the supervisor restart path record their decisions here.  All four
+/// have an exact trace-event counterpart (count-parity tested).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryStats {
+    /// Heartbeat broadcasts this rank sent (one per beat, not per peer).
+    pub heartbeats_sent: u64,
+    /// Lease expiries observed: a wait gave up on a silent peer after the
+    /// configured number of missed lease windows.
+    pub leases_expired: u64,
+    /// Times *this* rank was respawned from its checkpoint by the
+    /// supervisor (its incarnation number equals this count).
+    pub ranks_recovered: u64,
+    /// Already-committed transfer parts re-received and discarded while
+    /// resuming an interrupted transfer (the replay the dedup machinery
+    /// absorbed instead of double-committing).
+    pub parts_replayed: u64,
+}
+
+impl RecoveryStats {
+    fn since(&self, earlier: &RecoveryStats) -> RecoveryStats {
+        RecoveryStats {
+            heartbeats_sent: self.heartbeats_sent.saturating_sub(earlier.heartbeats_sent),
+            leases_expired: self.leases_expired.saturating_sub(earlier.leases_expired),
+            ranks_recovered: self.ranks_recovered.saturating_sub(earlier.ranks_recovered),
+            parts_replayed: self.parts_replayed.saturating_sub(earlier.parts_replayed),
+        }
+    }
+
+    fn add(&mut self, other: &RecoveryStats) {
+        self.heartbeats_sent += other.heartbeats_sent;
+        self.leases_expired += other.leases_expired;
+        self.ranks_recovered += other.ranks_recovered;
+        self.parts_replayed += other.parts_replayed;
     }
 }
 
@@ -148,6 +194,8 @@ pub struct StatsSnapshot {
     pub faults: FaultStats,
     /// Transactional-transfer (session layer) counters.
     pub session: SessionStats,
+    /// Crash-recovery (failure detector / supervisor) counters.
+    pub recovery: RecoveryStats,
 }
 
 impl StatsSnapshot {
@@ -159,6 +207,7 @@ impl StatsSnapshot {
             sched_cache_misses: 0,
             faults: FaultStats::default(),
             session: SessionStats::default(),
+            recovery: RecoveryStats::default(),
         }
     }
 
@@ -200,6 +249,7 @@ impl StatsSnapshot {
                 .saturating_sub(earlier.sched_cache_misses),
             faults: self.faults.since(&earlier.faults),
             session: self.session.since(&earlier.session),
+            recovery: self.recovery.since(&earlier.recovery),
         }
     }
 
@@ -233,17 +283,21 @@ pub struct NetStats {
     /// Session-layer (transactional transfer) counters summed over all
     /// ranks.
     pub session: SessionStats,
+    /// Crash-recovery counters summed over all ranks.
+    pub recovery: RecoveryStats,
 }
 
 impl NetStats {
     pub(crate) fn from_locals(locals: Vec<StatsSnapshot>) -> Self {
         let mut faults = FaultStats::default();
         let mut session = SessionStats::default();
+        let mut recovery = RecoveryStats::default();
         let mut sched_cache_hits = 0;
         let mut sched_cache_misses = 0;
         for s in &locals {
             faults.add(&s.faults);
             session.add(&s.session);
+            recovery.add(&s.recovery);
             sched_cache_hits += s.sched_cache_hits;
             sched_cache_misses += s.sched_cache_misses;
         }
@@ -254,6 +308,7 @@ impl NetStats {
             sched_cache_misses,
             faults,
             session,
+            recovery,
         }
     }
 

@@ -146,6 +146,41 @@ pub enum TraceEvent {
         /// What happened (`cache=hit seq=4`, `timeout peer=2`, …).
         label: String,
     },
+    /// This rank broadcast a liveness heartbeat to every peer.
+    Heartbeat {
+        /// Virtual time of the broadcast.
+        at: f64,
+        /// This rank's incarnation carried by the beat.
+        incarnation: u64,
+    },
+    /// A wait gave up on a silent peer: its lease ran out of windows.
+    LeaseExpired {
+        /// Virtual time the eviction was stamped.
+        at: f64,
+        /// The evicted peer's global rank.
+        rank: Rank,
+        /// The peer's incarnation as known at eviction time.
+        incarnation: u64,
+    },
+    /// This rank was respawned from its checkpoint by the supervisor.
+    Recovered {
+        /// Virtual time the restart began (the crashed attempt's clock).
+        at: f64,
+        /// The rank that recovered (this rank).
+        rank: Rank,
+        /// The new (bumped) incarnation.
+        incarnation: u64,
+    },
+    /// Already-committed transfer parts were re-received and discarded
+    /// while resuming an interrupted transfer.
+    PartReplayed {
+        /// Virtual time the replayed half finished draining.
+        at: f64,
+        /// The peer that resent the parts.
+        from: Rank,
+        /// Number of parts absorbed without a second commit.
+        parts: usize,
+    },
 }
 
 impl TraceEvent {
@@ -161,7 +196,11 @@ impl TraceEvent {
             | TraceEvent::RetransmitBurst { at, .. }
             | TraceEvent::SpanBegin { at, .. }
             | TraceEvent::SpanEnd { at, .. }
-            | TraceEvent::Mark { at, .. } => *at,
+            | TraceEvent::Mark { at, .. }
+            | TraceEvent::Heartbeat { at, .. }
+            | TraceEvent::LeaseExpired { at, .. }
+            | TraceEvent::Recovered { at, .. }
+            | TraceEvent::PartReplayed { at, .. } => *at,
         }
     }
 
@@ -198,6 +237,14 @@ pub struct TraceSummary {
     pub spans: usize,
     /// Number of point annotations recorded.
     pub marks: usize,
+    /// Number of heartbeat broadcasts recorded.
+    pub heartbeats: usize,
+    /// Number of lease-expiry evictions recorded.
+    pub leases_expired: usize,
+    /// Number of supervisor recoveries recorded.
+    pub recoveries: usize,
+    /// Total replayed parts recorded (sum over `PartReplayed` events).
+    pub parts_replayed: usize,
 }
 
 /// Summarize a trace.
@@ -215,6 +262,10 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
         retransmit_bursts: 0,
         spans: 0,
         marks: 0,
+        heartbeats: 0,
+        leases_expired: 0,
+        recoveries: 0,
+        parts_replayed: 0,
     };
     for e in events {
         match e {
@@ -235,6 +286,10 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
             TraceEvent::SpanBegin { .. } => s.spans += 1,
             TraceEvent::SpanEnd { .. } => {}
             TraceEvent::Mark { .. } => s.marks += 1,
+            TraceEvent::Heartbeat { .. } => s.heartbeats += 1,
+            TraceEvent::LeaseExpired { .. } => s.leases_expired += 1,
+            TraceEvent::Recovered { .. } => s.recoveries += 1,
+            TraceEvent::PartReplayed { parts, .. } => s.parts_replayed += parts,
         }
     }
     s

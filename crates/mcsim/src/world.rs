@@ -11,6 +11,7 @@ use crate::fault::FaultPlan;
 use crate::message::Message;
 use crate::metrics::MetricsRegistry;
 use crate::model::MachineModel;
+use crate::recovery::{CkptStore, RecoveryConfig};
 use crate::reliable::ReliableConfig;
 use crate::stats::{NetStats, StatsSnapshot};
 use crate::trace::TraceEvent;
@@ -24,6 +25,12 @@ pub struct World {
     trace: bool,
     rel_cfg: ReliableConfig,
     deadline: Option<f64>,
+    recovery: RecoveryConfig,
+    /// Restart budget per rank when a supervisor is attached.
+    supervisor: Option<u32>,
+    /// World-level checkpoint store; survives rank crashes, and clones of
+    /// this world share it (it is the durable half of recovery).
+    ckpt: CkptStore,
 }
 
 /// Everything a run produces.
@@ -102,7 +109,40 @@ impl World {
             trace: false,
             rel_cfg: ReliableConfig::default(),
             deadline: None,
+            recovery: RecoveryConfig::default(),
+            supervisor: None,
+            ckpt: CkptStore::default(),
         }
+    }
+
+    /// Override the recovery configuration: the one-sided get retry
+    /// policy, and (when `heartbeats` is set) the lease-based failure
+    /// detector every endpoint runs.  The default keeps heartbeats off
+    /// and the historical get policy, so behavior is unchanged unless a
+    /// caller opts in.
+    pub fn with_recovery_config(mut self, cfg: RecoveryConfig) -> Self {
+        assert!(cfg.get_attempts > 0, "get retry budget must be positive");
+        assert!(cfg.lease_misses > 0, "lease budget must be positive");
+        self.recovery = cfg;
+        self
+    }
+
+    /// Attach a supervisor: a rank that dies to a *scripted* crash (fault
+    /// plan or [`crate::endpoint::Endpoint::arm_crash`]) is respawned in
+    /// place up to `max_restarts` times per rank, under a bumped
+    /// incarnation, with its endpoint reset for recovery and the
+    /// checkpoint store intact.  Panics that are not scripted crashes
+    /// (real bugs) still poison the world.
+    ///
+    /// Arms heartbeats as a side effect: a supervisor restart sends no
+    /// poison, so lease eviction is the only thing that wakes survivors
+    /// blocked on the crashed rank.  Call
+    /// [`World::with_recovery_config`] *after* this to tune (or disarm)
+    /// the detector.
+    pub fn with_supervisor(mut self, max_restarts: u32) -> Self {
+        self.supervisor = Some(max_restarts);
+        self.recovery.heartbeats = true;
+        self
     }
 
     /// Arm a virtual-clock deadline (seconds) for the whole run: any rank
@@ -161,6 +201,16 @@ impl World {
         self.faults.as_ref()
     }
 
+    /// The recovery configuration in effect.
+    pub fn recovery_config(&self) -> &RecoveryConfig {
+        &self.recovery
+    }
+
+    /// The world-level checkpoint store (shared with every endpoint).
+    pub fn checkpoints(&self) -> &CkptStore {
+        &self.ckpt
+    }
+
     /// Spawn one thread per rank, run the closure everywhere, and keep
     /// every rank answering reliable-protocol traffic until the last rank
     /// is done — a rank still flushing a reliable stream must never be
@@ -185,6 +235,9 @@ impl World {
                     self.faults.as_ref(),
                     self.rel_cfg,
                     self.deadline,
+                    self.recovery,
+                    self.supervisor,
+                    self.ckpt.clone(),
                 )
             })
             .collect();
@@ -205,7 +258,18 @@ impl World {
                 .iter_mut()
                 .map(|ep| {
                     s.spawn(move || {
-                        let result = catch_unwind(AssertUnwindSafe(|| f(ep)));
+                        // Supervisor loop: a scripted crash under a restart
+                        // budget respawns the closure on this same thread —
+                        // the endpoint (reset for recovery) and the active
+                        // counter are untouched, so peers keep being served
+                        // and the restarted life rejoins seamlessly.
+                        let mut result = catch_unwind(AssertUnwindSafe(|| f(ep)));
+                        while let Err(e) = &result {
+                            if !ep.try_restart(&panic_message(e.as_ref())) {
+                                break;
+                            }
+                            result = catch_unwind(AssertUnwindSafe(|| f(ep)));
+                        }
                         let reason = match &result {
                             Ok(_) => None,
                             Err(e) => {

@@ -102,7 +102,7 @@ thread_local! {
 
 /// Next transfer epoch for this schedule's data stream (starts at 1; 0 is
 /// the receiver-side placeholder meaning "not a data sender").
-fn next_xfer_epoch(sched: &Schedule) -> u64 {
+pub(crate) fn next_xfer_epoch(sched: &Schedule) -> u64 {
     let key = ((sched.group().context() as u64) << 32) | sched.seq() as u64;
     XFER_EPOCH.with(|m| {
         let mut m = m.borrow_mut();
@@ -513,7 +513,7 @@ fn parse_verdict(bytes: &[u8], peer: usize) -> Result<(u8, u64, u64), McError> {
 ///
 /// Returns the per-pair transfer epochs the peers announced (meaningful on
 /// the receive side; senders announce `my_te` and ignore the result).
-fn settle(
+pub(crate) fn settle(
     ep: &mut Endpoint,
     sched: &Schedule,
     pairs: &[(usize, AddrRuns)],
@@ -597,7 +597,9 @@ fn settle_inner(
     // for everyone; a stale schedule or manifest mismatch aborts it cleanly.
     let my_verdict: (u8, u64, u64) = if let Some(e) = &failed {
         let r = match e {
-            McError::PeerFailed { rank, .. } | McError::PeerTimeout { rank, .. } => *rank as u64,
+            McError::PeerFailed { rank, .. }
+            | McError::PeerTimeout { rank, .. }
+            | McError::PeerEvicted { rank, .. } => *rank as u64,
             _ => u64::MAX,
         };
         (V_ABORT_PEER, r, 0)
@@ -779,7 +781,10 @@ where
 }
 
 /// Parse one part's header.  Returns `(transfer_epoch, last, count)`.
-fn read_part_header(r: &mut WireReader<'_>, pg: usize) -> Result<(u64, bool, usize), McError> {
+pub(crate) fn read_part_header(
+    r: &mut WireReader<'_>,
+    pg: usize,
+) -> Result<(u64, bool, usize), McError> {
     let bad = |e| {
         McError::Transport(format!(
             "data frame from rank {pg} has no transfer header: {e}"
@@ -807,6 +812,99 @@ where
     T: Copy + Wire,
     D: McObject<T>,
 {
+    let staged = stage_halves(ep, sched, expected)?;
+    // Commit: every half arrived and verified.  Staging holds the received
+    // wire buffers themselves, so this is the same single unpack as the
+    // streaming path — deferred, not duplicated.  Each part unpacks into
+    // its slice of the pair's destination runs.
+    let commit = ep.span_begin(Phase::Commit, || format!("pairs={}", sched.recvs.len()));
+    let mut committed = Ok(());
+    'commit: for ((peer, runs), parts) in sched.recvs.iter().zip(staged) {
+        let mut cursor = 0usize;
+        for bytes in parts {
+            let mut r = WireReader::new(&bytes);
+            let _ = u64::read(&mut r);
+            let _ = u8::read(&mut r);
+            let count = usize::read(&mut r).unwrap_or(0);
+            let slice = runs.slice_elems(cursor, count);
+            if let Err(e) = dst.unpack_runs_wire(ep, &slice, &mut r) {
+                committed = Err(McError::Transport(format!(
+                    "frame from peer {peer} failed to decode: {e}"
+                )));
+                break 'commit;
+            }
+            cursor += count;
+            ep.recycle_buf(bytes);
+        }
+    }
+    ep.span_end(commit);
+    if committed.is_ok() {
+        ep.record_transfer_committed();
+    }
+    committed
+}
+
+/// Absorb-mode receive, for a destination that already committed this
+/// step in a previous life: participate in the transaction exactly like
+/// [`data_move_recv`] — settle the manifest, stage and verify every
+/// peer's half — but discard the staged parts instead of committing them,
+/// so the replaying sender unblocks and exactly-once delivery holds.
+#[doc(hidden)]
+pub fn data_move_recv_absorb<T, D>(
+    ep: &mut Endpoint,
+    sched: &Schedule,
+    dst: &D,
+) -> Result<(), McError>
+where
+    T: Copy + Wire,
+    D: McObject<T>,
+{
+    recv_side_guards(sched)?;
+    if sched.recvs.is_empty() {
+        return Ok(());
+    }
+    let span = ep.span_begin(Phase::Transfer, || {
+        format!(
+            "mode=absorb seq={} pairs={} elems={}",
+            sched.seq(),
+            sched.recvs.len(),
+            sched.total_elems
+        )
+    });
+    let r = settle(
+        ep,
+        sched,
+        &sched.recvs,
+        0,
+        stale_pair(dst.epoch(), sched.dst_epoch()),
+    )
+    .and_then(|expected| {
+        let staged = stage_halves(ep, sched, &expected)?;
+        let group = sched.group();
+        for ((peer, _), parts) in sched.recvs.iter().zip(staged) {
+            ep.record_parts_replayed(group.global(*peer), parts.len());
+            for b in parts {
+                ep.recycle_buf(b);
+            }
+        }
+        Ok(())
+    });
+    if let Err(e) = &r {
+        obs::record_abort(ep, e);
+    }
+    ep.span_end(span);
+    r
+}
+
+/// The staging phase shared by commit and absorb: collect every peer's
+/// data half and verify headers, epochs, and payload sizes.  A failure
+/// anywhere recycles everything staged and aborts the transfer, leaving
+/// the destination bit-identical.
+fn stage_halves(
+    ep: &mut Endpoint,
+    sched: &Schedule,
+    expected: &[u64],
+) -> Result<Vec<Vec<Vec<u8>>>, McError> {
     let st = move_stream(sched);
     let group = sched.group();
     let esz = sched.elem_size() as usize;
@@ -892,32 +990,7 @@ where
         ep.span_end(abort);
         return Err(e);
     }
-    // Commit: every half arrived and verified.  Staging holds the received
-    // wire buffers themselves, so this is the same single unpack as the
-    // streaming path — deferred, not duplicated.  Each part unpacks into
-    // its slice of the pair's destination runs.
-    let commit = ep.span_begin(Phase::Commit, || format!("pairs={}", sched.recvs.len()));
-    let mut committed = Ok(());
-    'commit: for ((peer, runs), parts) in sched.recvs.iter().zip(staged) {
-        let mut cursor = 0usize;
-        for bytes in parts {
-            let mut r = WireReader::new(&bytes);
-            let _ = u64::read(&mut r);
-            let _ = u8::read(&mut r);
-            let count = usize::read(&mut r).unwrap_or(0);
-            let slice = runs.slice_elems(cursor, count);
-            if let Err(e) = dst.unpack_runs_wire(ep, &slice, &mut r) {
-                committed = Err(McError::Transport(format!(
-                    "frame from peer {peer} failed to decode: {e}"
-                )));
-                break 'commit;
-            }
-            cursor += count;
-            ep.recycle_buf(bytes);
-        }
-    }
-    ep.span_end(commit);
-    committed
+    Ok(staged)
 }
 
 fn send_half<T, S>(ep: &mut Endpoint, sched: &Schedule, src: &S)
@@ -950,8 +1023,86 @@ where
 /// The reliable stream a schedule's cross-program traffic runs on: same
 /// context as the raw path, stream id = schedule seq (the tag class moves
 /// from `0x4` to the reliable pair `0x5`/`0x6`).
-fn move_stream(sched: &Schedule) -> StreamTag {
+pub(crate) fn move_stream(sched: &Schedule) -> StreamTag {
     StreamTag::new(sched.group().context(), sched.seq())
+}
+
+/// Pack, post, and flush ONE pair's half (per-pair counterpart of
+/// [`send_data_frames`], used by the recovery session to retry exactly
+/// the pairs that have not confirmed a step).
+pub(crate) fn send_one_half<T, S>(
+    ep: &mut Endpoint,
+    sched: &Schedule,
+    src: &S,
+    te: u64,
+    pg: usize,
+    runs: &AddrRuns,
+) -> Result<(), McError>
+where
+    T: Copy + Wire,
+    S: McObject<T>,
+{
+    let st = move_stream(sched);
+    let per_part = part_elems(ep, sched.elem_size() as usize);
+    let total = runs.len();
+    let pack = ep.span_begin(Phase::Pack, || {
+        format!(
+            "peer={pg} runs={total} te={te} parts={}",
+            total.div_ceil(per_part)
+        )
+    });
+    let mut cursor = 0usize;
+    while cursor < total {
+        let cnt = per_part.min(total - cursor);
+        let last = cursor + cnt == total;
+        let mut buf = ep.take_buf();
+        te.write(&mut buf);
+        u8::from(last).write(&mut buf);
+        cnt.write(&mut buf);
+        let part = runs.slice_elems(cursor, cnt);
+        src.pack_runs_wire(ep, &part, &mut buf);
+        cursor += cnt;
+        if let Err(e) = reliable::reliable_send(ep, pg, st, buf) {
+            ep.span_end(pack);
+            return Err(e.into());
+        }
+    }
+    ep.span_end(pack);
+    let wire = ep.span_begin(Phase::Wire, || format!("peer={pg} te={te}"));
+    let r = reliable::flush_send(ep, pg, st).map_err(McError::from);
+    ep.span_end(wire);
+    r
+}
+
+/// Unpack ONE staged half into `dst` (per-pair counterpart of the commit
+/// loop in [`recv_data_frames`]).  Consumes and recycles the parts.
+pub(crate) fn commit_one_half<T, D>(
+    ep: &mut Endpoint,
+    dst: &mut D,
+    pg: usize,
+    runs: &AddrRuns,
+    parts: Vec<Vec<u8>>,
+) -> Result<(), McError>
+where
+    T: Copy + Wire,
+    D: McObject<T>,
+{
+    let mut cursor = 0usize;
+    for bytes in parts {
+        let mut r = WireReader::new(&bytes);
+        let _ = u64::read(&mut r);
+        let _ = u8::read(&mut r);
+        let count = usize::read(&mut r).unwrap_or(0);
+        let slice = runs.slice_elems(cursor, count);
+        if let Err(e) = dst.unpack_runs_wire(ep, &slice, &mut r) {
+            return Err(McError::Transport(format!(
+                "frame from rank {pg} failed to decode: {e}"
+            )));
+        }
+        cursor += count;
+        ep.recycle_buf(bytes);
+    }
+    Ok(())
 }
 
 fn recv_half<T, D>(ep: &mut Endpoint, sched: &Schedule, dst: &mut D)

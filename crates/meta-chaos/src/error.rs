@@ -62,6 +62,16 @@ pub enum McError {
         /// The peer's panic message.
         reason: String,
     },
+    /// The failure detector evicted a peer: its lease lapsed, or it was
+    /// observed restarting under a new incarnation.  Unlike
+    /// [`McError::PeerFailed`] the peer may come back — a recovery
+    /// session retries the step against the peer's new life.
+    PeerEvicted {
+        /// Global rank of the evicted peer.
+        rank: usize,
+        /// The peer's last known incarnation.
+        incarnation: u64,
+    },
     /// [`crate::coupling::Coupler::put`]/[`crate::coupling::Coupler::get`]
     /// named a port that was never bound.
     UnboundPort {
@@ -126,6 +136,9 @@ impl fmt::Display for McError {
             McError::PeerFailed { rank, reason } => {
                 write!(f, "peer rank {rank} failed: {reason}")
             }
+            McError::PeerEvicted { rank, incarnation } => {
+                write!(f, "peer rank {rank} evicted (incarnation {incarnation})")
+            }
             McError::UnboundPort { port } => {
                 write!(f, "port '{port}' is not bound")
             }
@@ -155,6 +168,9 @@ impl From<SimError> for McError {
         match e {
             SimError::PeerFailed { rank, reason } => McError::PeerFailed { rank, reason },
             SimError::PeerTimeout { rank } => McError::PeerTimeout { rank },
+            SimError::PeerEvicted { rank, incarnation } => {
+                McError::PeerEvicted { rank, incarnation }
+            }
             SimError::Decode(msg) => McError::Transport(msg),
             SimError::Shutdown => McError::Transport("world tore down".to_string()),
             SimError::DeadlineExceeded => {

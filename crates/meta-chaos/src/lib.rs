@@ -88,6 +88,7 @@ pub mod region;
 pub mod runs;
 pub mod schedule;
 pub mod seqvec;
+pub mod session;
 pub mod setof;
 pub mod validate;
 
@@ -104,6 +105,7 @@ pub use region::{DimSlice, IndexSet, Region, RegularSection};
 pub use runs::{coalesce_owned, LocatedRun, OwnedRun, RunBuilder};
 pub use schedule::{elem_type, Schedule};
 pub use seqvec::SeqVec;
+pub use session::RecoverySession;
 pub use setof::SetOfRegions;
 pub use validate::{validate_schedule, ScheduleIssue};
 
@@ -117,6 +119,7 @@ pub mod prelude {
     pub use crate::datamove::{data_move, data_move_recv, data_move_send};
     pub use crate::region::{DimSlice, IndexSet, Region, RegularSection};
     pub use crate::schedule::Schedule;
+    pub use crate::session::RecoverySession;
     pub use crate::setof::SetOfRegions;
     pub use crate::LocalAddr;
 }

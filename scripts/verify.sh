@@ -31,6 +31,18 @@ cargo run --release -p fuzz -- --matrix --iters 304 --seed 1 || {
   exit 1
 }
 
+# Crash-recovery gate: a bounded supervised soak — 1–2 scripted crashes per
+# scenario resolved against a fault-free baseline's transfer windows, the
+# supervisor respawning each victim from its checkpoint, and the
+# bit-identical convergence oracle (destination equals the fault-free run,
+# every rank returning cleanly) on every scenario.  Violations shrink and
+# leave a repro in target/fuzz/ like the differential soak above.
+echo "== recovery soak =="
+cargo run --release -p fuzz -- --recover --iters 48 --seed 7 || {
+  echo "recovery gate: oracle violation — see repro under target/fuzz/" >&2
+  exit 1
+}
+
 # Trace-schema gate: a small traced coupled run must export valid JSONL
 # (one self-describing object per event) that the checker accepts.
 trace_tmp="$(mktemp -t mc_trace.XXXXXX.jsonl)"
