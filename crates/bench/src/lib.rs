@@ -17,6 +17,7 @@
 //! irregular mesh, 1000×1000 arrays, 512×512 matrix); the runners take
 //! explicit sizes so tests can use smaller instances.
 
+pub mod attr;
 pub mod clientserver;
 pub mod executor;
 pub mod meshes;

@@ -12,14 +12,23 @@
 
 use std::env;
 
+use bench::attr::{diff, Attribution};
 use bench::clientserver::{break_even, client_server};
 use bench::executor::{executor_micro, recovery_settle_micro, wire_throughput_micro};
 use bench::meshes::{table1, table2, table34};
 use bench::regular::table5;
 use bench::report::{fmt_ms, write_json_report, JsonValue};
-use bench::traced::traced_coupled_run;
+use bench::traced::{traced_coupled_run, traced_coupled_run_scaled};
 
 fn arg(args: &[String], name: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("bad value for {name}")))
+        .unwrap_or(default)
+}
+
+fn arg_f64(args: &[String], name: &str, default: f64) -> f64 {
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
@@ -51,6 +60,12 @@ fn usage() -> ! {
                     FILE ending .jsonl gets JSONL, anything else Chrome JSON\n\
                     (load in chrome://tracing or https://ui.perfetto.dev)\n\
            trace-check FILE                            validate a JSONL trace\n\
+           analyze  [--n N] [--reps R] [--wire-scale X] [--out FILE]\n\
+                    critical-path analysis of a traced coupled run: where\n\
+                    did my nanoseconds go?  writes a flat attribution JSON\n\
+           trace-diff BASELINE CURRENT [--threshold T]  compare two\n\
+                    attribution files; exit 1 when any phase's critical-\n\
+                    path seconds grew past T (default 0.25 = +25%)\n\
            all                                         every table at paper size\n\
            list                                        this message"
     );
@@ -330,6 +345,48 @@ fn main() {
                     ),
                 ]),
             ));
+            // Critical-path attribution of the same-sized coupled
+            // transfer: where the end-to-end nanoseconds went.  The
+            // tiling invariant (per-phase sum == end-to-end virtual
+            // time) is asserted on every bench run.
+            let tr = traced_coupled_run(r.elements, 3.min(r.reps.max(1)));
+            let cp = mcsim::analyze(&tr.traces);
+            cp.self_check().expect("critical-path attribution tiles");
+            println!("{}", cp.render());
+            let shares = cp.phase_shares();
+            let lat = cp.latency_histogram();
+            let (dom, dom_share) = cp.dominant().unwrap_or(("other", 0.0));
+            let mut cp_fields = vec![
+                (
+                    "transfers".to_string(),
+                    JsonValue::Int(cp.transfers.len() as u64),
+                ),
+                ("dominant".to_string(), JsonValue::Str(dom.to_string())),
+                (
+                    "dominant_share_pct".to_string(),
+                    JsonValue::Num(dom_share * 100.0),
+                ),
+                (
+                    "latency_p50_ns".to_string(),
+                    JsonValue::Num(lat.p50() * 1e9),
+                ),
+                (
+                    "latency_p95_ns".to_string(),
+                    JsonValue::Num(lat.p95() * 1e9),
+                ),
+                (
+                    "latency_p99_ns".to_string(),
+                    JsonValue::Num(lat.p99() * 1e9),
+                ),
+                ("latency_max_ns".to_string(), JsonValue::Num(lat.max * 1e9)),
+            ];
+            for name in mcsim::analyze::TAXONOMY {
+                cp_fields.push((
+                    format!("{name}_share_pct"),
+                    JsonValue::Num(shares.get(name).copied().unwrap_or(0.0) * 100.0),
+                ));
+            }
+            fields.push(("critical_path", JsonValue::Obj(cp_fields)));
             write_json_report(path, &fields).expect("write BENCH_executor.json");
             println!("wrote {path}");
         }
@@ -356,6 +413,66 @@ fn main() {
                 );
             }
             println!("wrote {path}");
+        }
+        "analyze" => {
+            let n = arg(&args, "--n", 4096);
+            let reps = arg(&args, "--reps", 2);
+            let wire_scale = arg_f64(&args, "--wire-scale", 1.0);
+            let out = arg_str(&args, "--out", "attribution.json");
+            let run = traced_coupled_run_scaled(n, reps, wire_scale);
+            let report = mcsim::analyze(&run.traces);
+            if let Err(e) = report.self_check() {
+                eprintln!("analyze: attribution self-check FAILED: {e}");
+                std::process::exit(1);
+            }
+            println!("{}", report.render());
+            let lib_of = |r: usize| {
+                if r < 2 {
+                    "multiblock".to_string()
+                } else {
+                    "hpf".to_string()
+                }
+            };
+            for line in meta_chaos::obs::attribute_pairs(&report, lib_of).lines() {
+                println!("  {line}");
+            }
+            for ((src, dst), secs) in &report.per_link {
+                println!("  link {src}->{dst} critical wire {secs:.9}s");
+            }
+            for (src, dst, msgs, bytes) in run.stats.active_links() {
+                println!("  link {src}->{dst} traffic {msgs} msgs {bytes} bytes");
+            }
+            let attr = Attribution::from_report(&report);
+            std::fs::write(&out, attr.to_json()).unwrap_or_else(|e| panic!("write {out}: {e}"));
+            println!("wrote {out}");
+        }
+        "trace-diff" => {
+            let (Some(base_path), Some(cur_path)) = (args.get(1), args.get(2)) else {
+                usage()
+            };
+            let threshold = arg_f64(&args, "--threshold", 0.25);
+            let read = |p: &str| {
+                let text = std::fs::read_to_string(p).unwrap_or_else(|e| panic!("read {p}: {e}"));
+                Attribution::parse(&text).unwrap_or_else(|e| panic!("parse {p}: {e}"))
+            };
+            let d = diff(&read(base_path), &read(cur_path), threshold);
+            for line in &d.lines {
+                println!("{line}");
+            }
+            if d.clean() {
+                println!(
+                    "trace-diff: zero regression (threshold +{:.0}%)",
+                    threshold * 100.0
+                );
+            } else {
+                eprintln!(
+                    "trace-diff: {} quantit{} regressed past +{:.0}%",
+                    d.regressions.len(),
+                    if d.regressions.len() == 1 { "y" } else { "ies" },
+                    threshold * 100.0
+                );
+                std::process::exit(1);
+            }
         }
         "trace-check" => {
             let path = args.get(1).map(String::as_str).unwrap_or_else(|| usage());

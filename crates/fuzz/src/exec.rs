@@ -399,6 +399,11 @@ pub struct WorldRun {
     /// ranks that recorded none.  Recovery crash fractions resolve
     /// against these windows.
     pub windows: Vec<Option<(f64, f64)>>,
+    /// One-paragraph critical-path summary of the run's coupled
+    /// transfers ([`mcsim::analyze`]) — `None` when the trace recorded
+    /// no transfer spans.  Oracles embed it in failure post-mortems so
+    /// a shrunk repro arrives with its own bottleneck analysis.
+    pub critical_path: Option<String>,
 }
 
 /// Which execution mode a dispatch runs the scenario under.
@@ -431,8 +436,11 @@ fn world_run(rep: mcsim::RunReport<RankReport>) -> WorldRun {
             (lo < hi).then_some((lo, hi))
         })
         .collect();
+    let cp = mcsim::analyze::analyze(&rep.traces);
+    let critical_path = (!cp.transfers.is_empty()).then(|| cp.render());
     WorldRun {
         windows,
+        critical_path,
         recovered: rep.stats.recovery.ranks_recovered,
         reports: rep
             .outcomes

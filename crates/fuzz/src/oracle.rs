@@ -27,12 +27,18 @@ pub struct Failure {
     pub post_mortem: Vec<String>,
 }
 
-fn post_mortem(run: &WorldRun) -> Vec<String> {
+/// Flight-recorder tails plus the run's critical-path summary, so a
+/// shrunk repro lands in `target/fuzz/` with its own bottleneck
+/// analysis attached.
+pub fn post_mortem(run: &WorldRun) -> Vec<String> {
     let mut out = Vec::new();
     for (rank, tail) in run.trace_tails.iter().enumerate() {
         for ev in tail {
             out.push(format!("rank {rank}: {ev}"));
         }
+    }
+    if let Some(cp) = &run.critical_path {
+        out.push(cp.clone());
     }
     out
 }

@@ -552,6 +552,48 @@ mod tests {
     }
 
     #[test]
+    fn every_variant_round_trips_through_exporters() {
+        // One representative event per variant (sample_events' match in
+        // TraceEvent::kind is exhaustive, so a new variant breaks the
+        // build before it can ship without exporter coverage here).
+        let events = TraceEvent::sample_events();
+        let traces = vec![events.clone()];
+
+        // JSONL: every line validates and carries its variant's wire name.
+        let text = jsonl_events(&traces);
+        let check = validate_jsonl(&text).expect("all variants validate");
+        assert_eq!(check.lines, events.len());
+        for (line, e) in text.lines().zip(&events) {
+            assert_eq!(field(line, "type"), Some(e.kind()), "line: {line}");
+        }
+
+        // The sample kinds cover the validator's full type registry —
+        // no known type without a sample, no sample the checker rejects.
+        let mut kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        let mut known = KNOWN_TYPES.to_vec();
+        known.sort_unstable();
+        assert_eq!(kinds, known);
+
+        // Chrome trace: spans appear as complete events, every other
+        // variant as a named instant.
+        let json = chrome_trace_json(&traces);
+        for e in &events {
+            match e {
+                TraceEvent::SpanBegin { .. } => assert!(json.contains("\"ph\":\"X\"")),
+                TraceEvent::SpanEnd { .. } => {}
+                TraceEvent::Fault { .. } => assert!(json.contains("\"name\":\"fault:drop\"")),
+                other => assert!(
+                    json.contains(&format!("\"name\":\"{}\"", other.kind())),
+                    "chrome trace missing instant for {}",
+                    other.kind()
+                ),
+            }
+        }
+    }
+
+    #[test]
     fn validator_rejects_garbage() {
         assert!(validate_jsonl("").is_err());
         assert!(validate_jsonl("not json\n").is_err());

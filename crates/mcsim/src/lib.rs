@@ -49,6 +49,7 @@
 // this numerical code.
 #![allow(clippy::needless_range_loop)]
 
+pub mod analyze;
 pub mod collectives;
 pub mod endpoint;
 pub mod error;
@@ -69,6 +70,7 @@ pub mod trace;
 pub mod wire;
 pub mod world;
 
+pub use analyze::{analyze, match_sends, CriticalPathReport, RecvMatch, SendInfo, TransferPath};
 pub use endpoint::Endpoint;
 pub use error::SimError;
 pub use export::{chrome_trace_json, jsonl_events, validate_jsonl, TraceCheck};

@@ -19,8 +19,23 @@ use crate::span::pair_spans;
 use crate::stats::NetStats;
 use crate::trace::TraceEvent;
 
-/// A simple summary histogram over virtual-time samples (seconds).
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+/// Number of logarithmic buckets ([`HIST_PER_OCTAVE`] per factor of 2).
+pub const HIST_BUCKETS: usize = 160;
+/// Lower edge of bucket 0 (seconds): 1 ns — the virtual clock's natural
+/// resolution.  160 buckets at 4/octave span 1 ns … ~1100 s.
+pub const HIST_V0: f64 = 1e-9;
+/// Buckets per octave (~19% bucket width — fine enough for p99 reads).
+pub const HIST_PER_OCTAVE: u32 = 4;
+
+/// A log-bucketed summary histogram over virtual-time samples (seconds).
+///
+/// Alongside exact `count`/`sum`/`min`/`max`, samples land in one of
+/// [`HIST_BUCKETS`] logarithmic buckets ([`HIST_PER_OCTAVE`] per factor
+/// of 2 starting at [`HIST_V0`]), so [`Histogram::quantile`] reads
+/// p50/p95/p99 with ~19% relative resolution.  Samples at or below 0
+/// (and below `HIST_V0`) count in bucket 0; samples beyond the top edge
+/// clamp into the last bucket.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     /// Number of samples.
     pub count: u64,
@@ -30,9 +45,36 @@ pub struct Histogram {
     pub min: f64,
     /// Largest sample (0 when empty).
     pub max: f64,
+    buckets: [u32; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
 }
 
 impl Histogram {
+    /// Index of the bucket a sample lands in.
+    fn bucket_index(v: f64) -> usize {
+        if v.is_nan() || v <= HIST_V0 {
+            return 0;
+        }
+        let idx = ((v / HIST_V0).log2() * HIST_PER_OCTAVE as f64).ceil() as isize;
+        idx.clamp(0, HIST_BUCKETS as isize - 1) as usize
+    }
+
+    /// Upper edge of bucket `i` (seconds).
+    fn bucket_edge(i: usize) -> f64 {
+        HIST_V0 * 2f64.powf(i as f64 / HIST_PER_OCTAVE as f64)
+    }
+
     /// Add one sample.
     pub fn record(&mut self, v: f64) {
         if self.count == 0 {
@@ -44,6 +86,7 @@ impl Histogram {
         }
         self.count += 1;
         self.sum += v;
+        self.buckets[Self::bucket_index(v)] += 1;
     }
 
     /// Arithmetic mean (0 when empty).
@@ -53,6 +96,49 @@ impl Histogram {
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]` (0 when empty).
+    ///
+    /// Reads the upper edge of the bucket holding the `ceil(q·count)`-th
+    /// sample, clamped into the exact `[min, max]` envelope; the
+    /// endpoints are exact (`quantile(0.0) == min`,
+    /// `quantile(1.0) == max`), interior quantiles are within one
+    /// bucket (~19%), and single-sample histograms are exact.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c as u64;
+            if seen >= rank {
+                return Self::bucket_edge(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
     }
 }
 
@@ -193,12 +279,15 @@ impl MetricsRegistry {
             .collect();
         for (k, h) in &self.histograms {
             out.push(format!(
-                "{k} count={} sum={:.9} min={:.9} max={:.9} mean={:.9}",
+                "{k} count={} sum={:.9} min={:.9} max={:.9} mean={:.9} p50={:.9} p95={:.9} p99={:.9}",
                 h.count,
                 h.sum,
                 h.min,
                 h.max,
-                h.mean()
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99()
             ));
         }
         out
@@ -221,6 +310,62 @@ mod tests {
         assert_eq!(h.min, 2.0);
         assert_eq!(h.max, 4.0);
         assert_eq!(h.mean(), 3.0);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_nans() {
+        let h = Histogram::default();
+        assert_eq!(h.mean(), 0.0);
+        assert!(!h.mean().is_nan());
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.p99(), 0.0);
+        assert_eq!(h.min, 0.0);
+        assert_eq!(h.max, 0.0);
+    }
+
+    #[test]
+    fn quantiles_read_log_buckets() {
+        let mut h = Histogram::default();
+        // 100 samples: 1ms ×90, 100ms ×9, 1s ×1.
+        for _ in 0..90 {
+            h.record(1e-3);
+        }
+        for _ in 0..9 {
+            h.record(0.1);
+        }
+        h.record(1.0);
+        assert_eq!(h.count, 100);
+        // ~19% bucket resolution: p50 near 1ms, p95 near 100ms, p99
+        // near 100ms (the 99th sample), p100 exactly max.
+        assert!((h.p50() - 1e-3).abs() / 1e-3 < 0.2, "p50={}", h.p50());
+        assert!((h.p95() - 0.1).abs() / 0.1 < 0.2, "p95={}", h.p95());
+        assert!((h.p99() - 0.1).abs() / 0.1 < 0.2, "p99={}", h.p99());
+        assert_eq!(h.quantile(1.0), 1.0);
+        assert_eq!(h.quantile(0.0), h.min);
+    }
+
+    #[test]
+    fn quantile_clamps_to_envelope() {
+        let mut h = Histogram::default();
+        h.record(3.5e-4);
+        // Single sample: every quantile is exactly that sample.
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 3.5e-4);
+        }
+        // Out-of-range and sub-resolution samples stay finite.
+        let mut tiny = Histogram::default();
+        tiny.record(0.0);
+        tiny.record(-1.0);
+        tiny.record(1e20);
+        assert!(tiny.quantile(0.5).is_finite());
+        assert_eq!(tiny.quantile(1.0), 1e20);
+        assert_eq!(tiny.min, -1.0);
+    }
+
+    #[test]
+    fn share_is_none_without_phase_time_never_nan() {
+        let m = MetricsRegistry::default();
+        assert!(m.inspector_executor_share().is_none());
     }
 
     #[test]

@@ -321,6 +321,22 @@ impl NetStats {
     pub fn total_bytes(&self) -> u64 {
         self.bytes.iter().flatten().sum()
     }
+
+    /// Every link that carried traffic, as `(src, dst, msgs, bytes)` in
+    /// `(src, dst)` order — what the critical-path analyzer joins its
+    /// per-link wire attribution against.
+    pub fn active_links(&self) -> Vec<(usize, usize, u64, u64)> {
+        let mut out = Vec::new();
+        for (src, row) in self.msgs.iter().enumerate() {
+            for (dst, &n) in row.iter().enumerate() {
+                if n > 0 {
+                    let b = self.bytes.get(src).and_then(|r| r.get(dst)).copied();
+                    out.push((src, dst, n, b.unwrap_or(0)));
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -381,6 +397,7 @@ mod tests {
         assert_eq!(n.total_bytes(), 10);
         assert_eq!(n.msgs[0][1], 1);
         assert_eq!(n.msgs[1][0], 1);
+        assert_eq!(n.active_links(), vec![(0, 1, 1, 7), (1, 0, 1, 3)]);
     }
 
     #[test]

@@ -208,6 +208,120 @@ impl TraceEvent {
     pub fn is_send(&self) -> bool {
         matches!(self, TraceEvent::Send { .. })
     }
+
+    /// The event's wire-format type name — the `"type"` field the JSONL
+    /// exporter writes.  Exhaustive by construction: adding a variant
+    /// without extending the exporters fails to compile here first.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Send { .. } => "send",
+            TraceEvent::Recv { .. } => "recv",
+            TraceEvent::Fault { .. } => "fault",
+            TraceEvent::Retransmit { .. } => "retransmit",
+            TraceEvent::WindowAdvance { .. } => "window_advance",
+            TraceEvent::WindowStall { .. } => "window_stall",
+            TraceEvent::RetransmitBurst { .. } => "retransmit_burst",
+            TraceEvent::SpanBegin { .. } => "span_begin",
+            TraceEvent::SpanEnd { .. } => "span_end",
+            TraceEvent::Mark { .. } => "mark",
+            TraceEvent::Heartbeat { .. } => "heartbeat",
+            TraceEvent::LeaseExpired { .. } => "lease_expired",
+            TraceEvent::Recovered { .. } => "recovered",
+            TraceEvent::PartReplayed { .. } => "part_replayed",
+        }
+    }
+
+    /// One representative event per variant, in declaration order — the
+    /// exporter-coverage tests iterate this so a new variant cannot ship
+    /// without JSONL and chrome-trace coverage (this function's `match`
+    /// in [`Self::kind`] breaks first, then the round-trip test).
+    pub fn sample_events() -> Vec<TraceEvent> {
+        let tag = Tag::user(3);
+        vec![
+            TraceEvent::Send {
+                at: 0.1,
+                to: 1,
+                tag,
+                bytes: 64,
+                arrival: 0.2,
+            },
+            TraceEvent::Recv {
+                at: 0.2,
+                from: 0,
+                tag,
+                bytes: 64,
+                waited: 0.05,
+            },
+            TraceEvent::Fault {
+                at: 0.3,
+                kind: FaultKind::Drop,
+                to: 1,
+                tag,
+                bytes: 64,
+            },
+            TraceEvent::Retransmit {
+                at: 0.4,
+                to: 1,
+                tag,
+                seq: 7,
+                attempt: 1,
+            },
+            TraceEvent::WindowAdvance {
+                at: 0.5,
+                to: 1,
+                tag,
+                acked: 7,
+                inflight: 3,
+            },
+            TraceEvent::WindowStall {
+                at: 0.6,
+                to: 1,
+                tag,
+                inflight: 64,
+                bytes: 1 << 20,
+            },
+            TraceEvent::RetransmitBurst {
+                at: 0.7,
+                to: 1,
+                tag,
+                frames: 5,
+            },
+            TraceEvent::SpanBegin {
+                at: 0.8,
+                id: SpanId(1),
+                parent: None,
+                phase: Phase::Transfer,
+                detail: "seq=1".to_string(),
+            },
+            TraceEvent::SpanEnd {
+                at: 0.9,
+                id: SpanId(1),
+            },
+            TraceEvent::Mark {
+                at: 1.0,
+                label: "cache=hit".to_string(),
+            },
+            TraceEvent::Heartbeat {
+                at: 1.1,
+                incarnation: 2,
+            },
+            TraceEvent::LeaseExpired {
+                at: 1.2,
+                rank: 1,
+                incarnation: 2,
+            },
+            TraceEvent::Recovered {
+                at: 1.3,
+                rank: 0,
+                incarnation: 3,
+            },
+            TraceEvent::PartReplayed {
+                at: 1.4,
+                from: 1,
+                parts: 4,
+            },
+        ]
+    }
 }
 
 /// Summary statistics over a trace.

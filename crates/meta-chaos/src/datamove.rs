@@ -817,7 +817,9 @@ where
     // wire buffers themselves, so this is the same single unpack as the
     // streaming path — deferred, not duplicated.  Each part unpacks into
     // its slice of the pair's destination runs.
-    let commit = ep.span_begin(Phase::Commit, || format!("pairs={}", sched.recvs.len()));
+    let commit = ep.span_begin(Phase::Commit, || {
+        format!("seq={} pairs={}", sched.seq(), sched.recvs.len())
+    });
     let mut committed = Ok(());
     'commit: for ((peer, runs), parts) in sched.recvs.iter().zip(staged) {
         let mut cursor = 0usize;
@@ -911,7 +913,9 @@ fn stage_halves(
     // Per pair: the ordered list of staged part buffers for its half.
     let mut staged: Vec<Vec<Vec<u8>>> = Vec::with_capacity(sched.recvs.len());
     let mut fail: Option<McError> = None;
-    let stage = ep.span_begin(Phase::Stage, || format!("pairs={}", sched.recvs.len()));
+    let stage = ep.span_begin(Phase::Stage, || {
+        format!("seq={} pairs={}", sched.seq(), sched.recvs.len())
+    });
     'pairs: for (i, (peer, runs)) in sched.recvs.iter().enumerate() {
         let pg = group.global(*peer);
         let mut parts: Vec<Vec<u8>> = Vec::new();
@@ -982,7 +986,9 @@ fn stage_halves(
     ep.span_end(stage);
     if let Some(e) = fail {
         let total: usize = staged.iter().map(Vec::len).sum();
-        let abort = ep.span_begin(Phase::Abort, || format!("staged={total}"));
+        let abort = ep.span_begin(Phase::Abort, || {
+            format!("seq={} staged={total}", sched.seq())
+        });
         for b in staged.into_iter().flatten() {
             ep.recycle_buf(b);
         }
@@ -1007,14 +1013,16 @@ where
         // Encode the `Vec<T>` wire layout directly: count header, then the
         // source elements packed straight into a pooled wire buffer — one
         // copy, no intermediate typed buffer.
-        let pack = comm
-            .ep()
-            .span_begin(Phase::Pack, || format!("peer={peer} runs={}", runs.len()));
+        let pack = comm.ep().span_begin(Phase::Pack, || {
+            format!("seq={} peer={peer} runs={}", sched.seq(), runs.len())
+        });
         let mut buf = comm.ep().take_buf();
         runs.len().write(&mut buf);
         src.pack_runs_wire(comm.ep(), runs, &mut buf);
         comm.ep().span_end(pack);
-        let wire = comm.ep().span_begin(Phase::Wire, || format!("peer={peer}"));
+        let wire = comm
+            .ep()
+            .span_begin(Phase::Wire, || format!("seq={} peer={peer}", sched.seq()));
         comm.send(*peer, t, buf);
         comm.ep().span_end(wire);
     }

@@ -18,7 +18,9 @@
 //! dump rides next to it, not inside it.
 
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 
+use mcsim::analyze::CriticalPathReport;
 use mcsim::export::jsonl_line;
 use mcsim::prelude::Endpoint;
 use mcsim::trace::TraceEvent;
@@ -58,6 +60,62 @@ impl AbortReport {
         }
         out
     }
+}
+
+/// Critical-path attribution folded up to *library pairs* — the paper's
+/// unit of interoperability (Multiblock↔HPF, …).  A thin layer over
+/// [`mcsim::analyze`]: the simulator only knows ranks, so the caller
+/// supplies the rank→library labeling (the bench and fuzz harnesses
+/// know which ranks run which library).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PairAttribution {
+    /// Per (source library, destination library): critical-path seconds
+    /// per taxonomy phase, summed over the transfers whose path ran
+    /// from a rank of the first library to a rank of the second.
+    pub pairs: BTreeMap<(String, String), BTreeMap<&'static str, f64>>,
+    /// Per (source library, destination library): wire + retransmit
+    /// seconds on the critical path, folded from the per-link table.
+    pub link_wire: BTreeMap<(String, String), f64>,
+}
+
+impl PairAttribution {
+    /// Human-readable `src->dst phase seconds` lines, pair-ordered.
+    pub fn lines(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for ((src, dst), phases) in &self.pairs {
+            for (phase, secs) in phases {
+                out.push(format!("{src}->{dst} {phase} {secs:.9}"));
+            }
+        }
+        for ((src, dst), secs) in &self.link_wire {
+            out.push(format!("{src}->{dst} link_wire {secs:.9}"));
+        }
+        out
+    }
+}
+
+/// Fold a run's critical-path report up to library pairs.  `lib_of`
+/// labels each global rank with the library it runs; a transfer's
+/// phases are attributed to the (start-rank library, end-rank library)
+/// pair its critical path connected.
+pub fn attribute_pairs(
+    report: &CriticalPathReport,
+    lib_of: impl Fn(usize) -> String,
+) -> PairAttribution {
+    let mut out = PairAttribution::default();
+    for t in &report.transfers {
+        let key = (lib_of(t.start_rank), lib_of(t.end_rank));
+        let acc = out.pairs.entry(key).or_default();
+        for (phase, secs) in &t.phases {
+            *acc.entry(phase).or_insert(0.0) += secs;
+        }
+    }
+    for ((src, dst), secs) in &report.per_link {
+        *out.link_wire
+            .entry((lib_of(*src), lib_of(*dst)))
+            .or_insert(0.0) += secs;
+    }
+    out
 }
 
 thread_local! {
@@ -122,6 +180,44 @@ mod tests {
         assert!(text.contains("boom"));
         assert!(text.contains("span_end"));
         assert!(text.contains("abort error=boom"));
+    }
+
+    #[test]
+    fn pair_attribution_folds_ranks_to_libraries() {
+        use mcsim::analyze::TransferPath;
+        let mut report = CriticalPathReport::default();
+        let mut phases = BTreeMap::new();
+        phases.insert("pack", 1.0);
+        phases.insert("wire", 2.0);
+        report.transfers.push(TransferPath {
+            seq: 1,
+            occurrence: 0,
+            span_begin: 0.0,
+            start: 0.0,
+            end: 3.0,
+            end_rank: 2,
+            start_rank: 0,
+            hops: 1,
+            segments: 2,
+            phases,
+        });
+        report.per_link.insert((0, 2), 2.0);
+        let lib = |r: usize| {
+            if r < 2 {
+                "multiblock".to_string()
+            } else {
+                "hpf".to_string()
+            }
+        };
+        let pa = attribute_pairs(&report, lib);
+        let key = ("multiblock".to_string(), "hpf".to_string());
+        assert!((pa.pairs[&key]["wire"] - 2.0).abs() < 1e-12);
+        assert!((pa.pairs[&key]["pack"] - 1.0).abs() < 1e-12);
+        assert!((pa.link_wire[&key] - 2.0).abs() < 1e-12);
+        assert!(pa
+            .lines()
+            .iter()
+            .any(|l| l.starts_with("multiblock->hpf wire")));
     }
 
     #[test]

@@ -314,7 +314,9 @@ impl RecoverySession {
             let pg = group.global(*peer);
             match stage_session_half(ep, sched, pg, runs, k, c[i]) {
                 Ok(parts) => {
-                    let span = ep.span_begin(Phase::Commit, || format!("peer={pg} step={k}"));
+                    let span = ep.span_begin(Phase::Commit, || {
+                        format!("seq={} peer={pg} step={k}", sched.seq())
+                    });
                     let cr = commit_one_half(ep, dst, pg, runs, parts);
                     ep.span_end(span);
                     match cr {
@@ -511,7 +513,9 @@ where
             continue;
         }
         let pg = group.global(*peer);
-        let span = ep.span_begin(Phase::Manifest, || format!("confirm peer={pg} step={k}"));
+        let span = ep.span_begin(Phase::Manifest, || {
+            format!("confirm seq={} peer={pg} step={k}", sched.seq())
+        });
         let rr = await_pos(ep, pg, st, k, &mut s[i]);
         ep.span_end(span);
         if let Err(e) = rr {
@@ -643,7 +647,9 @@ fn stage_session_half(
 ) -> Result<Vec<Vec<u8>>, McError> {
     let st = move_stream(sched);
     let esz = sched.elem_size() as usize;
-    let span = ep.span_begin(Phase::Stage, || format!("peer={pg} step={k}"));
+    let span = ep.span_begin(Phase::Stage, || {
+        format!("seq={} peer={pg} step={k}", sched.seq())
+    });
     let r = stage_session_loop(ep, st, esz, pg, runs, k, pos);
     ep.span_end(span);
     r

@@ -112,4 +112,22 @@ awk -v s="$current_speedup" 'BEGIN {
   exit 1
 }
 
+# Critical-path attribution gate: `repro analyze` reconstructs the causal
+# DAG of a traced coupled run, walks the critical path of every transfer,
+# and self-checks that the per-phase attribution tiles the end-to-end
+# virtual time exactly (exit 1 on residue).  The fresh attribution is then
+# trace-diffed against the committed baseline: any taxonomy phase — and
+# the combined wire+window_stall transport time in particular — growing
+# >25% in critical-path seconds fails the build.  The virtual clock makes
+# identical runs bit-identical, so a clean tree diffs to exactly zero.
+echo "== critical-path attribution =="
+attr_tmp="$(mktemp -t mc_attr.XXXXXX.json)"
+trap 'rm -f "$trace_tmp" "$baseline_json" "$attr_tmp"' EXIT
+cargo run --release -p bench --bin repro -- analyze --n 4096 --reps 2 --out "$attr_tmp"
+echo "== trace-diff vs baseline =="
+cargo run --release -p bench --bin repro -- trace-diff BENCH_critical_path.json "$attr_tmp" --threshold 0.25 || {
+  echo "trace-diff gate: critical-path attribution regressed vs BENCH_critical_path.json" >&2
+  exit 1
+}
+
 echo "verify: all checks passed"

@@ -55,6 +55,31 @@ fn corpus_replays_clean() {
 }
 
 #[test]
+fn corpus_post_mortem_carries_critical_path_summary() {
+    // Replaying a corpus entry must produce a post-mortem that embeds
+    // the one-paragraph critical-path summary, and that summary must be
+    // self-consistent (its built-in attribution tiling check passed and
+    // every recv was causally matched to a send copy).
+    let path = corpus_dir().join("same-prog-bumps-hpf-to-hpf.json");
+    let text = std::fs::read_to_string(&path).expect("readable corpus file");
+    let sc = fuzz::parse_repro(&text).expect("parseable");
+    let run = fuzz::exec::run_scenario(&sc, false, false);
+    let cp = run
+        .critical_path
+        .as_deref()
+        .expect("traced replay records transfer spans");
+    assert!(cp.starts_with("critical path:"), "summary: {cp}");
+    assert!(cp.contains("attribution=ok"), "summary: {cp}");
+    assert!(cp.contains("dominant bottleneck"), "summary: {cp}");
+    let pm = fuzz::oracle::post_mortem(&run);
+    assert_eq!(
+        pm.last().map(String::as_str),
+        Some(cp),
+        "post-mortem must end with the critical-path paragraph"
+    );
+}
+
+#[test]
 fn corpus_scenarios_replay_deterministically() {
     // A corpus entry must also round-trip: serializing the parsed
     // scenario and parsing it back yields the same scenario, so repros
