@@ -23,6 +23,7 @@ pub mod executor;
 pub mod meshes;
 pub mod regular;
 pub mod report;
+pub mod scaling;
 pub mod traced;
 
 /// Convert simulated seconds to the milliseconds the paper reports.

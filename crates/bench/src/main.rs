@@ -18,6 +18,7 @@ use bench::executor::{executor_micro, recovery_settle_micro, wire_throughput_mic
 use bench::meshes::{table1, table2, table34};
 use bench::regular::table5;
 use bench::report::{fmt_ms, write_json_report, JsonValue};
+use bench::scaling::{scaling_point, sublinear};
 use bench::traced::{traced_coupled_run, traced_coupled_run_scaled};
 
 fn arg(args: &[String], name: &str, default: usize) -> usize {
@@ -66,6 +67,10 @@ fn usage() -> ! {
            trace-diff BASELINE CURRENT [--threshold T]  compare two\n\
                     attribution files; exit 1 when any phase's critical-\n\
                     path seconds grew past T (default 0.25 = +25%)\n\
+           scaling  [--n N] [--procs 64,256,1024] [--out FILE]\n\
+                    M:N-runner scaling curve: inspector build, coupled\n\
+                    transfer settle, and HPF redistribution per P;\n\
+                    writes BENCH_scaling.json (or FILE)\n\
            all                                         every table at paper size\n\
            list                                        this message"
     );
@@ -471,6 +476,75 @@ fn main() {
                     if d.regressions.len() == 1 { "y" } else { "ies" },
                     threshold * 100.0
                 );
+                std::process::exit(1);
+            }
+        }
+        "scaling" => {
+            let n = arg(&args, "--n", 1 << 15);
+            let procs_spec = arg_str(&args, "--procs", "64,256,1024");
+            let out_path = arg_str(&args, "--out", "BENCH_scaling.json");
+            let procs: Vec<usize> = procs_spec
+                .split(',')
+                .map(|p| p.trim().parse().unwrap_or_else(|_| panic!("bad --procs")))
+                .collect();
+            let mut points = Vec::new();
+            println!(
+                "{:>6} {:>14} {:>14} {:>14} {:>12} {:>12} {:>12}",
+                "P",
+                "inspector vms",
+                "transfer vms",
+                "redist vms",
+                "insp wall",
+                "xfer wall",
+                "redist wall"
+            );
+            for &p in &procs {
+                let pt = scaling_point(p, n);
+                println!(
+                    "{:>6} {:>14} {:>14} {:>14} {:>9} ms {:>9} ms {:>9} ms",
+                    pt.procs,
+                    fmt_ms(pt.inspector_virtual_ms),
+                    fmt_ms(pt.transfer_virtual_ms),
+                    fmt_ms(pt.redist_virtual_ms),
+                    fmt_ms(pt.inspector_wall_ms),
+                    fmt_ms(pt.transfer_wall_ms),
+                    fmt_ms(pt.redist_wall_ms)
+                );
+                points.push(pt);
+            }
+            let sub = sublinear(&points);
+            println!(
+                "simulated inspector+executor sub-linear in P: {}",
+                if sub { "yes" } else { "NO" }
+            );
+            let mut fields = vec![
+                ("bench", JsonValue::Str("scaling".into())),
+                ("elements", JsonValue::Int(n as u64)),
+                ("sublinear", JsonValue::Int(u64::from(sub))),
+            ];
+            let keyed: Vec<(String, f64)> = points
+                .iter()
+                .flat_map(|pt| {
+                    let p = pt.procs;
+                    vec![
+                        (
+                            format!("p{p}_inspector_virtual_ms"),
+                            pt.inspector_virtual_ms,
+                        ),
+                        (format!("p{p}_transfer_virtual_ms"), pt.transfer_virtual_ms),
+                        (format!("p{p}_redist_virtual_ms"), pt.redist_virtual_ms),
+                        (format!("p{p}_inspector_wall_ms"), pt.inspector_wall_ms),
+                        (format!("p{p}_transfer_wall_ms"), pt.transfer_wall_ms),
+                        (format!("p{p}_redist_wall_ms"), pt.redist_wall_ms),
+                    ]
+                })
+                .collect();
+            for (k, v) in &keyed {
+                fields.push((k.as_str(), JsonValue::Num(*v)));
+            }
+            write_json_report(&out_path, &fields).expect("write scaling report");
+            println!("wrote {out_path}");
+            if !sub {
                 std::process::exit(1);
             }
         }

@@ -35,10 +35,9 @@ pub struct CommSchedule {
     seq: u32,
 }
 
-use std::cell::Cell;
-thread_local! {
-    static GATHER_SEQ: Cell<u32> = const { Cell::new(0) };
-}
+/// Scratch key of the per-rank gather-schedule sequence counter (see
+/// [`mcsim::Endpoint::next_seq`]).
+const GATHER_SEQ_KEY: u32 = 0x4741_5351; // "GASQ"
 
 impl CommSchedule {
     /// Inspector: localize `globals` (arbitrary global indices into the
@@ -95,11 +94,7 @@ impl CommSchedule {
         let send_addrs = comm.alltoallv_t(ghost_addrs);
 
         let resolved = globals.iter().map(|g| uniq_resolved[index_of[g]]).collect();
-        let seq = GATHER_SEQ.with(|c| {
-            let v = c.get();
-            c.set(v.wrapping_add(1));
-            v
-        });
+        let seq = comm.ep().next_seq(GATHER_SEQ_KEY);
         CommSchedule {
             resolved,
             send_addrs,

@@ -15,8 +15,6 @@
 //! which is why the paper's Table 2 shows the two close together with
 //! cooperation slightly above.
 
-use std::cell::Cell;
-
 use mcsim::group::Comm;
 use mcsim::wire::Wire;
 
@@ -25,9 +23,9 @@ use meta_chaos::schedule::Schedule;
 use crate::array::IrregArray;
 use crate::ttable::TranslationTable;
 
-thread_local! {
-    static CHAOS_SEQ: Cell<u32> = const { Cell::new(0) };
-}
+/// Scratch key of the per-rank Chaos schedule sequence counter (see
+/// [`mcsim::Endpoint::next_seq`]).
+const CHAOS_SEQ_KEY: u32 = 0x4348_5351; // "CHSQ"
 
 /// Build the Chaos schedule for `dst[dst_map[k]] = src[src_map[k]]`
 /// (global index lists of equal length, replicated program-wide).
@@ -100,11 +98,7 @@ pub fn build_chaos_copy_schedule(
         sends[d] = list;
     }
 
-    let seq = CHAOS_SEQ.with(|c| {
-        let v = c.get();
-        c.set(v.wrapping_add(1));
-        v
-    });
+    let seq = comm.ep().next_seq(CHAOS_SEQ_KEY);
     Schedule::new(
         comm.group().clone(),
         0x0200_0000 | seq,

@@ -24,20 +24,32 @@ const DEADLINE_SECS: f64 = 60.0;
 
 /// Generate the scenario for `seed`, library pair included.
 pub fn generate(seed: u64) -> Scenario {
+    generate_sized(seed, false)
+}
+
+/// [`generate`] with a size class: `wide` worlds hold 8 or 16 ranks
+/// total (the cooperative-scheduler soak sizes), with shapes enlarged so
+/// every random distribution still gives each rank at least one row.
+pub fn generate_sized(seed: u64, wide: bool) -> Scenario {
     let mut rng = Rng::seed_from_u64(seed);
     let src = LibKind::ALL[rng.gen_range(4)];
     let dst = LibKind::ALL[rng.gen_range(4)];
-    gen_with(&mut rng, seed, src, dst)
+    gen_with(&mut rng, seed, src, dst, wide)
 }
 
 /// Generate the scenario for `seed` with a forced library pair (the
 /// `--matrix` sweep drives all 16 combinations this way).
 pub fn generate_pair(seed: u64, src: LibKind, dst: LibKind) -> Scenario {
+    generate_pair_sized(seed, src, dst, false)
+}
+
+/// [`generate_pair`] with the `wide` size class (see [`generate_sized`]).
+pub fn generate_pair_sized(seed: u64, src: LibKind, dst: LibKind, wide: bool) -> Scenario {
     let mut rng = Rng::seed_from_u64(seed);
     // Burn the two draws `generate` would use, keeping streams aligned.
     let _ = rng.gen_range(4);
     let _ = rng.gen_range(4);
-    gen_with(&mut rng, seed, src, dst)
+    gen_with(&mut rng, seed, src, dst, wide)
 }
 
 /// Generate a recovery scenario for `seed`: a coupled multi-move run
@@ -50,8 +62,8 @@ pub fn gen_recovery(seed: u64) -> Scenario {
     let src_kind = LibKind::ALL[rng.gen_range(4)];
     let dst_kind = LibKind::ALL[rng.gen_range(4)];
     let (procs_src, procs_dst) = (1 + rng.gen_range(3), 1 + rng.gen_range(3));
-    let src_shape = gen_shape(&mut rng, src_kind);
-    let dst_shape = gen_shape(&mut rng, dst_kind);
+    let src_shape = gen_shape(&mut rng, src_kind, false);
+    let dst_shape = gen_shape(&mut rng, dst_kind, false);
     let dst_set = gen_dst_regions(&mut rng, dst_kind, &dst_shape);
     let src_set = gen_src_regions(&mut rng, src_kind, &src_shape, dst_set.total());
     let steps = vec![Step::Move; 1 + rng.gen_range(3)];
@@ -106,11 +118,18 @@ pub fn gen_recovery(seed: u64) -> Scenario {
     }
 }
 
-fn gen_shape(rng: &mut Rng, kind: LibKind) -> Vec<usize> {
+fn gen_shape(rng: &mut Rng, kind: LibKind, wide: bool) -> Vec<usize> {
+    // Wide worlds (8/16 ranks per program side) need every dimension to
+    // seat the largest grid a random distribution can draw, so the
+    // minimum side grows with the size class.
+    let floor = if wide { 16 } else { 0 };
     if kind.uses_sections() && rng.gen_f64() < 0.5 {
-        vec![4 + rng.gen_range(9), 4 + rng.gen_range(9)]
+        vec![
+            floor.max(4) + rng.gen_range(9),
+            floor.max(4) + rng.gen_range(9),
+        ]
     } else {
-        vec![8 + rng.gen_range(89)]
+        vec![floor.max(8) + rng.gen_range(89)]
     }
 }
 
@@ -230,19 +249,35 @@ fn gen_src_regions(rng: &mut Rng, kind: LibKind, shape: &[usize], total: usize) 
     }
 }
 
-fn gen_with(rng: &mut Rng, seed: u64, src_kind: LibKind, dst_kind: LibKind) -> Scenario {
+fn gen_with(
+    rng: &mut Rng,
+    seed: u64,
+    src_kind: LibKind,
+    dst_kind: LibKind,
+    wide: bool,
+) -> Scenario {
     // Decide faults first: they constrain topology and the step script.
     let with_fault = rng.gen_f64() < 0.4;
     let coupled = with_fault || rng.gen_f64() < 0.5;
     let (procs_src, procs_dst) = if coupled {
-        (1 + rng.gen_range(3), 1 + rng.gen_range(3))
+        if wide {
+            // Soak the cooperative scheduler at P in {8, 16}: equal
+            // halves so both programs feel the width.
+            let half = if rng.gen_range(2) == 0 { 4 } else { 8 };
+            (half, half)
+        } else {
+            (1 + rng.gen_range(3), 1 + rng.gen_range(3))
+        }
+    } else if wide {
+        let p = if rng.gen_range(2) == 0 { 8 } else { 16 };
+        (p, p)
     } else {
         let p = 2 + rng.gen_range(3);
         (p, p)
     };
 
-    let src_shape = gen_shape(rng, src_kind);
-    let dst_shape = gen_shape(rng, dst_kind);
+    let src_shape = gen_shape(rng, src_kind, wide);
+    let dst_shape = gen_shape(rng, dst_kind, wide);
     let dst_set = gen_dst_regions(rng, dst_kind, &dst_shape);
     let src_set = gen_src_regions(rng, src_kind, &src_shape, dst_set.total());
 

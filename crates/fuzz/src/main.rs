@@ -17,7 +17,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use fuzz::gen::{gen_recovery, generate, generate_pair};
+use fuzz::gen::{gen_recovery, generate_pair_sized, generate_sized};
 use fuzz::json::{arr, obj, Value};
 use fuzz::oracle::{check, Failure};
 use fuzz::scenario::{LibKind, Scenario};
@@ -29,6 +29,7 @@ struct Opts {
     seed: u64,
     matrix: bool,
     recover: bool,
+    wide: bool,
     replay: Option<String>,
     dump: Option<u64>,
     budget: usize,
@@ -37,7 +38,7 @@ struct Opts {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fuzz [--iters N] [--seed S] [--matrix] [--recover] [--budget N] [--out DIR]\n       fuzz --replay FILE\n       fuzz --dump SEED   (print the generated scenario as JSON)\n\n--recover soaks crash-recovery scenarios: supervised worlds, scripted\nmid-transfer crashes, and the bit-identical convergence oracle."
+        "usage: fuzz [--iters N] [--seed S] [--matrix] [--recover] [--wide] [--budget N] [--out DIR]\n       fuzz --replay FILE\n       fuzz --dump SEED   (print the generated scenario as JSON)\n\n--recover soaks crash-recovery scenarios: supervised worlds, scripted\nmid-transfer crashes, and the bit-identical convergence oracle.\n--wide soaks 8- and 16-rank worlds through the cooperative scheduler."
     );
     std::process::exit(2);
 }
@@ -48,6 +49,7 @@ fn parse_opts() -> Opts {
         seed: mcsim::test_seed(),
         matrix: false,
         recover: false,
+        wide: false,
         replay: None,
         dump: None,
         budget: DEFAULT_BUDGET,
@@ -62,6 +64,7 @@ fn parse_opts() -> Opts {
             "--budget" => opts.budget = val("--budget").parse().unwrap_or_else(|_| usage()),
             "--matrix" => opts.matrix = true,
             "--recover" => opts.recover = true,
+            "--wide" => opts.wide = true,
             "--replay" => opts.replay = Some(val("--replay")),
             "--dump" => opts.dump = Some(val("--dump").parse().unwrap_or_else(|_| usage())),
             "--out" => opts.out_dir = PathBuf::from(val("--out")),
@@ -160,7 +163,7 @@ fn main() -> ExitCode {
     install_quiet_panic_hook();
 
     if let Some(s) = opts.dump {
-        let sc = generate(s);
+        let sc = generate_sized(s, opts.wide);
         eprintln!("{}", sc.label());
         println!("{}", sc.to_json());
         return ExitCode::SUCCESS;
@@ -227,9 +230,9 @@ fn main() -> ExitCode {
             gen_recovery(s)
         } else if opts.matrix {
             let (src, dst) = pairs[i % pairs.len()];
-            generate_pair(s, src, dst)
+            generate_pair_sized(s, src, dst, opts.wide)
         } else {
-            generate(s)
+            generate_sized(s, opts.wide)
         };
         if let Some(failure) = check(&sc) {
             return report_failure(&opts, &sc, failure);

@@ -42,6 +42,7 @@
 use std::collections::{BTreeMap, HashMap};
 
 use crate::metrics::Histogram;
+use crate::model::{LinkId, MachineModel, Topology};
 use crate::span::{pair_spans, PairedSpan, Phase};
 use crate::trace::{FaultKind, TraceEvent};
 
@@ -711,6 +712,45 @@ pub fn analyze(traces: &[Vec<TraceEvent>]) -> CriticalPathReport {
         });
     }
     report
+}
+
+/// Load on one directed physical link of a [`Topology`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LinkLoad {
+    /// Messages that crossed the link.
+    pub msgs: u64,
+    /// Payload bytes serialized through it.
+    pub bytes: u64,
+    /// Seconds the link spent serializing those bytes
+    /// (`bytes * byte_wire_cost`).
+    pub wire_secs: f64,
+}
+
+/// Fold every traced `Send` onto the physical links its route crossed,
+/// producing the per-link load table of the run.  Self-sends and
+/// crossbar worlds contribute nothing (no shared links).  The hottest
+/// links are where a topology bottlenecks — compare against the same
+/// traffic on [`Topology::Crossbar`] to see what the interconnect
+/// shape costs.
+pub fn attribute_links(
+    traces: &[Vec<TraceEvent>],
+    topo: Topology,
+    model: &MachineModel,
+) -> BTreeMap<LinkId, LinkLoad> {
+    let mut out: BTreeMap<LinkId, LinkLoad> = BTreeMap::new();
+    for (rank, tl) in traces.iter().enumerate() {
+        for e in tl {
+            if let TraceEvent::Send { to, bytes, .. } = e {
+                for link in topo.route(rank, *to) {
+                    let l = out.entry(link).or_default();
+                    l.msgs += 1;
+                    l.bytes += *bytes as u64;
+                    l.wire_secs += *bytes as f64 * model.byte_wire_cost;
+                }
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]

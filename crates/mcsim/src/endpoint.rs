@@ -16,18 +16,20 @@
 //! * when the world carries a [`crate::fault::FaultPlan`], deterministic
 //!   fault injection on sends and scripted crashes on communication ops.
 
-use std::any::Any;
-use std::collections::VecDeque;
+use std::any::{Any, TypeId};
+use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
-use std::time::{Duration, Instant};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use crate::error::SimError;
 use crate::fault::{FaultPlan, FaultState};
 use crate::message::{Body, Message, Rank, DROP_PREFIX};
-use crate::model::MachineModel;
+use crate::model::{MachineModel, NetState};
 use crate::onesided::OnesidedState;
 use crate::recovery::{CkptStore, RecoveryConfig};
 use crate::reliable::{self, ReliableConfig, ReliableState};
+use crate::sched::{CoopHandle, ParkKind, WakeCause};
 use crate::span::{ObsState, Phase, SpanId};
 use crate::stats::StatsSnapshot;
 use crate::tag::Tag;
@@ -38,25 +40,33 @@ use crate::wire::Wire;
 /// dropped so a burst of large transfers cannot pin memory forever.
 const BUF_POOL_CAP: usize = 32;
 
-/// Real-time liveness cap used by [`Endpoint::recv_timeout`]: if no message
-/// arrives *physically* for this long, the virtual deadline is declared
-/// expired.  Virtual deadlines cannot fire on their own — the clock only
-/// moves when messages do — so this bounds the wait when the peer never
-/// sends at all (e.g. it already returned, or is itself blocked).
+/// Real-time liveness cap used by [`Endpoint::recv_timeout`] under the
+/// *threaded* runner: if no message arrives *physically* for this long,
+/// the virtual deadline is declared expired.  Virtual deadlines cannot
+/// fire on their own — the clock only moves when messages do — so this
+/// bounds the wait when the peer never sends at all (e.g. it already
+/// returned, or is itself blocked).  The cooperative runner replaces this
+/// with the scheduler's deterministic quiescence detection
+/// (see [`crate::sched`]).
 const RECV_TIMEOUT_REAL_CAP: Duration = Duration::from_millis(250);
 
 /// Real-time silence cap for blocking pumps when a world-level deadline is
-/// armed (see [`crate::world::World::with_deadline`]).  A rank blocked
-/// this long with nothing arriving is declared wedged: the virtual clock
-/// only moves when messages do, so physical silence is the only way a
-/// deadlocked run manifests.
+/// armed (see [`crate::world::World::with_deadline`]), threaded runner
+/// only.  A rank blocked this long with nothing arriving is declared
+/// wedged: the virtual clock only moves when messages do, so physical
+/// silence is the only way a deadlocked run manifests.  Cooperatively,
+/// quiescence is observed exactly instead of being inferred from wall
+/// time.
 const DEADLINE_REAL_CAP: Duration = Duration::from_millis(400);
 
 /// One rank's handle on the simulated machine.
 pub struct Endpoint {
     rank: Rank,
     world: usize,
-    senders: Vec<Sender<Message>>,
+    /// Shared send side of every rank's mailbox.  One `Arc` per endpoint
+    /// instead of one `Sender` clone per (rank, peer) pair keeps world
+    /// construction O(P) rather than O(P²) in memory.
+    senders: Arc<Vec<Sender<Message>>>,
     rx: Receiver<Message>,
     /// Messages received from the channel but not yet matched by a `recv`.
     pub(crate) stash: VecDeque<Message>,
@@ -95,9 +105,15 @@ pub struct Endpoint {
     incarnation: u64,
     /// Highest incarnation observed per peer (via heartbeats).
     peer_inc: Vec<u64>,
-    /// Last *real* time a frame from each peer was routed — the lease
-    /// detector's liveness evidence.
-    peer_seen: Vec<Instant>,
+    /// Monotone count of messages this endpoint has routed, used to stamp
+    /// `peer_seen`.  A logical counter instead of wall-clock `Instant`s:
+    /// the lease detector's "have I heard from this peer since I last
+    /// looked?" question needs order, not time, and a logical stamp is
+    /// deterministic under the cooperative scheduler.
+    route_epoch: u64,
+    /// `route_epoch` value when a frame from each peer was last routed —
+    /// the lease detector's liveness evidence.
+    peer_seen: Vec<u64>,
     /// Incarnation baseline snapshotted by [`Endpoint::arm_eviction`]:
     /// while armed, waits fail with `PeerEvicted` when a peer is observed
     /// restarting past its baseline.  `None` (default) disables it.
@@ -109,6 +125,16 @@ pub struct Endpoint {
     armed_crash: Option<f64>,
     /// Handle on the world-level checkpoint store.
     ckpt: CkptStore,
+    /// Cooperative-scheduler handle when this endpoint's rank runs as a
+    /// green task (see [`crate::sched`]); `None` under the threaded
+    /// runner.  Blocking pumps park on it instead of blocking the OS
+    /// thread, and sends notify the destination's task.
+    coop: Option<CoopHandle>,
+    /// Per-rank scratch slots for higher layers (see [`Endpoint::scratch`]).
+    scratch: HashMap<(TypeId, u32), Box<dyn Any + Send>>,
+    /// Shared per-link network state when the world runs on a non-crossbar
+    /// [`crate::model::Topology`]; `None` keeps the closed-form transit.
+    net: Option<Arc<Mutex<NetState>>>,
 }
 
 impl Endpoint {
@@ -118,7 +144,7 @@ impl Endpoint {
     pub(crate) fn new(
         rank: Rank,
         world: usize,
-        senders: Vec<Sender<Message>>,
+        senders: Arc<Vec<Sender<Message>>>,
         rx: Receiver<Message>,
         model: MachineModel,
         faults: Option<&FaultPlan>,
@@ -137,7 +163,16 @@ impl Endpoint {
             clock: 0.0,
             model,
             stats: StatsSnapshot::new(world),
-            obs: ObsState::default(),
+            obs: {
+                let mut obs = ObsState::default();
+                // Large worlds shrink the per-rank flight recorder so
+                // aggregate post-mortem memory stays bounded: 64 events
+                // per rank is cheap at P=16 and dominant at P=1024.
+                if world > 256 {
+                    obs.flight.set_cap(crate::span::FLIGHT_RING_CAP / 4);
+                }
+                obs
+            },
             buf_pool: Vec::new(),
             faults: faults.map(|p| FaultState::new(p.clone(), rank)),
             poisoned: None,
@@ -149,12 +184,77 @@ impl Endpoint {
             restarts_left: supervisor.unwrap_or(0),
             incarnation: 0,
             peer_inc: vec![0; world],
-            peer_seen: vec![Instant::now(); world],
+            route_epoch: 0,
+            peer_seen: vec![0; world],
             evict_base: None,
             last_beat: f64::NEG_INFINITY,
             armed_crash: None,
             ckpt,
+            coop: None,
+            net: None,
+            scratch: HashMap::new(),
         }
+    }
+
+    /// Per-rank scratch storage for higher layers.  This replaces
+    /// `thread_local!` rank state, which silently breaks under the
+    /// cooperative runner (one OS thread hosts many ranks, so a
+    /// thread-local is shared across ranks and leaks across runs).  Slots
+    /// are keyed by `(type, key)` and default-initialized on first
+    /// access; a slot lives as long as this endpoint — one `World::run` —
+    /// and survives supervisor restarts, exactly the lifetime a
+    /// rank-thread-local had.
+    pub fn scratch<T: Any + Send + Default>(&mut self, key: u32) -> &mut T {
+        self.scratch
+            .entry((TypeId::of::<T>(), key))
+            .or_insert_with(|| Box::<T>::default())
+            .downcast_mut::<T>()
+            .expect("slot type is fixed by its TypeId key")
+    }
+
+    /// Post-increment a per-rank `u32` sequence counter held in scratch
+    /// slot `key` (the SPMD-consistent schedule numbering every runtime
+    /// library layer uses).
+    pub fn next_seq(&mut self, key: u32) -> u32 {
+        let c: &mut u32 = self.scratch(key);
+        let v = *c;
+        *c = v.wrapping_add(1);
+        v
+    }
+
+    /// Attach the cooperative-scheduler handle for this rank's task.
+    /// Called once by the world before the task body runs.
+    pub(crate) fn set_coop(&mut self, h: CoopHandle) {
+        self.coop = Some(h);
+    }
+
+    /// Attach the world's shared link-contention state (non-crossbar
+    /// topologies only; see [`crate::world::World::with_topology`]).
+    pub(crate) fn set_network(&mut self, net: Arc<Mutex<NetState>>) {
+        self.net = Some(net);
+    }
+
+    /// Arrival time of `bytes` departing for `to` at `depart`: routed
+    /// over the topology's links (with contention) when one is attached,
+    /// the closed-form postal transit otherwise.
+    fn arrival_for(&mut self, to: Rank, bytes: usize, depart: f64) -> f64 {
+        match &self.net {
+            Some(net) => {
+                let mut net = net.lock().unwrap();
+                net.transit(&self.model, self.rank, to, bytes, depart)
+            }
+            None => depart + self.model.transit(bytes),
+        }
+    }
+
+    /// Park the current task (cooperative runner only) and report why it
+    /// was resumed.
+    fn coop_park(&mut self, kind: ParkKind) -> WakeCause {
+        let clock = self.clock;
+        self.coop
+            .as_ref()
+            .expect("coop_park outside cooperative runner")
+            .park(kind, clock)
     }
 
     /// Start recording the full communication timeline (see
@@ -676,8 +776,8 @@ impl Endpoint {
         self.check_crash();
         let bytes = payload.len();
         self.clock += self.model.send_cost(bytes);
-        let arrival = self.clock + self.model.transit(bytes);
         let at = self.clock;
+        let arrival = self.arrival_for(to, bytes, at);
         self.send_at(to, tag, payload, at, arrival);
     }
 
@@ -687,7 +787,7 @@ impl Endpoint {
     /// the network", so virtual time stays deterministic no matter when the
     /// protocol pump actually drains the triggering event.
     pub(crate) fn nic_send(&mut self, to: Rank, tag: Tag, payload: Vec<u8>, at: f64) {
-        let arrival = at + self.model.transit(payload.len());
+        let arrival = self.arrival_for(to, payload.len(), at);
         self.send_at(to, tag, payload, at, arrival);
     }
 
@@ -717,6 +817,9 @@ impl Endpoint {
                 body: Body::Data(payload),
                 arrival,
             });
+            if let Some(coop) = &self.coop {
+                coop.notify(to, arrival);
+            }
             return;
         };
         let n = draw.copies.len();
@@ -789,6 +892,9 @@ impl Endpoint {
                 body,
                 arrival: copy_arrival,
             });
+            if let Some(coop) = &self.coop {
+                coop.notify(to, copy_arrival);
+            }
         }
     }
 
@@ -813,11 +919,39 @@ impl Endpoint {
             });
         }
         // Any frame is liveness evidence for its sender's lease.
-        self.peer_seen[msg.src] = Instant::now();
+        self.route_epoch += 1;
+        self.peer_seen[msg.src] = self.route_epoch;
         if let Some(m) = reliable::intake(self, msg) {
             self.stash.push_back(m);
         }
         Ok(())
+    }
+
+    /// Route everything already waiting in the channel, returning how
+    /// many messages were handled.  The cooperative pump primitive: the
+    /// channel never blocks, parking does.
+    fn drain_ready(&mut self) -> Result<usize, SimError> {
+        if let Some((rank, reason)) = &self.poisoned {
+            return Err(SimError::PeerFailed {
+                rank: *rank,
+                reason: reason.clone(),
+            });
+        }
+        let mut n = 0;
+        loop {
+            match self.rx.try_recv() {
+                Ok(msg) => match self.route_msg(msg) {
+                    Ok(()) => n += 1,
+                    // Poison is latched by `route_msg`; messages routed
+                    // ahead of it stay consumable first (FIFO parity with
+                    // the threaded runner, where a message sent before the
+                    // sender died is delivered before its poison).  Only a
+                    // batch *led* by poison fails the drain itself.
+                    Err(e) => return if n == 0 { Err(e) } else { Ok(n) },
+                },
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => return Ok(n),
+            }
+        }
     }
 
     /// Block for one message from the wire and route it.
@@ -832,6 +966,40 @@ impl Endpoint {
                 rank: *rank,
                 reason: reason.clone(),
             });
+        }
+        if self.coop.is_some() {
+            // Cooperative runner: drain what is there, park until a
+            // message (or deterministic teardown) arrives.  A silence
+            // wake only reaches a plain blocked wait when a world
+            // deadline is armed — the scheduler's quiescence rules
+            // mirror the threaded real-time caps below exactly.
+            loop {
+                if self.drain_ready()? > 0 {
+                    return Ok(());
+                }
+                if let Some(d) = self.deadline {
+                    if self.clock > d {
+                        let clock = self.clock;
+                        self.mark(move || {
+                            format!("deadline exceeded clock={clock:.6} limit={d:.6}")
+                        });
+                        return Err(SimError::DeadlineExceeded);
+                    }
+                }
+                let expiry = self.deadline.unwrap_or(f64::INFINITY);
+                match self.coop_park(ParkKind::Wait { expiry }) {
+                    WakeCause::Message => continue,
+                    WakeCause::Silence => {
+                        let d = self.deadline.unwrap_or(f64::INFINITY);
+                        let clock = self.clock;
+                        self.mark(move || {
+                            format!("deadline silence clock={clock:.6} limit={d:.6}")
+                        });
+                        return Err(SimError::DeadlineExceeded);
+                    }
+                    WakeCause::Shutdown => return Err(SimError::Shutdown),
+                }
+            }
         }
         if let Some(d) = self.deadline {
             if self.clock > d {
@@ -864,6 +1032,25 @@ impl Endpoint {
                 reason: reason.clone(),
             });
         }
+        if self.coop.is_some() {
+            // Cooperative runner: `cap` is a *silence window*, and
+            // silence is observed exactly — the scheduler delivers a
+            // Silence wake at global quiescence, which is the only
+            // virtual instant a real-time window could ever have
+            // expired meaningfully.
+            if self.drain_ready()? > 0 {
+                return Ok(true);
+            }
+            let now = self.clock;
+            return match self.coop_park(ParkKind::Wait { expiry: now }) {
+                WakeCause::Message => {
+                    self.drain_ready()?;
+                    Ok(true)
+                }
+                WakeCause::Silence => Ok(false),
+                WakeCause::Shutdown => Err(SimError::Shutdown),
+            };
+        }
         match self.rx.recv_timeout(cap) {
             Ok(msg) => self.route_msg(msg).map(|()| true),
             Err(RecvTimeoutError::Timeout) => Ok(false),
@@ -873,18 +1060,7 @@ impl Endpoint {
 
     /// Route everything already waiting in the channel without blocking.
     fn pump_ready(&mut self) -> Result<(), SimError> {
-        if let Some((rank, reason)) = &self.poisoned {
-            return Err(SimError::PeerFailed {
-                rank: *rank,
-                reason: reason.clone(),
-            });
-        }
-        loop {
-            match self.rx.try_recv() {
-                Ok(msg) => self.route_msg(msg)?,
-                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => return Ok(()),
-            }
-        }
+        self.drain_ready().map(|_| ())
     }
 
     fn stash_match(&self, from: Rank, tag: Tag) -> Option<usize> {
@@ -949,6 +1125,18 @@ impl Endpoint {
                 self.mark(|| format!("timeout peer={from} tag={tag:?} kind=late-arrival"));
                 return Err(SimError::PeerTimeout { rank: from });
             }
+            if self.coop.is_some() {
+                match self.coop_park(ParkKind::Wait { expiry: deadline }) {
+                    WakeCause::Message => continue,
+                    WakeCause::Silence => {
+                        self.stats.faults.timeouts += 1;
+                        self.advance_to(deadline);
+                        self.mark(|| format!("timeout peer={from} tag={tag:?} kind=silence"));
+                        return Err(SimError::PeerTimeout { rank: from });
+                    }
+                    WakeCause::Shutdown => return Err(SimError::Shutdown),
+                }
+            }
             match self.rx.recv_timeout(RECV_TIMEOUT_REAL_CAP) {
                 Ok(msg) => self.route_msg(msg)?,
                 Err(RecvTimeoutError::Timeout) => {
@@ -1012,6 +1200,9 @@ impl Endpoint {
     pub fn try_recv(&mut self, from: Rank, tag: Tag) -> Option<Vec<u8>> {
         self.check_crash();
         self.drain_channel(from, tag);
+        if self.coop.is_some() && !self.settle_probe(from, tag) {
+            return None;
+        }
         let idx = self.stash_match(from, tag)?;
         let msg = self.stash.remove(idx).expect("index valid");
         Some(self.accept(msg))
@@ -1020,7 +1211,30 @@ impl Endpoint {
     /// True if a matching message has already arrived (non-blocking).
     pub fn probe(&mut self, from: Rank, tag: Tag) -> bool {
         self.drain_channel(from, tag);
+        if self.coop.is_some() {
+            return self.settle_probe(from, tag);
+        }
         self.stash_match(from, tag).is_some()
+    }
+
+    /// Cooperative runner: resolve a non-blocking poll deterministically.
+    /// Under the virtual clock, "has a message already arrived" only has
+    /// a stable answer at quiescence, so a miss parks until either a
+    /// matching message arrives (true) or nothing can ever arrive without
+    /// this rank acting (false).  The threaded runner instead races real
+    /// delivery, which is exactly the nondeterminism this buys back.
+    fn settle_probe(&mut self, from: Rank, tag: Tag) -> bool {
+        loop {
+            if self.stash_match(from, tag).is_some() {
+                return true;
+            }
+            let now = self.clock;
+            match self.coop_park(ParkKind::Wait { expiry: now }) {
+                WakeCause::Message => self.drain_channel(from, tag),
+                WakeCause::Silence => return false,
+                WakeCause::Shutdown => self.panic_sim(SimError::Shutdown, from, tag),
+            }
+        }
     }
 
     /// Move everything waiting in the channel into the stash, surfacing
@@ -1107,6 +1321,29 @@ impl Endpoint {
         }
     }
 
+    /// Cooperative analogue of the post-return [`service_protocol`] loop:
+    /// park in service mode and report why the scheduler woke us.  The
+    /// wake is [`WakeCause::Shutdown`] exactly once the whole world has
+    /// completed (or deterministically torn down).
+    ///
+    /// [`service_protocol`]: Endpoint::service_protocol
+    pub(crate) fn coop_service_park(&mut self) -> WakeCause {
+        self.coop_park(ParkKind::Service)
+    }
+
+    /// Route whatever protocol traffic is ready, ignoring errors — the
+    /// program is already over, so poison can no longer matter.
+    pub(crate) fn coop_service_drain(&mut self) {
+        loop {
+            match self.rx.try_recv() {
+                Ok(msg) => {
+                    let _ = self.route_msg(msg);
+                }
+                Err(_) => return,
+            }
+        }
+    }
+
     /// Broadcast a poison message so peers blocked in `recv` fail fast
     /// instead of hanging when this rank panics.
     pub(crate) fn poison_all(&mut self, reason: &str) {
@@ -1120,6 +1357,9 @@ impl Endpoint {
                 body: Body::Poison(reason.to_string()),
                 arrival: self.clock,
             });
+            if let Some(coop) = &self.coop {
+                coop.notify(to, self.clock);
+            }
         }
     }
 }

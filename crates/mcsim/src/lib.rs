@@ -4,7 +4,11 @@
 //! Alpha farm connected by ATM (PVM/UDP).  This crate substitutes those
 //! machines with a *simulated* message-passing machine:
 //!
-//! * every logical processor ("rank") is a real OS thread,
+//! * every logical processor ("rank") is a cooperatively scheduled green
+//!   task, multiplexed M:N over a small worker pool by [`sched`] (a
+//!   legacy one-OS-thread-per-rank runner remains for comparison, but the
+//!   cooperative runner is the default and the only one that scales to
+//!   1024-rank worlds),
 //! * ranks exchange real byte messages through channels (so data motion is
 //!   bit-exact and testable),
 //! * each rank carries a deterministic **virtual clock**: sends, receives and
@@ -63,6 +67,7 @@ pub mod onesided;
 pub mod recovery;
 pub mod reliable;
 pub mod rng;
+pub mod sched;
 pub mod span;
 pub mod stats;
 pub mod tag;
@@ -70,7 +75,10 @@ pub mod trace;
 pub mod wire;
 pub mod world;
 
-pub use analyze::{analyze, match_sends, CriticalPathReport, RecvMatch, SendInfo, TransferPath};
+pub use analyze::{
+    analyze, attribute_links, match_sends, CriticalPathReport, LinkLoad, RecvMatch, SendInfo,
+    TransferPath,
+};
 pub use endpoint::Endpoint;
 pub use error::SimError;
 pub use export::{chrome_trace_json, jsonl_events, validate_jsonl, TraceCheck};
@@ -78,7 +86,7 @@ pub use fault::{test_seed, test_seeds, FaultPlan, FaultRates};
 pub use group::{Comm, Group};
 pub use message::Rank;
 pub use metrics::{Histogram, MetricsRegistry};
-pub use model::MachineModel;
+pub use model::{MachineModel, NetState, Topology};
 pub use onesided::{expose, get, put, put_flush, put_notify, wait_notify, window_bytes};
 pub use recovery::{CkptStore, RecoveryConfig};
 pub use reliable::{ReliableConfig, StreamTag};
@@ -88,7 +96,7 @@ pub use stats::{FaultStats, NetStats, RecoveryStats, SessionStats, StatsSnapshot
 pub use tag::Tag;
 pub use trace::{summarize, FaultKind, TraceEvent, TraceSummary};
 pub use wire::{Wire, WireReader};
-pub use world::{RunOutput, RunReport, World};
+pub use world::{RunOutput, RunReport, Runner, World};
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {
@@ -97,12 +105,12 @@ pub mod prelude {
     pub use crate::group::{Comm, Group};
     pub use crate::message::Rank;
     pub use crate::metrics::MetricsRegistry;
-    pub use crate::model::MachineModel;
+    pub use crate::model::{MachineModel, Topology};
     pub use crate::onesided::{expose, get, put, put_flush, put_notify, wait_notify, window_bytes};
     pub use crate::recovery::{CkptStore, RecoveryConfig};
     pub use crate::reliable::{ReliableConfig, StreamTag};
     pub use crate::span::{Phase, SpanId};
     pub use crate::tag::Tag;
     pub use crate::wire::{Wire, WireReader};
-    pub use crate::world::{RunOutput, RunReport, World};
+    pub use crate::world::{RunOutput, RunReport, Runner, World};
 }

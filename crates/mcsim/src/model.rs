@@ -123,6 +123,180 @@ impl Default for MachineModel {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Topology-aware network: routes, per-link serialization, contention.
+// ---------------------------------------------------------------------------
+
+/// A node in the network graph: hosts are ranks; switches exist only in
+/// indirect topologies (fat tree).
+pub type NodeId = u32;
+
+/// A directed link between two [`NodeId`]s.
+pub type LinkId = (NodeId, NodeId);
+
+/// Fat-tree node-id bases: leaf switches live at `LEAF_BASE + l`, root
+/// switches at `ROOT_BASE + r`, so they never collide with host ids
+/// (ranks are capped far below either).
+const LEAF_BASE: NodeId = 0x4000_0000;
+const ROOT_BASE: NodeId = 0x8000_0000;
+
+/// The interconnect shape of the simulated machine.
+///
+/// [`Topology::Crossbar`] is the legacy model — every pair of ranks has a
+/// private full-bandwidth path, so a message's transit is exactly
+/// [`MachineModel::transit`] and no link state is kept.  The other shapes
+/// route each message over shared directed links: every hop serializes
+/// `bytes * byte_wire_cost` on its link (store-and-forward) and pays one
+/// [`MachineModel::latency`], and a busy link queues the message until it
+/// frees — contention charged on the virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Fully connected, contention-free (the legacy single-hop model).
+    Crossbar,
+    /// 2-D torus of `cols * rows` nodes: rank `r` sits at grid position
+    /// `(r % cols, r / cols)` and messages route dimension-order (x first,
+    /// then y), taking the shorter wraparound direction in each dimension.
+    Torus2D { cols: usize, rows: usize },
+    /// Two-level fat tree: hosts attach `down` per leaf switch, and each
+    /// (src, dst) pair hashes statically onto one of `up` root switches
+    /// (`(src + dst) % up`), modeling a thin spine whose uplinks carry the
+    /// cross-leaf load.
+    FatTree { down: usize, up: usize },
+}
+
+impl Topology {
+    /// The directed links a message from rank `src` to rank `dst`
+    /// traverses, in order.  Empty for self-sends and for the crossbar
+    /// (no shared links — the caller falls back to the closed-form
+    /// transit).
+    pub fn route(&self, src: usize, dst: usize) -> Vec<LinkId> {
+        if src == dst {
+            return Vec::new();
+        }
+        match *self {
+            Topology::Crossbar => Vec::new(),
+            Topology::Torus2D { cols, rows } => {
+                assert!(cols > 0 && rows > 0, "degenerate torus");
+                let at = |x: usize, y: usize| (y * cols + x) as NodeId;
+                let (mut x, mut y) = (src % cols, src / cols);
+                let (dx, dy) = (dst % cols, dst / cols);
+                assert!(y < rows && dy < rows, "rank off the torus");
+                let mut links = Vec::new();
+                while x != dx {
+                    let fwd = (dx + cols - x) % cols; // hops going +x
+                    let nx = if fwd <= cols - fwd {
+                        (x + 1) % cols
+                    } else {
+                        (x + cols - 1) % cols
+                    };
+                    links.push((at(x, y), at(nx, y)));
+                    x = nx;
+                }
+                while y != dy {
+                    let fwd = (dy + rows - y) % rows;
+                    let ny = if fwd <= rows - fwd {
+                        (y + 1) % rows
+                    } else {
+                        (y + rows - 1) % rows
+                    };
+                    links.push((at(x, y), at(x, ny)));
+                    y = ny;
+                }
+                links
+            }
+            Topology::FatTree { down, up } => {
+                assert!(down > 0 && up > 0, "degenerate fat tree");
+                let sleaf = LEAF_BASE + (src / down) as NodeId;
+                let dleaf = LEAF_BASE + (dst / down) as NodeId;
+                if sleaf == dleaf {
+                    return vec![(src as NodeId, sleaf), (sleaf, dst as NodeId)];
+                }
+                let root = ROOT_BASE + ((src + dst) % up) as NodeId;
+                vec![
+                    (src as NodeId, sleaf),
+                    (sleaf, root),
+                    (root, dleaf),
+                    (dleaf, dst as NodeId),
+                ]
+            }
+        }
+    }
+
+    /// Number of links a `src -> dst` message crosses.
+    pub fn hops(&self, src: usize, dst: usize) -> usize {
+        match *self {
+            Topology::Crossbar => usize::from(src != dst),
+            _ => self.route(src, dst).len(),
+        }
+    }
+
+    /// Whether every rank of a `size`-rank world has a seat.
+    pub fn fits(&self, size: usize) -> bool {
+        match *self {
+            Topology::Crossbar | Topology::FatTree { .. } => true,
+            Topology::Torus2D { cols, rows } => size <= cols * rows,
+        }
+    }
+}
+
+/// Mutable network state of one run: when each directed link next frees.
+///
+/// Shared by every endpoint of a world (behind a mutex); deterministic
+/// only under the cooperative runner, where exactly one rank executes at
+/// a time and so charges links in a deterministic total order.
+#[derive(Debug)]
+pub struct NetState {
+    topo: Topology,
+    /// Virtual time each link is serialized through.
+    free_at: std::collections::HashMap<LinkId, f64>,
+    /// Total seconds messages spent queued behind busy links.
+    pub queued: f64,
+}
+
+impl NetState {
+    pub fn new(topo: Topology) -> Self {
+        NetState {
+            topo,
+            free_at: std::collections::HashMap::new(),
+            queued: 0.0,
+        }
+    }
+
+    /// The topology this state models.
+    pub fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    /// Arrival time of a `bytes`-byte message departing `src` for `dst`
+    /// at virtual time `depart`, store-and-forward over the route.  Each
+    /// hop waits for its link to free (queuing charged to `queued`),
+    /// serializes the payload, then pays one hop latency.  Self-sends and
+    /// crossbar routes fall back to the closed-form transit.
+    pub fn transit(
+        &mut self,
+        m: &MachineModel,
+        src: usize,
+        dst: usize,
+        bytes: usize,
+        depart: f64,
+    ) -> f64 {
+        let links = self.topo.route(src, dst);
+        if links.is_empty() {
+            return depart + m.transit(bytes);
+        }
+        let ser = bytes as f64 * m.byte_wire_cost;
+        let mut t = depart;
+        for l in links {
+            let free = self.free_at.get(&l).copied().unwrap_or(0.0);
+            let start = t.max(free);
+            self.queued += start - t;
+            self.free_at.insert(l, start + ser);
+            t = start + ser + m.latency;
+        }
+        t
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,5 +333,74 @@ mod tests {
         assert_eq!(m.send_cost(1 << 20), 0.0);
         assert_eq!(m.transit(1 << 20), 0.0);
         assert_eq!(m.recv_cost(1 << 20), 0.0);
+    }
+
+    #[test]
+    fn torus_routes_dimension_order_with_wraparound() {
+        let t = Topology::Torus2D { cols: 4, rows: 4 };
+        // 0 -> 1: one +x hop.
+        assert_eq!(t.route(0, 1), vec![(0, 1)]);
+        // 0 -> 3 wraps -x (distance 1, not 3).
+        assert_eq!(t.route(0, 3), vec![(0, 3)]);
+        // 0 -> 5: x first, then y.
+        assert_eq!(t.route(0, 5), vec![(0, 1), (1, 5)]);
+        // 0 -> 12 wraps -y.
+        assert_eq!(t.route(0, 12), vec![(0, 12)]);
+        assert_eq!(t.hops(0, 0), 0);
+        // Every pair's hop count is bounded by the torus diameter.
+        for s in 0..16 {
+            for d in 0..16 {
+                assert!(t.hops(s, d) <= 4, "{s}->{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn fat_tree_routes_through_leaf_and_spine() {
+        let t = Topology::FatTree { down: 4, up: 2 };
+        // Same leaf: host -> leaf -> host.
+        assert_eq!(t.hops(0, 3), 2);
+        // Cross leaf: host -> leaf -> root -> leaf -> host.
+        assert_eq!(t.hops(0, 4), 4);
+        // The spine hash spreads pairs across the `up` roots.
+        let r04 = t.route(0, 4);
+        let r14 = t.route(1, 4);
+        assert_ne!(r04[1].1, r14[1].1, "pairs should hash to different roots");
+    }
+
+    #[test]
+    fn contended_link_queues_and_charges_virtual_time() {
+        let m = MachineModel::sp2();
+        let mut net = NetState::new(Topology::Torus2D { cols: 4, rows: 1 });
+        let bytes = 1 << 16;
+        let ser = bytes as f64 * m.byte_wire_cost;
+        // Two messages leave rank 0 for rank 1 at t=0: the second
+        // serializes behind the first on the shared 0->1 link.
+        let a1 = net.transit(&m, 0, 1, bytes, 0.0);
+        let a2 = net.transit(&m, 0, 1, bytes, 0.0);
+        assert!((a1 - (ser + m.latency)).abs() < 1e-12);
+        assert!((a2 - (2.0 * ser + m.latency)).abs() < 1e-12);
+        assert!((net.queued - ser).abs() < 1e-12);
+        // An uncontended reverse link is unaffected.
+        let b = net.transit(&m, 1, 0, bytes, 0.0);
+        assert!((b - (ser + m.latency)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossbar_and_self_sends_bypass_link_accounting() {
+        let m = MachineModel::sp2();
+        let mut net = NetState::new(Topology::Crossbar);
+        assert_eq!(net.transit(&m, 0, 1, 100, 1.0), 1.0 + m.transit(100));
+        let mut net = NetState::new(Topology::Torus2D { cols: 2, rows: 1 });
+        assert_eq!(net.transit(&m, 1, 1, 100, 1.0), 1.0 + m.transit(100));
+        assert_eq!(net.queued, 0.0);
+    }
+
+    #[test]
+    fn topology_fits_checks_seats() {
+        assert!(Topology::Crossbar.fits(4096));
+        assert!(Topology::Torus2D { cols: 8, rows: 8 }.fits(64));
+        assert!(!Topology::Torus2D { cols: 8, rows: 8 }.fits(65));
+        assert!(Topology::FatTree { down: 16, up: 4 }.fits(1024));
     }
 }

@@ -32,6 +32,13 @@ use std::time::Duration;
 /// The default configuration keeps heartbeats **off** and reproduces the
 /// historical one-sided get retry policy (4 attempts × 80 ms silence), so
 /// worlds that never opt in behave exactly as before.
+///
+/// The [`Duration`] fields are *real-time* caps only under the legacy
+/// threaded runner.  The cooperative runner observes silence exactly —
+/// the scheduler wakes a waiter at global quiescence, the only virtual
+/// instant a real-time window could meaningfully have expired — so under
+/// it these durations act as silence *windows* whose length never burns
+/// wall-clock time.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RecoveryConfig {
     /// Attempts for an unacknowledged one-sided `get` request before the

@@ -27,7 +27,9 @@ use std::collections::VecDeque;
 
 use crate::trace::TraceEvent;
 
-/// How many events the per-rank flight recorder retains.
+/// How many events the per-rank flight recorder retains by default.
+/// Large worlds shrink it (see [`FlightRing::set_cap`]) so aggregate
+/// post-mortem memory stays bounded as P grows.
 pub const FLIGHT_RING_CAP: usize = 64;
 
 /// Identifier of one span, unique within its rank's timeline.
@@ -94,15 +96,50 @@ impl std::fmt::Display for Phase {
 }
 
 /// Bounded ring of the most recent trace events (the flight recorder).
-#[derive(Debug, Default)]
+///
+/// The backing storage is allocated lazily on the first push — a world
+/// of 1024 idle ranks pays nothing for its recorders — and sized exactly
+/// to the cap, which large worlds shrink (see
+/// [`crate::endpoint::Endpoint`] construction) to keep aggregate
+/// post-mortem memory O(P · small constant).
+#[derive(Debug)]
 pub struct FlightRing {
     ring: VecDeque<TraceEvent>,
+    cap: usize,
+}
+
+impl Default for FlightRing {
+    fn default() -> Self {
+        FlightRing {
+            ring: VecDeque::new(),
+            cap: FLIGHT_RING_CAP,
+        }
+    }
 }
 
 impl FlightRing {
+    /// Shrink (or grow) the retention cap.  Existing overflow is evicted
+    /// oldest-first.
+    pub fn set_cap(&mut self, cap: usize) {
+        assert!(cap > 0, "flight recorder needs at least one slot");
+        while self.ring.len() > cap {
+            self.ring.pop_front();
+        }
+        self.cap = cap;
+    }
+
+    /// The retention cap in effect.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
     /// Record one event, evicting the oldest when full.
     pub fn push(&mut self, ev: TraceEvent) {
-        if self.ring.len() == FLIGHT_RING_CAP {
+        if self.ring.capacity() == 0 {
+            // Lazy, exact-size allocation on first use.
+            self.ring.reserve_exact(self.cap);
+        }
+        if self.ring.len() >= self.cap {
             self.ring.pop_front();
         }
         self.ring.push_back(ev);

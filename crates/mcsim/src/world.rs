@@ -1,8 +1,18 @@
-//! World construction: spawn one thread per rank and run an SPMD closure.
+//! World construction: run an SPMD closure on every rank.
+//!
+//! Two runners host the ranks:
+//!
+//! * [`Runner::Coop`] (default on x86_64) — ranks are stackful green
+//!   tasks multiplexed M:N over a worker pool by the deterministic
+//!   virtual-clock scheduler in [`crate::sched`].  Scales to 1024+ ranks
+//!   and produces the same schedule for any worker count.
+//! * [`Runner::Threads`] — the historical thread-per-rank runner, kept as
+//!   an ablation baseline (and as the fallback on non-x86_64 targets).
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use crate::endpoint::Endpoint;
@@ -10,11 +20,34 @@ use crate::error::SimError;
 use crate::fault::FaultPlan;
 use crate::message::Message;
 use crate::metrics::MetricsRegistry;
-use crate::model::MachineModel;
+use crate::model::{MachineModel, NetState, Topology};
 use crate::recovery::{CkptStore, RecoveryConfig};
 use crate::reliable::ReliableConfig;
+use crate::sched::{coop_supported, CellTable, CoopHandle, Sched, TaskBody, TaskCell, WakeCause};
 use crate::stats::{NetStats, StatsSnapshot};
 use crate::trace::TraceEvent;
+
+/// How ranks are hosted on OS threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Runner {
+    /// Cooperative M:N scheduling: ranks are green tasks over `workers`
+    /// OS threads, resumed in deterministic `(virtual_time, rank)` order.
+    /// The worker count is a hosting detail — it cannot change the
+    /// schedule, traces, or stats.
+    Coop { workers: usize },
+    /// One OS thread per rank (the legacy runner; ablation baseline).
+    Threads,
+}
+
+impl Runner {
+    fn default_for_target() -> Runner {
+        if coop_supported() {
+            Runner::Coop { workers: 1 }
+        } else {
+            Runner::Threads
+        }
+    }
+}
 
 /// A simulated machine with a fixed number of ranks and a cost model.
 #[derive(Debug, Clone)]
@@ -31,6 +64,9 @@ pub struct World {
     /// World-level checkpoint store; survives rank crashes, and clones of
     /// this world share it (it is the durable half of recovery).
     ckpt: CkptStore,
+    runner: Runner,
+    stack_bytes: usize,
+    topology: Topology,
 }
 
 /// Everything a run produces.
@@ -47,6 +83,9 @@ pub struct RunOutput<R> {
     /// Per-rank event timelines when the world was built with
     /// [`World::with_trace`]; empty vectors otherwise.
     pub traces: Vec<Vec<TraceEvent>>,
+    /// Total virtual seconds messages spent queued behind busy links —
+    /// always `0.0` on the contention-free [`Topology::Crossbar`].
+    pub contended_secs: f64,
 }
 
 /// What [`World::run_result`] produces: per-rank outcomes where a rank
@@ -66,6 +105,9 @@ pub struct RunReport<R> {
     /// [`World::with_trace`]; empty vectors otherwise.  Panicked ranks
     /// contribute whatever they recorded before dying.
     pub traces: Vec<Vec<TraceEvent>>,
+    /// Total virtual seconds messages spent queued behind busy links —
+    /// always `0.0` on the contention-free [`Topology::Crossbar`].
+    pub contended_secs: f64,
 }
 
 impl<R> RunOutput<R> {
@@ -112,7 +154,76 @@ impl World {
             recovery: RecoveryConfig::default(),
             supervisor: None,
             ckpt: CkptStore::default(),
+            runner: Runner::default_for_target(),
+            stack_bytes: crate::sched::COOP_STACK_BYTES,
+            topology: Topology::Crossbar,
         }
+    }
+
+    /// Select the interconnect topology (default [`Topology::Crossbar`]).
+    ///
+    /// Non-crossbar topologies route every message over shared links with
+    /// per-link serialization and contention queuing (see
+    /// [`crate::model::Topology`]); they require the cooperative runner,
+    /// whose total order over rank execution makes the shared link state
+    /// deterministic.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        assert!(
+            topology.fits(self.size),
+            "topology {topology:?} cannot seat {} ranks",
+            self.size
+        );
+        self.topology = topology;
+        self
+    }
+
+    /// The interconnect topology in effect.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Select the runner explicitly.  [`Runner::Coop`] panics on targets
+    /// without coroutine support (currently everything but x86_64).
+    pub fn with_runner(mut self, runner: Runner) -> Self {
+        if let Runner::Coop { workers } = runner {
+            assert!(workers > 0, "worker pool must have at least one thread");
+            assert!(
+                coop_supported(),
+                "cooperative runner is x86_64-only; use Runner::Threads"
+            );
+        }
+        self.runner = runner;
+        self
+    }
+
+    /// Ablation: force the legacy thread-per-rank runner.  Real-time
+    /// silence caps and nondeterministic trace interleavings come back
+    /// with it; parity tests use this to compare against the cooperative
+    /// scheduler.
+    pub fn threaded(self) -> Self {
+        let mut w = self;
+        w.runner = Runner::Threads;
+        w
+    }
+
+    /// Size of the cooperative worker pool (ignored by the threaded
+    /// runner).  Determinism does not depend on this — it only bounds how
+    /// many OS threads host the green tasks.
+    pub fn with_workers(self, workers: usize) -> Self {
+        self.with_runner(Runner::Coop { workers })
+    }
+
+    /// Per-task stack size for the cooperative runner, in bytes (virtual
+    /// memory; untouched pages stay non-resident).  Raise this if a deep
+    /// rank closure trips the stack canary abort.
+    pub fn with_stack_bytes(mut self, bytes: usize) -> Self {
+        self.stack_bytes = bytes;
+        self
+    }
+
+    /// The runner in effect.
+    pub fn runner(&self) -> Runner {
+        self.runner
     }
 
     /// Override the recovery configuration: the one-sided get retry
@@ -211,17 +322,10 @@ impl World {
         &self.ckpt
     }
 
-    /// Spawn one thread per rank, run the closure everywhere, and keep
-    /// every rank answering reliable-protocol traffic until the last rank
-    /// is done — a rank still flushing a reliable stream must never be
-    /// orphaned by a peer that already returned.
-    fn execute<F, R>(&self, f: F) -> Vec<RankOutcome<R>>
-    where
-        F: Fn(&mut Endpoint) -> R + Send + Sync,
-        R: Send,
-    {
+    /// Wire up one endpoint per rank (channels, model, faults, tracing).
+    fn build_endpoints(&self) -> (Vec<Endpoint>, Option<Arc<Mutex<NetState>>>) {
         let (txs, rxs): (Vec<_>, Vec<_>) = (0..self.size).map(|_| channel::<Message>()).unzip();
-
+        let txs = Arc::new(txs);
         let mut endpoints: Vec<Endpoint> = rxs
             .into_iter()
             .enumerate()
@@ -247,6 +351,164 @@ impl World {
                 ep.enable_trace();
             }
         }
+        let net = if self.topology != Topology::Crossbar {
+            let net = Arc::new(Mutex::new(NetState::new(self.topology)));
+            for ep in &mut endpoints {
+                ep.set_network(net.clone());
+            }
+            Some(net)
+        } else {
+            None
+        };
+        (endpoints, net)
+    }
+
+    /// Run the closure everywhere on the selected runner and keep every
+    /// rank answering reliable-protocol traffic until the last rank is
+    /// done — a rank still flushing a reliable stream must never be
+    /// orphaned by a peer that already returned.
+    fn execute<F, R>(&self, f: F) -> (Vec<RankOutcome<R>>, f64)
+    where
+        F: Fn(&mut Endpoint) -> R + Send + Sync,
+        R: Send,
+    {
+        assert!(
+            self.topology == Topology::Crossbar || matches!(self.runner, Runner::Coop { .. }),
+            "non-crossbar topologies need the cooperative runner: link \
+             contention state is only deterministic under its total order"
+        );
+        let (outcomes, net) = match self.runner {
+            Runner::Coop { workers } => self.execute_coop(f, workers),
+            Runner::Threads => self.execute_threaded(f),
+        };
+        let contended = net.map_or(0.0, |n| n.lock().unwrap().queued);
+        (outcomes, contended)
+    }
+
+    /// Cooperative runner: every rank is a green task; the scheduler in
+    /// [`crate::sched`] serializes slices in `(virtual_time, rank)` order
+    /// over `workers` host threads.
+    fn execute_coop<F, R>(
+        &self,
+        f: F,
+        workers: usize,
+    ) -> (Vec<RankOutcome<R>>, Option<Arc<Mutex<NetState>>>)
+    where
+        F: Fn(&mut Endpoint) -> R + Send + Sync,
+        R: Send,
+    {
+        let (mut endpoints, net) = self.build_endpoints();
+        let sched = Arc::new(Sched::new(self.size));
+        let mut outcomes: Vec<Option<RankOutcome<R>>> = (0..self.size).map(|_| None).collect();
+
+        // Raw pointers into `endpoints` / `outcomes`: each task body is
+        // the exclusive user of its own rank's slots, and the scheduler
+        // mutex orders every cross-worker handoff.  The Vec buffers never
+        // move (no pushes after this point).
+        struct SendPtr<T>(*mut T);
+        unsafe impl<T> Send for SendPtr<T> {}
+
+        let f = &f;
+        let mut bodies: Vec<TaskBody> = Vec::with_capacity(self.size);
+        for rank in 0..self.size {
+            let ep_ptr = SendPtr(&mut endpoints[rank] as *mut Endpoint);
+            let out_ptr = SendPtr(&mut outcomes[rank] as *mut Option<RankOutcome<R>>);
+            let sched = sched.clone();
+            let body = Box::new(move |cell: *mut TaskCell| {
+                let ep_ptr = ep_ptr;
+                let out_ptr = out_ptr;
+                let ep: &mut Endpoint = unsafe { &mut *ep_ptr.0 };
+                ep.set_coop(CoopHandle::new(cell, sched));
+                // Supervisor loop: identical to the threaded runner — a
+                // scripted crash under a restart budget respawns the
+                // closure on this same task.
+                let mut result = catch_unwind(AssertUnwindSafe(|| f(ep)));
+                while let Err(e) = &result {
+                    if !ep.try_restart(&panic_message(e.as_ref())) {
+                        break;
+                    }
+                    result = catch_unwind(AssertUnwindSafe(|| f(ep)));
+                }
+                let reason = match &result {
+                    Ok(_) => None,
+                    Err(e) => {
+                        let reason = panic_message(e.as_ref());
+                        ep.poison_all(&reason);
+                        Some(reason)
+                    }
+                };
+                // Snapshot before the service phase, so late protocol
+                // traffic never perturbs the reported tail counters.
+                let clock = ep.clock();
+                let stats = ep.stats_snapshot();
+                let trace = ep.take_trace();
+                unsafe {
+                    *out_ptr.0 = Some(match result {
+                        Ok(r) => RankOutcome::Done(r, clock, stats, trace),
+                        Err(e) => RankOutcome::Panicked(
+                            e,
+                            reason.unwrap_or_default(),
+                            clock,
+                            stats,
+                            trace,
+                        ),
+                    });
+                }
+                // Service phase: keep answering protocol traffic until
+                // the whole world completes (the scheduler delivers
+                // Shutdown exactly then).
+                loop {
+                    match ep.coop_service_park() {
+                        WakeCause::Shutdown => break,
+                        _ => ep.coop_service_drain(),
+                    }
+                }
+            });
+            // Erase the scope lifetime: every task runs to completion (or
+            // never starts) before this function returns, so the borrows
+            // inside cannot outlive their owners.
+            let body: Box<dyn FnOnce(*mut TaskCell) + Send> = body;
+            bodies.push(unsafe {
+                std::mem::transmute::<Box<dyn FnOnce(*mut TaskCell) + Send + '_>, TaskBody>(body)
+            });
+        }
+
+        let mut table = CellTable::new(self.stack_bytes, bodies);
+        if workers <= 1 {
+            crate::sched::worker_loop(&sched, &table);
+        } else {
+            let table = &table;
+            let sched = &sched;
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(move || crate::sched::worker_loop(sched, table));
+                }
+            });
+        }
+        if let Some(e) = table.take_escaped() {
+            // A panic escaped a task harness (bug in the runner itself):
+            // re-raise rather than lose it.
+            drop(table);
+            drop(endpoints);
+            resume_unwind(e);
+        }
+        drop(table);
+        drop(endpoints);
+
+        let outcomes = outcomes
+            .into_iter()
+            .map(|o| o.expect("every task wrote its outcome"))
+            .collect();
+        (outcomes, net)
+    }
+
+    /// Legacy runner: spawn one OS thread per rank (ablation baseline).
+    fn execute_threaded<F, R>(&self, f: F) -> (Vec<RankOutcome<R>>, Option<Arc<Mutex<NetState>>>)
+    where
+        F: Fn(&mut Endpoint) -> R + Send + Sync,
+        R: Send,
+    {
+        let (mut endpoints, net) = self.build_endpoints();
 
         let f = &f;
         let active = AtomicUsize::new(self.size);
@@ -307,10 +569,11 @@ impl World {
             }
         });
 
-        outcomes
+        let outcomes = outcomes
             .into_iter()
             .map(|o| o.expect("every rank joined"))
-            .collect()
+            .collect();
+        (outcomes, net)
     }
 
     /// Run `f` on every rank (as real threads) and collect the results.
@@ -324,7 +587,7 @@ impl World {
         F: Fn(&mut Endpoint) -> R + Send + Sync,
         R: Send,
     {
-        let outcomes = self.execute(f);
+        let (outcomes, contended_secs) = self.execute(f);
 
         let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
         let mut results = Vec::with_capacity(self.size);
@@ -367,6 +630,7 @@ impl World {
             elapsed,
             stats: NetStats::from_locals(locals),
             traces,
+            contended_secs,
         }
     }
 
@@ -378,7 +642,7 @@ impl World {
         F: Fn(&mut Endpoint) -> R + Send + Sync,
         R: Send,
     {
-        let outcomes = self.execute(f);
+        let (outcomes, contended_secs) = self.execute(f);
 
         let mut report = Vec::with_capacity(self.size);
         let mut clocks = Vec::with_capacity(self.size);
@@ -407,6 +671,7 @@ impl World {
             elapsed,
             stats: NetStats::from_locals(locals),
             traces,
+            contended_secs,
         }
     }
 }

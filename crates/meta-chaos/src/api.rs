@@ -18,7 +18,6 @@
 //! Regions in the paper are specified with Fortran-style *inclusive*
 //! bounds; [`create_region_hpf`] performs that conversion.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
 
 use mcsim::group::{Comm, Group};
@@ -33,13 +32,14 @@ use crate::region::{DimSlice, Region, RegularSection};
 use crate::schedule::Schedule;
 use crate::setof::SetOfRegions;
 
-thread_local! {
-    /// Per-rank memo of built schedules, keyed by a transfer fingerprint
-    /// agreed across the union group.  Lives for one `World::run` (each run
-    /// gets fresh rank threads), reproducing the paper's computed-once,
-    /// reused-many-times inspector economics as a measurable cache.
-    static SCHED_CACHE: RefCell<HashMap<u64, Schedule>> = RefCell::new(HashMap::new());
-}
+/// Scratch key of the per-rank memo of built schedules, keyed by a
+/// transfer fingerprint agreed across the union group.  Lives for one
+/// `World::run` (each run gets fresh endpoints), reproducing the paper's
+/// computed-once, reused-many-times inspector economics as a measurable
+/// cache.
+const SCHED_CACHE_KEY: u32 = 0x5343_4143; // "SCAC"
+
+type SchedCache = HashMap<u64, Schedule>;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
@@ -70,7 +70,7 @@ fn sched_cache_probe(ep: &mut Endpoint, union: &Group, local_fp: u64) -> (u64, O
     for v in all {
         fnv1a(&mut key, &v.to_le_bytes());
     }
-    let hit = SCHED_CACHE.with(|c| c.borrow().get(&key).cloned());
+    let hit = ep.scratch::<SchedCache>(SCHED_CACHE_KEY).get(&key).cloned();
     ep.record_sched_cache(hit.is_some());
     ep.mark(|| match &hit {
         Some(s) => format!("sched_cache hit key={key:#018x} seq={}", s.seq()),
@@ -79,20 +79,21 @@ fn sched_cache_probe(ep: &mut Endpoint, union: &Group, local_fp: u64) -> (u64, O
     (key, hit)
 }
 
-fn sched_cache_insert(key: u64, sched: &Schedule) {
-    SCHED_CACHE.with(|c| c.borrow_mut().insert(key, sched.clone()));
+fn sched_cache_insert(ep: &mut Endpoint, key: u64, sched: &Schedule) {
+    ep.scratch::<SchedCache>(SCHED_CACHE_KEY)
+        .insert(key, sched.clone());
 }
 
 /// Number of schedules this rank has memoized (diagnostics/tests).
-pub fn mc_sched_cache_len() -> usize {
-    SCHED_CACHE.with(|c| c.borrow().len())
+pub fn mc_sched_cache_len(ep: &mut Endpoint) -> usize {
+    ep.scratch::<SchedCache>(SCHED_CACHE_KEY).len()
 }
 
 /// Drop every memoized schedule on this rank.  Collective discipline is the
 /// caller's problem: clear on all ranks or on none (benchmarks use this to
 /// re-measure cold builds).
-pub fn mc_sched_cache_clear() {
-    SCHED_CACHE.with(|c| c.borrow_mut().clear());
+pub fn mc_sched_cache_clear(ep: &mut Endpoint) {
+    ep.scratch::<SchedCache>(SCHED_CACHE_KEY).clear();
 }
 
 /// `CreateRegion_HPF(ndim, left, right)`: an HPF array-section region from
@@ -173,7 +174,7 @@ where
         Some(Side::new(dst_obj, dst_set)),
         BuildMethod::Cooperation,
     )?;
-    sched_cache_insert(key, &sched);
+    sched_cache_insert(ep, key, &sched);
     Ok(sched)
 }
 
@@ -225,7 +226,7 @@ where
         None,
         BuildMethod::Cooperation,
     )?;
-    sched_cache_insert(key, &sched);
+    sched_cache_insert(ep, key, &sched);
     Ok(sched)
 }
 
@@ -264,7 +265,7 @@ where
         Some(Side::new(dst_obj, dst_set)),
         BuildMethod::Cooperation,
     )?;
-    sched_cache_insert(key, &sched);
+    sched_cache_insert(ep, key, &sched);
     Ok(sched)
 }
 

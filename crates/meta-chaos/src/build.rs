@@ -33,8 +33,6 @@
 //! [`compute_schedule_reference`] for parity testing and benchmarking; both
 //! produce byte-identical schedules.
 
-use std::cell::Cell;
-
 use mcsim::group::{Comm, Group};
 use mcsim::prelude::Endpoint;
 use mcsim::span::Phase;
@@ -57,12 +55,10 @@ pub enum BuildMethod {
     Duplication,
 }
 
-thread_local! {
-    /// Per-rank schedule sequence counter.  All ranks of a union build
-    /// schedules in the same SPMD order, so the root's counter value,
-    /// broadcast at the end of each build, is a consistent unique id.
-    static SCHED_SEQ: Cell<u32> = const { Cell::new(0) };
-}
+/// Scratch key of the per-rank schedule sequence counter.  All ranks of a
+/// union build schedules in the same SPMD order, so the root's counter
+/// value, broadcast at the end of each build, is a consistent unique id.
+const SCHED_SEQ_KEY: u32 = 0x4d43_5351; // "MCSQ"
 
 /// Tags used inside schedule building, in the union group's context.
 mod tag {
@@ -337,12 +333,7 @@ where
     let seq = {
         let mut ucomm = Comm::borrowed(ep, union);
         let mine = if me_ul == 0 {
-            let s = SCHED_SEQ.with(|c| {
-                let v = c.get();
-                c.set(v.wrapping_add(1));
-                v
-            });
-            Some(s)
+            Some(ucomm.ep().next_seq(SCHED_SEQ_KEY))
         } else {
             None
         };

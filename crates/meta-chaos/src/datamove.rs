@@ -55,7 +55,6 @@
 //! bare reliable halves (no manifests, streaming unpack) alive as the
 //! ablation baseline the session-layer overhead is measured against.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
 
 use mcsim::group::Comm;
@@ -91,25 +90,21 @@ const V_ABORT_MISMATCH: u8 = 1;
 const V_ABORT_STALE: u8 = 2;
 const V_ABORT_PEER: u8 = 3;
 
-thread_local! {
-    /// Per-rank transfer-epoch counters, keyed by `(context << 32) | seq`.
-    /// The sender bumps the counter once per transfer attempt and announces
-    /// it in the manifest; the receiver discards data halves carrying an
-    /// older epoch (replays of an aborted attempt), which is what makes a
-    /// retried transfer idempotent.
-    static XFER_EPOCH: RefCell<HashMap<u64, u64>> = RefCell::new(HashMap::new());
-}
+/// Scratch key of the per-rank transfer-epoch counters, keyed by
+/// `(context << 32) | seq`.  The sender bumps the counter once per
+/// transfer attempt and announces it in the manifest; the receiver
+/// discards data halves carrying an older epoch (replays of an aborted
+/// attempt), which is what makes a retried transfer idempotent.
+const XFER_EPOCH_KEY: u32 = 0x5845_504f; // "XEPO"
 
 /// Next transfer epoch for this schedule's data stream (starts at 1; 0 is
 /// the receiver-side placeholder meaning "not a data sender").
-pub(crate) fn next_xfer_epoch(sched: &Schedule) -> u64 {
+pub(crate) fn next_xfer_epoch(ep: &mut Endpoint, sched: &Schedule) -> u64 {
     let key = ((sched.group().context() as u64) << 32) | sched.seq() as u64;
-    XFER_EPOCH.with(|m| {
-        let mut m = m.borrow_mut();
-        let e = m.entry(key).or_insert(0);
-        *e += 1;
-        *e
-    })
+    let m: &mut HashMap<u64, u64> = ep.scratch(XFER_EPOCH_KEY);
+    let e = m.entry(key).or_insert(0);
+    *e += 1;
+    *e
 }
 
 /// Move data for a schedule where this rank participates on both sides
@@ -212,7 +207,7 @@ where
     if sched.sends.is_empty() {
         return Ok(());
     }
-    let te = next_xfer_epoch(sched);
+    let te = next_xfer_epoch(ep, sched);
     let span = ep.span_begin(Phase::Transfer, || {
         format!(
             "mode=send seq={} te={} pairs={} elems={} src_epoch={}",
@@ -294,7 +289,7 @@ where
     if sched.sends.is_empty() {
         return Ok(());
     }
-    let te = next_xfer_epoch(sched);
+    let te = next_xfer_epoch(ep, sched);
     let r = settle(
         ep,
         sched,
@@ -326,7 +321,7 @@ where
     if sched.sends.is_empty() {
         return Ok(());
     }
-    let te = next_xfer_epoch(sched);
+    let te = next_xfer_epoch(ep, sched);
     send_data_frames(ep, sched, src, te)
 }
 

@@ -8,7 +8,9 @@
 //! module owns what happens when a transfer *fails*: every abort site
 //! calls [`record_abort`], which snapshots the endpoint's flight
 //! recorder — the last [`mcsim::span::FLIGHT_RING_CAP`] events, always
-//! recorded — into a thread-local (per-rank) [`AbortReport`].  The SPMD
+//! recorded — into a per-rank, endpoint-scratch-keyed [`AbortReport`]
+//! (not a thread-local: under the cooperative runner one OS thread hosts
+//! many ranks).  The SPMD
 //! closure that observed the `McError` can then pick the report up with
 //! [`take_last_abort`] and attach it to whatever error surface it uses,
 //! turning a bare error code into a post-mortem: which pair, which
@@ -17,7 +19,6 @@
 //! `McError` itself stays a plain, `PartialEq`-comparable value — the
 //! dump rides next to it, not inside it.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 use mcsim::analyze::CriticalPathReport;
@@ -118,11 +119,10 @@ pub fn attribute_pairs(
     out
 }
 
-thread_local! {
-    /// The most recent abort on this rank (rank threads are OS threads,
-    /// so thread-local is rank-local).
-    static LAST_ABORT: RefCell<Option<AbortReport>> = const { RefCell::new(None) };
-}
+/// Scratch key of the per-rank last-abort slot (endpoint scratch rather
+/// than a thread-local, so it stays rank-local under the cooperative
+/// runner where one OS thread hosts many ranks).
+const LAST_ABORT_KEY: u32 = 0x4142_5254; // "ABRT"
 
 /// Capture the flight recorder into this rank's [`AbortReport`].  Called
 /// by every abort site in the data-move path; also records an `abort`
@@ -135,19 +135,19 @@ pub fn record_abort(ep: &mut Endpoint, err: &McError) {
         error: err.to_string(),
         events: ep.flight_dump(),
     };
-    LAST_ABORT.with(|c| *c.borrow_mut() = Some(report));
+    *ep.scratch::<Option<AbortReport>>(LAST_ABORT_KEY) = Some(report);
 }
 
 /// Take (and clear) this rank's most recent abort report.
-pub fn take_last_abort() -> Option<AbortReport> {
-    LAST_ABORT.with(|c| c.borrow_mut().take())
+pub fn take_last_abort(ep: &mut Endpoint) -> Option<AbortReport> {
+    ep.scratch::<Option<AbortReport>>(LAST_ABORT_KEY).take()
 }
 
 /// Render `err` together with this rank's most recent abort report (if
 /// one was captured), consuming the report.  The one-stop "error report
 /// with the dump attached" for callers that just want text.
-pub fn report_with_post_mortem(err: &McError) -> String {
-    match take_last_abort() {
+pub fn report_with_post_mortem(ep: &mut Endpoint, err: &McError) -> String {
+    match take_last_abort(ep) {
         Some(r) => format!("{err}\n{}", r.render()),
         None => err.to_string(),
     }
@@ -222,15 +222,15 @@ mod tests {
 
     #[test]
     fn take_clears_the_slot() {
-        LAST_ABORT.with(|c| {
-            *c.borrow_mut() = Some(AbortReport {
-                rank: 0,
-                at: 0.0,
-                error: "x".into(),
-                events: vec![],
-            })
+        use mcsim::model::MachineModel;
+        use mcsim::world::World;
+        let world = World::with_model(1, MachineModel::zero());
+        let out = world.run(|ep| {
+            record_abort(ep, &McError::Transport("x".into()));
+            let first = take_last_abort(ep).is_some();
+            let second = take_last_abort(ep).is_none();
+            (first, second)
         });
-        assert!(take_last_abort().is_some());
-        assert!(take_last_abort().is_none());
+        assert_eq!(out.results[0], (true, true));
     }
 }

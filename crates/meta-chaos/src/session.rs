@@ -496,7 +496,7 @@ where
 {
     let group = sched.group().clone();
     let st = move_stream(sched);
-    let te = step_te(k, sched);
+    let te = step_te(ep, k, sched);
     let mut first_err: Option<McError> = None;
     let mut sent = vec![false; sched.sends.len()];
     for (i, (peer, runs)) in sched.sends.iter().enumerate() {
@@ -533,9 +533,10 @@ where
 /// per-attempt counter in the low half.  The step part lets a receiver
 /// discard a previous step's in-flight duplicates without a manifest;
 /// the attempt part survives a supervisor restart because the epoch
-/// counter lives with the rank's OS thread, which the supervisor reuses.
-fn step_te(k: u64, sched: &Schedule) -> u64 {
-    ((k + 1) << 32) | (next_xfer_epoch(sched) & 0xFFFF_FFFF)
+/// counter lives in the rank's endpoint scratch, which the supervisor
+/// carries across the respawn.
+fn step_te(ep: &mut Endpoint, k: u64, sched: &Schedule) -> u64 {
+    ((k + 1) << 32) | (next_xfer_epoch(ep, sched) & 0xFFFF_FFFF)
 }
 
 fn stale(object: u64, schedule: u64) -> Option<(u64, u64)> {

@@ -10,8 +10,6 @@
 //! Exchanges are face-only (no corner propagation), sufficient for the
 //! 5-point stencil of the paper's Figure 1.
 
-use std::cell::Cell;
-
 use mcsim::prelude::{Endpoint, Tag};
 
 use crate::array::MultiblockArray;
@@ -34,11 +32,9 @@ pub struct GhostSchedule {
     seq: u32,
 }
 
-thread_local! {
-    /// SPMD-consistent sequence numbers for ghost schedules (every rank
-    /// builds schedules in the same order).
-    static GHOST_SEQ: Cell<u32> = const { Cell::new(0) };
-}
+/// Scratch key of the per-rank ghost-schedule sequence counter
+/// (SPMD-consistent: every rank builds schedules in the same order).
+const GHOST_SEQ_KEY: u32 = 0x4748_5351; // "GHSQ"
 
 impl GhostSchedule {
     /// The per-neighbour transfers.
@@ -131,11 +127,7 @@ pub fn build_ghost_schedule<T: Copy + Default>(
             }
         }
     }
-    let seq = GHOST_SEQ.with(|c| {
-        let v = c.get();
-        c.set(v.wrapping_add(1));
-        v
-    });
+    let seq = ep.next_seq(GHOST_SEQ_KEY);
     GhostSchedule { transfers, seq }
 }
 

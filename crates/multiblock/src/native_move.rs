@@ -11,8 +11,6 @@
 //!   direct copy ... while Multiblock Parti requires an intermediate
 //!   buffer").
 
-use std::cell::Cell;
-
 use mcsim::group::{Comm, Group};
 use mcsim::prelude::Endpoint;
 use mcsim::wire::Wire;
@@ -22,9 +20,8 @@ use meta_chaos::schedule::Schedule;
 
 use crate::array::MultiblockArray;
 
-thread_local! {
-    static PARTI_SEQ: Cell<u32> = const { Cell::new(0) };
-}
+/// Scratch key of the per-rank Parti schedule sequence counter.
+const PARTI_SEQ_KEY: u32 = 0x5041_5351; // "PASQ"
 
 /// Build Parti's schedule for `dst[dsec] = src[ssec]` within one program.
 ///
@@ -83,11 +80,7 @@ pub fn build_copy_schedule<T: Copy + Default>(
 
     // SPMD-consistent sequence number (all program ranks build native
     // schedules in the same order).
-    let seq = PARTI_SEQ.with(|c| {
-        let v = c.get();
-        c.set(v.wrapping_add(1));
-        v
-    });
+    let seq = ep.next_seq(PARTI_SEQ_KEY);
 
     Schedule::new(
         prog.clone(),

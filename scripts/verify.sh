@@ -31,6 +31,16 @@ cargo run --release -p fuzz -- --matrix --iters 304 --seed 1 || {
   exit 1
 }
 
+# Wide soak: the same differential oracles, but over 8- and 16-rank worlds
+# so every scenario exercises the cooperative M:N scheduler with real rank
+# multiplexing (the narrow soak's 2–4-rank worlds park at most a handful of
+# green tasks at a time).
+echo "== fuzz soak (wide: 8/16-rank worlds) =="
+cargo run --release -p fuzz -- --matrix --wide --iters 64 --seed 3 || {
+  echo "wide fuzz gate: oracle violation — see repro under target/fuzz/" >&2
+  exit 1
+}
+
 # Crash-recovery gate: a bounded supervised soak — 1–2 scripted crashes per
 # scenario resolved against a fault-free baseline's transfer windows, the
 # supervisor respawning each victim from its checkpoint, and the
@@ -112,6 +122,33 @@ awk -v s="$current_speedup" 'BEGIN {
   exit 1
 }
 
+# Scaling gate: a P=256 leg of the M:N-runner scaling curve (inspector
+# build, coupled transfer settle, HPF redistribution) re-run fresh and
+# held against the committed BENCH_scaling.json.  The compared times are
+# *simulated* milliseconds — deterministic, so a clean tree reproduces
+# the baseline exactly and the +25% threshold only trips on a real
+# change to the machine model, the collectives, or the inspector.
+echo "== scaling smoke (P=256) =="
+scaling_tmp="$(mktemp -t mc_scaling.XXXXXX.json)"
+trap 'rm -f "$trace_tmp" "$baseline_json" "$scaling_tmp"' EXIT
+cargo run --release -p bench --bin repro -- scaling --procs 256 --out "$scaling_tmp"
+for metric in p256_inspector_virtual_ms p256_transfer_virtual_ms; do
+  base="$(extract_field BENCH_scaling.json "$metric")"
+  cur="$(extract_field "$scaling_tmp" "$metric")"
+  if [ -z "$base" ] || [ -z "$cur" ]; then
+    echo "scaling gate: missing $metric in baseline or fresh run" >&2
+    exit 1
+  fi
+  awk -v base="$base" -v cur="$cur" -v m="$metric" 'BEGIN {
+    limit = base * 1.25
+    printf "%s: %.3f ms (baseline %.3f ms, limit %.3f ms)\n", m, cur, base, limit
+    exit !(cur <= limit)
+  }' || {
+    echo "scaling gate: $metric regressed >25% vs BENCH_scaling.json" >&2
+    exit 1
+  }
+done
+
 # Critical-path attribution gate: `repro analyze` reconstructs the causal
 # DAG of a traced coupled run, walks the critical path of every transfer,
 # and self-checks that the per-phase attribution tiles the end-to-end
@@ -122,7 +159,7 @@ awk -v s="$current_speedup" 'BEGIN {
 # identical runs bit-identical, so a clean tree diffs to exactly zero.
 echo "== critical-path attribution =="
 attr_tmp="$(mktemp -t mc_attr.XXXXXX.json)"
-trap 'rm -f "$trace_tmp" "$baseline_json" "$attr_tmp"' EXIT
+trap 'rm -f "$trace_tmp" "$baseline_json" "$scaling_tmp" "$attr_tmp"' EXIT
 cargo run --release -p bench --bin repro -- analyze --n 4096 --reps 2 --out "$attr_tmp"
 echo "== trace-diff vs baseline =="
 cargo run --release -p bench --bin repro -- trace-diff BENCH_critical_path.json "$attr_tmp" --threshold 0.25 || {

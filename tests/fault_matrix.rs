@@ -422,7 +422,7 @@ fn permanent_partition_times_out_both_sides() {
                 )
                 .unwrap();
                 let r = data_move_send(ep, &sched, &v);
-                (r, meta_chaos::obs::take_last_abort())
+                (r, meta_chaos::obs::take_last_abort(ep))
             } else {
                 let mut h = HpfArray::<f64>::new(&pb, ep.rank(), HpfDist::block_1d(N, 2));
                 let sched = compute_schedule::<f64, MultiblockArray<f64>, HpfArray<f64>>(
@@ -436,7 +436,7 @@ fn permanent_partition_times_out_both_sides() {
                 )
                 .unwrap();
                 let r = data_move_recv(ep, &sched, &mut h);
-                (r, meta_chaos::obs::take_last_abort())
+                (r, meta_chaos::obs::take_last_abort(ep))
             }
         });
     // Schedule construction runs on unfaulted library traffic, so every
@@ -531,7 +531,7 @@ fn stale_schedules_rejected_direct_and_rebuilt_cached() {
 
         let sched = mc_compute_sched(ep, &g, &a, &sset, &x, &dset).unwrap();
         mc_copy(ep, &sched, &a, &mut x).unwrap();
-        assert_eq!(mc_sched_cache_len(), 1);
+        assert_eq!(mc_sched_cache_len(ep), 1);
 
         let mut cache_len = 1;
         for round in 0..3u64 {
@@ -555,7 +555,7 @@ fn stale_schedules_rejected_direct_and_rebuilt_cached() {
             cache_len += 1;
             assert_eq!(fresh.dst_epoch(), x.epoch());
             assert_eq!(
-                mc_sched_cache_len(),
+                mc_sched_cache_len(ep),
                 cache_len,
                 "round {round}: remap must force a cache rebuild"
             );
@@ -563,7 +563,7 @@ fn stale_schedules_rejected_direct_and_rebuilt_cached() {
             let again = mc_compute_sched(ep, &g, &a, &sset, &x, &dset).unwrap();
             assert_eq!(again.seq(), fresh.seq());
             assert_eq!(
-                mc_sched_cache_len(),
+                mc_sched_cache_len(ep),
                 cache_len,
                 "round {round}: unchanged epochs must hit the cache"
             );

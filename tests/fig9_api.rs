@@ -60,11 +60,20 @@ fn paper_figure9_bounds_are_mismatched_and_detected() {
 #[test]
 fn corrected_figure9_transfer_runs() {
     // Shrink the source's first dimension by one: B(51:100, 50:100).
-    let out = test_world(4).run(|ep| {
-        let (src_prog, dst_prog, un) = Group::split_two(2, 2, 32);
+    // Parameterized over the world size: the same harness runs at the
+    // paper's 2+2 and at larger splits.
+    for p in [4usize, 8] {
+        corrected_figure9_transfer_at(p);
+    }
+}
+
+fn corrected_figure9_transfer_at(p: usize) {
+    let pa = p / 2;
+    let out = test_world(p).run(move |ep| {
+        let (src_prog, dst_prog, un) = Group::split_two(pa, p - pa, 32);
         if src_prog.contains(ep.rank()) {
             let mut b =
-                HpfArray::<f64>::new(&src_prog, ep.rank(), HpfDist::block_block(200, 100, 2, 1));
+                HpfArray::<f64>::new(&src_prog, ep.rank(), HpfDist::block_block(200, 100, pa, 1));
             b.for_each_owned(|c, v| *v = (c[0] * 1000 + c[1]) as f64);
             let region = create_region_hpf(&[51, 50], &[100, 100]);
             let mut set = mc_new_set_of_region();
@@ -76,8 +85,11 @@ fn corrected_figure9_transfer_runs() {
             mc_data_move_send(ep, &sched, &b).unwrap();
             Vec::new()
         } else {
-            let mut a =
-                HpfArray::<f64>::new(&dst_prog, ep.rank(), HpfDist::block_block(50, 60, 2, 1));
+            let mut a = HpfArray::<f64>::new(
+                &dst_prog,
+                ep.rank(),
+                HpfDist::block_block(50, 60, p - pa, 1),
+            );
             let region = create_region_hpf(&[1, 10], &[50, 60]);
             let mut set = mc_new_set_of_region();
             mc_add_region_2_set(region, &mut set);
@@ -99,7 +111,7 @@ fn corrected_figure9_transfer_runs() {
     });
     // A[1:50, 10:60] (1-based incl) = A[0..50, 9..60) receives
     // B[51:100, 50:100] = B[50..100, 49..100).
-    for vals in &out.results[2..] {
+    for vals in &out.results[pa..] {
         for &(i, j, v) in vals {
             let expect = if (9..60).contains(&j) {
                 ((i + 50) * 1000 + (j - 9 + 49)) as f64

@@ -321,7 +321,7 @@ fn schedule_cache_hits_and_misses() {
         let s1 = mc_compute_sched(ep, &g, &b, &sset, &a, &dset).unwrap();
         let d1 = ep.stats_snapshot().since(&before);
         assert_eq!((d1.sched_cache_hits, d1.sched_cache_misses), (0, 1));
-        assert_eq!(mc_sched_cache_len(), 1);
+        assert_eq!(mc_sched_cache_len(ep), 1);
 
         // Identical inputs: a hit, and the same schedule comes back.
         let before = ep.stats_snapshot();
@@ -331,7 +331,7 @@ fn schedule_cache_hits_and_misses() {
         assert_eq!(s1.sends, s2.sends);
         assert_eq!(s1.recvs, s2.recvs);
         assert_eq!(s1.local_pairs, s2.local_pairs);
-        assert_eq!(mc_sched_cache_len(), 1);
+        assert_eq!(mc_sched_cache_len(ep), 1);
 
         // A different destination set: a miss and a second memo entry.
         let dset2 = SetOfRegions::single(RegularSection::of_bounds(&[(0, n / 2)]));
@@ -339,7 +339,7 @@ fn schedule_cache_hits_and_misses() {
         let s3 = mc_compute_sched(ep, &g, &b, &sset, &a, &dset2).unwrap();
         let d3 = ep.stats_snapshot().since(&before);
         assert_eq!((d3.sched_cache_hits, d3.sched_cache_misses), (0, 1));
-        assert_eq!(mc_sched_cache_len(), 2);
+        assert_eq!(mc_sched_cache_len(ep), 2);
 
         // The cached schedule is live: execute it and check the motion.
         data_move(ep, &s2, &b, &mut a);
